@@ -1,0 +1,41 @@
+// Command honeyexp runs only the Section 3 honey-app experiment:
+// publishing the instrumented voice-memos app, purchasing 500 no-activity
+// installs from Fyber, ayeT-Studios, and RankApp, and analyzing delivery,
+// engagement, automation signals, and workers' installed apps.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 0, "override the world seed")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	// The honey experiment needs the platforms and worker pools but not
+	// the 922-app campaign ecosystem; shrink the rest of the world.
+	cfg.BackgroundApps = 50
+	cfg.BaselineApps = 20
+	cfg.TotalAdvertised = 10
+	cfg.OffersTarget = 12
+	for name := range cfg.AppsPerIIP {
+		cfg.AppsPerIIP[name] = 1
+	}
+	cfg.AppsPerIIP["Fyber"] = 4
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	study, err := core.RunHoneyOnly(cfg)
+	if err != nil {
+		log.Fatalf("honeyexp: %v", err)
+	}
+	report.WriteSection3(os.Stdout, study.Results.Section3)
+}

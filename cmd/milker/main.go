@@ -1,0 +1,89 @@
+// Command milker stands up the live monitoring infrastructure against a
+// synthetic world — the per-IIP offer-wall HTTP servers, the instrumented
+// affiliate apps, the UI fuzzer, and the recording proxy — milks every
+// wall from the eight vantage countries for a number of simulated days,
+// and dumps the resulting deduplicated offer dataset as CSV-ish rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/iip"
+	"repro/internal/monitor"
+	"repro/internal/offers"
+	"repro/internal/sim"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 0, "override the world seed")
+	daysN := flag.Int("days", 12, "simulated days to run the world before/while milking")
+	every := flag.Int("every", 4, "milk every N days")
+	flag.Parse()
+
+	cfg := sim.TinyConfig()
+	cfg.Window.End = cfg.Window.Start.AddDays(*daysN - 1)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	world, err := sim.NewWorld(cfg)
+	if err != nil {
+		log.Fatalf("milker: %v", err)
+	}
+
+	// Offer-wall servers, one per IIP.
+	rates := map[string]float64{}
+	for _, a := range world.Affiliates {
+		rates[a.Package] = a.PointsPerUSD
+	}
+	endpoints := map[string]string{}
+	var servers []*http.Server
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+	for _, p := range world.PlatformsSorted() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("milker: %v", err)
+		}
+		srv := &http.Server{Handler: iip.NewServer(p, rates).Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+		servers = append(servers, srv)
+		endpoints[p.Name] = "http://" + ln.Addr().String()
+		log.Printf("offer wall %-13s %s", p.Name, endpoints[p.Name])
+	}
+
+	milk, err := monitor.NewMilker(world.Affiliates, endpoints)
+	if err != nil {
+		log.Fatalf("milker: %v", err)
+	}
+	defer milk.Close()
+
+	start := world.Cfg.Window.Start
+	if _, err := world.RunWithHook(func(day dates.Date) error {
+		if day.DaysSince(start)%*every != 0 {
+			return nil
+		}
+		return milk.MilkDay(day)
+	}); err != nil {
+		log.Fatalf("milker: %v", err)
+	}
+
+	cls := offers.RuleClassifier{}
+	dataset := milk.Offers()
+	fmt.Printf("# %d offers milked over %d runs\n", len(dataset), len(milk.MilkDays()))
+	fmt.Println("offer_id,iip,app,type,arbitrage,payout_usd,first_seen,last_seen,description")
+	for _, o := range dataset {
+		fmt.Printf("%s,%s,%s,%v,%v,%.2f,%s,%s,%q\n",
+			o.ID, o.IIP, o.AppPackage, cls.Classify(o.Description),
+			offers.IsArbitrage(o.Description), o.PayoutUSD,
+			o.FirstSeen, o.LastSeen, o.Description)
+	}
+}

@@ -1,0 +1,86 @@
+// Command storectl serves a populated synthetic Play Store over HTTP and
+// issues example queries against it — profile pages, top charts, catalog —
+// demonstrating the exact crawl surface the study's crawler consumes.
+//
+// With -serve the server stays up for interactive use (curl).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/playapi"
+	"repro/internal/playstore"
+	"repro/internal/sim"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 0, "override the world seed")
+	serve := flag.Bool("serve", false, "keep serving until interrupted")
+	flag.Parse()
+
+	cfg := sim.TinyConfig()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	world, err := sim.NewWorld(cfg)
+	if err != nil {
+		log.Fatalf("storectl: %v", err)
+	}
+	if _, err := world.Run(); err != nil {
+		log.Fatalf("storectl: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("storectl: %v", err)
+	}
+	srv := &http.Server{
+		Handler:           playapi.New(world.Store, world.APKs).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("store API listening on %s\n\n", base)
+
+	show := func(path string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatalf("storectl: GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var v any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			log.Fatalf("storectl: decode %s: %v", path, err)
+		}
+		out, _ := json.MarshalIndent(v, "", "  ")
+		fmt.Printf("GET %s\n%s\n\n", path, truncate(string(out), 1200))
+	}
+
+	pkg := world.Advertised[0].Package
+	show("/apps/" + pkg)
+	show(fmt.Sprintf("/charts/%s", playstore.ChartTopFree))
+	show("/catalog")
+
+	if *serve {
+		fmt.Println("serving; press Ctrl-C to stop")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "\n  ... (truncated)"
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Understanding
+// Incentivized Mobile App Installs on Google Play Store" (Farooqi et al.,
+// IMC 2020): a synthetic incentivized-install ecosystem (Play Store, IIP
+// offer walls, affiliate apps, crowd workers, attribution mediator, money
+// ledger, Crunchbase snapshot) plus the paper's full measurement pipeline
+// (honey-app experiment, UI-fuzzer + MITM-proxy monitoring, longitudinal
+// store crawler, classifiers, chi-squared impact analyses) regenerating
+// every table and figure of the evaluation.
+//
+// The root package holds the per-table/per-figure benchmark harness; the
+// implementation lives under internal/ and the runnable entry points under
+// cmd/ and examples/.
+package repro

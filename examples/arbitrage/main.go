@@ -1,0 +1,75 @@
+// Arbitrage: walk through the economics of an arbitrage activity offer
+// (Section 4.3.2): the developer pays users to complete in-app tasks —
+// surveys, video ads, third-party offers — that themselves pay the
+// developer commissions, and every completion inflates revenue-looking
+// metrics regardless of profitability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dates"
+	"repro/internal/iip"
+	"repro/internal/mediator"
+	"repro/internal/offers"
+)
+
+func main() {
+	desc := "Install and reach 850 points by completing tasks (watch videos, complete surveys)"
+	fmt.Printf("offer: %q\n", desc)
+	fmt.Printf("classified as: %v, arbitrage: %v\n\n",
+		offers.RuleClassifier{}.Classify(desc), offers.IsArbitrage(desc))
+
+	platform := iip.StandardPlatforms()[iip.Fyber]
+	if err := platform.RegisterDeveloper("dev", iip.Documentation{TaxID: "T", BankAccount: "B"}); err != nil {
+		log.Fatal(err)
+	}
+	if err := platform.Deposit("dev", 5000); err != nil {
+		log.Fatal(err)
+	}
+	const payout = 0.67 // the paper's "Cash Time" example pays $0.67
+	campaign, err := platform.LaunchCampaign(iip.CampaignSpec{
+		Developer: "dev", AppPackage: "com.cashtime.earn",
+		Description: desc, Type: offers.Usage, Arbitrage: true,
+		UserPayoutUSD: payout, Target: 1000,
+		Window: dates.Range{Start: dates.StudyStart, End: dates.StudyEnd},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ledger := mediator.NewLedger()
+	med := mediator.New("appsflyer")
+	med.RegisterOffer(campaign.OfferID, offers.Usage)
+
+	// Per completed user: the developer pays the campaign cost, but the
+	// in-app tasks (video ads, surveys, shopping deals) earn commissions.
+	const commissionsPerUser = 1.10 // what the embedded ad/survey networks pay
+	const completions = 1000
+
+	devCost, devRevenue := 0.0, 0.0
+	for i := 0; i < completions; i++ {
+		d, err := platform.RecordCompletion(campaign.OfferID, dates.StudyStart)
+		if err != nil {
+			log.Fatal(err)
+		}
+		devCost += d.Gross + med.FeePerUser
+		devRevenue += commissionsPerUser
+		if err := ledger.Post("adnetworks", mediator.DeveloperAccount("dev"), commissionsPerUser, "task commissions"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	gross := platform.GrossCostPerInstall(payout)
+	fmt.Printf("completions:               %d\n", completions)
+	fmt.Printf("cost per completion:       $%.3f (user payout $%.2f + IIP/affiliate cuts) + $%.2f attribution\n",
+		gross, payout, med.FeePerUser)
+	fmt.Printf("commissions per user:      $%.2f\n", commissionsPerUser)
+	fmt.Printf("total campaign cost:       $%.2f\n", devCost)
+	fmt.Printf("total task commissions:    $%.2f\n", devRevenue)
+	fmt.Printf("net:                       $%.2f\n\n", devRevenue-devCost)
+	fmt.Println("Even when the net is negative, the developer has manufactured")
+	fmt.Println("gross-revenue growth — the metric investors and top-grossing")
+	fmt.Println("charts look at — which is the paper's arbitrage concern.")
+}

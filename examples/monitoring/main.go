@@ -1,0 +1,99 @@
+// Monitoring: stand up real offer-wall HTTP servers for two IIPs, drive
+// the instrumented affiliate apps through the recording MITM proxy (the
+// paper's Figure 3 infrastructure), and classify the intercepted offers —
+// the in-the-wild measurement pipeline of Section 4.1 end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/affiliate"
+	"repro/internal/dates"
+	"repro/internal/iip"
+	"repro/internal/monitor"
+	"repro/internal/offers"
+)
+
+func main() {
+	// Two live platforms with a handful of campaigns.
+	platforms := iip.StandardPlatforms()
+	fyber, ayet := platforms[iip.Fyber], platforms[iip.AyetStudios]
+	mustRegister(fyber, "dev", iip.Documentation{TaxID: "T", BankAccount: "B"})
+	mustRegister(ayet, "dev", iip.Documentation{})
+	must(fyber.Deposit("dev", 1e5))
+	must(ayet.Deposit("dev", 1e5))
+
+	window := dates.Range{Start: dates.StudyStart, End: dates.StudyEnd}
+	launch(fyber, "com.example.game", "Install and Reach level 10", offers.Usage, 0.50, window)
+	launch(fyber, "com.example.shop", "Install and make a $4.99 in-app purchase", offers.Purchase, 2.98, window)
+	launch(ayet, "com.example.news", "Install and Launch", offers.NoActivity, 0.05, window)
+	launch(ayet, "com.example.cash",
+		"Install and reach 850 points by completing tasks (watch videos, complete surveys)",
+		offers.Usage, 0.67, window)
+
+	// Offer-wall HTTP servers.
+	apps := affiliate.StandardAffiliates()
+	rates := map[string]float64{}
+	for _, a := range apps {
+		rates[a.Package] = a.PointsPerUSD
+	}
+	endpoints := map[string]string{}
+	for name, p := range map[string]*iip.Platform{iip.Fyber: fyber, iip.AyetStudios: ayet} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		must(err)
+		srv := &http.Server{Handler: iip.NewServer(p, rates).Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+		defer srv.Close()
+		endpoints[name] = "http://" + ln.Addr().String()
+	}
+
+	// Instrument only affiliate apps whose every wall has an endpoint.
+	var instrumented []*affiliate.App
+	for _, a := range apps {
+		ok := true
+		for _, n := range a.IIPs {
+			if _, have := endpoints[n]; !have {
+				ok = false
+			}
+		}
+		if ok {
+			instrumented = append(instrumented, a)
+		}
+	}
+
+	milk, err := monitor.NewMilker(instrumented, endpoints)
+	must(err)
+	defer milk.Close()
+	must(milk.MilkDay(dates.StudyStart))
+
+	cls := offers.RuleClassifier{}
+	fmt.Printf("milked %d unique offers via %d instrumented affiliate apps from %d countries:\n\n",
+		len(milk.Offers()), len(instrumented), len(milk.Countries))
+	for _, o := range milk.Offers() {
+		fmt.Printf("%-14s %-18s $%.2f  %-24v arbitrage=%v\n    %q\n",
+			o.IIP, o.AppPackage, o.PayoutUSD, cls.Classify(o.Description),
+			offers.IsArbitrage(o.Description), o.Description)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustRegister(p *iip.Platform, dev string, docs iip.Documentation) {
+	must(p.RegisterDeveloper(dev, docs))
+}
+
+func launch(p *iip.Platform, pkg, desc string, t offers.Type, payout float64, w dates.Range) {
+	_, err := p.LaunchCampaign(iip.CampaignSpec{
+		Developer: "dev", AppPackage: pkg, Description: desc,
+		Type: t, UserPayoutUSD: payout, Target: 1000, Window: w,
+	})
+	must(err)
+}

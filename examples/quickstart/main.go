@@ -1,0 +1,81 @@
+// Quickstart: build a small synthetic incentivized-install world, buy a
+// no-activity campaign for a fresh app, run the simulation, and watch the
+// app's public Play Store install count get manipulated — the honey-app
+// effect of the paper's Section 3 in a dozen lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dates"
+	"repro/internal/iip"
+	"repro/internal/playstore"
+	"repro/internal/sim"
+)
+
+func main() {
+	// 1. A deterministic world: Play Store, 7 IIPs, affiliate apps,
+	//    crowd workers, mediator, ledger.
+	cfg := sim.TinyConfig()
+	world, err := sim.NewWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Publish our own app, starting from zero installs.
+	world.Store.AddDeveloper(playstore.Developer{ID: "me", Name: "My Startup", Country: "USA"})
+	const pkg = "com.mystartup.demo"
+	if err := world.Store.Publish(playstore.Listing{
+		Package: pkg, Title: "Demo App", Genre: "Tools",
+		Developer: "me", Released: cfg.Window.Start,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Register with an unvetted IIP ($20 minimum, no paperwork) and
+	//    buy 600 "Install and Launch" completions.
+	rank := world.Platforms[iip.RankApp]
+	if err := rank.RegisterDeveloper("me", iip.Documentation{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := rank.Deposit("me", 100); err != nil {
+		log.Fatal(err)
+	}
+	campaign, err := rank.LaunchCampaign(iip.CampaignSpec{
+		Developer: "me", AppPackage: pkg,
+		Description:   "Install and Launch",
+		UserPayoutUSD: 0.02, Target: 600,
+		Window: dates.Range{Start: cfg.Window.Start, End: cfg.Window.End},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	world.Mediator.RegisterOffer(campaign.OfferID, 0)
+
+	before, _ := world.Store.Profile(pkg)
+
+	// 4. Deliver completions through the crowd-worker pool (what the
+	//    sim engine does for every planned campaign).
+	pool := world.Pools[iip.RankApp]
+	day := cfg.Window.Start
+	for i := 0; ; i++ {
+		worker := pool[i%len(pool)]
+		if _, err := rank.RecordCompletion(campaign.OfferID, day); err != nil {
+			break // target reached
+		}
+		if err := world.Store.RecordInstall(pkg, playstore.Install{
+			Day: day, Source: playstore.SourceReferral, FraudScore: worker.FraudScore(),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	world.Store.StepDay(day)
+	after, _ := world.Store.Profile(pkg)
+
+	fmt.Printf("public install count before campaign: %s\n", before.InstallLabel)
+	fmt.Printf("public install count after  campaign: %s\n", after.InstallLabel)
+	snap, _ := rank.Campaign(campaign.OfferID)
+	fmt.Printf("completions delivered: %d, cost per install: $%.3f\n",
+		snap.Delivered, rank.GrossCostPerInstall(0.02))
+}

@@ -1,0 +1,201 @@
+package affiliate
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/iip"
+	"repro/internal/offers"
+	"repro/internal/textgen"
+)
+
+func TestStandardAffiliatesMatchTable2(t *testing.T) {
+	apps := StandardAffiliates()
+	if len(apps) != 8 {
+		t.Fatalf("expected 8 affiliate apps, got %d", len(apps))
+	}
+	// Every app integrates at least one vetted IIP (paper: "all of the 8
+	// affiliate apps integrate at least one offer wall from vetted IIPs").
+	vetted := map[string]bool{
+		iip.Fyber: true, iip.OfferToro: true, iip.AdscendMedia: true,
+		iip.HangMyAds: true, iip.AdGem: true,
+	}
+	unvettedCount := 0
+	for _, a := range apps {
+		hasVetted := false
+		for _, n := range a.IIPs {
+			if vetted[n] {
+				hasVetted = true
+			}
+		}
+		if !hasVetted {
+			t.Errorf("%s integrates no vetted IIP", a.Package)
+		}
+		if a.IntegratesIIP(iip.AyetStudios) || a.IntegratesIIP(iip.RankApp) {
+			unvettedCount++
+		}
+	}
+	// "most (5 out of 8) of them also integrate at least one offer wall
+	// from unvetted IIPs".
+	if unvettedCount != 5 {
+		t.Errorf("apps with unvetted walls = %d, want 5", unvettedCount)
+	}
+	// The most popular app (10M+) integrates 4 walls.
+	if apps[0].InstallsBin != 10_000_000 || len(apps[0].IIPs) != 4 {
+		t.Errorf("most popular app should have 10M+ installs and 4 walls: %+v", apps[0])
+	}
+	// All affiliate-app titles carry money/reward keywords.
+	for _, a := range apps {
+		if !textgen.HasMoneyKeyword(a.Title) && !textgen.HasMoneyKeyword(a.Package) {
+			t.Errorf("%s lacks money keyword", a.Package)
+		}
+	}
+}
+
+func TestIntegratesIIP(t *testing.T) {
+	a := StandardAffiliates()[0]
+	if !a.IntegratesIIP(iip.Fyber) {
+		t.Error("CashForApps should integrate Fyber")
+	}
+	if a.IntegratesIIP(iip.RankApp) {
+		t.Error("CashForApps should not integrate RankApp")
+	}
+}
+
+func TestPointsToUSD(t *testing.T) {
+	a := &App{PointsPerUSD: 500}
+	if got := a.PointsToUSD(340); math.Abs(got-0.68) > 1e-12 {
+		t.Errorf("PointsToUSD = %g, want 0.68", got)
+	}
+	bad := &App{}
+	if bad.PointsToUSD(100) != 0 {
+		t.Error("zero rate should yield 0")
+	}
+}
+
+// newPlatformWithOffers builds a funded Fyber with n live campaigns and an
+// offer-wall HTTP server that knows the given affiliates.
+func newPlatformWithOffers(t *testing.T, n int, affiliates []*App) (*iip.Platform, *httptest.Server) {
+	t.Helper()
+	p := iip.StandardPlatforms()[iip.Fyber]
+	if err := p.RegisterDeveloper("dev", iip.Documentation{TaxID: "T", BankAccount: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Deposit("dev", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, err := p.LaunchCampaign(iip.CampaignSpec{
+			Developer:     "dev",
+			AppPackage:    fmt.Sprintf("com.adv.app%03d", i),
+			Description:   "Install and Launch",
+			Type:          offers.NoActivity,
+			UserPayoutUSD: 0.06,
+			Target:        100,
+			Window:        dates.Range{Start: dates.StudyStart, End: dates.StudyEnd},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rates := map[string]float64{}
+	for _, a := range affiliates {
+		rates[a.Package] = a.PointsPerUSD
+	}
+	srv := httptest.NewServer(iip.NewServer(p, rates).Handler())
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func TestTabLoadScrollsAllPages(t *testing.T) {
+	apps := StandardAffiliates()
+	cashpirate := apps[4]
+	// 27 offers -> 3 pages (10+10+7).
+	_, srv := newPlatformWithOffers(t, 27, apps)
+	tabs := cashpirate.Tabs()
+	var fyberTab *Tab
+	for i := range tabs {
+		if tabs[i].IIP == iip.Fyber {
+			fyberTab = &tabs[i]
+		}
+	}
+	if fyberTab == nil {
+		t.Fatal("cashpirate must have a Fyber tab")
+	}
+	got, err := fyberTab.Load(FetchOptions{
+		BaseURL: srv.URL,
+		Country: "USA",
+		Day:     dates.StudyStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 27 {
+		t.Fatalf("loaded %d offers, want 27", len(got))
+	}
+	// No duplicates across pages.
+	seen := map[string]bool{}
+	for _, o := range got {
+		if seen[o.OfferID] {
+			t.Fatalf("duplicate offer %s across pages", o.OfferID)
+		}
+		seen[o.OfferID] = true
+	}
+	// Points reflect cashpirate's point system: 0.06 * 950 = 57.
+	if got[0].Points != 57 {
+		t.Errorf("points = %d, want 57", got[0].Points)
+	}
+}
+
+func TestTabLoadMaxPages(t *testing.T) {
+	apps := StandardAffiliates()
+	cashpirate := apps[4]
+	_, srv := newPlatformWithOffers(t, 27, apps)
+	tab := cashpirate.Tabs()[0] // Fyber tab
+	got, err := tab.Load(FetchOptions{
+		BaseURL:  srv.URL,
+		Country:  "USA",
+		Day:      dates.StudyStart,
+		MaxPages: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("MaxPages=1 loaded %d offers, want 10", len(got))
+	}
+}
+
+func TestTabLoadUnknownAffiliate(t *testing.T) {
+	apps := StandardAffiliates()
+	_, srv := newPlatformWithOffers(t, 3, apps)
+	stranger := &App{Package: "not.signed.up", PointsPerUSD: 100, IIPs: []string{iip.Fyber}}
+	_, err := stranger.Tabs()[0].Load(FetchOptions{BaseURL: srv.URL, Country: "USA", Day: dates.StudyStart})
+	if err == nil {
+		t.Error("unregistered affiliate should be rejected by the wall")
+	}
+}
+
+func TestTabLoadConnectionError(t *testing.T) {
+	a := StandardAffiliates()[0]
+	_, err := a.Tabs()[0].Load(FetchOptions{BaseURL: "http://127.0.0.1:1", Country: "USA"})
+	if err == nil {
+		t.Error("unreachable wall should error")
+	}
+}
+
+func TestTabsOrder(t *testing.T) {
+	a := StandardAffiliates()[0]
+	tabs := a.Tabs()
+	if len(tabs) != len(a.IIPs) {
+		t.Fatalf("tabs = %d, want %d", len(tabs), len(a.IIPs))
+	}
+	for i, tab := range tabs {
+		if tab.IIP != a.IIPs[i] {
+			t.Errorf("tab %d = %s, want %s", i, tab.IIP, a.IIPs[i])
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package apk
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestBuildAndDetectExact(t *testing.T) {
+	r := randx.New(1)
+	libs := []string{"Google AdMob", "AppLovin", "OkHttp"}
+	a, err := Build(r, "com.example.game", libs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := DetectLibraries(a)
+	names := map[string]bool{}
+	for _, l := range detected {
+		names[l.Name] = true
+	}
+	for _, want := range libs {
+		if !names[want] {
+			t.Errorf("library %s not detected", want)
+		}
+	}
+	if CountAdLibraries(a) != 2 {
+		t.Errorf("ad libraries = %d, want 2 (AdMob + AppLovin)", CountAdLibraries(a))
+	}
+}
+
+func TestBuildUnknownLibrary(t *testing.T) {
+	if _, err := Build(randx.New(1), "p", []string{"NoSuchLib"}, 0); err == nil {
+		t.Error("unknown library should error")
+	}
+}
+
+func TestObfuscationHidesLibraries(t *testing.T) {
+	r := randx.New(2)
+	libs := []string{"Google AdMob", "AppLovin", "ChartBoost", "Vungle", "Tapjoy"}
+	// Fully obfuscated: nothing detectable.
+	a, err := Build(r, "com.example.app", libs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountAdLibraries(a); n != 0 {
+		t.Errorf("fully obfuscated APK leaked %d libraries", n)
+	}
+	// Partially obfuscated: detection undercounts on average.
+	total := 0
+	for i := 0; i < 50; i++ {
+		a, _ := Build(r, "com.example.app", libs, 0.5)
+		total += CountAdLibraries(a)
+	}
+	avg := float64(total) / 50
+	if avg < 1 || avg > 4 {
+		t.Errorf("50%% obfuscation average detection = %g, want ~2.5", avg)
+	}
+}
+
+func TestAdLibraryNames(t *testing.T) {
+	names := AdLibraryNames()
+	if len(names) < 15 {
+		t.Errorf("ad catalog too small: %d", len(names))
+	}
+	for _, n := range names {
+		lib, ok := LibraryByName(n)
+		if !ok || !lib.Ad {
+			t.Errorf("inconsistent catalog entry %q", n)
+		}
+	}
+	// Mediator SDKs are not ad libraries.
+	if lib, ok := LibraryByName("AppsFlyer"); !ok || lib.Ad {
+		t.Error("AppsFlyer must be present and non-ad")
+	}
+}
+
+func TestDetectNoFalsePositiveOnPrefixCollision(t *testing.T) {
+	// A class under "com/applovinish/..." must not match AppLovin.
+	a := APK{Package: "x", Classes: []string{"com/applovinish/Core"}}
+	for _, l := range DetectLibraries(a) {
+		if l.Name == "AppLovin" {
+			t.Error("prefix match must be path-segment aware")
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := randx.New(3)
+	a, err := Build(r, "com.round.trip", []string{"Gson", "Fyber"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Encode(a)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Package != a.Package || len(got.Classes) != len(a.Classes) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, a)
+	}
+	for i := range a.Classes {
+		if got.Classes[i] != a.Classes[i] {
+			t.Fatalf("class %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SAPK"),                   // truncated version
+		[]byte("SAPK\x00\x63"),           // wrong version
+		[]byte("SAPK\x00\x01\x00\x05ab"), // truncated package
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("case %d: want ErrBadFormat, got %v", i, err)
+		}
+	}
+}
+
+func TestDecodeTruncatedClassTable(t *testing.T) {
+	a := APK{Package: "p", Classes: []string{"a/b/C"}}
+	b := Encode(a)
+	if _, err := Decode(b[:len(b)-2]); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated blob should fail: %v", err)
+	}
+}
+
+// Property: Decode(Encode(x)) == x for arbitrary printable content.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pkg string, classes []string) bool {
+		if len(pkg) > 60000 {
+			pkg = pkg[:60000]
+		}
+		for i, c := range classes {
+			if len(c) > 60000 {
+				classes[i] = c[:60000]
+			}
+		}
+		a := APK{Package: pkg, Classes: classes}
+		got, err := Decode(Encode(a))
+		if err != nil {
+			return false
+		}
+		if got.Package != a.Package || len(got.Classes) != len(a.Classes) {
+			return false
+		}
+		for i := range a.Classes {
+			if got.Classes[i] != a.Classes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildIncludesAppClasses(t *testing.T) {
+	a, err := Build(randx.New(4), "com.my.app", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range a.Classes {
+		if strings.HasPrefix(c, "com/my/app/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("APK must contain the app's own classes")
+	}
+	if CountAdLibraries(a) != 0 {
+		t.Error("library-free app should detect zero ad libraries")
+	}
+}

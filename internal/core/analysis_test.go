@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/offers"
+)
+
+func TestAnalysisRecomputesResults(t *testing.T) {
+	s := tinyStudy(t)
+	a := s.NewAnalysis()
+
+	if got := a.Table3(); len(got) != len(s.Results.Table3) {
+		t.Errorf("Table3 recompute size mismatch")
+	} else {
+		for i := range got {
+			if got[i] != s.Results.Table3[i] {
+				t.Errorf("Table3 row %d: %+v != %+v", i, got[i], s.Results.Table3[i])
+			}
+		}
+	}
+	t5, err := a.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t5 != s.Results.Table5 {
+		t.Errorf("Table5 recompute mismatch: %+v vs %+v", t5, s.Results.Table5)
+	}
+	if got := a.Table8(); got != s.Results.Table8 {
+		t.Errorf("Table8 mismatch")
+	}
+	if got := a.Arbitrage(); got != s.Results.Arbitrage {
+		t.Errorf("Arbitrage mismatch")
+	}
+	if got := a.Enforcement(); got != s.Results.Enforcement {
+		t.Errorf("Enforcement mismatch")
+	}
+	f6, err := a.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.AtLeast5["activity"] != s.Results.Figure6.AtLeast5["activity"] {
+		t.Errorf("Figure6 mismatch")
+	}
+	if len(a.Offers()) != s.Results.Dataset.Offers {
+		t.Errorf("classified offers = %d, want %d", len(a.Offers()), s.Results.Dataset.Offers)
+	}
+}
+
+func TestClassifierPerfectOnDataset(t *testing.T) {
+	// The measurement pipeline's rule classifier must agree with the
+	// campaigns' ground-truth labels on the milked dataset (the
+	// generator/classifier consistency contract, end to end through the
+	// HTTP walls and the proxy).
+	s := tinyStudy(t)
+	raw := s.Milker.Offers()
+	if len(raw) == 0 {
+		t.Fatal("empty dataset")
+	}
+	truthByKey := map[string]offers.Type{}
+	arbByKey := map[string]bool{}
+	for _, c := range s.World.Campaigns {
+		o := offers.Offer{IIP: c.IIP, AppPackage: c.App, Description: c.Spec.Description}
+		truthByKey[o.Key()] = c.Spec.Type
+		arbByKey[o.Key()] = c.Spec.Arbitrage
+	}
+	cls := offers.RuleClassifier{}
+	for _, o := range raw {
+		truth, ok := truthByKey[o.Key()]
+		if !ok {
+			t.Fatalf("milked offer %s has no matching campaign", o.ID)
+		}
+		if got := cls.Classify(o.Description); got != truth {
+			t.Errorf("offer %q classified %v, truth %v", o.Description, got, truth)
+		}
+		if got := offers.IsArbitrage(o.Description); got != arbByKey[o.Key()] {
+			t.Errorf("offer %q arbitrage %v, truth %v", o.Description, got, arbByKey[o.Key()])
+		}
+	}
+}
+
+func TestMilkedPayoutsMatchCampaigns(t *testing.T) {
+	// Point normalization must round-trip: the payout recovered from the
+	// wall's point values matches the campaign's user payout to within
+	// rounding across every affiliate point system.
+	s := tinyStudy(t)
+	// Several campaigns can share an (IIP, app, description) key — the
+	// milker dedups them — so any of their payouts is acceptable.
+	payoutsByKey := map[string][]float64{}
+	for _, c := range s.World.Campaigns {
+		o := offers.Offer{IIP: c.IIP, AppPackage: c.App, Description: c.Spec.Description}
+		payoutsByKey[o.Key()] = append(payoutsByKey[o.Key()], c.Spec.UserPayoutUSD)
+	}
+	for _, o := range s.Milker.Offers() {
+		ok := false
+		for _, want := range payoutsByKey[o.Key()] {
+			diff := o.PayoutUSD - want
+			if diff < 0 {
+				diff = -diff
+			}
+			// Coarsest point system is 100 points/USD: half-point
+			// rounding gives at most $0.005 error.
+			if diff <= 0.006 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("offer %s payout %.4f matches no campaign %v", o.ID, o.PayoutUSD, payoutsByKey[o.Key()])
+		}
+	}
+}
+
+func TestGroupCellFrac(t *testing.T) {
+	if (GroupCell{}).Frac() != 0 {
+		t.Error("empty cell should be 0")
+	}
+	if got := (GroupCell{N: 4, Positive: 1}).Frac(); got != 0.25 {
+		t.Errorf("Frac = %g", got)
+	}
+}

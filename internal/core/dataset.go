@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dates"
+	"repro/internal/offers"
+	"repro/internal/sim"
+)
+
+// ClassifiedOffer is a monitored offer with the pipeline's labels
+// attached: offer type from the description classifier and the arbitrage
+// flag from the arbitrage detector. The ground-truth fields of the
+// embedded Offer stay unread except by classifier-accuracy checks.
+type ClassifiedOffer struct {
+	offers.Offer
+	Type      offers.Type
+	Arbitrage bool
+}
+
+// classifyOffers labels the milked dataset with the rule classifier.
+func classifyOffers(raw []offers.Offer) []ClassifiedOffer {
+	cls := offers.RuleClassifier{}
+	out := make([]ClassifiedOffer, 0, len(raw))
+	for _, o := range raw {
+		out = append(out, ClassifiedOffer{
+			Offer:     o,
+			Type:      cls.Classify(o.Description),
+			Arbitrage: offers.IsArbitrage(o.Description),
+		})
+	}
+	return out
+}
+
+// appView aggregates everything the pipeline observed about one advertised
+// app.
+type appView struct {
+	pkg    string
+	offers []ClassifiedOffer
+	// iips carrying the app.
+	iips map[string]bool
+	// campaign is the union of observed offer windows.
+	campaign dates.Range
+}
+
+func (v *appView) onVetted() bool {
+	for name := range v.iips {
+		if sim.IsVetted(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *appView) onUnvetted() bool {
+	for name := range v.iips {
+		if !sim.IsVetted(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *appView) hasActivity() bool {
+	for _, o := range v.offers {
+		if o.Type.IsActivity() {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *appView) hasArbitrage() bool {
+	for _, o := range v.offers {
+		if o.Arbitrage {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAppViews groups classified offers by advertised app.
+func buildAppViews(cos []ClassifiedOffer) []*appView {
+	byPkg := map[string]*appView{}
+	for _, o := range cos {
+		v, ok := byPkg[o.AppPackage]
+		if !ok {
+			v = &appView{
+				pkg:      o.AppPackage,
+				iips:     map[string]bool{},
+				campaign: dates.Range{Start: o.FirstSeen, End: o.LastSeen},
+			}
+			byPkg[o.AppPackage] = v
+		}
+		v.offers = append(v.offers, o)
+		v.iips[o.IIP] = true
+		if o.FirstSeen < v.campaign.Start {
+			v.campaign.Start = o.FirstSeen
+		}
+		if o.LastSeen > v.campaign.End {
+			v.campaign.End = o.LastSeen
+		}
+	}
+	out := make([]*appView, 0, len(byPkg))
+	for _, v := range byPkg {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pkg < out[j].pkg })
+	return out
+}
+
+// groupViews partitions app views into the vetted and unvetted analysis
+// sets (an app on both platform classes lands in both, as in the paper
+// where N_vetted + N_unvetted > 922).
+func groupViews(views []*appView) (vetted, unvetted []*appView) {
+	for _, v := range views {
+		if v.onVetted() {
+			vetted = append(vetted, v)
+		}
+		if v.onUnvetted() {
+			unvetted = append(unvetted, v)
+		}
+	}
+	return vetted, unvetted
+}

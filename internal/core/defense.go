@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lockstep"
+	"repro/internal/randx"
+)
+
+// LockstepResult is the Section 5.2 defense evaluation: the paper proposes
+// that its measurements provide ground truth for training lockstep-
+// behaviour detectors; here the detector runs over the store-side
+// device-resolved install stream and is scored against the simulator's
+// known worker population.
+type LockstepResult struct {
+	Groups         int
+	FlaggedDevices int
+	Eval           lockstep.Evaluation
+}
+
+// buildLockstep mixes the incentivized install log with organic decoy
+// traffic and runs the lockstep detector.
+func (s *Study) buildLockstep() LockstepResult {
+	events := make([]lockstep.Event, 0, len(s.World.InstallLog))
+	truth := map[string]bool{}
+	for _, rec := range s.World.InstallLog {
+		events = append(events, lockstep.Event{Device: rec.Device, App: rec.App, Day: rec.Day})
+	}
+	for _, pool := range s.World.Pools {
+		for _, w := range pool {
+			truth[w.ID] = true
+		}
+	}
+	// Organic decoys: independent devices installing catalog apps on
+	// random days — the background the detector must not flag. (Google
+	// would have the full organic stream; a deterministic sample
+	// suffices to measure precision.)
+	r := randx.Derive(s.World.Cfg.Seed, "lockstep-decoys")
+	catalog := append(append([]string(nil), s.World.Baseline...), s.World.Background...)
+	window := s.World.Cfg.Window
+	nDecoys := len(truth)
+	for i := 0; i < nDecoys; i++ {
+		dev := fmt.Sprintf("organic-%05d", i)
+		n := r.IntBetween(3, 12)
+		for j := 0; j < n; j++ {
+			events = append(events, lockstep.Event{
+				Device: dev,
+				App:    catalog[r.IntN(len(catalog))],
+				Day:    window.Start.AddDays(r.IntN(window.Days())),
+			})
+		}
+	}
+
+	groups := lockstep.Detect(events, lockstep.DefaultConfig())
+	flagged := 0
+	for _, g := range groups {
+		flagged += len(g.Devices)
+	}
+	// Only workers that actually appear in the log can be recalled.
+	active := map[string]bool{}
+	for _, rec := range s.World.InstallLog {
+		if truth[rec.Device] {
+			active[rec.Device] = true
+		}
+	}
+	return LockstepResult{
+		Groups:         len(groups),
+		FlaggedDevices: flagged,
+		Eval:           lockstep.Evaluate(groups, active),
+	}
+}
+
+// DisclosureRow is one entry of the Section 5.1 responsible-disclosure
+// list: a popular advertised app (5M+ installs) and the contact address
+// scraped from its store profile.
+type DisclosureRow struct {
+	Package     string
+	InstallBin  int64
+	Developer   string
+	ContactMail string
+}
+
+// buildDisclosure reproduces the paper's disclosure selection: of the
+// advertised apps, contact those with 5M+ public installs (136 of 922 in
+// the paper).
+func (s *Study) buildDisclosure(views []*appView) []DisclosureRow {
+	ds := s.Crawler.Dataset()
+	var rows []DisclosureRow
+	for _, v := range views {
+		profile, ok := ds.Profile(v.pkg)
+		if !ok || profile.InstallBin < 5_000_000 {
+			continue
+		}
+		rows = append(rows, DisclosureRow{
+			Package:     v.pkg,
+			InstallBin:  profile.InstallBin,
+			Developer:   profile.DeveloperName,
+			ContactMail: profile.Email,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].InstallBin != rows[j].InstallBin {
+			return rows[i].InstallBin > rows[j].InstallBin
+		}
+		return rows[i].Package < rows[j].Package
+	})
+	return rows
+}

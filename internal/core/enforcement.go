@@ -1,0 +1,80 @@
+package core
+
+// EnforcementResult captures the Section 5.2 analysis: how often the Play
+// Store's install filtering visibly removed installs.
+type EnforcementResult struct {
+	// Per-group fractions of apps whose public install count ever
+	// decreased during the crawl (paper: 0% baseline and vetted, ~2%
+	// unvetted).
+	BaselineDecreased GroupCell
+	VettedDecreased   GroupCell
+	UnvettedDecreased GroupCell
+	// HoneyInstallsFiltered is how many of the honey app's purchased
+	// installs were removed (paper: none).
+	HoneyInstallsFiltered int64
+}
+
+func (s *Study) buildEnforcement(vetted, unvetted []*appView) EnforcementResult {
+	ds := s.Crawler.Dataset()
+	var res EnforcementResult
+	for _, pkg := range s.World.Baseline {
+		res.BaselineDecreased.N++
+		if ds.BinEverDecreased(pkg) {
+			res.BaselineDecreased.Positive++
+		}
+	}
+	for _, v := range vetted {
+		res.VettedDecreased.N++
+		if ds.BinEverDecreased(v.pkg) {
+			res.VettedDecreased.Positive++
+		}
+	}
+	for _, v := range unvetted {
+		res.UnvettedDecreased.N++
+		if ds.BinEverDecreased(v.pkg) {
+			res.UnvettedDecreased.Positive++
+		}
+	}
+	if s.Results.Section3 != nil {
+		console, err := s.World.Store.Console(HoneyAppPackage, s.World.Cfg.Window.Start, s.World.Cfg.Window.End)
+		if err == nil {
+			for _, d := range console {
+				res.HoneyInstallsFiltered += d.Removed
+			}
+		}
+	}
+	return res
+}
+
+// ArbitrageResult captures the Section 4.3.2 arbitrage analysis.
+type ArbitrageResult struct {
+	// Total fraction of advertised apps using arbitrage offers (3.9% in
+	// the paper: 36 of 922).
+	Total GroupCell
+	// Vetted/Unvetted splits (7% and 2% in the paper).
+	Vetted   GroupCell
+	Unvetted GroupCell
+}
+
+func buildArbitrage(views, vetted, unvetted []*appView) ArbitrageResult {
+	var res ArbitrageResult
+	for _, v := range views {
+		res.Total.N++
+		if v.hasArbitrage() {
+			res.Total.Positive++
+		}
+	}
+	for _, v := range vetted {
+		res.Vetted.N++
+		if v.hasArbitrage() {
+			res.Vetted.Positive++
+		}
+	}
+	for _, v := range unvetted {
+		res.Unvetted.N++
+		if v.hasArbitrage() {
+			res.Unvetted.Positive++
+		}
+	}
+	return res
+}

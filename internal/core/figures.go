@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apk"
+	"repro/internal/dates"
+	"repro/internal/offers"
+	"repro/internal/playstore"
+	"repro/internal/stats"
+)
+
+// figure4Edges are the install-count histogram bins of paper Figure 4.
+var figure4Edges = []float64{0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
+// figure4Labels mirror the paper's x-axis labels.
+var figure4Labels = []string{
+	"0-1k", "1k-10k", "10k-100k", "100k-1M", "1M-10M", "10M-100M",
+	"100M-1000M", "1000M+",
+}
+
+// buildFigure4 histograms the baseline apps' public install counts from
+// the first crawl.
+func (s *Study) buildFigure4() []stats.HistogramBin {
+	ds := s.Crawler.Dataset()
+	var samples []float64
+	for _, pkg := range s.World.Baseline {
+		series := ds.BinSeries(pkg)
+		if len(series) == 0 {
+			continue
+		}
+		samples = append(samples, float64(series[0].Bin))
+	}
+	return stats.Histogram(samples, figure4Edges, figure4Labels)
+}
+
+// CaseStudy is a Figure 5 panel: one app's chart percentile over time
+// around its campaign window.
+type CaseStudy struct {
+	Package string
+	Chart   string
+	// OfferKinds are the classified types of the app's offers.
+	OfferKinds []offers.Type
+	Campaign   dates.Range
+	Points     []CasePoint
+}
+
+// CasePoint is one crawled observation.
+type CasePoint struct {
+	Day        dates.Date
+	Rank       int
+	Percentile float64 // 0 when absent
+}
+
+// buildFigure5 selects the two case-study shapes of paper Figure 5: an app
+// with registration/usage offers entering the top-games chart during its
+// campaign, and an app with purchase offers entering top-grossing.
+func (s *Study) buildFigure5(views []*appView) []CaseStudy {
+	ds := s.Crawler.Dataset()
+	var out []CaseStudy
+
+	pick := func(chart string, want func(*appView) bool) {
+		var best *appView
+		bestDays := 0
+		for _, v := range views {
+			if !want(v) {
+				continue
+			}
+			// The case study must have entered the chart during its
+			// campaign while being absent on every crawl before it.
+			present := false
+			for _, day := range ds.Days() {
+				if day <= v.campaign.Start && ds.RankOn(chart, day, v.pkg) > 0 {
+					present = true
+					break
+				}
+			}
+			if present {
+				continue
+			}
+			inDays := 0
+			for _, day := range ds.Days() {
+				if day > v.campaign.Start && day <= v.campaign.End && ds.RankOn(chart, day, v.pkg) > 0 {
+					inDays++
+				}
+			}
+			if inDays > bestDays {
+				bestDays = inDays
+				best = v
+			}
+		}
+		if best == nil {
+			return
+		}
+		cs := CaseStudy{Package: best.pkg, Chart: chart, Campaign: best.campaign}
+		seen := map[offers.Type]bool{}
+		for _, o := range best.offers {
+			if !seen[o.Type] {
+				seen[o.Type] = true
+				cs.OfferKinds = append(cs.OfferKinds, o.Type)
+			}
+		}
+		for _, p := range ds.RankSeries(chart, best.pkg) {
+			cs.Points = append(cs.Points, CasePoint{
+				Day:        p.Day,
+				Rank:       p.Rank,
+				Percentile: playstore.ChartPercentile(p.Rank, s.World.Store.ChartSizeNow()),
+			})
+		}
+		out = append(out, cs)
+	}
+
+	// Case (a): engagement-manipulating offers lift a game into
+	// top-games (the paper's TREBEL).
+	pick(playstore.ChartTopGames, func(v *appView) bool {
+		hasEng := false
+		for _, o := range v.offers {
+			if o.Type == offers.Registration || o.Type == offers.Usage {
+				hasEng = true
+			}
+		}
+		return hasEng
+	})
+	// Case (b): purchase offers lift an app into top-grossing (the
+	// paper's World on Fire).
+	pick(playstore.ChartTopGrossing, func(v *appView) bool {
+		for _, o := range v.offers {
+			if o.Type == offers.Purchase {
+				return true
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Figure6 carries the ad-library CDFs of paper Figure 6.
+type Figure6 struct {
+	// Samples of unique-ad-library counts per app set.
+	Baseline   []float64
+	Activity   []float64 // apps with at least one activity offer
+	NoActivity []float64 // apps with only no-activity offers
+	Vetted     []float64
+	Unvetted   []float64
+	// AtLeast5 shares (the paper's headline: 60% activity vs 25%
+	// no-activity vs 35% baseline; 55% vetted vs 20% unvetted).
+	AtLeast5 map[string]float64
+}
+
+// CDF evaluates the named sample set's ECDF at integer x values 0..max.
+func (f Figure6) CDF(set string, max int) []float64 {
+	var samples []float64
+	switch set {
+	case "baseline":
+		samples = f.Baseline
+	case "activity":
+		samples = f.Activity
+	case "noactivity":
+		samples = f.NoActivity
+	case "vetted":
+		samples = f.Vetted
+	case "unvetted":
+		samples = f.Unvetted
+	}
+	e := stats.NewECDF(samples)
+	out := make([]float64, max+1)
+	for x := 0; x <= max; x++ {
+		out[x] = e.At(float64(x))
+	}
+	return out
+}
+
+// buildFigure6 downloads APKs over HTTP, runs the library detector, and
+// groups unique-ad-library counts by offer behaviour and platform class.
+func (s *Study) buildFigure6(views []*appView) (Figure6, error) {
+	f := Figure6{AtLeast5: map[string]float64{}}
+	count := func(pkg string) (float64, error) {
+		a, err := s.Crawler.DownloadAPK(pkg)
+		if err != nil {
+			return 0, fmt.Errorf("figure 6: %w", err)
+		}
+		return float64(apk.CountAdLibraries(a)), nil
+	}
+	for _, pkg := range s.World.Baseline {
+		n, err := count(pkg)
+		if err != nil {
+			return f, err
+		}
+		f.Baseline = append(f.Baseline, n)
+	}
+	for _, v := range views {
+		n, err := count(v.pkg)
+		if err != nil {
+			return f, err
+		}
+		if v.hasActivity() {
+			f.Activity = append(f.Activity, n)
+		} else {
+			f.NoActivity = append(f.NoActivity, n)
+		}
+		if v.onVetted() {
+			f.Vetted = append(f.Vetted, n)
+		}
+		if v.onUnvetted() {
+			f.Unvetted = append(f.Unvetted, n)
+		}
+	}
+	f.AtLeast5["baseline"] = stats.FractionAtLeast(f.Baseline, 5)
+	f.AtLeast5["activity"] = stats.FractionAtLeast(f.Activity, 5)
+	f.AtLeast5["noactivity"] = stats.FractionAtLeast(f.NoActivity, 5)
+	f.AtLeast5["vetted"] = stats.FractionAtLeast(f.Vetted, 5)
+	f.AtLeast5["unvetted"] = stats.FractionAtLeast(f.Unvetted, 5)
+	return f, nil
+}

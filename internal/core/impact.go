@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dates"
+	"repro/internal/stats"
+)
+
+// GroupCell is one (app set, outcome) cell: how many apps were analyzed
+// and how many showed the positive outcome.
+type GroupCell struct {
+	N        int
+	Positive int
+}
+
+// Frac is the positive fraction.
+func (c GroupCell) Frac() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.Positive) / float64(c.N)
+}
+
+// Table returns the cell as the (negative, positive) counts of a
+// contingency-table row.
+func (c GroupCell) row() (uint64, uint64) {
+	return uint64(c.N - c.Positive), uint64(c.Positive)
+}
+
+// GroupOutcome is one impact comparison (Tables 5, 6, 7): baseline vs.
+// vetted vs. unvetted app sets with the two chi-squared tests the paper
+// runs.
+type GroupOutcome struct {
+	Name     string
+	Baseline GroupCell
+	Vetted   GroupCell
+	Unvetted GroupCell
+	// VettedTest and UnvettedTest are "vetted vs. baseline" and
+	// "unvetted vs. baseline" chi-squared tests of independence.
+	VettedTest   stats.ChiSquareResult
+	UnvettedTest stats.ChiSquareResult
+}
+
+// finishOutcome runs the two chi-squared tests. A degenerate table (an
+// outcome that never or always happens in a small world) yields a zero
+// result rather than an error, matching how the analysis would simply
+// report "test not applicable".
+func finishOutcome(o *GroupOutcome) error {
+	b0, b1 := o.Baseline.row()
+	v0, v1 := o.Vetted.row()
+	u0, u1 := o.Unvetted.row()
+	run := func(t stats.Table2x2) (stats.ChiSquareResult, error) {
+		res, err := stats.ChiSquareIndependence(t)
+		if errors.Is(err, stats.ErrDegenerateTable) {
+			return stats.ChiSquareResult{P: 1}, nil
+		}
+		return res, err
+	}
+	var err error
+	if o.VettedTest, err = run(stats.Table2x2{A0: b0, A1: b1, B0: v0, B1: v1}); err != nil {
+		return fmt.Errorf("%s vetted test: %w", o.Name, err)
+	}
+	if o.UnvettedTest, err = run(stats.Table2x2{A0: b0, A1: b1, B0: u0, B1: u1}); err != nil {
+		return fmt.Errorf("%s unvetted test: %w", o.Name, err)
+	}
+	return nil
+}
+
+// baselineWindow is the comparison window for baseline apps: the average
+// campaign duration (25 days), as in the paper.
+func (s *Study) baselineWindow() dates.Range {
+	start := s.World.Cfg.Window.Start
+	return dates.Range{Start: start, End: start.AddDays(25)}
+}
+
+// buildTable5 measures install-count increases (paper Table 5): for each
+// app, did the public install bin grow between campaign start and end?
+func (s *Study) buildTable5(vetted, unvetted []*appView) (GroupOutcome, error) {
+	ds := s.Crawler.Dataset()
+	out := GroupOutcome{Name: "install-count increase"}
+
+	bw := s.baselineWindow()
+	for _, pkg := range s.World.Baseline {
+		out.Baseline.N++
+		if ds.BinIncreased(pkg, bw) {
+			out.Baseline.Positive++
+		}
+	}
+	count := func(views []*appView, cell *GroupCell) {
+		for _, v := range views {
+			cell.N++
+			if ds.BinIncreased(v.pkg, v.campaign) {
+				cell.Positive++
+			}
+		}
+	}
+	count(vetted, &out.Vetted)
+	count(unvetted, &out.Unvetted)
+	return out, finishOutcome(&out)
+}
+
+// buildTable6 measures top-chart appearances (paper Table 6). Apps already
+// present in a chart at the start of their campaign (or, for baseline, at
+// the first crawl) are excluded to minimize bias.
+func (s *Study) buildTable6(vetted, unvetted []*appView) (GroupOutcome, error) {
+	ds := s.Crawler.Dataset()
+	out := GroupOutcome{Name: "top-chart appearance"}
+	crawlDays := ds.Days()
+	if len(crawlDays) == 0 {
+		return out, fmt.Errorf("no crawl data")
+	}
+	firstCrawl := crawlDays[0]
+
+	bw := s.baselineWindow()
+	for _, pkg := range s.World.Baseline {
+		if ds.InAnyChartOn(firstCrawl, pkg) {
+			continue // excluded: already charting at the start
+		}
+		out.Baseline.N++
+		if ds.InAnyChartDuring(dates.Range{Start: bw.Start + 1, End: bw.End}, pkg) {
+			out.Baseline.Positive++
+		}
+	}
+	count := func(views []*appView, cell *GroupCell) {
+		for _, v := range views {
+			if ds.InAnyChartOn(nearestCrawl(crawlDays, v.campaign.Start), v.pkg) {
+				continue // excluded: charting before the campaign
+			}
+			cell.N++
+			if ds.InAnyChartDuring(dates.Range{Start: v.campaign.Start + 1, End: v.campaign.End}, v.pkg) {
+				cell.Positive++
+			}
+		}
+	}
+	count(vetted, &out.Vetted)
+	count(unvetted, &out.Unvetted)
+	return out, finishOutcome(&out)
+}
+
+// nearestCrawl returns the last crawl day at or before the given day (or
+// the first crawl day when none precedes it).
+func nearestCrawl(days []dates.Date, day dates.Date) dates.Date {
+	best := days[0]
+	for _, d := range days {
+		if d <= day {
+			best = d
+		}
+	}
+	return best
+}
+
+// buildTable7 measures funding raised after campaigns (paper Table 7),
+// over the apps whose developers match in the Crunchbase snapshot.
+func (s *Study) buildTable7(vetted, unvetted []*appView) (GroupOutcome, error) {
+	ds := s.Crawler.Dataset()
+	out := GroupOutcome{Name: "funding raised"}
+
+	matchAndCheck := func(pkg string, after dates.Date, cell *GroupCell) {
+		profile, ok := ds.Profile(pkg)
+		if !ok {
+			return
+		}
+		org, ok := s.World.Crunch.Match(profile.DeveloperName, profile.Website)
+		if !ok {
+			return
+		}
+		cell.N++
+		if len(s.World.Crunch.RoundsAfter(org.ID, after)) > 0 {
+			cell.Positive++
+		}
+	}
+	for _, pkg := range s.World.Baseline {
+		matchAndCheck(pkg, s.World.Cfg.Window.Start, &out.Baseline)
+	}
+	for _, v := range vetted {
+		matchAndCheck(v.pkg, v.campaign.Start, &out.Vetted)
+	}
+	for _, v := range unvetted {
+		matchAndCheck(v.pkg, v.campaign.Start, &out.Unvetted)
+	}
+	return out, finishOutcome(&out)
+}
+
+// Table8 breaks down the offers of funded vetted apps (paper Table 8).
+type Table8 struct {
+	// NumFunded is the number of vetted apps that raised funding after
+	// their campaigns (30 in the paper).
+	NumFunded int
+	// NoActivityShare / ActivityShare are the fractions of funded apps
+	// advertising each offer class (they overlap, as in the paper).
+	NoActivityShare float64
+	ActivityShare   float64
+	// Average payouts of those offers.
+	NoActivityAvgPayout float64
+	ActivityAvgPayout   float64
+}
+
+func (s *Study) buildTable8(vetted []*appView) Table8 {
+	ds := s.Crawler.Dataset()
+	var t Table8
+	nNoAct, nAct := 0, 0
+	sumNoAct, cntNoAct := 0.0, 0
+	sumAct, cntAct := 0.0, 0
+	for _, v := range vetted {
+		profile, ok := ds.Profile(v.pkg)
+		if !ok {
+			continue
+		}
+		org, ok := s.World.Crunch.Match(profile.DeveloperName, profile.Website)
+		if !ok || len(s.World.Crunch.RoundsAfter(org.ID, v.campaign.Start)) == 0 {
+			continue
+		}
+		t.NumFunded++
+		hasNoAct, hasAct := false, false
+		for _, o := range v.offers {
+			if o.Type.IsActivity() {
+				hasAct = true
+				sumAct += o.PayoutUSD
+				cntAct++
+			} else {
+				hasNoAct = true
+				sumNoAct += o.PayoutUSD
+				cntNoAct++
+			}
+		}
+		if hasNoAct {
+			nNoAct++
+		}
+		if hasAct {
+			nAct++
+		}
+	}
+	t.NoActivityShare = frac(nNoAct, t.NumFunded)
+	t.ActivityShare = frac(nAct, t.NumFunded)
+	t.NoActivityAvgPayout = avg(sumNoAct, cntNoAct)
+	t.ActivityAvgPayout = avg(sumAct, cntAct)
+	return t
+}

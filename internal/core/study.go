@@ -1,0 +1,229 @@
+// Package core implements the paper's measurement methodology end to end:
+// the Section 3 honey-app experiment (purchasing incentivized installs and
+// measuring delivery, engagement, and automation), the Section 4 in-the-
+// wild monitoring pipeline (UI fuzzer + recording proxy + Play Store
+// crawler), and the analyses that regenerate every table and figure of the
+// evaluation. The package consumes the synthetic world through exactly the
+// interfaces the authors had against the live ecosystem: offer-wall HTTP
+// traffic, the store's public crawl surface, the developer console of apps
+// the researchers own, and a Crunchbase snapshot.
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/dates"
+	"repro/internal/iip"
+	"repro/internal/monitor"
+	"repro/internal/playapi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options tune the study run.
+type Options struct {
+	// MilkEveryDays is the offer-wall milking period (the crawler itself
+	// always runs every other day, as in the paper).
+	MilkEveryDays int
+	// SkipHoney disables the Section 3 experiment.
+	SkipHoney bool
+	// Verbose emits progress via the Logf callback.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) log(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Study couples a world with its measurement infrastructure and results.
+type Study struct {
+	World   *sim.World
+	Opts    Options
+	Milker  *monitor.Milker
+	Crawler *crawler.Crawler
+
+	Results Results
+
+	servers []*http.Server
+}
+
+// Results aggregates every reproduced artifact.
+type Results struct {
+	RunStats sim.RunStats
+
+	Dataset DatasetSummary
+
+	Table1 []Table1Row
+	Table2 []Table2Row
+	Table3 []Table3Row
+	Table4 []Table4Row
+	Table5 GroupOutcome
+	Table6 GroupOutcome
+	Table7 GroupOutcome
+	Table8 Table8
+
+	Figure2 []Figure2Row
+	Figure4 []stats.HistogramBin
+	Figure5 []CaseStudy
+	Figure6 Figure6
+
+	Section3    *HoneyResults
+	Enforcement EnforcementResult
+	Arbitrage   ArbitrageResult
+
+	// Lockstep is the Section 5.2 proposed-defense evaluation.
+	Lockstep LockstepResult
+	// Disclosure is the Section 5.1 responsible-disclosure contact list
+	// (advertised apps with 5M+ installs).
+	Disclosure []DisclosureRow
+}
+
+// DatasetSummary captures the headline dataset sizes (922 apps, 2,126
+// offers, 1,128 unique descriptions in the paper).
+type DatasetSummary struct {
+	Offers             int
+	UniqueApps         int
+	UniqueDescriptions int
+	MilkDays           int
+	CrawlDays          int
+}
+
+// Run executes the full study against a fresh world built from cfg.
+func Run(cfg sim.Config, opts Options) (*Study, error) {
+	if opts.MilkEveryDays <= 0 {
+		opts.MilkEveryDays = 4
+	}
+	opts.log("building world (seed %d)", cfg.Seed)
+	world, err := sim.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{World: world, Opts: opts}
+
+	if err := s.startInfrastructure(); err != nil {
+		s.Close()
+		return nil, err
+	}
+
+	if !opts.SkipHoney {
+		opts.log("running honey-app experiment (Section 3)")
+		honey, err := s.runHoneyExperiment()
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: honey experiment: %w", err)
+		}
+		s.Results.Section3 = honey
+	}
+
+	opts.log("running %d-day study window", world.Cfg.Window.Days())
+	start := world.Cfg.Window.Start
+	runStats, err := world.RunWithHook(func(day dates.Date) error {
+		if err := s.Crawler.MaybeCrawl(day); err != nil {
+			return err
+		}
+		if day.DaysSince(start)%opts.MilkEveryDays == 0 {
+			if err := s.Milker.MilkDay(day); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("core: running world: %w", err)
+	}
+	s.Results.RunStats = runStats
+
+	opts.log("analyzing")
+	if err := s.analyze(); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("core: analysis: %w", err)
+	}
+	return s, nil
+}
+
+// RunHoneyOnly builds a world and runs just the Section 3 honey-app
+// experiment (no monitoring, crawling, or impact analyses).
+func RunHoneyOnly(cfg sim.Config) (*Study, error) {
+	world, err := sim.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{World: world}
+	defer s.Close()
+	honey, err := s.runHoneyExperiment()
+	if err != nil {
+		return nil, fmt.Errorf("core: honey experiment: %w", err)
+	}
+	s.Results.Section3 = honey
+	return s, nil
+}
+
+// startInfrastructure brings up the store facade, the per-IIP offer-wall
+// servers, the milker, and the crawler.
+func (s *Study) startInfrastructure() error {
+	// Play Store HTTP surface.
+	playURL, err := s.serve(playapi.New(s.World.Store, s.World.APKs).Handler())
+	if err != nil {
+		return fmt.Errorf("core: starting store API: %w", err)
+	}
+
+	// One offer-wall server per platform, all sharing the affiliate
+	// point-rate table.
+	rates := map[string]float64{}
+	for _, a := range s.World.Affiliates {
+		rates[a.Package] = a.PointsPerUSD
+	}
+	endpoints := map[string]string{}
+	for _, p := range s.World.PlatformsSorted() {
+		u, err := s.serve(iip.NewServer(p, rates).Handler())
+		if err != nil {
+			return fmt.Errorf("core: starting %s wall: %w", p.Name, err)
+		}
+		endpoints[p.Name] = u
+	}
+
+	s.Milker, err = monitor.NewMilker(s.World.Affiliates, endpoints)
+	if err != nil {
+		return fmt.Errorf("core: starting milker: %w", err)
+	}
+
+	targets := make([]string, 0, len(s.World.Advertised)+len(s.World.Baseline))
+	for _, a := range s.World.Advertised {
+		targets = append(targets, a.Package)
+	}
+	targets = append(targets, s.World.Baseline...)
+	s.Crawler = crawler.New(playURL, targets)
+	return nil
+}
+
+// serve starts an HTTP server on a loopback port and tracks it for
+// shutdown.
+func (s *Study) serve(h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	s.servers = append(s.servers, srv)
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close tears down the study's HTTP infrastructure. Run leaves the
+// servers up so callers can keep re-deriving artifacts (NewAnalysis,
+// Figure 6 APK downloads) against the live surfaces; call Close when done.
+func (s *Study) Close() {
+	if s.Milker != nil {
+		s.Milker.Close()
+	}
+	for _, srv := range s.servers {
+		srv.Close()
+	}
+}

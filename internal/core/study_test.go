@@ -1,0 +1,401 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/iip"
+	"repro/internal/offers"
+	"repro/internal/sim"
+)
+
+// tinyStudy runs the full pipeline on the small world once per test
+// binary.
+var tinyStudyCache *Study
+
+func tinyStudy(t *testing.T) *Study {
+	t.Helper()
+	if tinyStudyCache != nil {
+		return tinyStudyCache
+	}
+	s, err := Run(sim.TinyConfig(), Options{MilkEveryDays: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tinyStudyCache = s
+	return s
+}
+
+func TestStudyDatasetSummary(t *testing.T) {
+	s := tinyStudy(t)
+	ds := s.Results.Dataset
+	cfg := s.World.Cfg
+	// The milker must recover every planned campaign whose window
+	// overlaps a milking day; with 4-day milking and >= 3-day campaigns
+	// the overwhelming majority is caught.
+	if ds.Offers < cfg.OffersTarget*8/10 {
+		t.Errorf("dataset offers = %d, want close to %d", ds.Offers, cfg.OffersTarget)
+	}
+	if ds.UniqueApps == 0 || ds.UniqueApps > cfg.TotalAdvertised {
+		t.Errorf("unique apps = %d", ds.UniqueApps)
+	}
+	if ds.UniqueDescriptions == 0 || ds.UniqueDescriptions > ds.Offers {
+		t.Errorf("unique descriptions = %d", ds.UniqueDescriptions)
+	}
+	if ds.CrawlDays == 0 || ds.MilkDays == 0 {
+		t.Errorf("infrastructure did not run: %+v", ds)
+	}
+}
+
+func TestStudyTable1(t *testing.T) {
+	s := tinyStudy(t)
+	rows := s.Results.Table1
+	if len(rows) != 7 {
+		t.Fatalf("table 1 rows = %d, want 7", len(rows))
+	}
+	want := map[string]bool{
+		iip.Fyber: true, iip.OfferToro: true, iip.AdscendMedia: true,
+		iip.HangMyAds: true, iip.AdGem: true,
+		iip.AyetStudios: false, iip.RankApp: false,
+	}
+	for _, r := range rows {
+		if r.Vetted != want[r.Name] {
+			t.Errorf("%s probed vetted=%v, want %v", r.Name, r.Vetted, want[r.Name])
+		}
+	}
+}
+
+func TestStudyTable2(t *testing.T) {
+	s := tinyStudy(t)
+	rows := s.Results.Table2
+	if len(rows) != 8 {
+		t.Fatalf("table 2 rows = %d, want 8", len(rows))
+	}
+	// Sorted by popularity: CashForApps (10M+) first with 4 walls.
+	if rows[0].Package != "com.mobvantage.cashforapps" {
+		t.Errorf("first row = %s", rows[0].Package)
+	}
+	n := 0
+	for _, on := range rows[0].Integrations {
+		if on {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Errorf("CashForApps integrations = %d, want 4", n)
+	}
+}
+
+func TestStudyTable3Shares(t *testing.T) {
+	s := tinyStudy(t)
+	rows := s.Results.Table3
+	if len(rows) != 4 {
+		t.Fatalf("table 3 rows = %d", len(rows))
+	}
+	shareSum := 0.0
+	for _, r := range rows {
+		shareSum += r.Share
+		if r.Share > 0 && r.AveragePayout <= 0 {
+			t.Errorf("%v: share %.2f but zero payout", r.Type, r.Share)
+		}
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("type shares sum to %g", shareSum)
+	}
+	// Activity offers pay more than no-activity on average (9x in the
+	// paper).
+	agg := ActivityAggregate(classifyOffers(s.Milker.Offers()))
+	var noAct Table3Row
+	for _, r := range rows {
+		if r.Type == offers.NoActivity {
+			noAct = r
+		}
+	}
+	if agg.AveragePayout <= noAct.AveragePayout*2 {
+		t.Errorf("activity payout %.3f not clearly above no-activity %.3f",
+			agg.AveragePayout, noAct.AveragePayout)
+	}
+}
+
+func TestStudyTable4Shape(t *testing.T) {
+	s := tinyStudy(t)
+	rows := s.Results.Table4
+	if len(rows) != 7 {
+		t.Fatalf("table 4 rows = %d, want 7", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.IIP] = r
+		if r.NumApps == 0 || r.NumDevelopers == 0 {
+			t.Errorf("%s: empty app/dev counts", r.IIP)
+		}
+		if r.NumDevelopers > r.NumApps {
+			t.Errorf("%s: more developers than apps", r.IIP)
+		}
+	}
+	// RankApp: 100% no-activity, cheapest offers, youngest apps.
+	rank := byName[iip.RankApp]
+	if rank.NoActivityShare < 0.999 {
+		t.Errorf("RankApp no-activity share = %.2f, want 1.0", rank.NoActivityShare)
+	}
+	fyber := byName[iip.Fyber]
+	if !(rank.MedianPayout < fyber.MedianPayout) {
+		t.Errorf("RankApp median payout %.3f should be below Fyber %.3f",
+			rank.MedianPayout, fyber.MedianPayout)
+	}
+	if !(rank.MedianInstallBin < fyber.MedianInstallBin) {
+		t.Errorf("RankApp median installs %.0f should be below Fyber %.0f",
+			rank.MedianInstallBin, fyber.MedianInstallBin)
+	}
+	if !(rank.MedianAgeDays < fyber.MedianAgeDays) {
+		t.Errorf("RankApp median age %.0f should be below Fyber %.0f",
+			rank.MedianAgeDays, fyber.MedianAgeDays)
+	}
+}
+
+func TestStudyTable5Direction(t *testing.T) {
+	s := tinyStudy(t)
+	o := s.Results.Table5
+	if o.Baseline.N == 0 || o.Vetted.N == 0 || o.Unvetted.N == 0 {
+		t.Fatalf("empty groups: %+v", o)
+	}
+	// Advertised apps increase install counts more often than baseline.
+	if !(o.Vetted.Frac() > o.Baseline.Frac()) {
+		t.Errorf("vetted %.3f should exceed baseline %.3f", o.Vetted.Frac(), o.Baseline.Frac())
+	}
+	if !(o.Unvetted.Frac() > o.Baseline.Frac()) {
+		t.Errorf("unvetted %.3f should exceed baseline %.3f", o.Unvetted.Frac(), o.Baseline.Frac())
+	}
+}
+
+func TestStudyTable6And7Populated(t *testing.T) {
+	s := tinyStudy(t)
+	if s.Results.Table6.Baseline.N == 0 {
+		t.Error("table 6 baseline empty")
+	}
+	if s.Results.Table7.Vetted.N == 0 {
+		t.Error("table 7 vetted empty (no Crunchbase matches)")
+	}
+}
+
+func TestStudyFigure2(t *testing.T) {
+	s := tinyStudy(t)
+	found := false
+	for _, r := range s.Results.Figure2 {
+		if r.IIP == iip.RankApp && r.AdvertisesRankBoost {
+			found = true
+		}
+		if r.Vetted && r.AdvertisesRankBoost {
+			t.Errorf("vetted IIP %s advertises manipulation", r.IIP)
+		}
+	}
+	if !found {
+		t.Error("RankApp manipulation claim not detected")
+	}
+}
+
+func TestStudyFigure4(t *testing.T) {
+	s := tinyStudy(t)
+	bins := s.Results.Figure4
+	if len(bins) != 8 {
+		t.Fatalf("figure 4 bins = %d, want 8", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(s.World.Baseline) {
+		t.Errorf("figure 4 total = %d, want %d", total, len(s.World.Baseline))
+	}
+}
+
+func TestStudyFigure6Ordering(t *testing.T) {
+	s := tinyStudy(t)
+	f := s.Results.Figure6
+	if len(f.Baseline) == 0 || len(f.Activity) == 0 || len(f.NoActivity) == 0 {
+		t.Fatalf("figure 6 sample sets empty: %d/%d/%d",
+			len(f.Baseline), len(f.Activity), len(f.NoActivity))
+	}
+	// Paper: activity apps integrate more ad libraries than no-activity;
+	// vetted more than unvetted.
+	if !(f.AtLeast5["activity"] > f.AtLeast5["noactivity"]) {
+		t.Errorf("activity %.2f should exceed noactivity %.2f",
+			f.AtLeast5["activity"], f.AtLeast5["noactivity"])
+	}
+	if !(f.AtLeast5["vetted"] > f.AtLeast5["unvetted"]) {
+		t.Errorf("vetted %.2f should exceed unvetted %.2f",
+			f.AtLeast5["vetted"], f.AtLeast5["unvetted"])
+	}
+	cdf := f.CDF("baseline", 30)
+	if len(cdf) != 31 || cdf[30] < 0.999 {
+		t.Errorf("baseline CDF malformed: %v", cdf[len(cdf)-1])
+	}
+}
+
+func TestStudySection3(t *testing.T) {
+	s := tinyStudy(t)
+	h := s.Results.Section3
+	if h == nil {
+		t.Fatal("section 3 missing")
+	}
+	if len(h.Campaigns) != 3 {
+		t.Fatalf("campaigns = %d, want 3", len(h.Campaigns))
+	}
+	if h.TotalInstalls != 626+550+503 {
+		t.Errorf("total installs = %d, want 1679", h.TotalInstalls)
+	}
+	if h.PublicInstallBin != 1000 {
+		t.Errorf("public bin = %d, want 1000 (0 -> 1,000+)", h.PublicInstallBin)
+	}
+	if h.OrganicDuringCampaigns != 0 {
+		t.Errorf("organic installs during campaigns = %d, want 0", h.OrganicDuringCampaigns)
+	}
+	byIIP := map[string]HoneyCampaign{}
+	for _, c := range h.Campaigns {
+		byIIP[c.IIP] = c
+	}
+	fyber, ayet, rank := byIIP[iip.Fyber], byIIP[iip.AyetStudios], byIIP[iip.RankApp]
+	// Delivery speed: Fyber and ayeT within 2 hours; RankApp > 24h.
+	if fyber.CompletionHours > 2.5 || ayet.CompletionHours > 2.5 {
+		t.Errorf("vetted-ish delivery too slow: %.1f / %.1f h", fyber.CompletionHours, ayet.CompletionHours)
+	}
+	if rank.CompletionHours < 24 {
+		t.Errorf("RankApp delivery too fast: %.1f h", rank.CompletionHours)
+	}
+	// Missing telemetry: ~45% of RankApp installs never open.
+	missing := 1 - float64(rank.TelemetryInstalls)/float64(rank.ConsoleInstalls)
+	if math.Abs(missing-0.45) > 0.10 {
+		t.Errorf("RankApp missing telemetry = %.2f, want ~0.45", missing)
+	}
+	if fyber.TelemetryInstalls != fyber.ConsoleInstalls {
+		t.Errorf("Fyber telemetry %d != console %d", fyber.TelemetryInstalls, fyber.ConsoleInstalls)
+	}
+	// Engagement: ~44% Fyber/ayeT vs ~6% RankApp.
+	fyberEng := float64(fyber.Engaged) / float64(fyber.TelemetryInstalls)
+	rankEng := float64(rank.Engaged) / float64(rank.ConsoleInstalls)
+	if math.Abs(fyberEng-0.44) > 0.08 {
+		t.Errorf("Fyber engagement = %.2f, want ~0.44", fyberEng)
+	}
+	if rankEng > 0.12 {
+		t.Errorf("RankApp engagement = %.2f, want ~0.06", rankEng)
+	}
+	// Automation: emulators and cloud ASNs present.
+	if fyber.EmulatorInstalls == 0 || rank.EmulatorInstalls == 0 {
+		t.Error("expected emulator installs on Fyber and RankApp")
+	}
+	if ayet.CloudASNInstalls == 0 {
+		t.Error("expected cloud-ASN installs on ayeT")
+	}
+	// Device farm on RankApp: >= 10 installs behind one /24, mostly
+	// rooted on one SSID.
+	if rank.FarmInstalls < 10 {
+		t.Errorf("RankApp farm installs = %d, want >= 10", rank.FarmInstalls)
+	}
+	if rank.FarmRootedSameSSID < rank.FarmInstalls/2 {
+		t.Errorf("farm rooted = %d of %d", rank.FarmRootedSameSSID, rank.FarmInstalls)
+	}
+	// Affiliate-app fingerprints.
+	if rank.MoneyKeywordShare < 0.9 {
+		t.Errorf("RankApp money-app share = %.2f, want ~0.98", rank.MoneyKeywordShare)
+	}
+	if rank.TopAffiliate != "eu.gcashapp" {
+		t.Errorf("RankApp top affiliate = %s, want eu.gcashapp", rank.TopAffiliate)
+	}
+	if ayet.TopAffiliate != "com.ayet.cashpirate" {
+		t.Errorf("ayeT top affiliate = %s, want cashpirate", ayet.TopAffiliate)
+	}
+	if h.UniqueInstalledApps < 1000 {
+		t.Errorf("unique installed apps = %d, want thousands", h.UniqueInstalledApps)
+	}
+}
+
+func TestStudyEnforcementWeak(t *testing.T) {
+	s := tinyStudy(t)
+	e := s.Results.Enforcement
+	if e.BaselineDecreased.Positive != 0 {
+		t.Errorf("baseline apps lost installs: %d", e.BaselineDecreased.Positive)
+	}
+	if e.HoneyInstallsFiltered != 0 {
+		t.Errorf("honey installs filtered = %d, want 0", e.HoneyInstallsFiltered)
+	}
+	// Unvetted enforcement is rare but possible; it must stay far below
+	// half the apps.
+	if e.UnvettedDecreased.Frac() > 0.2 {
+		t.Errorf("unvetted decrease fraction = %.2f, too aggressive", e.UnvettedDecreased.Frac())
+	}
+}
+
+func TestStudyArbitrageShape(t *testing.T) {
+	s := tinyStudy(t)
+	a := s.Results.Arbitrage
+	if a.Total.N == 0 {
+		t.Fatal("arbitrage analysis empty")
+	}
+	if a.Total.Frac() > 0.15 {
+		t.Errorf("arbitrage share = %.2f, want a few percent", a.Total.Frac())
+	}
+}
+
+func TestStudyLockstepDefense(t *testing.T) {
+	s := tinyStudy(t)
+	l := s.Results.Lockstep
+	if l.Groups == 0 || l.FlaggedDevices == 0 {
+		t.Fatalf("lockstep detector found nothing: %+v", l)
+	}
+	// The detector must be near-silent on organic decoys and catch most
+	// of the worker population active in the install stream.
+	if l.Eval.Precision < 0.9 {
+		t.Errorf("precision = %.3f, want >= 0.9", l.Eval.Precision)
+	}
+	if l.Eval.Recall < 0.6 {
+		t.Errorf("recall = %.3f, want >= 0.6", l.Eval.Recall)
+	}
+}
+
+func TestStudyDisclosureList(t *testing.T) {
+	s := tinyStudy(t)
+	for _, row := range s.Results.Disclosure {
+		if row.InstallBin < 5_000_000 {
+			t.Errorf("disclosure row below 5M: %+v", row)
+		}
+		if row.ContactMail == "" {
+			t.Errorf("disclosure row without contact: %+v", row)
+		}
+	}
+	// Sorted by popularity.
+	for i := 1; i < len(s.Results.Disclosure); i++ {
+		if s.Results.Disclosure[i].InstallBin > s.Results.Disclosure[i-1].InstallBin {
+			t.Error("disclosure list not sorted by installs")
+		}
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	cfg := sim.TinyConfig()
+	cfg.BaselineApps = 20
+	cfg.BackgroundApps = 30
+	cfg.TotalAdvertised = 40
+	cfg.AppsPerIIP = map[string]int{
+		iip.RankApp: 8, iip.AyetStudios: 12, iip.Fyber: 12,
+		iip.AdscendMedia: 5, iip.AdGem: 2, iip.HangMyAds: 2, iip.OfferToro: 5,
+	}
+	cfg.OffersTarget = 80
+	cfg.Window.End = cfg.Window.Start.AddDays(24)
+	run := func() Results {
+		s, err := Run(cfg, Options{MilkEveryDays: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Results
+	}
+	r1, r2 := run(), run()
+	if r1.Dataset != r2.Dataset {
+		t.Errorf("dataset summaries differ: %+v vs %+v", r1.Dataset, r2.Dataset)
+	}
+	if r1.Table5 != r2.Table5 {
+		t.Errorf("table 5 differs")
+	}
+	if r1.Section3.TotalInstalls != r2.Section3.TotalInstalls {
+		t.Errorf("section 3 differs")
+	}
+}

@@ -1,0 +1,284 @@
+// Package crawler implements the paper's longitudinal Play Store crawl: it
+// fetches app profiles and top charts over HTTP every other day from March
+// to June, accumulating the install-bin time series and chart-presence
+// history that the impact analyses (Tables 5-6, Figure 5) consume, and
+// downloads APKs for static analysis (Figure 6).
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/apk"
+	"repro/internal/dates"
+	"repro/internal/playapi"
+	"repro/internal/playstore"
+)
+
+// BinSnapshot is one observation of an app's public install bin.
+type BinSnapshot struct {
+	Day dates.Date
+	Bin int64
+}
+
+// Dataset is the accumulated crawl.
+type Dataset struct {
+	mu sync.RWMutex
+	// Profiles holds the most recent profile document per package.
+	profiles map[string]playapi.ProfileDoc
+	// bins holds the install-bin time series per package, in crawl order.
+	bins map[string][]BinSnapshot
+	// charts: chart name -> day -> package -> rank.
+	charts map[string]map[dates.Date]map[string]int
+	// days crawled, in order.
+	days []dates.Date
+}
+
+func newDataset() *Dataset {
+	return &Dataset{
+		profiles: map[string]playapi.ProfileDoc{},
+		bins:     map[string][]BinSnapshot{},
+		charts:   map[string]map[dates.Date]map[string]int{},
+	}
+}
+
+// Crawler drives the periodic crawl.
+type Crawler struct {
+	// BaseURL of the store's HTTP surface.
+	BaseURL string
+	// Client issues requests; nil means http.DefaultClient.
+	Client *http.Client
+	// EveryDays is the crawl period (paper: every other day => 2).
+	EveryDays int
+
+	targets []string
+	data    *Dataset
+	started *dates.Date
+}
+
+// New returns a crawler for the given targets (advertised + baseline app
+// packages).
+func New(baseURL string, targets []string) *Crawler {
+	return &Crawler{
+		BaseURL:   baseURL,
+		EveryDays: 2,
+		targets:   append([]string(nil), targets...),
+		data:      newDataset(),
+	}
+}
+
+func (c *Crawler) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// MaybeCrawl runs a crawl if the day falls on the crawler's period; it is
+// designed to be called from the simulation's per-day hook.
+func (c *Crawler) MaybeCrawl(day dates.Date) error {
+	if c.started == nil {
+		d := day
+		c.started = &d
+	}
+	if day.DaysSince(*c.started)%c.EveryDays != 0 {
+		return nil
+	}
+	return c.CrawlNow(day)
+}
+
+// CrawlNow unconditionally crawls all targets and charts for the day.
+func (c *Crawler) CrawlNow(day dates.Date) error {
+	for _, pkg := range c.targets {
+		doc, err := c.fetchProfile(pkg)
+		if err != nil {
+			return fmt.Errorf("crawler: profile %s: %w", pkg, err)
+		}
+		c.data.mu.Lock()
+		c.data.profiles[pkg] = doc
+		c.data.bins[pkg] = append(c.data.bins[pkg], BinSnapshot{Day: day, Bin: doc.InstallBin})
+		c.data.mu.Unlock()
+	}
+	for _, chart := range playstore.ChartNames {
+		doc, err := c.fetchChart(chart, day)
+		if err != nil {
+			return fmt.Errorf("crawler: chart %s: %w", chart, err)
+		}
+		ranks := make(map[string]int, len(doc.Entries))
+		for _, e := range doc.Entries {
+			ranks[e.Package] = e.Rank
+		}
+		c.data.mu.Lock()
+		byDay, ok := c.data.charts[chart]
+		if !ok {
+			byDay = map[dates.Date]map[string]int{}
+			c.data.charts[chart] = byDay
+		}
+		byDay[day] = ranks
+		c.data.mu.Unlock()
+	}
+	c.data.mu.Lock()
+	c.data.days = append(c.data.days, day)
+	c.data.mu.Unlock()
+	return nil
+}
+
+func (c *Crawler) fetchProfile(pkg string) (playapi.ProfileDoc, error) {
+	var doc playapi.ProfileDoc
+	err := c.getJSON(c.BaseURL+"/apps/"+pkg, &doc)
+	return doc, err
+}
+
+func (c *Crawler) fetchChart(name string, day dates.Date) (playapi.ChartDoc, error) {
+	var doc playapi.ChartDoc
+	err := c.getJSON(fmt.Sprintf("%s/charts/%s?day=%d", c.BaseURL, name, int(day)), &doc)
+	return doc, err
+}
+
+// DownloadAPK fetches and parses an app's APK for static analysis.
+func (c *Crawler) DownloadAPK(pkg string) (apk.APK, error) {
+	resp, err := c.client().Get(c.BaseURL + "/apks/" + pkg)
+	if err != nil {
+		return apk.APK{}, fmt.Errorf("crawler: apk %s: %w", pkg, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apk.APK{}, fmt.Errorf("crawler: apk %s: status %d", pkg, resp.StatusCode)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return apk.APK{}, fmt.Errorf("crawler: apk %s: %w", pkg, err)
+	}
+	return apk.Decode(blob)
+}
+
+func (c *Crawler) getJSON(url string, v any) error {
+	resp, err := c.client().Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d for %s", resp.StatusCode, url)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Dataset returns the accumulated observations.
+func (c *Crawler) Dataset() *Dataset { return c.data }
+
+// Days returns the crawl days in order.
+func (d *Dataset) Days() []dates.Date {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]dates.Date(nil), d.days...)
+}
+
+// Profile returns the latest profile for a package.
+func (d *Dataset) Profile(pkg string) (playapi.ProfileDoc, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	doc, ok := d.profiles[pkg]
+	return doc, ok
+}
+
+// BinSeries returns the install-bin observations for a package.
+func (d *Dataset) BinSeries(pkg string) []BinSnapshot {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]BinSnapshot(nil), d.bins[pkg]...)
+}
+
+// BinAround returns the observed bin at the crawl nearest to (at or
+// before) the given day; ok is false when no observation precedes it.
+func (d *Dataset) BinAround(pkg string, day dates.Date) (int64, bool) {
+	series := d.BinSeries(pkg)
+	if len(series) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(series), func(i int) bool { return series[i].Day > day })
+	if i == 0 {
+		// No crawl at or before the day: fall back to the first
+		// observation (the campaign may start before our first crawl).
+		return series[0].Bin, true
+	}
+	return series[i-1].Bin, true
+}
+
+// BinIncreased reports whether the public install bin grew between the
+// start and end of a window (Table 5's per-app outcome).
+func (d *Dataset) BinIncreased(pkg string, w dates.Range) bool {
+	start, ok1 := d.BinAround(pkg, w.Start)
+	end, ok2 := d.BinAround(pkg, w.End)
+	return ok1 && ok2 && end > start
+}
+
+// BinEverDecreased reports whether any consecutive pair of observations
+// shows a drop — the enforcement signal of Section 5.2.
+func (d *Dataset) BinEverDecreased(pkg string) bool {
+	series := d.BinSeries(pkg)
+	for i := 1; i < len(series); i++ {
+		if series[i].Bin < series[i-1].Bin {
+			return true
+		}
+	}
+	return false
+}
+
+// RankOn returns an app's rank in a chart on a crawled day (0 = absent).
+func (d *Dataset) RankOn(chart string, day dates.Date, pkg string) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	byDay, ok := d.charts[chart]
+	if !ok {
+		return 0
+	}
+	return byDay[day][pkg]
+}
+
+// InAnyChartOn reports whether the app appears in any chart on the crawled
+// day.
+func (d *Dataset) InAnyChartOn(day dates.Date, pkg string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, byDay := range d.charts {
+		if byDay[day][pkg] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// InAnyChartDuring reports whether the app appears in any chart on any
+// crawled day within the window.
+func (d *Dataset) InAnyChartDuring(w dates.Range, pkg string) bool {
+	for _, day := range d.Days() {
+		if !w.Contains(day) {
+			continue
+		}
+		if d.InAnyChartOn(day, pkg) {
+			return true
+		}
+	}
+	return false
+}
+
+// RankSeries returns (day, rank) points for an app in a chart across all
+// crawled days; absent days carry rank 0. This is Figure 5's raw series.
+func (d *Dataset) RankSeries(chart, pkg string) []RankPoint {
+	var out []RankPoint
+	for _, day := range d.Days() {
+		out = append(out, RankPoint{Day: day, Rank: d.RankOn(chart, day, pkg)})
+	}
+	return out
+}
+
+// RankPoint is one Figure 5 sample.
+type RankPoint struct {
+	Day  dates.Date
+	Rank int
+}

@@ -1,0 +1,204 @@
+// Package crunchbase is the funding-database substrate for the paper's
+// Section 4.3.3 analysis: organizations, funding rounds with investor
+// types, and the fuzzy matching from Play Store developer metadata
+// (company name, website) to database organizations.
+package crunchbase
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dates"
+)
+
+// RoundType classifies a funding round.
+type RoundType string
+
+// Round types observed in the paper's analysis.
+const (
+	Seed    RoundType = "seed"
+	Angel   RoundType = "angel"
+	SeriesA RoundType = "series-a"
+	SeriesB RoundType = "series-b"
+	SeriesC RoundType = "series-c"
+	SeriesD RoundType = "series-d"
+	SeriesF RoundType = "series-f"
+)
+
+// Organization is one company in the database snapshot.
+type Organization struct {
+	ID      string
+	Name    string
+	Website string
+	Country string
+	// Public marks publicly traded companies.
+	Public bool
+}
+
+// Round is one funding round.
+type Round struct {
+	OrgID     string
+	Date      dates.Date
+	Type      RoundType
+	AmountUSD float64
+	Investor  string
+}
+
+// DB is an in-memory Crunchbase snapshot.
+type DB struct {
+	mu     sync.RWMutex
+	orgs   map[string]Organization
+	rounds map[string][]Round // orgID -> rounds sorted by date
+	byName map[string]string  // normalized name -> orgID
+	byHost map[string]string  // website host -> orgID
+	// Snapshot is when the database was downloaded; rounds after it are
+	// invisible (the paper used an October 2019 snapshot).
+	Snapshot dates.Date
+}
+
+// New returns an empty snapshot taken at the given date.
+func New(snapshot dates.Date) *DB {
+	return &DB{
+		orgs:     map[string]Organization{},
+		rounds:   map[string][]Round{},
+		byName:   map[string]string{},
+		byHost:   map[string]string{},
+		Snapshot: snapshot,
+	}
+}
+
+// AddOrganization inserts a company and indexes it for matching.
+func (db *DB) AddOrganization(o Organization) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.orgs[o.ID] = o
+	if n := NormalizeName(o.Name); n != "" {
+		db.byName[n] = o.ID
+	}
+	if h := hostOf(o.Website); h != "" {
+		db.byHost[h] = o.ID
+	}
+}
+
+// AddRound inserts a funding round; rounds dated after the snapshot are
+// retained but never returned by queries.
+func (db *DB) AddRound(r Round) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rounds := append(db.rounds[r.OrgID], r)
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i].Date < rounds[j].Date })
+	db.rounds[r.OrgID] = rounds
+}
+
+// NumOrganizations returns the company count.
+func (db *DB) NumOrganizations() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.orgs)
+}
+
+// Organization fetches a company by ID.
+func (db *DB) Organization(id string) (Organization, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o, ok := db.orgs[id]
+	return o, ok
+}
+
+// Match finds the organization for a Play Store developer using its
+// company name and website, mirroring the paper's "searching for developer
+// information from Google Play Store" matching (23% of apps matched).
+// Missing metadata (empty name and website) never matches.
+func (db *DB) Match(devName, website string) (Organization, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if h := hostOf(website); h != "" {
+		if id, ok := db.byHost[h]; ok {
+			return db.orgs[id], true
+		}
+	}
+	if n := NormalizeName(devName); n != "" {
+		if id, ok := db.byName[n]; ok {
+			return db.orgs[id], true
+		}
+	}
+	return Organization{}, false
+}
+
+// Rounds returns all rounds for an organization visible in the snapshot.
+func (db *DB) Rounds(orgID string) []Round {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Round
+	for _, r := range db.rounds[orgID] {
+		if r.Date <= db.Snapshot {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RoundsAfter returns snapshot-visible rounds strictly after a date — the
+// "raised funding after running the incentivized install campaign" query.
+func (db *DB) RoundsAfter(orgID string, after dates.Date) []Round {
+	var out []Round
+	for _, r := range db.Rounds(orgID) {
+		if r.Date > after {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// corporate suffixes stripped during name normalization.
+var corpSuffixes = []string{
+	"inc", "llc", "ltd", "limited", "corp", "corporation", "gmbh", "co",
+	"sas", "sarl", "bv", "oy", "ab", "plc",
+}
+
+// NormalizeName lowercases a company name, strips punctuation and
+// corporate suffixes, and collapses whitespace so "Acme Labs, Inc." and
+// "acme labs" match.
+func NormalizeName(name string) string {
+	var b strings.Builder
+	for _, c := range strings.ToLower(name) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b.WriteRune(c)
+		default:
+			b.WriteRune(' ')
+		}
+	}
+	fields := strings.Fields(b.String())
+	for len(fields) > 1 {
+		last := fields[len(fields)-1]
+		stripped := false
+		for _, suf := range corpSuffixes {
+			if last == suf {
+				fields = fields[:len(fields)-1]
+				stripped = true
+				break
+			}
+		}
+		if !stripped {
+			break
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+// hostOf extracts a lowercase host from a URL-ish string.
+func hostOf(website string) string {
+	w := strings.ToLower(strings.TrimSpace(website))
+	if w == "" {
+		return ""
+	}
+	w = strings.TrimPrefix(w, "https://")
+	w = strings.TrimPrefix(w, "http://")
+	w = strings.TrimPrefix(w, "www.")
+	if i := strings.IndexAny(w, "/?#"); i >= 0 {
+		w = w[:i]
+	}
+	return w
+}

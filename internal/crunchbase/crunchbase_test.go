@@ -1,0 +1,133 @@
+package crunchbase
+
+import (
+	"testing"
+
+	"repro/internal/dates"
+)
+
+func newDB(t *testing.T) *DB {
+	t.Helper()
+	db := New(dates.CrunchbaseSnapshot)
+	db.AddOrganization(Organization{
+		ID: "org1", Name: "Dashlane, Inc.", Website: "https://www.dashlane.com/about",
+		Country: "USA",
+	})
+	db.AddOrganization(Organization{
+		ID: "org2", Name: "Droom Technology Ltd", Website: "https://droom.in",
+		Country: "India",
+	})
+	db.AddOrganization(Organization{
+		ID: "org3", Name: "Redfin Corp", Website: "https://redfin.com", Public: true,
+	})
+	return db
+}
+
+func TestMatchByWebsite(t *testing.T) {
+	db := newDB(t)
+	org, ok := db.Match("Totally Different Name", "http://dashlane.com")
+	if !ok || org.ID != "org1" {
+		t.Errorf("website match failed: %v %v", org, ok)
+	}
+}
+
+func TestMatchByNormalizedName(t *testing.T) {
+	db := newDB(t)
+	org, ok := db.Match("dashlane", "")
+	if !ok || org.ID != "org1" {
+		t.Errorf("name match failed: %v %v", org, ok)
+	}
+	org, ok = db.Match("DROOM TECHNOLOGY", "")
+	if !ok || org.ID != "org2" {
+		t.Errorf("suffix-stripped name match failed: %v %v", org, ok)
+	}
+}
+
+func TestMatchMissingMetadata(t *testing.T) {
+	db := newDB(t)
+	if _, ok := db.Match("", ""); ok {
+		t.Error("empty metadata must not match")
+	}
+	if _, ok := db.Match("Unknown Studio", "https://unknown.example"); ok {
+		t.Error("unmatched developer should miss")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Dashlane, Inc.", "dashlane"},
+		{"Acme Labs LLC", "acme labs"},
+		{"ACME-LABS", "acme labs"},
+		{"Redfin Corp", "redfin"},
+		{"Co", "co"}, // a lone suffix word is kept (it is the whole name)
+		{"Droom Technology Ltd", "droom technology"},
+	}
+	for _, c := range cases {
+		if got := NormalizeName(c.in); got != c.want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"https://www.dashlane.com/about", "dashlane.com"},
+		{"http://droom.in", "droom.in"},
+		{"redfin.com/path?q=1", "redfin.com"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := hostOf(c.in); got != c.want {
+			t.Errorf("hostOf(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundsSortedAndSnapshotFiltered(t *testing.T) {
+	db := newDB(t)
+	apr12 := dates.FromTime(dates.Epoch.AddDate(0, 3, 11)) // 2019-04-12
+	may30 := dates.FromTime(dates.Epoch.AddDate(0, 4, 29)) // 2019-05-30
+	db.AddRound(Round{OrgID: "org1", Date: may30, Type: SeriesD, AmountUSD: 110e6})
+	db.AddRound(Round{OrgID: "org1", Date: apr12, Type: SeriesC, AmountUSD: 30e6})
+	// A round after the snapshot is invisible.
+	db.AddRound(Round{OrgID: "org1", Date: dates.CrunchbaseSnapshot.AddDays(30), Type: SeriesF, AmountUSD: 1})
+
+	rounds := db.Rounds("org1")
+	if len(rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(rounds))
+	}
+	if rounds[0].Date != apr12 || rounds[1].Date != may30 {
+		t.Error("rounds must be date-sorted")
+	}
+}
+
+func TestRoundsAfterCampaign(t *testing.T) {
+	// Dashlane case study: campaign Mar 12-27, funding Apr 12 and May 30.
+	db := newDB(t)
+	campaignEnd := dates.StudyStart.AddDays(26) // ~Mar 27
+	apr12 := campaignEnd.AddDays(16)
+	db.AddRound(Round{OrgID: "org1", Date: apr12, Type: SeriesC, AmountUSD: 30e6})
+	db.AddRound(Round{OrgID: "org1", Date: campaignEnd.AddDays(-40), Type: Seed, AmountUSD: 2e6})
+
+	after := db.RoundsAfter("org1", campaignEnd)
+	if len(after) != 1 || after[0].Type != SeriesC {
+		t.Errorf("RoundsAfter = %v, want the series C round", after)
+	}
+	if got := db.RoundsAfter("org1", apr12.AddDays(1)); len(got) != 0 {
+		t.Errorf("no rounds expected, got %v", got)
+	}
+}
+
+func TestOrganizationLookup(t *testing.T) {
+	db := newDB(t)
+	if db.NumOrganizations() != 3 {
+		t.Errorf("orgs = %d", db.NumOrganizations())
+	}
+	o, ok := db.Organization("org3")
+	if !ok || !o.Public {
+		t.Error("org3 should be a public company")
+	}
+	if _, ok := db.Organization("missing"); ok {
+		t.Error("missing org should not resolve")
+	}
+}

@@ -1,0 +1,82 @@
+// Package dates provides the study's simulated calendar. The measurement
+// campaign in the paper runs March-June 2019 with day granularity (the
+// crawler visits the store every other day), so the whole repository uses
+// a compact Date type: days since 2019-01-01.
+package dates
+
+import (
+	"fmt"
+	"time"
+)
+
+// Date counts whole days since the study epoch, 2019-01-01. The zero value
+// is the epoch itself.
+type Date int
+
+// Epoch is the calendar date corresponding to Date(0).
+var Epoch = time.Date(2019, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Well-known dates in the study window.
+var (
+	// StudyStart is the first day of the in-the-wild monitoring
+	// (the paper's data collection starts in March 2019).
+	StudyStart = FromTime(time.Date(2019, time.March, 1, 0, 0, 0, 0, time.UTC))
+	// StudyEnd is the last monitored day (end of June 2019).
+	StudyEnd = FromTime(time.Date(2019, time.June, 30, 0, 0, 0, 0, time.UTC))
+	// CrunchbaseSnapshot is when the paper downloaded the Crunchbase
+	// database (October 2019).
+	CrunchbaseSnapshot = FromTime(time.Date(2019, time.October, 15, 0, 0, 0, 0, time.UTC))
+)
+
+// FromTime converts a wall-clock time to a Date, truncating to UTC days.
+func FromTime(t time.Time) Date {
+	return Date(t.UTC().Sub(Epoch).Hours() / 24)
+}
+
+// Time returns the midnight UTC time.Time for d.
+func (d Date) Time() time.Time {
+	return Epoch.AddDate(0, 0, int(d))
+}
+
+// AddDays returns d shifted by n days.
+func (d Date) AddDays(n int) Date { return d + Date(n) }
+
+// DaysSince returns the number of days from other to d (d - other).
+func (d Date) DaysSince(other Date) int { return int(d - other) }
+
+// Before and After provide readable comparisons.
+func (d Date) Before(other Date) bool { return d < other }
+
+// After reports whether d is strictly after other.
+func (d Date) After(other Date) bool { return d > other }
+
+// String formats the date as YYYY-MM-DD.
+func (d Date) String() string {
+	return d.Time().Format("2006-01-02")
+}
+
+// Range is an inclusive date interval.
+type Range struct {
+	Start, End Date
+}
+
+// Contains reports whether x falls within the range (inclusive).
+func (r Range) Contains(x Date) bool { return x >= r.Start && x <= r.End }
+
+// Days returns the number of days in the range, inclusive; a range whose
+// End precedes its Start has zero days.
+func (r Range) Days() int {
+	if r.End < r.Start {
+		return 0
+	}
+	return int(r.End-r.Start) + 1
+}
+
+// Overlaps reports whether two inclusive ranges share any day.
+func (r Range) Overlaps(o Range) bool {
+	return r.Start <= o.End && o.Start <= r.End
+}
+
+func (r Range) String() string {
+	return fmt.Sprintf("%s..%s", r.Start, r.End)
+}

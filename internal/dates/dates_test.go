@@ -1,0 +1,100 @@
+package dates
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	if got := FromTime(Epoch); got != 0 {
+		t.Errorf("FromTime(Epoch) = %d, want 0", got)
+	}
+	if got := Date(0).Time(); !got.Equal(Epoch) {
+		t.Errorf("Date(0).Time() = %v, want %v", got, Epoch)
+	}
+}
+
+func TestKnownDates(t *testing.T) {
+	if got := StudyStart.String(); got != "2019-03-01" {
+		t.Errorf("StudyStart = %s, want 2019-03-01", got)
+	}
+	if got := StudyEnd.String(); got != "2019-06-30" {
+		t.Errorf("StudyEnd = %s, want 2019-06-30", got)
+	}
+	if StudyEnd.DaysSince(StudyStart) != 121 {
+		t.Errorf("study window = %d days, want 121", StudyEnd.DaysSince(StudyStart))
+	}
+}
+
+func TestAddDaysAndComparisons(t *testing.T) {
+	d := StudyStart
+	e := d.AddDays(10)
+	if e.DaysSince(d) != 10 {
+		t.Errorf("DaysSince = %d, want 10", e.DaysSince(d))
+	}
+	if !d.Before(e) || !e.After(d) {
+		t.Error("Before/After inconsistent")
+	}
+	if d.Before(d) || d.After(d) {
+		t.Error("a date should not be before/after itself")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Start: 10, End: 20}
+	for _, c := range []struct {
+		d    Date
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {20, true}, {21, false}} {
+		if got := r.Contains(c.d); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.d, got, c.want)
+		}
+	}
+	if r.Days() != 11 {
+		t.Errorf("Days = %d, want 11", r.Days())
+	}
+	if (Range{Start: 5, End: 4}).Days() != 0 {
+		t.Error("inverted range should have 0 days")
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	a := Range{Start: 10, End: 20}
+	cases := []struct {
+		b    Range
+		want bool
+	}{
+		{Range{0, 9}, false},
+		{Range{0, 10}, true},
+		{Range{15, 16}, true},
+		{Range{20, 30}, true},
+		{Range{21, 30}, false},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps symmetric (%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+// Property: FromTime inverts Time for any day offset in a broad window.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(n int16) bool {
+		d := Date(n)
+		return FromTime(d.Time()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromTimeTruncates(t *testing.T) {
+	noon := time.Date(2019, time.March, 1, 12, 30, 0, 0, time.UTC)
+	if FromTime(noon) != StudyStart {
+		t.Error("FromTime should truncate to day")
+	}
+}

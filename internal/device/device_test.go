@@ -1,0 +1,202 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/textgen"
+)
+
+func genPool(t *testing.T, iipName string, n int) []*Worker {
+	t.Helper()
+	cfg, ok := DefaultPools()[iipName]
+	if !ok {
+		t.Fatalf("no pool config for %s", iipName)
+	}
+	r := randx.Derive(42, "pool-"+iipName)
+	return GeneratePool(r, textgen.New(r), cfg, n)
+}
+
+func TestPoolDeterminism(t *testing.T) {
+	a := genPool(t, "Fyber", 100)
+	b := genPool(t, "Fyber", 100)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Country != b[i].Country || a[i].SSIDHash != b[i].SSIDHash {
+			t.Fatal("pool generation not deterministic")
+		}
+	}
+}
+
+func TestRankAppPoolMatchesPaper(t *testing.T) {
+	workers := genPool(t, "RankApp", 500)
+	if len(workers) != 500 {
+		t.Fatalf("pool size = %d", len(workers))
+	}
+	moneyApps := 0
+	topAff := 0
+	farm := 0
+	for _, w := range workers {
+		if w.HasMoneyApp() {
+			moneyApps++
+		}
+		if w.HasApp("eu.gcashapp") {
+			topAff++
+		}
+		if w.FarmID > 0 {
+			farm++
+		}
+	}
+	// Paper: 98% of RankApp users have a money-keyword affiliate app.
+	if frac := float64(moneyApps) / 500; math.Abs(frac-0.98) > 0.04 {
+		t.Errorf("money-app fraction = %.3f, want ~0.98", frac)
+	}
+	// Paper: eu.gcashapp on 37% of RankApp devices.
+	if frac := float64(topAff) / 500; math.Abs(frac-0.37) > 0.07 {
+		t.Errorf("gcashapp fraction = %.3f, want ~0.37", frac)
+	}
+	// Paper: 20 installs behind one /24, 18 rooted sharing an SSID.
+	if farm != 20 {
+		t.Errorf("farm size = %d, want 20", farm)
+	}
+}
+
+func TestFarmSharesNetwork(t *testing.T) {
+	workers := genPool(t, "RankApp", 500)
+	blocks := map[string]int{}
+	ssids := map[string]int{}
+	rooted := 0
+	for _, w := range workers {
+		if w.FarmID == 0 {
+			continue
+		}
+		blocks[w.IPBlock]++
+		ssids[w.SSIDHash]++
+		if w.Rooted {
+			rooted++
+		}
+	}
+	if len(blocks) != 1 {
+		t.Errorf("farm spans %d /24 blocks, want 1", len(blocks))
+	}
+	if len(ssids) != 1 {
+		t.Errorf("farm spans %d SSIDs, want 1", len(ssids))
+	}
+	if rooted < 15 { // paper: 18 of 20 rooted
+		t.Errorf("farm rooted = %d, want most of 20", rooted)
+	}
+}
+
+func TestAutomationSignalsPerPool(t *testing.T) {
+	cases := []struct {
+		iip       string
+		emulators int
+		clouds    int
+	}{
+		{"Fyber", 2, 2},
+		{"ayeT-Studios", 0, 4},
+		{"RankApp", 2, 1},
+	}
+	for _, c := range cases {
+		workers := genPool(t, c.iip, 500)
+		em, cl := 0, 0
+		for _, w := range workers {
+			if w.Emulator {
+				em++
+				if !strings.Contains(w.Build, "generic") && !strings.Contains(w.Build, "genymotion") {
+					t.Errorf("%s: emulator build lacks marker: %s", c.iip, w.Build)
+				}
+			}
+			if w.ASN == ASNCloud {
+				cl++
+				if w.ASNName == "carrier" {
+					t.Errorf("%s: cloud worker has carrier ASN name", c.iip)
+				}
+			}
+		}
+		if em != c.emulators {
+			t.Errorf("%s emulators = %d, want %d", c.iip, em, c.emulators)
+		}
+		if cl != c.clouds {
+			t.Errorf("%s cloud devices = %d, want %d", c.iip, cl, c.clouds)
+		}
+	}
+}
+
+func TestFraudScoreOrdering(t *testing.T) {
+	clean := &Worker{}
+	emu := &Worker{Emulator: true}
+	cloud := &Worker{ASN: ASNCloud}
+	farm := &Worker{FarmID: 1, Rooted: true}
+	if !(clean.FraudScore() < emu.FraudScore()) {
+		t.Error("emulator must score higher than clean")
+	}
+	if !(clean.FraudScore() < cloud.FraudScore()) {
+		t.Error("cloud must score higher than clean")
+	}
+	if !(clean.FraudScore() < farm.FraudScore()) {
+		t.Error("farm must score higher than clean")
+	}
+	everything := &Worker{Emulator: true, ASN: ASNCloud, FarmID: 1, Rooted: true}
+	if everything.FraudScore() > 1 {
+		t.Error("fraud score must be capped at 1")
+	}
+	for _, w := range []*Worker{clean, emu, cloud, farm, everything} {
+		s := w.FraudScore()
+		if s < 0 || s > 1 {
+			t.Errorf("score out of range: %g", s)
+		}
+	}
+}
+
+func TestOpenAndEngagementCalibration(t *testing.T) {
+	pools := DefaultPools()
+	// RankApp: ~45% of installs never send telemetry -> OpenProb ~0.55.
+	if p := pools["RankApp"].OpenProb; math.Abs(p-0.55) > 0.01 {
+		t.Errorf("RankApp OpenProb = %g", p)
+	}
+	// Fyber and ayeT: telemetry matches console -> OpenProb 1.
+	if pools["Fyber"].OpenProb != 1 || pools["ayeT-Studios"].OpenProb != 1 {
+		t.Error("Fyber/ayeT workers should always open")
+	}
+	// Engagement: 44% vs 6%.
+	if pools["Fyber"].EngageProb != 0.44 || pools["RankApp"].EngageProb != 0.06 {
+		t.Error("engagement probabilities off")
+	}
+}
+
+func TestHasAppAndMoneyApp(t *testing.T) {
+	w := &Worker{InstalledApps: []string{"com.foo.bar", "eu.gcashapp"}}
+	if !w.HasApp("eu.gcashapp") || w.HasApp("missing.app") {
+		t.Error("HasApp wrong")
+	}
+	if !w.HasMoneyApp() {
+		t.Error("gcashapp should count as money app")
+	}
+	w2 := &Worker{InstalledApps: []string{"com.foo.bar"}}
+	if w2.HasMoneyApp() {
+		t.Error("no money app expected")
+	}
+}
+
+func TestHashSSIDStableAndOpaque(t *testing.T) {
+	h1 := HashSSID("NETGEAR-1234")
+	h2 := HashSSID("NETGEAR-1234")
+	if h1 != h2 {
+		t.Error("hash must be stable")
+	}
+	if strings.Contains(h1, "NETGEAR") {
+		t.Error("hash must not leak the SSID")
+	}
+	if HashSSID("other") == h1 {
+		t.Error("different SSIDs should hash differently")
+	}
+}
+
+func TestGenericPoolExists(t *testing.T) {
+	workers := genPool(t, "generic", 100)
+	if len(workers) != 100 {
+		t.Fatal("generic pool generation failed")
+	}
+}

@@ -1,0 +1,92 @@
+package iip
+
+import "strings"
+
+// Canonical platform names from the paper's Table 1.
+const (
+	Fyber        = "Fyber"
+	OfferToro    = "OfferToro"
+	AdscendMedia = "AdscendMedia"
+	HangMyAds    = "HangMyAds"
+	AdGem        = "AdGem"
+	AyetStudios  = "ayeT-Studios"
+	RankApp      = "RankApp"
+)
+
+// StandardNames lists the seven studied IIPs in Table 1 order.
+var StandardNames = []string{
+	Fyber, OfferToro, AdscendMedia, HangMyAds, AdGem, AyetStudios, RankApp,
+}
+
+// StandardPlatforms instantiates the seven IIPs of Table 1 with
+// review-process, fee, and pacing parameters consistent with the paper's
+// observations (vetted platforms demand documentation and four-figure
+// deposits; unvetted ones take $20; Fyber and ayeT-Studios deliver 500
+// installs within two hours while RankApp needs more than a day).
+func StandardPlatforms() map[string]*Platform {
+	ps := map[string]*Platform{
+		Fyber: {
+			Name: Fyber, HomeURL: "fyber.com", Vetted: true,
+			MinDepositUSD: 2000, FeeFraction: 0.30, AffiliateFraction: 0.25,
+			PacePerHour: 320,
+		},
+		OfferToro: {
+			Name: OfferToro, HomeURL: "offertoro.com", Vetted: true,
+			MinDepositUSD: 1000, FeeFraction: 0.30, AffiliateFraction: 0.25,
+			PacePerHour: 200,
+		},
+		AdscendMedia: {
+			Name: AdscendMedia, HomeURL: "adscendmedia.com", Vetted: true,
+			MinDepositUSD: 1500, FeeFraction: 0.30, AffiliateFraction: 0.25,
+			PacePerHour: 180,
+		},
+		HangMyAds: {
+			Name: HangMyAds, HomeURL: "hangmyads.com", Vetted: true,
+			MinDepositUSD: 1000, FeeFraction: 0.30, AffiliateFraction: 0.25,
+			PacePerHour: 150,
+		},
+		AdGem: {
+			Name: AdGem, HomeURL: "adgem.com", Vetted: true,
+			MinDepositUSD: 1500, FeeFraction: 0.30, AffiliateFraction: 0.25,
+			PacePerHour: 120,
+		},
+		AyetStudios: {
+			Name: AyetStudios, HomeURL: "ayetstudios.com", Vetted: false,
+			MinDepositUSD: 20, FeeFraction: 0.40, AffiliateFraction: 0.25,
+			PacePerHour: 280,
+		},
+		RankApp: {
+			Name: RankApp, HomeURL: "rankapp.org", Vetted: false,
+			MinDepositUSD: 20, FeeFraction: 0.40, AffiliateFraction: 0.25,
+			PacePerHour: 18,
+			ServiceClaims: []string{
+				"Improve your app's rank on Google Play Store",
+				"Boost your app to the top charts with real installs",
+			},
+		},
+	}
+	return ps
+}
+
+// manipulationKeywords are the phrases the Figure 2 probe treats as
+// advertising app-store-metric manipulation, which Google Play policy
+// prohibits ("Developers must not attempt to manipulate the placement of
+// any apps in Google Play").
+var manipulationKeywords = []string{
+	"rank", "top chart", "top charts", "placement", "boost",
+}
+
+// ClaimsManipulation reports whether the platform's public marketing
+// claims to manipulate app store metrics (the behaviour Figure 2
+// documents for RankApp).
+func (p *Platform) ClaimsManipulation() bool {
+	for _, claim := range p.ServiceClaims {
+		l := strings.ToLower(claim)
+		for _, k := range manipulationKeywords {
+			if strings.Contains(l, k) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,253 @@
+package iip
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/offers"
+)
+
+var testWindow = dates.Range{Start: dates.StudyStart, End: dates.StudyStart.AddDays(30)}
+
+func newFundedPlatform(t *testing.T, name string) *Platform {
+	t.Helper()
+	p := StandardPlatforms()[name]
+	docs := Documentation{}
+	if p.Vetted {
+		docs = Documentation{TaxID: "US-123", BankAccount: "IBAN-1"}
+	}
+	if err := p.RegisterDeveloper("dev1", docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Deposit("dev1", 5000); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func launch(t *testing.T, p *Platform, spec CampaignSpec) *Campaign {
+	t.Helper()
+	c, err := p.LaunchCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func basicSpec() CampaignSpec {
+	return CampaignSpec{
+		Developer:     "dev1",
+		AppPackage:    "com.acme.memo",
+		Description:   "Install and Launch",
+		Type:          offers.NoActivity,
+		UserPayoutUSD: 0.06,
+		Target:        500,
+		Window:        testWindow,
+	}
+}
+
+func TestStandardPlatformsMatchTable1(t *testing.T) {
+	ps := StandardPlatforms()
+	if len(ps) != 7 {
+		t.Fatalf("expected 7 IIPs, got %d", len(ps))
+	}
+	wantVetted := map[string]bool{
+		Fyber: true, OfferToro: true, AdscendMedia: true,
+		HangMyAds: true, AdGem: true,
+		AyetStudios: false, RankApp: false,
+	}
+	for name, vetted := range wantVetted {
+		p, ok := ps[name]
+		if !ok {
+			t.Fatalf("missing platform %s", name)
+		}
+		if p.Vetted != vetted {
+			t.Errorf("%s vetted = %v, want %v", name, p.Vetted, vetted)
+		}
+	}
+	// Unvetted platforms accept $20 campaigns; vetted demand much more.
+	if ps[RankApp].MinDepositUSD > 20 {
+		t.Error("RankApp should accept $20 deposits")
+	}
+	if ps[Fyber].MinDepositUSD < 1000 {
+		t.Error("Fyber should require a four-figure deposit")
+	}
+}
+
+func TestVettedRegistrationRequiresDocs(t *testing.T) {
+	p := StandardPlatforms()[Fyber]
+	err := p.RegisterDeveloper("dev1", Documentation{})
+	if !errors.Is(err, ErrDocsRequired) {
+		t.Errorf("want ErrDocsRequired, got %v", err)
+	}
+	if err := p.RegisterDeveloper("dev1", Documentation{TaxID: "T", BankAccount: "B"}); err != nil {
+		t.Errorf("complete docs should register: %v", err)
+	}
+	// Unvetted platform takes anyone.
+	u := StandardPlatforms()[RankApp]
+	if err := u.RegisterDeveloper("dev2", Documentation{}); err != nil {
+		t.Errorf("unvetted registration failed: %v", err)
+	}
+}
+
+func TestDepositMinimum(t *testing.T) {
+	p := StandardPlatforms()[Fyber]
+	p.RegisterDeveloper("dev1", Documentation{TaxID: "T", BankAccount: "B"})
+	if err := p.Deposit("dev1", 100); !errors.Is(err, ErrDepositTooSmall) {
+		t.Errorf("want ErrDepositTooSmall, got %v", err)
+	}
+	if err := p.Deposit("dev1", 2000); err != nil {
+		t.Fatal(err)
+	}
+	// Top-ups below the minimum are fine once funded.
+	if err := p.Deposit("dev1", 5); err != nil {
+		t.Errorf("top-up failed: %v", err)
+	}
+	if err := p.Deposit("ghost", 50); !errors.Is(err, ErrUnknownDeveloper) {
+		t.Errorf("want ErrUnknownDeveloper, got %v", err)
+	}
+}
+
+func TestLaunchCampaignBudgetCheck(t *testing.T) {
+	p := newFundedPlatform(t, RankApp)
+	spec := basicSpec()
+	spec.UserPayoutUSD = 5.00
+	spec.Target = 100000 // cost far exceeds the $5000 balance
+	if _, err := p.LaunchCampaign(spec); !errors.Is(err, ErrInsufficientBalance) {
+		t.Errorf("want ErrInsufficientBalance, got %v", err)
+	}
+	if _, err := p.LaunchCampaign(CampaignSpec{Developer: "ghost"}); !errors.Is(err, ErrUnknownDeveloper) {
+		t.Errorf("want ErrUnknownDeveloper, got %v", err)
+	}
+}
+
+func TestOfferAppearsOnWall(t *testing.T) {
+	p := newFundedPlatform(t, Fyber)
+	launch(t, p, basicSpec())
+	active := p.ActiveOffers(dates.StudyStart, "USA")
+	if len(active) != 1 {
+		t.Fatalf("active offers = %d, want 1", len(active))
+	}
+	o := active[0]
+	if o.AppPackage != "com.acme.memo" || o.IIP != Fyber {
+		t.Errorf("offer fields wrong: %+v", o)
+	}
+	if o.StoreURL != "https://play.google.com/store/apps/details?id=com.acme.memo" {
+		t.Errorf("store URL wrong: %s", o.StoreURL)
+	}
+	// Outside the window the wall is empty.
+	if got := p.ActiveOffers(testWindow.End.AddDays(1), "USA"); len(got) != 0 {
+		t.Errorf("offer visible outside window: %v", got)
+	}
+}
+
+func TestCountryTargeting(t *testing.T) {
+	p := newFundedPlatform(t, Fyber)
+	spec := basicSpec()
+	spec.Countries = []string{"Germany", "India"}
+	launch(t, p, spec)
+	if got := p.ActiveOffers(dates.StudyStart, "USA"); len(got) != 0 {
+		t.Error("offer should be hidden from USA")
+	}
+	if got := p.ActiveOffers(dates.StudyStart, "India"); len(got) != 1 {
+		t.Error("offer should be visible in India")
+	}
+}
+
+func TestMoneyFlowFigure1(t *testing.T) {
+	p := newFundedPlatform(t, Fyber)
+	c := launch(t, p, basicSpec())
+	before, _ := p.Balance("dev1")
+	d, err := p.RecordCompletion(c.OfferID, dates.StudyStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := p.Balance("dev1")
+	// Conservation: gross = IIP cut + affiliate cut + user payout.
+	sum := d.IIPCut + d.AffiliateCut + d.UserPayout
+	if math.Abs(sum-d.Gross) > 1e-9 {
+		t.Errorf("split does not conserve money: %+v", d)
+	}
+	if math.Abs((before-after)-d.Gross) > 1e-9 {
+		t.Errorf("developer debit %.4f != gross %.4f", before-after, d.Gross)
+	}
+	if math.Abs(d.UserPayout-0.06) > 1e-9 {
+		t.Errorf("user payout = %.4f, want 0.06", d.UserPayout)
+	}
+	if d.IIPCut <= 0 || d.AffiliateCut <= 0 {
+		t.Errorf("cuts must be positive: %+v", d)
+	}
+	snap, _ := p.Campaign(c.OfferID)
+	if snap.Delivered != 1 {
+		t.Errorf("delivered = %d, want 1", snap.Delivered)
+	}
+}
+
+func TestCampaignTargetEnforced(t *testing.T) {
+	p := newFundedPlatform(t, RankApp)
+	spec := basicSpec()
+	spec.Target = 3
+	c := launch(t, p, spec)
+	for i := 0; i < 3; i++ {
+		if _, err := p.RecordCompletion(c.OfferID, dates.StudyStart); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.RecordCompletion(c.OfferID, dates.StudyStart); !errors.Is(err, ErrCampaignComplete) {
+		t.Errorf("want ErrCampaignComplete, got %v", err)
+	}
+	// A completed campaign disappears from the wall.
+	if got := p.ActiveOffers(dates.StudyStart, "USA"); len(got) != 0 {
+		t.Error("completed campaign still on wall")
+	}
+}
+
+func TestCompletionOutsideWindow(t *testing.T) {
+	p := newFundedPlatform(t, Fyber)
+	c := launch(t, p, basicSpec())
+	_, err := p.RecordCompletion(c.OfferID, testWindow.End.AddDays(5))
+	if !errors.Is(err, ErrCampaignInactive) {
+		t.Errorf("want ErrCampaignInactive, got %v", err)
+	}
+	if _, err := p.RecordCompletion("nope", dates.StudyStart); !errors.Is(err, ErrUnknownOffer) {
+		t.Errorf("want ErrUnknownOffer, got %v", err)
+	}
+}
+
+func TestGrossCostPerInstall(t *testing.T) {
+	p := StandardPlatforms()[Fyber]
+	gross := p.GrossCostPerInstall(0.06)
+	// Inverting the cuts must give back the user payout.
+	net := gross * (1 - p.FeeFraction) * (1 - p.AffiliateFraction)
+	if math.Abs(net-0.06) > 1e-12 {
+		t.Errorf("round trip = %.6f, want 0.06", net)
+	}
+	if gross <= 0.06 {
+		t.Error("gross must exceed user payout")
+	}
+}
+
+func TestRankAppClaimsManipulation(t *testing.T) {
+	ps := StandardPlatforms()
+	if !ps[RankApp].ClaimsManipulation() {
+		t.Error("RankApp should advertise rank manipulation (Figure 2)")
+	}
+	for _, name := range []string{Fyber, OfferToro, AdscendMedia, HangMyAds, AdGem, AyetStudios} {
+		if ps[name].ClaimsManipulation() {
+			t.Errorf("%s should not advertise manipulation", name)
+		}
+	}
+}
+
+func TestCampaignsSnapshot(t *testing.T) {
+	p := newFundedPlatform(t, Fyber)
+	launch(t, p, basicSpec())
+	spec2 := basicSpec()
+	spec2.AppPackage = "com.other.app"
+	launch(t, p, spec2)
+	if got := len(p.Campaigns()); got != 2 {
+		t.Errorf("campaigns = %d, want 2", got)
+	}
+}

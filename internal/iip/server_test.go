@@ -1,0 +1,117 @@
+package iip
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/offers"
+)
+
+func newWallServer(t *testing.T) (*Platform, *httptest.Server) {
+	t.Helper()
+	p := newFundedPlatform(t, Fyber)
+	launch(t, p, CampaignSpec{
+		Developer:     "dev1",
+		AppPackage:    "com.acme.memo",
+		Description:   "Install and Register",
+		Type:          offers.Registration,
+		UserPayoutUSD: 0.34,
+		Target:        100,
+		Window:        testWindow,
+	})
+	srv := httptest.NewServer(NewServer(p, map[string]float64{
+		"com.ayet.cashpirate": 1000, // 1000 points per USD
+	}).Handler())
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func fetchWall(t *testing.T, url string) WallResponse {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var wall WallResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wall); err != nil {
+		t.Fatal(err)
+	}
+	return wall
+}
+
+func TestOfferWallHTTP(t *testing.T) {
+	_, srv := newWallServer(t)
+	url := fmt.Sprintf("%s/offerwall?affiliate=com.ayet.cashpirate&country=USA&day=%d", srv.URL, dates.StudyStart)
+	wall := fetchWall(t, url)
+	if wall.Network != Fyber {
+		t.Errorf("network = %q", wall.Network)
+	}
+	if len(wall.Offers) != 1 {
+		t.Fatalf("offers = %d, want 1", len(wall.Offers))
+	}
+	o := wall.Offers[0]
+	if o.Description != "Install and Register" {
+		t.Errorf("description = %q", o.Description)
+	}
+	// Points = payout USD x affiliate rate: 0.34 * 1000 = 340.
+	if o.Points != 340 {
+		t.Errorf("points = %d, want 340", o.Points)
+	}
+	// Normalization must invert the point system.
+	if got := offers.NormalizePayout(float64(o.Points), 1000); got != 0.34 {
+		t.Errorf("normalized payout = %g, want 0.34", got)
+	}
+}
+
+func TestOfferWallUnknownAffiliate(t *testing.T) {
+	_, srv := newWallServer(t)
+	resp, err := http.Get(srv.URL + "/offerwall?affiliate=not.integrated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("status = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestOfferWallBadDay(t *testing.T) {
+	_, srv := newWallServer(t)
+	resp, err := http.Get(srv.URL + "/offerwall?affiliate=com.ayet.cashpirate&day=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestOfferWallDayFilter(t *testing.T) {
+	_, srv := newWallServer(t)
+	url := fmt.Sprintf("%s/offerwall?affiliate=com.ayet.cashpirate&day=%d", srv.URL, testWindow.End.AddDays(10))
+	wall := fetchWall(t, url)
+	if len(wall.Offers) != 0 {
+		t.Errorf("expired campaign still served: %v", wall.Offers)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	_, srv := newWallServer(t)
+	resp, err := http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("health status = %d", resp.StatusCode)
+	}
+}

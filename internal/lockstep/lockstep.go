@@ -1,0 +1,260 @@
+// Package lockstep implements the detection direction the paper proposes
+// in Section 5.2: its measurements "can provide a ground truth of apps to
+// help train machine learning models in detecting the lockstep behavior
+// of users who perform similar in-app activities to complete the offer"
+// (citing CopyCatch and CatchSync). The detector finds groups of devices
+// that install the same advertised apps within tight time windows — the
+// signature crowd workers and bot farms leave on the store's install
+// stream — using co-occurrence counting over (app, day-bucket) incidence
+// and union-find grouping.
+package lockstep
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dates"
+)
+
+// Event is one observed install: a device acquiring an app on a day.
+type Event struct {
+	Device string
+	App    string
+	Day    dates.Date
+}
+
+// Config tunes the detector.
+type Config struct {
+	// DayBucket is the temporal granularity: installs of the same app
+	// within the same bucket count as synchronized (CopyCatch's 2Δt).
+	DayBucket int
+	// MinCommonApps is how many synchronized apps two devices must share
+	// to be considered in lockstep.
+	MinCommonApps int
+	// MinGroupSize is the smallest reported device group.
+	MinGroupSize int
+	// MaxBucketPopulation skips (app, bucket) cells with more devices
+	// than this — hugely popular organic apps would otherwise link
+	// everyone (a standard CopyCatch-style guard).
+	MaxBucketPopulation int
+}
+
+// DefaultConfig returns a conservative configuration: three shared
+// synchronized installs within 2-day buckets, groups of three or more.
+func DefaultConfig() Config {
+	return Config{
+		DayBucket:           2,
+		MinCommonApps:       3,
+		MinGroupSize:        3,
+		MaxBucketPopulation: 400,
+	}
+}
+
+// Group is one detected lockstep cluster.
+type Group struct {
+	Devices []string
+	// Apps are the synchronized apps that link the group.
+	Apps []string
+}
+
+// Detect finds lockstep groups in the event stream. It is deterministic:
+// groups and their members come out sorted.
+func Detect(events []Event, cfg Config) []Group {
+	if cfg.DayBucket < 1 {
+		cfg.DayBucket = 1
+	}
+	if cfg.MinCommonApps < 1 {
+		cfg.MinCommonApps = 1
+	}
+	if cfg.MinGroupSize < 2 {
+		cfg.MinGroupSize = 2
+	}
+
+	// Incidence: (app, bucket) -> devices.
+	type cell struct {
+		app    string
+		bucket int
+	}
+	incidence := map[cell][]string{}
+	seen := map[string]map[string]bool{} // device -> app dedup
+	for _, ev := range events {
+		apps := seen[ev.Device]
+		if apps == nil {
+			apps = map[string]bool{}
+			seen[ev.Device] = apps
+		}
+		if apps[ev.App] {
+			continue // one install per (device, app)
+		}
+		apps[ev.App] = true
+		c := cell{app: ev.App, bucket: int(ev.Day) / cfg.DayBucket}
+		incidence[c] = append(incidence[c], ev.Device)
+	}
+
+	// Pairwise co-occurrence counts, with the shared apps retained.
+	type pair struct{ a, b string }
+	coApps := map[pair]map[string]bool{}
+	cells := make([]cell, 0, len(incidence))
+	for c := range incidence {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].app != cells[j].app {
+			return cells[i].app < cells[j].app
+		}
+		return cells[i].bucket < cells[j].bucket
+	})
+	for _, c := range cells {
+		devs := incidence[c]
+		if cfg.MaxBucketPopulation > 0 && len(devs) > cfg.MaxBucketPopulation {
+			continue
+		}
+		sort.Strings(devs)
+		for i := 0; i < len(devs); i++ {
+			for j := i + 1; j < len(devs); j++ {
+				p := pair{devs[i], devs[j]}
+				m := coApps[p]
+				if m == nil {
+					m = map[string]bool{}
+					coApps[p] = m
+				}
+				m[c.app] = true
+			}
+		}
+	}
+
+	// Union-find over devices linked by >= MinCommonApps shared apps.
+	uf := newUnionFind()
+	linkApps := map[string]map[string]bool{} // root apps accumulate on merge
+	for p, apps := range coApps {
+		if len(apps) < cfg.MinCommonApps {
+			continue
+		}
+		ra, rb := uf.find(p.a), uf.find(p.b)
+		merged := map[string]bool{}
+		for app := range apps {
+			merged[app] = true
+		}
+		for app := range linkApps[ra] {
+			merged[app] = true
+		}
+		for app := range linkApps[rb] {
+			merged[app] = true
+		}
+		root := uf.union(p.a, p.b)
+		delete(linkApps, ra)
+		delete(linkApps, rb)
+		linkApps[root] = merged
+	}
+
+	// Collect groups.
+	members := map[string][]string{}
+	for dev := range seen {
+		if !uf.has(dev) {
+			continue
+		}
+		root := uf.find(dev)
+		members[root] = append(members[root], dev)
+	}
+	var out []Group
+	for root, devs := range members {
+		if len(devs) < cfg.MinGroupSize {
+			continue
+		}
+		sort.Strings(devs)
+		var apps []string
+		for app := range linkApps[uf.find(root)] {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		out = append(out, Group{Devices: devs, Apps: apps})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Devices[0] < out[j].Devices[0] })
+	return out
+}
+
+// Evaluation scores detected groups against ground-truth labels.
+type Evaluation struct {
+	TruePositives  int // flagged devices that are incentivized workers
+	FalsePositives int // flagged organic devices
+	FalseNegatives int // unflagged workers
+	Precision      float64
+	Recall         float64
+}
+
+func (e Evaluation) String() string {
+	return fmt.Sprintf("precision=%.3f recall=%.3f (tp=%d fp=%d fn=%d)",
+		e.Precision, e.Recall, e.TruePositives, e.FalsePositives, e.FalseNegatives)
+}
+
+// Evaluate compares flagged devices with a ground-truth worker set.
+func Evaluate(groups []Group, workers map[string]bool) Evaluation {
+	flagged := map[string]bool{}
+	for _, g := range groups {
+		for _, d := range g.Devices {
+			flagged[d] = true
+		}
+	}
+	var e Evaluation
+	for d := range flagged {
+		if workers[d] {
+			e.TruePositives++
+		} else {
+			e.FalsePositives++
+		}
+	}
+	for d := range workers {
+		if !flagged[d] {
+			e.FalseNegatives++
+		}
+	}
+	if e.TruePositives+e.FalsePositives > 0 {
+		e.Precision = float64(e.TruePositives) / float64(e.TruePositives+e.FalsePositives)
+	}
+	if e.TruePositives+e.FalseNegatives > 0 {
+		e.Recall = float64(e.TruePositives) / float64(e.TruePositives+e.FalseNegatives)
+	}
+	return e
+}
+
+// unionFind is a standard path-compressing disjoint-set forest over
+// strings, created lazily.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[string]string{}}
+}
+
+func (u *unionFind) has(x string) bool {
+	_, ok := u.parent[x]
+	return ok
+}
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) string {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	// Deterministic: smaller string becomes the root.
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	return ra
+}

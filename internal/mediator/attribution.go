@@ -1,0 +1,181 @@
+package mediator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dates"
+	"repro/internal/offers"
+)
+
+// Attribution errors.
+var (
+	ErrUnknownClick     = errors.New("mediator: unknown click")
+	ErrUnknownOfferReq  = errors.New("mediator: offer has no registered requirement")
+	ErrAlreadyCertified = errors.New("mediator: click already certified")
+)
+
+// EventType is an in-app event reported by the advertised app's mediator
+// SDK.
+type EventType int
+
+const (
+	// EventOpen fires on first app open after install.
+	EventOpen EventType = iota
+	// EventRegister fires on account creation.
+	EventRegister
+	// EventUsage fires when the offer's usage task completes (level
+	// reached, song downloaded, ...).
+	EventUsage
+	// EventPurchase fires on an in-app purchase.
+	EventPurchase
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventOpen:
+		return "open"
+	case EventRegister:
+		return "register"
+	case EventUsage:
+		return "usage"
+	case EventPurchase:
+		return "purchase"
+	default:
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+}
+
+// RequiredEvent maps an offer type to the event that completes it.
+func RequiredEvent(t offers.Type) EventType {
+	switch t {
+	case offers.Registration:
+		return EventRegister
+	case offers.Purchase:
+		return EventPurchase
+	case offers.Usage:
+		return EventUsage
+	default:
+		return EventOpen
+	}
+}
+
+// Click is a tracked offer click: the user tapped the offer in the wall
+// and was redirected through the mediator's tracking link.
+type Click struct {
+	ID      string
+	OfferID string
+	Worker  string
+	Day     dates.Date
+}
+
+// Certification records a certified offer completion.
+type Certification struct {
+	Click     Click
+	Completed dates.Date
+	// FeeUSD is the mediator's per-user charge to the developer
+	// (AppsFlyer charges $0.03/user).
+	FeeUSD float64
+}
+
+// Mediator is one attribution service instance.
+type Mediator struct {
+	Name string
+	// FeePerUser is charged to the developer per certified completion.
+	FeePerUser float64
+
+	mu        sync.Mutex
+	required  map[string]EventType // offerID -> completing event
+	clicks    map[string]*clickState
+	nextClick int
+	certified int
+}
+
+type clickState struct {
+	click     Click
+	certified bool
+}
+
+// New returns a mediator service. The default per-user fee matches the
+// paper's AppsFlyer example.
+func New(name string) *Mediator {
+	return &Mediator{
+		Name:       name,
+		FeePerUser: 0.03,
+		required:   map[string]EventType{},
+		clicks:     map[string]*clickState{},
+	}
+}
+
+// RegisterOffer tells the mediator what event certifies an offer; the
+// developer configures this when integrating the SDK.
+func (m *Mediator) RegisterOffer(offerID string, t offers.Type) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.required[offerID] = RequiredEvent(t)
+}
+
+// TrackClick mints a tracking click for a user starting an offer.
+func (m *Mediator) TrackClick(offerID, worker string, day dates.Date) Click {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextClick++
+	c := Click{
+		ID:      fmt.Sprintf("%s-c%07d", m.Name, m.nextClick),
+		OfferID: offerID,
+		Worker:  worker,
+		Day:     day,
+	}
+	m.clicks[c.ID] = &clickState{click: c}
+	return c
+}
+
+// Postback receives an SDK event for a click. When the event matches the
+// offer's completing requirement, the completion is certified exactly
+// once; non-completing events return (nil, nil).
+func (m *Mediator) Postback(clickID string, event EventType, day dates.Date) (*Certification, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.clicks[clickID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownClick, clickID)
+	}
+	req, ok := m.required[st.click.OfferID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownOfferReq, st.click.OfferID)
+	}
+	if event != req {
+		return nil, nil
+	}
+	if st.certified {
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyCertified, clickID)
+	}
+	st.certified = true
+	m.certified++
+	return &Certification{Click: st.click, Completed: day, FeeUSD: m.FeePerUser}, nil
+}
+
+// CertifyBatch records n certified completions for an offer without
+// minting individual clicks; the simulation engine uses it for bulk
+// deliveries whose per-user detail is not needed. The offer must have a
+// registered requirement.
+func (m *Mediator) CertifyBatch(offerID string, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.required[offerID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownOfferReq, offerID)
+	}
+	m.certified += n
+	return nil
+}
+
+// Certified returns the number of certified completions.
+func (m *Mediator) Certified() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.certified
+}

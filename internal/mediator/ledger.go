@@ -1,0 +1,93 @@
+// Package mediator models the third-party attribution services
+// (AppsFlyer, Kochava, Adjust in the paper) that certify offer completion,
+// and the double-entry money ledger that executes Figure 1's payment flow:
+// developer -> IIP -> affiliate app -> end user, with the mediator taking a
+// per-tracked-user fee.
+package mediator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBadAmount rejects non-positive transfers.
+var ErrBadAmount = errors.New("mediator: transfer amount must be positive")
+
+// Tx is one ledger transaction.
+type Tx struct {
+	From, To string
+	Amount   float64
+	Memo     string
+}
+
+// Ledger is a double-entry account book. Accounts are created on first
+// use; external parties (a developer's bank) naturally go negative as they
+// fund the system, so the sum of all balances is always zero.
+type Ledger struct {
+	mu       sync.Mutex
+	balances map[string]float64
+	txs      []Tx
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{balances: map[string]float64{}}
+}
+
+// Post transfers amount from one account to another.
+func (l *Ledger) Post(from, to string, amount float64, memo string) error {
+	if amount <= 0 {
+		return fmt.Errorf("%w: %.4f (%s -> %s)", ErrBadAmount, amount, from, to)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.balances[from] -= amount
+	l.balances[to] += amount
+	l.txs = append(l.txs, Tx{From: from, To: to, Amount: amount, Memo: memo})
+	return nil
+}
+
+// Balance returns an account's balance (0 for unknown accounts).
+func (l *Ledger) Balance(account string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[account]
+}
+
+// Sum returns the sum over all balances; it is 0 unless the ledger is
+// corrupted.
+func (l *Ledger) Sum() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := 0.0
+	for _, b := range l.balances {
+		total += b
+	}
+	return total
+}
+
+// NumTransactions returns how many transfers have been posted.
+func (l *Ledger) NumTransactions() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.txs)
+}
+
+// Transactions returns a copy of the transaction log.
+func (l *Ledger) Transactions() []Tx {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Tx(nil), l.txs...)
+}
+
+// Account name helpers keep the naming scheme in one place.
+func DeveloperAccount(id string) string  { return "dev:" + id }
+func IIPAccount(name string) string      { return "iip:" + name }
+func AffiliateAccount(pkg string) string { return "affiliate:" + pkg }
+func UserAccount(id string) string       { return "user:" + id }
+func MediatorAccount(name string) string { return "mediator:" + name }
+
+// ExternalWorld is the funding source account (developer banks, gift-card
+// processors).
+const ExternalWorld = "external"

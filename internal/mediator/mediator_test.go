@@ -1,0 +1,192 @@
+package mediator
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dates"
+	"repro/internal/offers"
+)
+
+func TestLedgerPostAndBalances(t *testing.T) {
+	l := NewLedger()
+	if err := l.Post(ExternalWorld, DeveloperAccount("d1"), 100, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Post(DeveloperAccount("d1"), IIPAccount("Fyber"), 30, "campaign"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Balance(DeveloperAccount("d1")); got != 70 {
+		t.Errorf("dev balance = %g, want 70", got)
+	}
+	if got := l.Balance(IIPAccount("Fyber")); got != 30 {
+		t.Errorf("iip balance = %g, want 30", got)
+	}
+	if got := l.Balance(ExternalWorld); got != -100 {
+		t.Errorf("external = %g, want -100", got)
+	}
+	if l.NumTransactions() != 2 {
+		t.Errorf("txs = %d", l.NumTransactions())
+	}
+}
+
+func TestLedgerRejectsBadAmounts(t *testing.T) {
+	l := NewLedger()
+	if err := l.Post("a", "b", 0, ""); !errors.Is(err, ErrBadAmount) {
+		t.Error("zero transfer should fail")
+	}
+	if err := l.Post("a", "b", -5, ""); !errors.Is(err, ErrBadAmount) {
+		t.Error("negative transfer should fail")
+	}
+}
+
+// Property: any sequence of valid transfers conserves money (sum == 0).
+func TestLedgerConservation(t *testing.T) {
+	f := func(moves []struct {
+		From, To uint8
+		Cents    uint16
+	}) bool {
+		l := NewLedger()
+		accounts := []string{"a", "b", "c", "d", ExternalWorld}
+		for _, mv := range moves {
+			amt := float64(mv.Cents) / 100
+			if amt <= 0 {
+				continue
+			}
+			from := accounts[int(mv.From)%len(accounts)]
+			to := accounts[int(mv.To)%len(accounts)]
+			if err := l.Post(from, to, amt, "fuzz"); err != nil {
+				return false
+			}
+		}
+		return math.Abs(l.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Post("a", "b", 1, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Balance("b"); got != 1600 {
+		t.Errorf("b = %g, want 1600", got)
+	}
+	if got := l.Sum(); math.Abs(got) > 1e-9 {
+		t.Errorf("sum = %g", got)
+	}
+}
+
+func TestTransactionsCopy(t *testing.T) {
+	l := NewLedger()
+	l.Post("a", "b", 5, "x")
+	txs := l.Transactions()
+	txs[0].Amount = 999
+	if l.Transactions()[0].Amount != 5 {
+		t.Error("Transactions must return a copy")
+	}
+}
+
+func TestRequiredEvent(t *testing.T) {
+	cases := []struct {
+		tp   offers.Type
+		want EventType
+	}{
+		{offers.NoActivity, EventOpen},
+		{offers.Registration, EventRegister},
+		{offers.Usage, EventUsage},
+		{offers.Purchase, EventPurchase},
+	}
+	for _, c := range cases {
+		if got := RequiredEvent(c.tp); got != c.want {
+			t.Errorf("RequiredEvent(%v) = %v, want %v", c.tp, got, c.want)
+		}
+	}
+}
+
+func TestAttributionLifecycle(t *testing.T) {
+	m := New("appsflyer")
+	m.RegisterOffer("offer-1", offers.Registration)
+	click := m.TrackClick("offer-1", "worker-9", dates.StudyStart)
+
+	// Opening the app is not enough for a registration offer.
+	cert, err := m.Postback(click.ID, EventOpen, dates.StudyStart)
+	if err != nil || cert != nil {
+		t.Fatalf("open should not certify: cert=%v err=%v", cert, err)
+	}
+	// Registering completes it.
+	cert, err = m.Postback(click.ID, EventRegister, dates.StudyStart.AddDays(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert == nil {
+		t.Fatal("registration should certify")
+	}
+	if cert.Click.Worker != "worker-9" || cert.FeeUSD != 0.03 {
+		t.Errorf("certification wrong: %+v", cert)
+	}
+	if m.Certified() != 1 {
+		t.Errorf("certified = %d", m.Certified())
+	}
+	// Double certification is rejected (anti-fraud).
+	_, err = m.Postback(click.ID, EventRegister, dates.StudyStart.AddDays(2))
+	if !errors.Is(err, ErrAlreadyCertified) {
+		t.Errorf("want ErrAlreadyCertified, got %v", err)
+	}
+}
+
+func TestAttributionErrors(t *testing.T) {
+	m := New("kochava")
+	if _, err := m.Postback("ghost", EventOpen, 0); !errors.Is(err, ErrUnknownClick) {
+		t.Errorf("want ErrUnknownClick, got %v", err)
+	}
+	c := m.TrackClick("unregistered-offer", "w", 0)
+	if _, err := m.Postback(c.ID, EventOpen, 0); !errors.Is(err, ErrUnknownOfferReq) {
+		t.Errorf("want ErrUnknownOfferReq, got %v", err)
+	}
+}
+
+func TestNoActivityCertifiesOnOpen(t *testing.T) {
+	m := New("adjust")
+	m.RegisterOffer("o", offers.NoActivity)
+	c := m.TrackClick("o", "w", dates.StudyStart)
+	cert, err := m.Postback(c.ID, EventOpen, dates.StudyStart)
+	if err != nil || cert == nil {
+		t.Fatalf("open should certify a no-activity offer: %v %v", cert, err)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EventOpen.String() != "open" || EventPurchase.String() != "purchase" {
+		t.Error("event strings wrong")
+	}
+	if EventType(42).String() != "event(42)" {
+		t.Error("unknown event string wrong")
+	}
+}
+
+func TestClickIDsUnique(t *testing.T) {
+	m := New("af")
+	m.RegisterOffer("o", offers.NoActivity)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		c := m.TrackClick("o", "w", 0)
+		if seen[c.ID] {
+			t.Fatal("duplicate click ID")
+		}
+		seen[c.ID] = true
+	}
+}

@@ -1,0 +1,194 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/affiliate"
+	"repro/internal/dates"
+	"repro/internal/iip"
+	"repro/internal/offers"
+	"repro/internal/textgen"
+)
+
+// ParseWall attempts to interpret an intercepted record as an offer-wall
+// JSON response; ok is false for unrelated traffic.
+func ParseWall(rec Record) (iip.WallResponse, bool) {
+	if rec.Status != http.StatusOK || !strings.Contains(rec.ContentType, "application/json") {
+		return iip.WallResponse{}, false
+	}
+	var wall iip.WallResponse
+	if err := json.Unmarshal(rec.Body, &wall); err != nil {
+		return iip.WallResponse{}, false
+	}
+	if wall.Network == "" || wall.Affiliate == "" {
+		return iip.WallResponse{}, false
+	}
+	return wall, true
+}
+
+// Milker runs the full monitoring pipeline: it fuzzes the instrumented
+// affiliate apps through the recording proxy from each vantage country,
+// parses intercepted walls, normalizes point payouts to USD using the
+// affiliate apps' redemption rates, and maintains the deduplicated offer
+// dataset.
+type Milker struct {
+	// Affiliates are the instrumented apps (Table 2).
+	Affiliates []*affiliate.App
+	// Endpoints maps IIP names to their offer-wall base URLs.
+	Endpoints map[string]string
+	// Countries are the VPN exit countries (paper: 8).
+	Countries []string
+
+	proxy *Proxy
+	// client routes through the proxy; one per milker, reused across
+	// milking runs for connection pooling.
+	client *http.Client
+
+	mu      sync.Mutex
+	dataset map[string]*offers.Offer // by offers.Offer.Key()
+	// rates maps affiliate package -> points per USD (known from
+	// "analyzing affiliate apps", Section 4.1).
+	rates map[string]float64
+	// milkDays records when milking ran.
+	milkDays []dates.Date
+}
+
+// NewMilker assembles the infrastructure. Call Close when done.
+func NewMilker(affiliates []*affiliate.App, endpoints map[string]string) (*Milker, error) {
+	m := &Milker{
+		Affiliates: affiliates,
+		Endpoints:  endpoints,
+		Countries:  append([]string(nil), textgen.MilkerCountries...),
+		proxy:      NewProxy(),
+		dataset:    map[string]*offers.Offer{},
+		rates:      map[string]float64{},
+	}
+	for _, a := range affiliates {
+		m.rates[a.Package] = a.PointsPerUSD
+	}
+	if _, err := m.proxy.Start(); err != nil {
+		return nil, err
+	}
+	m.client = m.proxy.Client()
+	return m, nil
+}
+
+// Close tears down the proxy.
+func (m *Milker) Close() error { return m.proxy.Stop() }
+
+// MilkDay performs one full milking pass for the given simulated day: the
+// UI fuzzer opens every offer-wall tab of every instrumented affiliate app
+// from every vantage country, and the proxy's interception records are
+// folded into the dataset.
+func (m *Milker) MilkDay(day dates.Date) error {
+	for _, app := range m.Affiliates {
+		for _, tab := range app.Tabs() {
+			base, ok := m.Endpoints[tab.IIP]
+			if !ok {
+				return fmt.Errorf("monitor: no endpoint for IIP %s", tab.IIP)
+			}
+			for _, country := range m.Countries {
+				// The fuzzer only generates stimuli; responses flow
+				// back through the proxy where they are recorded.
+				if _, err := tab.Load(affiliate.FetchOptions{
+					BaseURL: base,
+					Country: country,
+					Day:     day,
+					Client:  m.client,
+				}); err != nil {
+					return fmt.Errorf("monitor: fuzzing %s/%s (%s): %w", app.Package, tab.IIP, country, err)
+				}
+			}
+		}
+	}
+	m.ingest(day)
+	m.mu.Lock()
+	m.milkDays = append(m.milkDays, day)
+	m.mu.Unlock()
+	return nil
+}
+
+// ingest folds the proxy's records into the offer dataset.
+func (m *Milker) ingest(day dates.Date) {
+	records := m.proxy.DrainRecords()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range records {
+		wall, ok := ParseWall(rec)
+		if !ok {
+			continue
+		}
+		rate := m.rates[wall.Affiliate]
+		for _, wo := range wall.Offers {
+			o := offers.Offer{
+				ID:          wo.OfferID,
+				AppPackage:  wo.AppPackage,
+				IIP:         wall.Network,
+				Description: wo.Description,
+				PayoutUSD:   offers.NormalizePayout(float64(wo.Points), rate),
+				FirstSeen:   day,
+				LastSeen:    day,
+				Countries:   []string{wall.Country},
+			}
+			key := o.Key()
+			existing, ok := m.dataset[key]
+			if !ok {
+				m.dataset[key] = &o
+				continue
+			}
+			if day < existing.FirstSeen {
+				existing.FirstSeen = day
+			}
+			if day > existing.LastSeen {
+				existing.LastSeen = day
+			}
+			if !containsStr(existing.Countries, wall.Country) {
+				existing.Countries = append(existing.Countries, wall.Country)
+			}
+		}
+	}
+}
+
+// Offers returns the deduplicated dataset sorted by offer ID.
+func (m *Milker) Offers() []offers.Offer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]offers.Offer, 0, len(m.dataset))
+	for _, o := range m.dataset {
+		out = append(out, *o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MilkDays returns the days on which milking ran.
+func (m *Milker) MilkDays() []dates.Date {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]dates.Date(nil), m.milkDays...)
+}
+
+// WallMatrix reports, for each instrumented affiliate app, which IIP offer
+// walls it integrates — Table 2's checkmark matrix, derived from the
+// instrumentation itself.
+func (m *Milker) WallMatrix() map[string][]string {
+	out := map[string][]string{}
+	for _, a := range m.Affiliates {
+		out[a.Package] = append([]string(nil), a.IIPs...)
+	}
+	return out
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package offers
+
+import (
+	"math"
+	"strings"
+)
+
+// BayesClassifier is a multinomial naive-Bayes text classifier over offer
+// descriptions. It is the ablation alternative to RuleClassifier: the
+// paper labeled descriptions manually (rules), but a store operator
+// deploying the methodology at scale would train a model on those labels;
+// the ablation bench compares the two.
+type BayesClassifier struct {
+	classTok   map[Type]map[string]int // per-class token counts
+	classTotal map[Type]int            // per-class total tokens
+	classDocs  map[Type]int            // per-class document counts
+	vocab      map[string]bool
+	docs       int
+}
+
+// NewBayesClassifier returns an untrained classifier.
+func NewBayesClassifier() *BayesClassifier {
+	return &BayesClassifier{
+		classTok:   map[Type]map[string]int{},
+		classTotal: map[Type]int{},
+		classDocs:  map[Type]int{},
+		vocab:      map[string]bool{},
+	}
+}
+
+// Train adds one labeled description.
+func (b *BayesClassifier) Train(desc string, label Type) {
+	toks := Tokenize(desc)
+	m, ok := b.classTok[label]
+	if !ok {
+		m = map[string]int{}
+		b.classTok[label] = m
+	}
+	for _, tok := range toks {
+		m[tok]++
+		b.classTotal[label]++
+		b.vocab[tok] = true
+	}
+	b.classDocs[label]++
+	b.docs++
+}
+
+// Classify implements Classifier: it returns the maximum-a-posteriori
+// class with Laplace smoothing; an untrained classifier returns
+// NoActivity.
+func (b *BayesClassifier) Classify(desc string) Type {
+	if b.docs == 0 {
+		return NoActivity
+	}
+	toks := Tokenize(desc)
+	best := NoActivity
+	bestScore := math.Inf(-1)
+	v := float64(len(b.vocab))
+	for _, class := range Types {
+		docs := b.classDocs[class]
+		if docs == 0 {
+			continue
+		}
+		score := math.Log(float64(docs) / float64(b.docs))
+		total := float64(b.classTotal[class])
+		for _, tok := range toks {
+			count := float64(b.classTok[class][tok])
+			score += math.Log((count + 1) / (total + v))
+		}
+		if score > bestScore {
+			bestScore = score
+			best = class
+		}
+	}
+	return best
+}
+
+// Tokenize lowercases and splits a description into alphanumeric tokens;
+// digit runs are replaced by a <num> placeholder so "reach level 10" and
+// "reach level 7" share features.
+func Tokenize(s string) []string {
+	l := strings.ToLower(s)
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := cur.String()
+		if isNumeric(tok) {
+			tok = "<num>"
+		}
+		toks = append(toks, tok)
+		cur.Reset()
+	}
+	for _, c := range l {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			cur.WriteRune(c)
+		case c == '$':
+			flush()
+			toks = append(toks, "<dollar>")
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+func isNumeric(s string) bool {
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Accuracy scores a classifier against labeled offers, returning the
+// fraction classified to the ground-truth type.
+func Accuracy(c Classifier, offers []Offer) float64 {
+	if len(offers) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, o := range offers {
+		if c.Classify(o.Description) == o.Truth {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(offers))
+}

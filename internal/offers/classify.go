@@ -1,0 +1,69 @@
+package offers
+
+import "strings"
+
+// Classifier labels offer descriptions. The default rule-based classifier
+// encodes the paper's manual-labeling rubric (Section 4.1): an offer is
+// Purchase if it requires spending money; else Usage if it requires "any
+// other action" beyond install and registration (so "Install, register,
+// and download a song" is a usage offer, as in the paper's TREBEL case
+// study); else Registration if it only requires account creation; else
+// NoActivity.
+type Classifier interface {
+	Classify(description string) Type
+}
+
+// RuleClassifier is the keyword-rule classifier used by the main pipeline.
+type RuleClassifier struct{}
+
+var purchaseKeywords = []string{
+	"purchase", "buy", "spend $", "subscription", "in-app purchase",
+	"make a $", "starter pack",
+}
+
+var registrationKeywords = []string{
+	"register", "sign up", "signup", "create an account",
+	"registration", "verify your account",
+}
+
+var usageKeywords = []string{
+	"reach level", "play", "win", "watch", "use the app",
+	"download a song", "finish", "levels", "tutorial", "minutes",
+	"days", "points", "coins", "earn", "survey", "matches",
+}
+
+// Classify implements Classifier.
+func (RuleClassifier) Classify(desc string) Type {
+	l := strings.ToLower(desc)
+	if containsAny(l, purchaseKeywords) {
+		return Purchase
+	}
+	if containsAny(l, usageKeywords) {
+		return Usage
+	}
+	if containsAny(l, registrationKeywords) {
+		return Registration
+	}
+	return NoActivity
+}
+
+var arbitrageKeywords = []string{
+	"survey", "watch videos", "completing tasks", "completing offers",
+	"shop deals", "collect", "coins by completing", "points by completing",
+}
+
+// IsArbitrage reports whether a description matches the arbitrage pattern
+// of Section 4.3.2: the required tasks (surveys, video watching, offer
+// completion) are themselves revenue sources for the developer.
+func IsArbitrage(desc string) bool {
+	return containsAny(strings.ToLower(desc), arbitrageKeywords)
+}
+
+func containsAny(s string, keys []string) bool {
+	for _, k := range keys {
+		if strings.Contains(s, k) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package offers_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/offers"
+)
+
+func ExampleRuleClassifier_Classify() {
+	cls := offers.RuleClassifier{}
+	for _, desc := range []string{
+		"Install and Launch",
+		"Install and Register",
+		"Install and Reach level 10",
+		"Install & Make any purchase",
+	} {
+		fmt.Printf("%-30q %v\n", desc, cls.Classify(desc))
+	}
+	// Output:
+	// "Install and Launch"           No activity
+	// "Install and Register"         Activity (Registration)
+	// "Install and Reach level 10"   Activity (Usage)
+	// "Install & Make any purchase"  Activity (Purchase)
+}
+
+func ExampleNormalizePayout() {
+	// CashPirate pays 950 points per USD; an offer worth 57 points:
+	fmt.Printf("$%.2f\n", offers.NormalizePayout(57, 950))
+	// Output:
+	// $0.06
+}
+
+func ExampleIsArbitrage() {
+	fmt.Println(offers.IsArbitrage("Install and reach 850 points by completing tasks (watch videos, complete surveys)"))
+	fmt.Println(offers.IsArbitrage("Install and Reach level 10"))
+	// Output:
+	// true
+	// false
+}
+
+// Property: classification is total and stable — any string classifies
+// without panicking and yields the same label twice.
+func TestClassifyTotalProperty(t *testing.T) {
+	cls := offers.RuleClassifier{}
+	f := func(s string) bool {
+		return cls.Classify(s) == cls.Classify(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenization never produces empty tokens.
+func TestTokenizeNoEmptyTokens(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range offers.Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package offers
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/randx"
+)
+
+// Grammar generates realistic offer descriptions for a given offer type.
+// The phrasings are modeled on the examples quoted in the paper ("Install
+// and Register", "Install and Reach level 10", "Install & Make any
+// purchase", "Install, register, and download a song", …).
+type Grammar struct {
+	r *randx.Rand
+}
+
+// NewGrammar returns a description generator bound to an RNG.
+func NewGrammar(r *randx.Rand) *Grammar {
+	return &Grammar{r: r}
+}
+
+var noActivityTemplates = []string{
+	"Install and Launch",
+	"Install and Open",
+	"Install and run the app",
+	"Install & Open the application",
+	"Free install - just open once",
+	"Install and try",
+}
+
+var usageTemplates = []string{
+	"Install and Reach level %d",
+	"Install and complete %d levels",
+	"Install, open and play for %d minutes",
+	"Install and win %d matches",
+	"Install and use the app for %d days",
+	"Install and watch %d videos",
+	"Install, register, and download a song",
+	"Install and finish the tutorial",
+	"Install and open the app 3 days in a row",
+}
+
+var registrationTemplates = []string{
+	"Install and Register",
+	"Install and create an account",
+	"Install and sign up with email",
+	"Install, register and verify your account",
+	"Install and complete registration",
+}
+
+var purchaseTemplates = []string{
+	"Install and make a $%.2f in-app purchase",
+	"Install & Make any purchase",
+	"Install and buy the starter pack ($%.2f)",
+	"Install, register and purchase a subscription",
+	"Install and spend $%.2f in the shop",
+}
+
+var arbitrageTemplates = []string{
+	"Install and reach %d points by completing tasks (watch videos, complete surveys)",
+	"Install and earn %d coins by completing offers inside the app",
+	"Install, then complete surveys and shop deals to collect %d points",
+}
+
+// decorations are neutral marketing phrases appended to descriptions.
+// They widen the unique-description space (the paper saw 1,128 unique
+// descriptions across 2,126 offers) and are chosen to contain none of the
+// classifier's keywords so they never perturb the offer-type label.
+var decorations = []string{
+	"",
+	"",
+	"",
+	" - quick and simple",
+	" (new users only)",
+	" - limited time",
+	" and claim the bonus",
+	" (Android only)",
+	" - instant credit",
+	" for a top bonus",
+}
+
+// Describe produces a description for the given type. Arbitrage offers are
+// a flavour of usage offers whose tasks are themselves monetizable by the
+// developer (Section 4.3.2).
+func (g *Grammar) Describe(t Type, arbitrage bool) string {
+	var desc string
+	switch {
+	case arbitrage:
+		tpl := randx.Choice(g.r, arbitrageTemplates)
+		desc = fmt.Sprintf(tpl, g.r.IntBetween(300, 1200))
+	case t == NoActivity:
+		desc = randx.Choice(g.r, noActivityTemplates)
+	case t == Registration:
+		desc = randx.Choice(g.r, registrationTemplates)
+	case t == Purchase:
+		tpl := randx.Choice(g.r, purchaseTemplates)
+		price := []float64{0.99, 1.99, 2.99, 4.99, 9.99}[g.r.IntN(5)]
+		desc = sprintfMaybe(tpl, price)
+	default:
+		tpl := randx.Choice(g.r, usageTemplates)
+		desc = sprintfMaybe(tpl, float64(g.r.IntBetween(2, 20)))
+	}
+	return desc + randx.Choice(g.r, decorations)
+}
+
+// sprintfMaybe applies the numeric argument only when the template expects
+// one, so verb-less templates pass through unchanged.
+func sprintfMaybe(tpl string, v float64) string {
+	switch {
+	case strings.Contains(tpl, "%d"):
+		return fmt.Sprintf(tpl, int(v))
+	case strings.Contains(tpl, "%.2f"):
+		return fmt.Sprintf(tpl, v)
+	default:
+		return tpl
+	}
+}

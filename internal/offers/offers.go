@@ -1,0 +1,99 @@
+// Package offers models incentivized install offers: the taxonomy from the
+// paper's Section 2.2 (no-activity vs. activity, with the Section 4.1
+// subcategories registration / purchase / usage), a deterministic
+// description grammar used to populate offer walls, the rule-based
+// description classifier replicating the authors' manual labeling rubric,
+// an arbitrage-offer detector, and point-to-USD payout normalization.
+package offers
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dates"
+)
+
+// Type is the offer taxonomy. NoActivity requires only install+open;
+// activity offers additionally require in-app tasks and subdivide by the
+// engagement metric they target.
+type Type int
+
+const (
+	// NoActivity: "Install and Launch" — manipulates install counts only.
+	NoActivity Type = iota
+	// Usage: any non-registration, non-purchase in-app task
+	// ("Install and Reach Level 10") — manipulates session metrics.
+	Usage
+	// Registration: "Install and Register" — manipulates registered-user
+	// counts.
+	Registration
+	// Purchase: "Install and make a $4.99 in-app purchase" — manipulates
+	// revenue.
+	Purchase
+)
+
+// Types lists all offer types in presentation order (matches Table 3).
+var Types = []Type{NoActivity, Usage, Registration, Purchase}
+
+func (t Type) String() string {
+	switch t {
+	case NoActivity:
+		return "No activity"
+	case Usage:
+		return "Activity (Usage)"
+	case Registration:
+		return "Activity (Registration)"
+	case Purchase:
+		return "Activity (Purchase)"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// IsActivity reports whether the offer requires in-app tasks beyond
+// install+open.
+func (t Type) IsActivity() bool { return t != NoActivity }
+
+// Offer is one incentivized install offer as assembled by the monitoring
+// pipeline: the advertised app, the IIP that carries it, the user-facing
+// description, and the payout normalized to USD.
+type Offer struct {
+	ID          string
+	AppPackage  string
+	IIP         string
+	Description string
+	PayoutUSD   float64
+	// Truth is the generator's ground-truth label; the measurement
+	// pipeline never reads it (it classifies Description instead), but
+	// tests use it to score the classifier.
+	Truth Type
+	// TruthArbitrage marks ground-truth arbitrage offers.
+	TruthArbitrage bool
+	// FirstSeen/LastSeen bound the campaign window as observed by the
+	// monitor.
+	FirstSeen, LastSeen dates.Date
+	// Countries where the offer was observed.
+	Countries []string
+}
+
+// Window returns the observed campaign window.
+func (o Offer) Window() dates.Range {
+	return dates.Range{Start: o.FirstSeen, End: o.LastSeen}
+}
+
+// Key identifies an offer for deduplication across milking runs: the same
+// (IIP, app, description) tuple seen from two countries is one offer.
+func (o Offer) Key() string {
+	return o.IIP + "|" + o.AppPackage + "|" + strings.ToLower(o.Description)
+}
+
+// NormalizePayout converts an affiliate app's reward points to USD given
+// the app's redemption rate ("We normalize offer payouts of different
+// affiliate apps by converting their points to equivalent dollar
+// amounts"). A non-positive rate yields 0.
+func NormalizePayout(points, pointsPerUSD float64) float64 {
+	if pointsPerUSD <= 0 || points <= 0 {
+		return 0
+	}
+	return points / pointsPerUSD
+}

@@ -1,0 +1,209 @@
+package offers
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestTypeStringAndActivity(t *testing.T) {
+	cases := []struct {
+		tp       Type
+		str      string
+		activity bool
+	}{
+		{NoActivity, "No activity", false},
+		{Usage, "Activity (Usage)", true},
+		{Registration, "Activity (Registration)", true},
+		{Purchase, "Activity (Purchase)", true},
+	}
+	for _, c := range cases {
+		if c.tp.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.tp.String(), c.str)
+		}
+		if c.tp.IsActivity() != c.activity {
+			t.Errorf("%v.IsActivity() = %v", c.tp, c.tp.IsActivity())
+		}
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Error("unknown type String")
+	}
+}
+
+func TestNormalizePayout(t *testing.T) {
+	// gcash-style: 1000 points = $1.
+	if got := NormalizePayout(850, 1000); math.Abs(got-0.85) > 1e-12 {
+		t.Errorf("NormalizePayout = %g, want 0.85", got)
+	}
+	if NormalizePayout(100, 0) != 0 || NormalizePayout(-5, 100) != 0 {
+		t.Error("invalid inputs should yield 0")
+	}
+}
+
+func TestOfferKeyDedup(t *testing.T) {
+	a := Offer{IIP: "Fyber", AppPackage: "com.x", Description: "Install and Register"}
+	b := Offer{IIP: "Fyber", AppPackage: "com.x", Description: "install and register"}
+	c := Offer{IIP: "RankApp", AppPackage: "com.x", Description: "Install and Register"}
+	if a.Key() != b.Key() {
+		t.Error("case-insensitive dedup failed")
+	}
+	if a.Key() == c.Key() {
+		t.Error("different IIPs must not dedup")
+	}
+}
+
+func TestOfferWindow(t *testing.T) {
+	o := Offer{FirstSeen: 10, LastSeen: 20}
+	w := o.Window()
+	if w.Days() != 11 {
+		t.Errorf("window days = %d, want 11", w.Days())
+	}
+}
+
+func TestRuleClassifierPaperExamples(t *testing.T) {
+	cls := RuleClassifier{}
+	cases := []struct {
+		desc string
+		want Type
+	}{
+		// Examples quoted verbatim in the paper.
+		{"Install and Launch", NoActivity},
+		{"Install and Register", Registration},
+		{"Install and Reach level 10", Usage},
+		{"Install and make a $4.99 in-app purchase", Purchase},
+		{"Install & Make any purchase", Purchase},
+		{"Install, register, and download a song", Usage},
+		{"Install & Reach level 10", Usage},
+		{"Install and Open", NoActivity},
+	}
+	for _, c := range cases {
+		if got := cls.Classify(c.desc); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.desc, got, c.want)
+		}
+	}
+}
+
+func TestRuleClassifierPurchaseDominates(t *testing.T) {
+	cls := RuleClassifier{}
+	if got := cls.Classify("Install, register and purchase a subscription"); got != Purchase {
+		t.Errorf("purchase should dominate registration, got %v", got)
+	}
+}
+
+func TestIsArbitrage(t *testing.T) {
+	cases := []struct {
+		desc string
+		want bool
+	}{
+		{"Install and reach 850 points by completing tasks (watch videos, complete surveys)", true},
+		{"Install and earn 500 coins by completing offers inside the app", true},
+		{"Install and Reach level 10", false},
+		{"Install and Register", false},
+	}
+	for _, c := range cases {
+		if got := IsArbitrage(c.desc); got != c.want {
+			t.Errorf("IsArbitrage(%q) = %v, want %v", c.desc, got, c.want)
+		}
+	}
+}
+
+func TestGrammarMatchesRuleClassifier(t *testing.T) {
+	// The rule classifier must label generated descriptions with their
+	// generating type: this is the consistency contract between the world
+	// builder and the measurement pipeline.
+	g := NewGrammar(randx.New(42))
+	cls := RuleClassifier{}
+	for i := 0; i < 2000; i++ {
+		tp := Types[i%len(Types)]
+		desc := g.Describe(tp, false)
+		if got := cls.Classify(desc); got != tp {
+			t.Fatalf("Classify(%q) = %v, want %v", desc, got, tp)
+		}
+	}
+}
+
+func TestGrammarArbitrageDetected(t *testing.T) {
+	g := NewGrammar(randx.New(7))
+	for i := 0; i < 200; i++ {
+		desc := g.Describe(Usage, true)
+		if !IsArbitrage(desc) {
+			t.Fatalf("arbitrage description not detected: %q", desc)
+		}
+		// Arbitrage offers are activity offers.
+		if got := (RuleClassifier{}).Classify(desc); !got.IsActivity() {
+			t.Fatalf("arbitrage offer classified as %v: %q", got, desc)
+		}
+	}
+}
+
+func TestGrammarDeterminism(t *testing.T) {
+	a := NewGrammar(randx.New(3))
+	b := NewGrammar(randx.New(3))
+	for i := 0; i < 100; i++ {
+		tp := Types[i%len(Types)]
+		if a.Describe(tp, false) != b.Describe(tp, false) {
+			t.Fatal("grammar not deterministic")
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Install and Reach level 10!")
+	want := []string{"install", "and", "reach", "level", "<num>"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", toks, want)
+		}
+	}
+	toks = Tokenize("spend $4.99 now")
+	joined := strings.Join(toks, " ")
+	if !strings.Contains(joined, "<dollar>") || !strings.Contains(joined, "<num>") {
+		t.Errorf("dollar tokenization wrong: %v", toks)
+	}
+	if len(Tokenize("")) != 0 {
+		t.Error("empty string should yield no tokens")
+	}
+}
+
+func TestBayesClassifierLearnsGrammar(t *testing.T) {
+	g := NewGrammar(randx.New(11))
+	nb := NewBayesClassifier()
+	// Train on 400 generated descriptions.
+	for i := 0; i < 400; i++ {
+		tp := Types[i%len(Types)]
+		nb.Train(g.Describe(tp, false), tp)
+	}
+	// Evaluate on a fresh stream.
+	eval := NewGrammar(randx.New(12))
+	var test []Offer
+	for i := 0; i < 400; i++ {
+		tp := Types[i%len(Types)]
+		test = append(test, Offer{Description: eval.Describe(tp, false), Truth: tp})
+	}
+	acc := Accuracy(nb, test)
+	if acc < 0.9 {
+		t.Errorf("naive Bayes accuracy = %g, want >= 0.9", acc)
+	}
+	// The rule classifier is perfect on its own grammar.
+	if ra := Accuracy(RuleClassifier{}, test); ra != 1.0 {
+		t.Errorf("rule accuracy = %g, want 1.0", ra)
+	}
+}
+
+func TestBayesUntrained(t *testing.T) {
+	nb := NewBayesClassifier()
+	if nb.Classify("Install and Register") != NoActivity {
+		t.Error("untrained classifier should default to NoActivity")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if Accuracy(RuleClassifier{}, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}

@@ -1,0 +1,149 @@
+// Package playapi is the HTTP facade over the simulated Play Store: the
+// crawl surface the paper's measurement infrastructure scrapes. It serves
+// app profile pages, top charts, the catalog index, and APK downloads for
+// static analysis, all as JSON/binary over real sockets.
+package playapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/apk"
+	"repro/internal/dates"
+	"repro/internal/playstore"
+)
+
+// ProfileDoc is the JSON document of an app's store listing.
+type ProfileDoc struct {
+	Package       string `json:"package"`
+	Title         string `json:"title"`
+	Genre         string `json:"genre"`
+	ReleasedDay   int    `json:"released_day"`
+	InstallBin    int64  `json:"install_bin"`
+	InstallLabel  string `json:"install_label"`
+	DeveloperID   string `json:"developer_id"`
+	DeveloperName string `json:"developer_name"`
+	Country       string `json:"country"`
+	Website       string `json:"website"`
+	Email         string `json:"email"`
+}
+
+// ChartDoc is the JSON document of one chart on one day.
+type ChartDoc struct {
+	Chart   string       `json:"chart"`
+	Day     int          `json:"day"`
+	Entries []ChartEntry `json:"entries"`
+}
+
+// ChartEntry mirrors playstore.ChartEntry on the wire.
+type ChartEntry struct {
+	Rank    int    `json:"rank"`
+	Package string `json:"package"`
+}
+
+// CatalogDoc lists package names.
+type CatalogDoc struct {
+	Total    int      `json:"total"`
+	Packages []string `json:"packages"`
+}
+
+// Server exposes the store over HTTP.
+type Server struct {
+	store *playstore.Store
+	apks  map[string]apk.APK
+}
+
+// New wraps a store; apks may be nil when APK downloads are not needed.
+func New(store *playstore.Store, apks map[string]apk.APK) *Server {
+	return &Server{store: store, apks: apks}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /apps/{pkg}", s.handleProfile)
+	mux.HandleFunc("GET /charts/{name}", s.handleChart)
+	mux.HandleFunc("GET /catalog", s.handleCatalog)
+	mux.HandleFunc("GET /apks/{pkg}", s.handleAPK)
+	return mux
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	p, err := s.store.Profile(r.PathValue("pkg"))
+	if err != nil {
+		if errors.Is(err, playstore.ErrUnknownApp) {
+			http.Error(w, "unknown app", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, ProfileDoc{
+		Package:       p.Package,
+		Title:         p.Title,
+		Genre:         p.Genre,
+		ReleasedDay:   int(p.Released),
+		InstallBin:    p.InstallBin,
+		InstallLabel:  p.InstallLabel,
+		DeveloperID:   string(p.DeveloperID),
+		DeveloperName: p.DeveloperName,
+		Country:       p.Country,
+		Website:       p.Website,
+		Email:         p.Email,
+	})
+}
+
+func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	known := false
+	for _, n := range playstore.ChartNames {
+		if n == name {
+			known = true
+		}
+	}
+	if !known {
+		http.Error(w, "unknown chart", http.StatusNotFound)
+		return
+	}
+	var entries []playstore.ChartEntry
+	dayParam := r.URL.Query().Get("day")
+	day := int(s.store.Today())
+	if dayParam == "" {
+		entries = s.store.Chart(name)
+	} else {
+		n, err := strconv.Atoi(dayParam)
+		if err != nil {
+			http.Error(w, "bad day", http.StatusBadRequest)
+			return
+		}
+		day = n
+		entries = s.store.ChartOn(name, dates.Date(n))
+	}
+	doc := ChartDoc{Chart: name, Day: day, Entries: make([]ChartEntry, 0, len(entries))}
+	for _, e := range entries {
+		doc.Entries = append(doc.Entries, ChartEntry{Rank: e.Rank, Package: e.Package})
+	}
+	writeJSON(w, doc)
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	pkgs := s.store.Packages()
+	writeJSON(w, CatalogDoc{Total: len(pkgs), Packages: pkgs})
+}
+
+func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.apks[r.PathValue("pkg")]
+	if !ok {
+		http.Error(w, "no apk", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(apk.Encode(a))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

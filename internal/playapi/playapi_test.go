@@ -1,0 +1,164 @@
+package playapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/apk"
+	"repro/internal/dates"
+	"repro/internal/playstore"
+	"repro/internal/randx"
+)
+
+func newServer(t *testing.T) (*playstore.Store, *httptest.Server) {
+	t.Helper()
+	store := playstore.New(dates.StudyStart)
+	store.AddDeveloper(playstore.Developer{ID: "d1", Name: "Acme", Country: "USA", Website: "https://acme.com"})
+	if err := store.Publish(playstore.Listing{
+		Package: "com.acme.memo", Title: "Voice Memos", Genre: "Tools",
+		Developer: "d1", Released: dates.StudyStart.AddDays(-30),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	store.SeedInstalls("com.acme.memo", 1234)
+	store.RecordInstall("com.acme.memo", playstore.Install{Day: dates.StudyStart})
+	store.StepDay(dates.StudyStart)
+
+	a, err := apk.Build(randx.New(1), "com.acme.memo", []string{"Google AdMob"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(store, map[string]apk.APK{"com.acme.memo": a}).Handler())
+	t.Cleanup(srv.Close)
+	return store, srv
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	_, srv := newServer(t)
+	var doc ProfileDoc
+	if code := getJSON(t, srv.URL+"/apps/com.acme.memo", &doc); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if doc.Package != "com.acme.memo" || doc.DeveloperName != "Acme" {
+		t.Errorf("profile = %+v", doc)
+	}
+	// 1234+1 installs -> "1,000+" bin.
+	if doc.InstallBin != 1000 || doc.InstallLabel != "1,000+" {
+		t.Errorf("bin = %d label = %q", doc.InstallBin, doc.InstallLabel)
+	}
+	if doc.ReleasedDay != int(dates.StudyStart.AddDays(-30)) {
+		t.Errorf("released = %d", doc.ReleasedDay)
+	}
+}
+
+func TestProfileNotFound(t *testing.T) {
+	_, srv := newServer(t)
+	var doc ProfileDoc
+	if code := getJSON(t, srv.URL+"/apps/no.such.app", &doc); code != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", code)
+	}
+}
+
+func TestChartEndpoint(t *testing.T) {
+	_, srv := newServer(t)
+	var doc ChartDoc
+	if code := getJSON(t, srv.URL+"/charts/top-free", &doc); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(doc.Entries) != 1 || doc.Entries[0].Package != "com.acme.memo" {
+		t.Errorf("chart = %+v", doc)
+	}
+	// Historical day query.
+	var hist ChartDoc
+	url := srv.URL + "/charts/top-free?day=" + strconv.Itoa(int(dates.StudyStart))
+	if code := getJSON(t, url, &hist); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(hist.Entries) != 1 {
+		t.Errorf("historical chart = %+v", hist)
+	}
+	// A day with no computed chart is empty, not an error.
+	var empty ChartDoc
+	if code := getJSON(t, srv.URL+"/charts/top-free?day=99999", &empty); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(empty.Entries) != 0 {
+		t.Error("expected empty entries for uncomputed day")
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	_, srv := newServer(t)
+	var doc ChartDoc
+	if code := getJSON(t, srv.URL+"/charts/top-secret", &doc); code != http.StatusNotFound {
+		t.Errorf("unknown chart status = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/charts/top-free?day=abc", &doc); code != http.StatusBadRequest {
+		t.Errorf("bad day status = %d", code)
+	}
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	_, srv := newServer(t)
+	var doc CatalogDoc
+	if code := getJSON(t, srv.URL+"/catalog", &doc); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if doc.Total != 1 || len(doc.Packages) != 1 {
+		t.Errorf("catalog = %+v", doc)
+	}
+}
+
+func TestAPKDownload(t *testing.T) {
+	_, srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/apks/com.acme.memo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := apk.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Package != "com.acme.memo" {
+		t.Errorf("apk package = %s", a.Package)
+	}
+	if apk.CountAdLibraries(a) != 1 {
+		t.Errorf("ad libs = %d, want 1", apk.CountAdLibraries(a))
+	}
+	// Missing APK.
+	resp2, err := http.Get(srv.URL + "/apks/none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("missing apk status = %d", resp2.StatusCode)
+	}
+}

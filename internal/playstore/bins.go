@@ -1,0 +1,62 @@
+package playstore
+
+import "strconv"
+
+// binLadder replicates the Google Play public install-count bins: the store
+// shows "N+" where N is the largest ladder value not exceeding the exact
+// install count ("Google reports installs in bins of a lower-bound
+// 'minimum' number of installs", Section 4.2).
+var binLadder = []int64{
+	0, 1, 5, 10, 50, 100, 500,
+	1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
+	1_000_000, 5_000_000, 10_000_000, 50_000_000, 100_000_000,
+	500_000_000, 1_000_000_000, 5_000_000_000, 10_000_000_000,
+}
+
+// InstallBin returns the public lower-bound bin for an exact install count.
+func InstallBin(n int64) int64 {
+	if n < 0 {
+		return 0
+	}
+	bin := int64(0)
+	for _, b := range binLadder {
+		if n >= b {
+			bin = b
+		} else {
+			break
+		}
+	}
+	return bin
+}
+
+// NextBin returns the smallest ladder value strictly greater than bin, or
+// bin itself if it is the top of the ladder. Useful for bin arithmetic in
+// analyses.
+func NextBin(bin int64) int64 {
+	for _, b := range binLadder {
+		if b > bin {
+			return b
+		}
+	}
+	return bin
+}
+
+// BinLabel formats a bin the way the store displays it ("1,000+").
+func BinLabel(bin int64) string {
+	return groupDigits(bin) + "+"
+}
+
+func groupDigits(n int64) string {
+	s := strconv.FormatInt(n, 10)
+	if len(s) <= 3 {
+		return s
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,81 @@
+package playstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInstallBin(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int64
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {4, 1}, {5, 5}, {9, 5}, {10, 10},
+		{99, 50}, {100, 100}, {499, 100}, {500, 500}, {999, 500},
+		{1000, 1000}, {1001, 1000}, {4999, 1000}, {5000, 5000},
+		{999_999, 500_000}, {1_000_000, 1_000_000},
+		{2_000_000_000, 1_000_000_000},
+	}
+	for _, c := range cases {
+		if got := InstallBin(c.n); got != c.want {
+			t.Errorf("InstallBin(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestInstallBinPaperExample(t *testing.T) {
+	// The paper's honey app went from 0 to "1,000+" public installs after
+	// 1,679 delivered installs.
+	if got := InstallBin(1679); got != 1000 {
+		t.Errorf("InstallBin(1679) = %d, want 1000", got)
+	}
+	// The enforcement example: "Phonebook - Contacts manager" dropped
+	// from 1,000 to 500 after filtering.
+	if got := InstallBin(1679 - 800); got != 500 {
+		t.Errorf("after removal: got %d, want 500", got)
+	}
+}
+
+func TestNextBin(t *testing.T) {
+	if got := NextBin(1000); got != 5000 {
+		t.Errorf("NextBin(1000) = %d, want 5000", got)
+	}
+	top := binLadder[len(binLadder)-1]
+	if got := NextBin(top); got != top {
+		t.Errorf("NextBin(top) = %d, want %d", got, top)
+	}
+}
+
+func TestBinLabel(t *testing.T) {
+	cases := []struct {
+		bin  int64
+		want string
+	}{
+		{0, "0+"}, {100, "100+"}, {1000, "1,000+"},
+		{500000, "500,000+"}, {1000000, "1,000,000+"},
+		{1000000000, "1,000,000,000+"},
+	}
+	for _, c := range cases {
+		if got := BinLabel(c.bin); got != c.want {
+			t.Errorf("BinLabel(%d) = %q, want %q", c.bin, got, c.want)
+		}
+	}
+}
+
+// Properties: bins are idempotent, monotone, and never exceed the input.
+func TestInstallBinProperties(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := int64(raw)
+		b := InstallBin(n)
+		if b > n {
+			return false
+		}
+		if InstallBin(b) != b { // bin values are fixed points
+			return false
+		}
+		return InstallBin(n+1) >= b // monotone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

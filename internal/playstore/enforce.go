@@ -1,0 +1,112 @@
+package playstore
+
+import (
+	"repro/internal/dates"
+	"repro/internal/randx"
+)
+
+// Enforcer models Google Play's install-filtering systems (the "Keeping
+// the Play Store trusted" defenses the paper cites). It scans each app's
+// trailing install window for bursts dominated by high-fraud-score devices
+// and retroactively removes a fraction of those installs.
+//
+// The paper's measurements indicate this enforcement is weak: the honey
+// app's purchased installs all survived, and only ~2% of apps advertised
+// on unvetted IIPs ever showed install-count decreases. The default
+// Sensitivity is calibrated to that observed behaviour; the enforcement
+// ablation bench sweeps it.
+type Enforcer struct {
+	// Sensitivity in [0, 1] scales the per-scan detection probability.
+	Sensitivity float64
+	// FraudThreshold is the minimum mean fraud score of a window for it
+	// to be considered suspicious.
+	FraudThreshold float64
+	// MinBurst is the minimum trailing-window install count that can
+	// trigger a scan (small bursts are invisible to the detector).
+	MinBurst int64
+	// RemoveFraction is the fraction of the suspicious window's installs
+	// removed upon detection.
+	RemoveFraction float64
+
+	rand *randx.Rand
+
+	// detections counts enforcement actions, for reporting.
+	detections int
+}
+
+// DefaultEnforcer returns an enforcer calibrated to the weak enforcement
+// the paper observed.
+func DefaultEnforcer(r *randx.Rand) *Enforcer {
+	return &Enforcer{
+		Sensitivity:    0.4,
+		FraudThreshold: 0.55,
+		MinBurst:       20,
+		RemoveFraction: 0.9,
+		rand:           r,
+	}
+}
+
+// NewEnforcer returns an enforcer with explicit parameters (used by the
+// enforcement-sensitivity ablation).
+func NewEnforcer(r *randx.Rand, sensitivity float64) *Enforcer {
+	e := DefaultEnforcer(r)
+	e.Sensitivity = sensitivity
+	return e
+}
+
+// Detections returns the number of enforcement actions taken so far.
+func (e *Enforcer) Detections() int { return e.detections }
+
+// scan inspects one app on one day and applies filtering. Called by the
+// store with its lock held.
+func (e *Enforcer) scan(a *app, day dates.Date) {
+	if e == nil || e.Sensitivity <= 0 {
+		return
+	}
+	w := a.window(day, chartWindowDays)
+	if w.installs < e.MinBurst {
+		return
+	}
+	meanFraud := w.fraudSum / float64(w.installs)
+	if meanFraud < e.FraudThreshold {
+		return
+	}
+	// Detection probability grows with how blatant the fraud is.
+	p := e.Sensitivity * (meanFraud - e.FraudThreshold) / (1 - e.FraudThreshold)
+	if !e.rand.Bool(p) {
+		return
+	}
+	// A filtering pass claws back the referral installs accumulated over
+	// the trailing month, not just the triggering burst (the paper's
+	// example app dropped a full public bin, 1,000+ to 500+).
+	const clawbackDays = 30
+	back := a.window(day, clawbackDays)
+	remove := int64(float64(back.referral) * e.RemoveFraction)
+	if remove <= 0 {
+		return
+	}
+	e.detections++
+	// Attribute removals to the most recent days first, mirroring how a
+	// public install count drops after a filtering pass.
+	left := remove
+	for d := day; d >= day.AddDays(-(clawbackDays-1)) && left > 0; d-- {
+		m, ok := a.daily[d]
+		if !ok {
+			continue
+		}
+		avail := m.organic + m.referral - m.removed
+		if avail <= 0 {
+			continue
+		}
+		take := avail
+		if take > left {
+			take = left
+		}
+		m.removed += take
+		left -= take
+	}
+	a.installs -= remove - left
+	if a.installs < 0 {
+		a.installs = 0
+	}
+}

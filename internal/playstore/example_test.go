@@ -1,0 +1,27 @@
+package playstore_test
+
+import (
+	"fmt"
+
+	"repro/internal/playstore"
+)
+
+func ExampleInstallBin() {
+	// Google displays install counts as lower-bound bins: the honey
+	// app's 1,679 delivered installs show as "1,000+".
+	fmt.Println(playstore.BinLabel(playstore.InstallBin(1679)))
+	fmt.Println(playstore.BinLabel(playstore.InstallBin(437)))
+	// Output:
+	// 1,000+
+	// 100+
+}
+
+func ExampleChartPercentile() {
+	// Figure 5 plots percentile ranks: rank 1 of 200 is the 100th
+	// percentile, absence is 0.
+	fmt.Println(playstore.ChartPercentile(1, 200))
+	fmt.Println(playstore.ChartPercentile(0, 200))
+	// Output:
+	// 100
+	// 0
+}

@@ -1,0 +1,347 @@
+package playstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dates"
+)
+
+// Common store errors.
+var (
+	ErrUnknownApp       = errors.New("playstore: unknown app")
+	ErrUnknownDeveloper = errors.New("playstore: unknown developer")
+	ErrDuplicateApp     = errors.New("playstore: duplicate package name")
+)
+
+// Store is the simulated Play Store. All methods are safe for concurrent
+// use; the HTTP facade in internal/playapi serves it from multiple
+// goroutines.
+type Store struct {
+	mu        sync.RWMutex
+	devs      map[DeveloperID]*Developer
+	apps      map[string]*app
+	pkgs      []string // stable iteration order (insertion)
+	today     dates.Date
+	charts    map[string][]ChartEntry                // latest computed charts
+	history   map[string]map[dates.Date][]ChartEntry // chart name -> day -> entries
+	enforcer  *Enforcer
+	scoring   ChartScoring
+	chartSize int
+}
+
+// New creates an empty store positioned at the given day.
+func New(today dates.Date) *Store {
+	return &Store{
+		devs:    map[DeveloperID]*Developer{},
+		apps:    map[string]*app{},
+		today:   today,
+		charts:  map[string][]ChartEntry{},
+		history: map[string]map[dates.Date][]ChartEntry{},
+	}
+}
+
+// SetEnforcer installs a policy-enforcement module that runs during
+// StepDay. A nil enforcer disables filtering.
+func (s *Store) SetEnforcer(e *Enforcer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enforcer = e
+}
+
+// Today returns the store's current simulation day.
+func (s *Store) Today() dates.Date {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.today
+}
+
+// AddDeveloper registers a developer account.
+func (s *Store) AddDeveloper(d Developer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := d
+	s.devs[d.ID] = &cp
+}
+
+// Developer returns developer metadata by ID.
+func (s *Store) Developer(id DeveloperID) (Developer, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devs[id]
+	if !ok {
+		return Developer{}, fmt.Errorf("%w: %s", ErrUnknownDeveloper, id)
+	}
+	return *d, nil
+}
+
+// Listing describes a new app to publish.
+type Listing struct {
+	Package   string
+	Title     string
+	Genre     string
+	Developer DeveloperID
+	Released  dates.Date
+}
+
+// Publish adds an app listing to the catalog.
+func (s *Store) Publish(l Listing) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.apps[l.Package]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateApp, l.Package)
+	}
+	if _, ok := s.devs[l.Developer]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDeveloper, l.Developer)
+	}
+	s.apps[l.Package] = &app{
+		pkg:      l.Package,
+		title:    l.Title,
+		genre:    l.Genre,
+		dev:      l.Developer,
+		released: l.Released,
+		daily:    map[dates.Date]*dayMetrics{},
+	}
+	s.pkgs = append(s.pkgs, l.Package)
+	return nil
+}
+
+// NumApps returns the catalog size.
+func (s *Store) NumApps() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.apps)
+}
+
+// Packages returns all package names in publication order.
+func (s *Store) Packages() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.pkgs...)
+}
+
+// RecordInstall records one install event for an app.
+func (s *Store) RecordInstall(pkg string, in Install) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.apps[pkg]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	m := a.day(in.Day)
+	switch in.Source {
+	case SourceOrganic:
+		m.organic++
+	default:
+		m.referral++
+	}
+	m.fraudSum += clamp01(in.FraudScore)
+	a.installs++
+	return nil
+}
+
+// RecordInstallBatch records n installs sharing a day, source, and mean
+// fraud score. The simulation engine uses it for high-volume organic
+// traffic where per-event recording would be wasteful; the aggregate
+// counters are indistinguishable from n RecordInstall calls with the same
+// mean fraud.
+func (s *Store) RecordInstallBatch(pkg string, day dates.Date, n int64, source InstallSource, meanFraud float64) error {
+	if n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.apps[pkg]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	m := a.day(day)
+	switch source {
+	case SourceOrganic:
+		m.organic += n
+	default:
+		m.referral += n
+	}
+	m.fraudSum += clamp01(meanFraud) * float64(n)
+	a.installs += n
+	return nil
+}
+
+// RecordSessionBatch records n sessions of secondsPer seconds each.
+func (s *Store) RecordSessionBatch(pkg string, day dates.Date, n, secondsPer int64) error {
+	if n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.apps[pkg]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	m := a.day(day)
+	m.sessions += n
+	m.sessionSec += n * secondsPer
+	m.activeUser += n
+	return nil
+}
+
+// RecordSession records an app-usage session (drives DAU and session-length
+// engagement metrics).
+func (s *Store) RecordSession(pkg string, sess Session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.apps[pkg]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	m := a.day(sess.Day)
+	m.sessions++
+	m.sessionSec += sess.Seconds
+	m.activeUser++ // one session == one active-user contribution
+	return nil
+}
+
+// RecordPurchase records an in-app purchase.
+func (s *Store) RecordPurchase(pkg string, p Purchase) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.apps[pkg]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	a.day(p.Day).revenue += p.USD
+	return nil
+}
+
+// SeedInstalls initializes an app's lifetime install counter without
+// generating daily activity; the world builder uses it to give pre-existing
+// apps their historical popularity.
+func (s *Store) SeedInstalls(pkg string, n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.apps[pkg]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	if n < 0 {
+		n = 0
+	}
+	a.installs = n
+	return nil
+}
+
+// ExactInstalls exposes the store-internal exact install counter; the
+// simulator and tests use it, the crawler never sees it (it only sees
+// Profile.InstallBin, like the paper).
+func (s *Store) ExactInstalls(pkg string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.apps[pkg]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	return a.installs, nil
+}
+
+// Profile returns the public store listing for an app.
+func (s *Store) Profile(pkg string) (Profile, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.apps[pkg]
+	if !ok {
+		return Profile{}, fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	dev := s.devs[a.dev]
+	bin := InstallBin(a.installs)
+	return Profile{
+		Package:       a.pkg,
+		Title:         a.title,
+		Genre:         a.genre,
+		Released:      a.released,
+		InstallBin:    bin,
+		InstallLabel:  BinLabel(bin),
+		DeveloperID:   a.dev,
+		DeveloperName: dev.Name,
+		Country:       dev.Country,
+		Website:       dev.Website,
+		Email:         dev.Email,
+	}, nil
+}
+
+// Console returns developer-console analytics for an app between two dates
+// inclusive. Unlike Profile, this is the app developer's private view with
+// exact per-day acquisition numbers.
+func (s *Store) Console(pkg string, from, to dates.Date) ([]ConsoleDay, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.apps[pkg]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	var out []ConsoleDay
+	for d := from; d <= to; d++ {
+		m, ok := a.daily[d]
+		if !ok {
+			out = append(out, ConsoleDay{Day: d})
+			continue
+		}
+		out = append(out, ConsoleDay{Day: d, Organic: m.organic, Referral: m.referral, Removed: m.removed})
+	}
+	return out, nil
+}
+
+// StepDay advances the store to the given day: it runs enforcement over the
+// trailing window and recomputes all top charts. Days must be stepped in
+// nondecreasing order.
+func (s *Store) StepDay(day dates.Date) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.today = day
+	if s.enforcer != nil {
+		for _, pkg := range s.pkgs {
+			s.enforcer.scan(s.apps[pkg], day)
+		}
+	}
+	s.computeChartsLocked(day)
+}
+
+// sortedByScore ranks packages by descending score with a stable package
+// tiebreak so chart output is deterministic.
+func sortedByScore(scores map[string]float64, limit int) []ChartEntry {
+	type kv struct {
+		pkg   string
+		score float64
+	}
+	arr := make([]kv, 0, len(scores))
+	for p, sc := range scores {
+		if sc > 0 {
+			arr = append(arr, kv{p, sc})
+		}
+	}
+	sort.Slice(arr, func(i, j int) bool {
+		if arr[i].score != arr[j].score {
+			return arr[i].score > arr[j].score
+		}
+		return arr[i].pkg < arr[j].pkg
+	})
+	if len(arr) > limit {
+		arr = arr[:limit]
+	}
+	out := make([]ChartEntry, len(arr))
+	for i, e := range arr {
+		out[i] = ChartEntry{Rank: i + 1, Package: e.pkg, Score: e.score}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

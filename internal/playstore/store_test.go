@@ -1,0 +1,347 @@
+package playstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/randx"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := New(dates.StudyStart)
+	s.AddDeveloper(Developer{ID: "dev1", Name: "Acme Apps", Country: "USA"})
+	if err := s.Publish(Listing{
+		Package: "com.acme.memo", Title: "Voice Memos", Genre: "Tools",
+		Developer: "dev1", Released: dates.StudyStart.AddDays(-30),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPublishValidation(t *testing.T) {
+	s := New(dates.StudyStart)
+	err := s.Publish(Listing{Package: "a.b.c", Developer: "nobody"})
+	if !errors.Is(err, ErrUnknownDeveloper) {
+		t.Errorf("want ErrUnknownDeveloper, got %v", err)
+	}
+	s.AddDeveloper(Developer{ID: "d"})
+	if err := s.Publish(Listing{Package: "a.b.c", Developer: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Publish(Listing{Package: "a.b.c", Developer: "d"})
+	if !errors.Is(err, ErrDuplicateApp) {
+		t.Errorf("want ErrDuplicateApp, got %v", err)
+	}
+}
+
+func TestUnknownAppErrors(t *testing.T) {
+	s := New(dates.StudyStart)
+	if err := s.RecordInstall("nope", Install{}); !errors.Is(err, ErrUnknownApp) {
+		t.Error("RecordInstall should fail for unknown app")
+	}
+	if err := s.RecordSession("nope", Session{}); !errors.Is(err, ErrUnknownApp) {
+		t.Error("RecordSession should fail for unknown app")
+	}
+	if err := s.RecordPurchase("nope", Purchase{}); !errors.Is(err, ErrUnknownApp) {
+		t.Error("RecordPurchase should fail for unknown app")
+	}
+	if _, err := s.Profile("nope"); !errors.Is(err, ErrUnknownApp) {
+		t.Error("Profile should fail for unknown app")
+	}
+	if _, err := s.Console("nope", 0, 1); !errors.Is(err, ErrUnknownApp) {
+		t.Error("Console should fail for unknown app")
+	}
+	if _, err := s.ExactInstalls("nope"); !errors.Is(err, ErrUnknownApp) {
+		t.Error("ExactInstalls should fail for unknown app")
+	}
+	if _, err := s.Developer("ghost"); !errors.Is(err, ErrUnknownDeveloper) {
+		t.Error("Developer should fail for unknown developer")
+	}
+}
+
+func TestInstallCountBinning(t *testing.T) {
+	s := newTestStore(t)
+	day := dates.StudyStart
+	for i := 0; i < 1679; i++ {
+		if err := s.RecordInstall("com.acme.memo", Install{Day: day, Source: SourceReferral}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := s.Profile("com.acme.memo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InstallBin != 1000 {
+		t.Errorf("InstallBin = %d, want 1000 (paper: honey app 0 -> 1,000+)", p.InstallBin)
+	}
+	if p.InstallLabel != "1,000+" {
+		t.Errorf("InstallLabel = %q", p.InstallLabel)
+	}
+	exact, _ := s.ExactInstalls("com.acme.memo")
+	if exact != 1679 {
+		t.Errorf("exact installs = %d, want 1679", exact)
+	}
+}
+
+func TestProfileMetadata(t *testing.T) {
+	s := newTestStore(t)
+	p, err := s.Profile("com.acme.memo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DeveloperName != "Acme Apps" || p.Country != "USA" || p.Genre != "Tools" {
+		t.Errorf("profile metadata wrong: %+v", p)
+	}
+	if p.Released != dates.StudyStart.AddDays(-30) {
+		t.Errorf("release date wrong: %v", p.Released)
+	}
+}
+
+func TestConsoleAnalyticsBySource(t *testing.T) {
+	s := newTestStore(t)
+	d0 := dates.StudyStart
+	s.RecordInstall("com.acme.memo", Install{Day: d0, Source: SourceOrganic})
+	s.RecordInstall("com.acme.memo", Install{Day: d0, Source: SourceReferral})
+	s.RecordInstall("com.acme.memo", Install{Day: d0, Source: SourceReferral})
+	s.RecordInstall("com.acme.memo", Install{Day: d0.AddDays(1), Source: SourceReferral})
+
+	days, err := s.Console("com.acme.memo", d0, d0.AddDays(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 3 {
+		t.Fatalf("len = %d, want 3", len(days))
+	}
+	if days[0].Organic != 1 || days[0].Referral != 2 {
+		t.Errorf("day0 = %+v", days[0])
+	}
+	if days[1].Organic != 0 || days[1].Referral != 1 {
+		t.Errorf("day1 = %+v", days[1])
+	}
+	if days[2].Organic != 0 && days[2].Referral != 0 {
+		t.Errorf("day2 should be empty: %+v", days[2])
+	}
+}
+
+func TestChartsEngagementBeatsInstallsOnly(t *testing.T) {
+	s := New(dates.StudyStart)
+	s.AddDeveloper(Developer{ID: "d"})
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Publish(Listing{Package: "game.burst", Title: "Burst", Genre: "Puzzle", Developer: "d", Released: 0}))
+	must(s.Publish(Listing{Package: "game.engaged", Title: "Engaged", Genre: "Puzzle", Developer: "d", Released: 0}))
+
+	day := dates.StudyStart
+	// burst: many installs, no engagement (a no-activity campaign).
+	for i := 0; i < 1000; i++ {
+		must(s.RecordInstall("game.burst", Install{Day: day, Source: SourceReferral}))
+	}
+	// engaged: fewer installs but with sessions (an activity campaign).
+	for i := 0; i < 300; i++ {
+		must(s.RecordInstall("game.engaged", Install{Day: day, Source: SourceReferral}))
+		must(s.RecordSession("game.engaged", Session{Day: day, Seconds: 600}))
+	}
+	s.StepDay(day)
+
+	chart := s.Chart(ChartTopGames)
+	if len(chart) != 2 {
+		t.Fatalf("chart size = %d, want 2", len(chart))
+	}
+	if chart[0].Package != "game.engaged" {
+		t.Errorf("engagement scoring should rank engaged app first, got %s", chart[0].Package)
+	}
+
+	// Ablation: installs-only scoring flips the ranking.
+	s.SetChartScoring(InstallsOnlyScoring)
+	s.StepDay(day)
+	chart = s.Chart(ChartTopGames)
+	if chart[0].Package != "game.burst" {
+		t.Errorf("installs-only scoring should rank burst app first, got %s", chart[0].Package)
+	}
+}
+
+func TestTopGrossingNeedsRevenue(t *testing.T) {
+	s := newTestStore(t)
+	day := dates.StudyStart
+	s.RecordInstall("com.acme.memo", Install{Day: day})
+	s.StepDay(day)
+	if got := s.Chart(ChartTopGrossing); len(got) != 0 {
+		t.Errorf("no-revenue app should not appear in top-grossing: %v", got)
+	}
+	s.RecordPurchase("com.acme.memo", Purchase{Day: day, USD: 4.99})
+	s.StepDay(day)
+	got := s.Chart(ChartTopGrossing)
+	if len(got) != 1 || got[0].Package != "com.acme.memo" {
+		t.Errorf("purchase should place app in top-grossing: %v", got)
+	}
+}
+
+func TestTopGamesFiltersGenre(t *testing.T) {
+	s := New(dates.StudyStart)
+	s.AddDeveloper(Developer{ID: "d"})
+	s.Publish(Listing{Package: "tool.app", Title: "T", Genre: "Tools", Developer: "d"})
+	s.RecordInstall("tool.app", Install{Day: dates.StudyStart})
+	s.StepDay(dates.StudyStart)
+	for _, e := range s.Chart(ChartTopGames) {
+		if e.Package == "tool.app" {
+			t.Error("non-game app should not appear in top-games")
+		}
+	}
+	if len(s.Chart(ChartTopFree)) != 1 {
+		t.Error("app should appear in top-free")
+	}
+}
+
+func TestChartHistoryAndRank(t *testing.T) {
+	s := newTestStore(t)
+	d0, d1 := dates.StudyStart, dates.StudyStart.AddDays(1)
+	s.RecordInstall("com.acme.memo", Install{Day: d0})
+	s.StepDay(d0)
+	s.StepDay(d1.AddDays(7)) // window passed; app decays out
+	if rank := s.ChartRank(ChartTopFree, d0, "com.acme.memo"); rank != 1 {
+		t.Errorf("historical rank = %d, want 1", rank)
+	}
+	if rank := s.ChartRank(ChartTopFree, d1.AddDays(7), "com.acme.memo"); rank != 0 {
+		t.Errorf("rank after decay = %d, want 0 (absent)", rank)
+	}
+	if s.ChartRank("no-such-chart", d0, "x") != 0 {
+		t.Error("unknown chart should yield rank 0")
+	}
+}
+
+func TestChartUnreleasedAppExcluded(t *testing.T) {
+	s := New(dates.StudyStart)
+	s.AddDeveloper(Developer{ID: "d"})
+	s.Publish(Listing{
+		Package: "future.app", Title: "F", Genre: "Tools", Developer: "d",
+		Released: dates.StudyStart.AddDays(10),
+	})
+	s.RecordInstall("future.app", Install{Day: dates.StudyStart})
+	s.StepDay(dates.StudyStart)
+	if len(s.Chart(ChartTopFree)) != 0 {
+		t.Error("unreleased app must not chart")
+	}
+}
+
+func TestChartPercentile(t *testing.T) {
+	if got := ChartPercentile(1, 200); got != 100 {
+		t.Errorf("rank 1 percentile = %g, want 100", got)
+	}
+	if got := ChartPercentile(0, 200); got != 0 {
+		t.Errorf("absent percentile = %g, want 0", got)
+	}
+	if got := ChartPercentile(101, 200); got != 50 {
+		t.Errorf("rank 101 percentile = %g, want 50", got)
+	}
+}
+
+func TestChartDeterministicTiebreak(t *testing.T) {
+	s := New(dates.StudyStart)
+	s.AddDeveloper(Developer{ID: "d"})
+	s.Publish(Listing{Package: "b.app", Title: "B", Genre: "Tools", Developer: "d"})
+	s.Publish(Listing{Package: "a.app", Title: "A", Genre: "Tools", Developer: "d"})
+	s.RecordInstall("b.app", Install{Day: dates.StudyStart})
+	s.RecordInstall("a.app", Install{Day: dates.StudyStart})
+	s.StepDay(dates.StudyStart)
+	chart := s.Chart(ChartTopFree)
+	if len(chart) != 2 || chart[0].Package != "a.app" {
+		t.Errorf("ties should break by package name: %v", chart)
+	}
+}
+
+func TestEnforcerRemovesFraudulentBurst(t *testing.T) {
+	s := newTestStore(t)
+	// Deterministically aggressive enforcer.
+	e := NewEnforcer(randx.New(1), 1.0)
+	e.MinBurst = 100
+	s.SetEnforcer(e)
+
+	day := dates.StudyStart
+	for i := 0; i < 1000; i++ {
+		s.RecordInstall("com.acme.memo", Install{Day: day, Source: SourceReferral, FraudScore: 0.95})
+	}
+	before, _ := s.ExactInstalls("com.acme.memo")
+	// Scan repeatedly; with sensitivity 1 and high fraud, detection is
+	// near-certain within a few days.
+	for d := day; d <= day.AddDays(5); d++ {
+		s.StepDay(d)
+	}
+	after, _ := s.ExactInstalls("com.acme.memo")
+	if after >= before {
+		t.Errorf("enforcer removed nothing: before=%d after=%d", before, after)
+	}
+	if e.Detections() == 0 {
+		t.Error("no detections recorded")
+	}
+	// Console must expose the removals.
+	days, _ := s.Console("com.acme.memo", day, day.AddDays(5))
+	removed := int64(0)
+	for _, cd := range days {
+		removed += cd.Removed
+	}
+	if removed != before-after {
+		t.Errorf("console removed=%d, want %d", removed, before-after)
+	}
+}
+
+func TestEnforcerIgnoresCleanInstalls(t *testing.T) {
+	s := newTestStore(t)
+	e := NewEnforcer(randx.New(1), 1.0)
+	e.MinBurst = 100
+	s.SetEnforcer(e)
+	day := dates.StudyStart
+	for i := 0; i < 1000; i++ {
+		s.RecordInstall("com.acme.memo", Install{Day: day, Source: SourceOrganic, FraudScore: 0.05})
+	}
+	for d := day; d <= day.AddDays(5); d++ {
+		s.StepDay(d)
+	}
+	after, _ := s.ExactInstalls("com.acme.memo")
+	if after != 1000 {
+		t.Errorf("clean installs were removed: %d", after)
+	}
+}
+
+func TestEnforcerIgnoresSmallBursts(t *testing.T) {
+	s := newTestStore(t)
+	e := NewEnforcer(randx.New(1), 1.0)
+	s.SetEnforcer(e)
+	day := dates.StudyStart
+	small := int(e.MinBurst) - 1
+	for i := 0; i < small; i++ { // just below MinBurst
+		s.RecordInstall("com.acme.memo", Install{Day: day, FraudScore: 1.0})
+	}
+	s.StepDay(day)
+	after, _ := s.ExactInstalls("com.acme.memo")
+	if after != int64(small) {
+		t.Errorf("small burst should be invisible: %d", after)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := newTestStore(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			s.RecordInstall("com.acme.memo", Install{Day: dates.StudyStart})
+			s.RecordSession("com.acme.memo", Session{Day: dates.StudyStart, Seconds: 30})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s.Profile("com.acme.memo")
+		s.Chart(ChartTopFree)
+		s.StepDay(dates.StudyStart)
+	}
+	<-done
+	n, _ := s.ExactInstalls("com.acme.memo")
+	if n != 500 {
+		t.Errorf("installs = %d, want 500", n)
+	}
+}

@@ -1,0 +1,178 @@
+// Package playstore simulates the observable surface of the Google Play
+// Store that the paper's measurements touch: an app catalog with developer
+// metadata, Google-style binned public install counts, engagement-driven
+// top charts recomputed daily, per-developer console analytics, and a
+// policy-enforcement module that (imperfectly) filters fraudulent installs.
+//
+// The simulator intentionally models only what the study can observe —
+// profile pages, top charts, and the developer console — plus the internal
+// engagement state needed to drive chart ranking the way the paper
+// describes ("Google Play Store places apps in top charts based on user
+// engagement metrics").
+package playstore
+
+import (
+	"repro/internal/dates"
+)
+
+// DeveloperID uniquely identifies a developer account, mirroring the
+// paper's note that developers are identified by their developer ID.
+type DeveloperID string
+
+// Developer is a Play Store developer account with the public metadata the
+// paper crawls (company name, website, mailing address/country, email).
+type Developer struct {
+	ID      DeveloperID
+	Name    string
+	Country string
+	Website string
+	Email   string
+	// Public marks developers that are publicly traded companies
+	// (Section 4.3.3 identifies 28 advertised apps from public
+	// companies).
+	Public bool
+}
+
+// InstallSource is the acquisition channel recorded by the developer
+// console. The store itself cannot tell incentivized installs apart from
+// other referrals; the console only distinguishes organic (store search /
+// browse) from third-party referral traffic.
+type InstallSource int
+
+const (
+	// SourceOrganic is an install originating from store search or
+	// top-chart browsing.
+	SourceOrganic InstallSource = iota
+	// SourceReferral is an install arriving through a third-party
+	// referrer (which is how incentivized installs appear).
+	SourceReferral
+)
+
+func (s InstallSource) String() string {
+	switch s {
+	case SourceOrganic:
+		return "organic"
+	case SourceReferral:
+		return "referral"
+	default:
+		return "unknown"
+	}
+}
+
+// Install is one install event as the store records it. FraudScore in
+// [0, 1] abstracts the device/network reputation signals Google's install
+// filtering systems consume (device reuse, emulator fingerprints,
+// datacenter ASNs); the simulator's users populate it.
+type Install struct {
+	Day        dates.Date
+	Source     InstallSource
+	FraudScore float64
+}
+
+// Session is an app-usage session contributing to engagement metrics.
+type Session struct {
+	Day     dates.Date
+	Seconds int64
+}
+
+// Purchase is an in-app purchase contributing to revenue (and hence to the
+// top-grossing chart).
+type Purchase struct {
+	Day dates.Date
+	USD float64
+}
+
+// Profile is the public store listing as seen by a crawler: exactly what
+// the paper's Play Store crawl collects.
+type Profile struct {
+	Package       string
+	Title         string
+	Genre         string
+	Released      dates.Date
+	InstallBin    int64  // lower bound of the public install bin
+	InstallLabel  string // e.g. "1,000+"
+	DeveloperID   DeveloperID
+	DeveloperName string
+	Country       string
+	Website       string
+	Email         string
+}
+
+// ChartEntry is one row of a top chart.
+type ChartEntry struct {
+	Rank    int // 1-based
+	Package string
+	Score   float64
+}
+
+// ConsoleDay is one day of developer-console analytics for an app.
+type ConsoleDay struct {
+	Day      dates.Date
+	Organic  int64
+	Referral int64
+	Removed  int64 // installs retroactively filtered by enforcement
+}
+
+// app is the store-internal mutable state for a listing.
+type app struct {
+	pkg      string
+	title    string
+	genre    string
+	dev      DeveloperID
+	released dates.Date
+
+	installs int64 // cumulative net installs
+
+	daily map[dates.Date]*dayMetrics
+}
+
+// dayMetrics accumulates one day of activity for an app.
+type dayMetrics struct {
+	organic    int64
+	referral   int64
+	removed    int64
+	fraudSum   float64 // sum of fraud scores over the day's installs
+	sessions   int64
+	sessionSec int64
+	revenue    float64
+	activeUser int64 // distinct opens proxy (DAU)
+}
+
+func (a *app) day(d dates.Date) *dayMetrics {
+	m, ok := a.daily[d]
+	if !ok {
+		m = &dayMetrics{}
+		a.daily[d] = m
+	}
+	return m
+}
+
+// windowMetrics aggregates the trailing-window activity used for chart
+// scoring and enforcement.
+type windowMetrics struct {
+	installs   int64
+	referral   int64
+	fraudSum   float64
+	sessions   int64
+	sessionSec int64
+	revenue    float64
+	dau        int64
+}
+
+func (a *app) window(end dates.Date, days int) windowMetrics {
+	var w windowMetrics
+	for d := end.AddDays(-(days - 1)); d <= end; d++ {
+		m, ok := a.daily[d]
+		if !ok {
+			continue
+		}
+		w.installs += m.organic + m.referral
+		w.referral += m.referral
+		w.fraudSum += m.fraudSum
+		w.sessions += m.sessions
+		w.sessionSec += m.sessionSec
+		w.revenue += m.revenue
+		w.dau += m.activeUser
+	}
+	return w
+}

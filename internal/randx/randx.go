@@ -1,0 +1,160 @@
+// Package randx wraps math/rand/v2 with the small set of deterministic
+// sampling helpers the world builder needs: weighted choices, Bernoulli
+// draws, log-normal and Zipf-flavoured quantities, and stable sub-stream
+// derivation so that independent subsystems (store, users, campaigns)
+// draw from decoupled sequences for a single study seed.
+package randx
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Rand is a deterministic random source. It embeds *rand.Rand so all the
+// standard methods (IntN, Float64, Perm, ...) are available directly.
+type Rand struct {
+	*rand.Rand
+}
+
+// New returns a Rand seeded with the given study seed.
+func New(seed uint64) *Rand {
+	return &Rand{rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Derive returns an independent sub-stream identified by label. Two
+// different labels on the same parent produce decoupled deterministic
+// sequences; the same label always produces the same sequence. This keeps
+// e.g. the user-population generator stable when the campaign generator
+// changes how many draws it makes.
+func Derive(seed uint64, label string) *Rand {
+	h := fnv64(label)
+	return &Rand{rand.New(rand.NewPCG(seed^h, (seed*0x100000001b3)^(h<<1|1)))}
+}
+
+func fnv64(s string) uint64 {
+	const offset = 0xcbf29ce484222325
+	const prime = 0x100000001b3
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// WeightedIndex picks an index proportionally to weights. Negative weights
+// are treated as zero. If all weights are zero it returns 0.
+func (r *Rand) WeightedIndex(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Choice returns a uniformly random element of items; it panics on an
+// empty slice (a programming error in the caller).
+func Choice[T any](r *Rand, items []T) T {
+	return items[r.IntN(len(items))]
+}
+
+// Sample returns k distinct elements drawn uniformly without replacement.
+// If k >= len(items) a shuffled copy of all items is returned.
+func Sample[T any](r *Rand, items []T, k int) []T {
+	idx := r.Perm(len(items))
+	if k > len(items) {
+		k = len(items)
+	}
+	out := make([]T, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[idx[i]]
+	}
+	return out
+}
+
+// LogNormal draws from a log-normal distribution with the given location
+// (mu) and scale (sigma) of the underlying normal.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// LogUniform draws log-uniformly from [lo, hi]; both bounds must be > 0.
+func (r *Rand) LogUniform(lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo {
+		return lo
+	}
+	u := r.Float64()
+	return math.Exp(math.Log(lo) + u*(math.Log(hi)-math.Log(lo)))
+}
+
+// IntBetween returns a uniform integer in [lo, hi] inclusive.
+func (r *Rand) IntBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.IntN(hi-lo+1)
+}
+
+// Poisson draws from a Poisson distribution with mean lambda using
+// Knuth's method for small lambda and a normal approximation above 30.
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*r.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Geometric returns the number of failures before the first success for a
+// Bernoulli(p) process (support {0, 1, 2, ...}).
+func (r *Rand) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return math.MaxInt32
+	}
+	u := r.Float64()
+	return int(math.Floor(math.Log(1-u) / math.Log(1-p)))
+}

@@ -1,0 +1,321 @@
+// Package report renders the study's results as the text tables and
+// series that mirror the paper's tables and figures, suitable for terminal
+// output and for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/iip"
+	"repro/internal/playstore"
+	"repro/internal/stats"
+)
+
+// Table is a simple text-table builder.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+func usd(f float64) string { return fmt.Sprintf("$%.2f", f) }
+func vet(v bool) string {
+	if v {
+		return "Vetted"
+	}
+	return "Unvetted"
+}
+
+// WriteAll renders every reproduced artifact to w.
+func WriteAll(w io.Writer, r *core.Results) {
+	fmt.Fprintf(w, "=== Dataset ===\n")
+	fmt.Fprintf(w, "offers=%d unique-apps=%d unique-descriptions=%d milk-days=%d crawl-days=%d\n\n",
+		r.Dataset.Offers, r.Dataset.UniqueApps, r.Dataset.UniqueDescriptions,
+		r.Dataset.MilkDays, r.Dataset.CrawlDays)
+
+	WriteTable1(w, r.Table1)
+	WriteTable2(w, r.Table2)
+	WriteTable3(w, r.Table3)
+	WriteTable4(w, r.Table4)
+	WriteOutcome(w, "Table 5: install-count increases", r.Table5)
+	WriteOutcome(w, "Table 6: top-chart appearances", r.Table6)
+	WriteOutcome(w, "Table 7: funding raised after campaigns", r.Table7)
+	WriteTable8(w, r.Table8)
+	WriteFigure2(w, r.Figure2)
+	WriteFigure4(w, r.Figure4)
+	WriteFigure5(w, r.Figure5)
+	WriteFigure6(w, r.Figure6)
+	if r.Section3 != nil {
+		WriteSection3(w, r.Section3)
+	}
+	WriteEnforcement(w, r.Enforcement)
+	WriteArbitrage(w, r.Arbitrage)
+	WriteLockstep(w, r.Lockstep)
+	WriteDisclosure(w, r.Disclosure)
+}
+
+// WriteTable1 renders the IIP characterization.
+func WriteTable1(w io.Writer, rows []core.Table1Row) {
+	fmt.Fprintln(w, "=== Table 1: IIP characterization (registration probe) ===")
+	t := NewTable("IIP", "Type", "Home URL", "Min deposit")
+	for _, r := range rows {
+		t.Row(r.Name, vet(r.Vetted), r.HomeURL, usd(r.MinDepositUSD))
+	}
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}
+
+// WriteTable2 renders the affiliate-app integration matrix.
+func WriteTable2(w io.Writer, rows []core.Table2Row) {
+	fmt.Fprintln(w, "=== Table 2: instrumented affiliate apps x IIP offer walls ===")
+	header := append([]string{"App", "Installs"}, iip.StandardNames...)
+	t := NewTable(header...)
+	for _, r := range rows {
+		cells := []any{r.Package, playstore.BinLabel(r.InstallsBin)}
+		for _, name := range iip.StandardNames {
+			mark := " "
+			if r.Integrations[name] {
+				mark = "x"
+			}
+			cells = append(cells, mark)
+		}
+		t.Row(cells...)
+	}
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}
+
+// WriteTable3 renders offer-type prevalence and payouts.
+func WriteTable3(w io.Writer, rows []core.Table3Row) {
+	fmt.Fprintln(w, "=== Table 3: offer types and payouts ===")
+	t := NewTable("Offer type", "% of offers", "Average payout")
+	for _, r := range rows {
+		t.Row(r.Type, pct(r.Share), usd(r.AveragePayout))
+	}
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}
+
+// WriteTable4 renders the per-IIP summary.
+func WriteTable4(w io.Writer, rows []core.Table4Row) {
+	fmt.Fprintln(w, "=== Table 4: per-IIP offers and advertised apps ===")
+	t := NewTable("IIP", "Type", "Med payout", "% no-act", "% act",
+		"Apps", "Devs", "Countries", "Genres", "Med installs", "Med age (d)")
+	for _, r := range rows {
+		t.Row(r.IIP, vet(r.Vetted), usd(r.MedianPayout), pct(r.NoActivityShare),
+			pct(r.ActivityShare), r.NumApps, r.NumDevelopers, r.NumCountries,
+			r.NumGenres, fmt.Sprintf("%.0f", r.MedianInstallBin),
+			fmt.Sprintf("%.0f", r.MedianAgeDays))
+	}
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}
+
+// WriteOutcome renders a baseline/vetted/unvetted comparison with its
+// chi-squared tests (Tables 5-7).
+func WriteOutcome(w io.Writer, title string, o core.GroupOutcome) {
+	fmt.Fprintf(w, "=== %s ===\n", title)
+	t := NewTable("App set", "N", "Positive", "Fraction")
+	t.Row("Baseline", o.Baseline.N, o.Baseline.Positive, pct(o.Baseline.Frac()))
+	t.Row("Vetted", o.Vetted.N, o.Vetted.Positive, pct(o.Vetted.Frac()))
+	t.Row("Unvetted", o.Unvetted.N, o.Unvetted.Positive, pct(o.Unvetted.Frac()))
+	t.WriteTo(w)
+	fmt.Fprintf(w, "vetted   vs baseline: %s\n", o.VettedTest)
+	fmt.Fprintf(w, "unvetted vs baseline: %s\n\n", o.UnvettedTest)
+}
+
+// WriteTable8 renders the funded-app offer breakdown.
+func WriteTable8(w io.Writer, t8 core.Table8) {
+	fmt.Fprintln(w, "=== Table 8: offers of vetted apps that raised funding ===")
+	t := NewTable("Offer type", "% of funded apps", "Average payout")
+	t.Row("No activity", pct(t8.NoActivityShare), usd(t8.NoActivityAvgPayout))
+	t.Row("Activity", pct(t8.ActivityShare), usd(t8.ActivityAvgPayout))
+	t.WriteTo(w)
+	fmt.Fprintf(w, "funded vetted apps: %d\n\n", t8.NumFunded)
+}
+
+// WriteFigure2 renders the manipulation-claim probe.
+func WriteFigure2(w io.Writer, rows []core.Figure2Row) {
+	fmt.Fprintln(w, "=== Figure 2: IIPs publicly advertising rank manipulation ===")
+	t := NewTable("IIP", "Type", "Advertises rank boost")
+	for _, r := range rows {
+		t.Row(r.IIP, vet(r.Vetted), r.AdvertisesRankBoost)
+	}
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}
+
+// WriteFigure4 renders the baseline install-count histogram.
+func WriteFigure4(w io.Writer, bins []stats.HistogramBin) {
+	fmt.Fprintln(w, "=== Figure 4: baseline app install counts ===")
+	t := NewTable("Bin", "Apps", "")
+	for _, b := range bins {
+		t.Row(b.Label, b.Count, strings.Repeat("#", b.Count/2))
+	}
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}
+
+// WriteFigure5 renders the chart-rank case studies.
+func WriteFigure5(w io.Writer, cases []core.CaseStudy) {
+	fmt.Fprintln(w, "=== Figure 5: case studies (chart percentile over time) ===")
+	if len(cases) == 0 {
+		fmt.Fprintln(w, "(no qualifying case study in this run)")
+	}
+	for _, cs := range cases {
+		fmt.Fprintf(w, "%s in %s, campaign %s, offers %v\n", cs.Package, cs.Chart, cs.Campaign, cs.OfferKinds)
+		for _, p := range cs.Points {
+			marker := "."
+			if cs.Campaign.Contains(p.Day) {
+				marker = "|"
+			}
+			bar := ""
+			if p.Rank > 0 {
+				bar = strings.Repeat("=", int(p.Percentile/4)) + fmt.Sprintf(" rank %d", p.Rank)
+			}
+			fmt.Fprintf(w, "  %s %s %s\n", p.Day, marker, bar)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFigure6 renders the ad-library CDF summaries.
+func WriteFigure6(w io.Writer, f core.Figure6) {
+	fmt.Fprintln(w, "=== Figure 6: unique ad libraries per app ===")
+	t := NewTable("App set", "N", ">=5 ad libraries")
+	t.Row("Baseline", len(f.Baseline), pct(f.AtLeast5["baseline"]))
+	t.Row("Activity offers", len(f.Activity), pct(f.AtLeast5["activity"]))
+	t.Row("No-activity offers", len(f.NoActivity), pct(f.AtLeast5["noactivity"]))
+	t.Row("Vetted", len(f.Vetted), pct(f.AtLeast5["vetted"]))
+	t.Row("Unvetted", len(f.Unvetted), pct(f.AtLeast5["unvetted"]))
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}
+
+// WriteSection3 renders the honey-app experiment.
+func WriteSection3(w io.Writer, h *core.HoneyResults) {
+	fmt.Fprintln(w, "=== Section 3: honey-app experiment ===")
+	fmt.Fprintf(w, "total installs: %d; public install count: %s; organic during campaigns: %d; unique apps on devices: %d\n",
+		h.TotalInstalls, playstore.BinLabel(h.PublicInstallBin), h.OrganicDuringCampaigns, h.UniqueInstalledApps)
+	t := NewTable("IIP", "Console", "Telemetry", "Engaged", "Day-after",
+		"Hours", "Emulators", "Cloud", "Farm", "Farm rooted", "Money apps", "Top affiliate")
+	for _, c := range h.Campaigns {
+		t.Row(c.IIP, c.ConsoleInstalls, c.TelemetryInstalls, c.Engaged,
+			c.DayAfterEngaged, fmt.Sprintf("%.1f", c.CompletionHours),
+			c.EmulatorInstalls, c.CloudASNInstalls, c.FarmInstalls,
+			c.FarmRootedSameSSID, pct(c.MoneyKeywordShare),
+			fmt.Sprintf("%s (%s)", c.TopAffiliate, pct(c.TopAffiliateShare)))
+	}
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}
+
+// WriteEnforcement renders the Section 5.2 enforcement scan.
+func WriteEnforcement(w io.Writer, e core.EnforcementResult) {
+	fmt.Fprintln(w, "=== Section 5.2: enforcement (install-count decreases) ===")
+	t := NewTable("App set", "N", "Decreased", "Fraction")
+	t.Row("Baseline", e.BaselineDecreased.N, e.BaselineDecreased.Positive, pct(e.BaselineDecreased.Frac()))
+	t.Row("Vetted", e.VettedDecreased.N, e.VettedDecreased.Positive, pct(e.VettedDecreased.Frac()))
+	t.Row("Unvetted", e.UnvettedDecreased.N, e.UnvettedDecreased.Positive, pct(e.UnvettedDecreased.Frac()))
+	t.WriteTo(w)
+	fmt.Fprintf(w, "honey-app installs filtered: %d\n\n", e.HoneyInstallsFiltered)
+}
+
+// WriteLockstep renders the Section 5.2 proposed-defense evaluation.
+func WriteLockstep(w io.Writer, l core.LockstepResult) {
+	fmt.Fprintln(w, "=== Section 5.2 extension: lockstep detector over the install stream ===")
+	fmt.Fprintf(w, "groups=%d flagged-devices=%d %s\n\n", l.Groups, l.FlaggedDevices, l.Eval)
+}
+
+// WriteDisclosure renders the Section 5.1 responsible-disclosure list.
+func WriteDisclosure(w io.Writer, rows []core.DisclosureRow) {
+	fmt.Fprintf(w, "=== Section 5.1: responsible disclosure (advertised apps with 5M+ installs) ===\n")
+	fmt.Fprintf(w, "apps to contact: %d\n", len(rows))
+	max := len(rows)
+	if max > 5 {
+		max = 5
+	}
+	t := NewTable("App", "Installs", "Developer", "Contact")
+	for _, r := range rows[:max] {
+		t.Row(r.Package, playstore.BinLabel(r.InstallBin), r.Developer, r.ContactMail)
+	}
+	t.WriteTo(w)
+	if len(rows) > max {
+		fmt.Fprintf(w, "... and %d more\n", len(rows)-max)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteArbitrage renders the arbitrage-offer shares.
+func WriteArbitrage(w io.Writer, a core.ArbitrageResult) {
+	fmt.Fprintln(w, "=== Section 4.3.2: arbitrage offers ===")
+	t := NewTable("App set", "N", "Arbitrage", "Fraction")
+	t.Row("All advertised", a.Total.N, a.Total.Positive, pct(a.Total.Frac()))
+	t.Row("Vetted", a.Vetted.N, a.Vetted.Positive, pct(a.Vetted.Frac()))
+	t.Row("Unvetted", a.Unvetted.N, a.Unvetted.Positive, pct(a.Unvetted.Frac()))
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/iip"
+	"repro/internal/offers"
+	"repro/internal/stats"
+)
+
+func TestTableAlignmentAndContent(t *testing.T) {
+	tbl := NewTable("A", "Long header", "C")
+	tbl.Row("x", 1, 2.5)
+	tbl.Row("longer-cell", "y", "z")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4 (header, sep, 2 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "A") || !strings.Contains(lines[0], "Long header") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "2.5") || !strings.Contains(lines[3], "longer-cell") {
+		t.Errorf("rows wrong: %q %q", lines[2], lines[3])
+	}
+	// Columns align: "Long header" starts at same offset in all lines.
+	idx := strings.Index(lines[0], "Long header")
+	if strings.Index(lines[3], "y") != idx {
+		t.Errorf("column misaligned: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := pct(0.44); got != "44.0%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := usd(2.975); got != "$2.98" {
+		t.Errorf("usd = %q", got)
+	}
+	if vet(true) != "Vetted" || vet(false) != "Unvetted" {
+		t.Error("vet labels wrong")
+	}
+}
+
+// sampleResults builds a minimal populated Results for render tests.
+func sampleResults() *core.Results {
+	return &core.Results{
+		Dataset: core.DatasetSummary{Offers: 10, UniqueApps: 5, UniqueDescriptions: 7, MilkDays: 3, CrawlDays: 6},
+		Table1: []core.Table1Row{
+			{Name: iip.Fyber, HomeURL: "fyber.com", Vetted: true, MinDepositUSD: 2000},
+			{Name: iip.RankApp, HomeURL: "rankapp.org", Vetted: false, MinDepositUSD: 20},
+		},
+		Table2: []core.Table2Row{
+			{Package: "com.cash.app", InstallsBin: 1_000_000, Integrations: map[string]bool{iip.Fyber: true}},
+		},
+		Table3: []core.Table3Row{
+			{Type: offers.NoActivity, Share: 0.47, AveragePayout: 0.06},
+			{Type: offers.Purchase, Share: 0.05, AveragePayout: 2.98},
+		},
+		Table4: []core.Table4Row{
+			{IIP: iip.RankApp, MedianPayout: 0.02, NoActivityShare: 1, NumApps: 152, NumDevelopers: 114, NumCountries: 39, NumGenres: 20, MedianInstallBin: 100, MedianAgeDays: 33},
+		},
+		Table5: core.GroupOutcome{
+			Name:     "install increases",
+			Baseline: core.GroupCell{N: 300, Positive: 6},
+			Vetted:   core.GroupCell{N: 492, Positive: 61},
+			Unvetted: core.GroupCell{N: 538, Positive: 88},
+		},
+		Table8:  core.Table8{NumFunded: 30, NoActivityShare: 0.67, ActivityShare: 0.63, NoActivityAvgPayout: 0.12, ActivityAvgPayout: 0.92},
+		Figure2: []core.Figure2Row{{IIP: iip.RankApp, AdvertisesRankBoost: true}},
+		Figure4: []stats.HistogramBin{{Label: "0-1k", Count: 8}},
+		Figure5: []core.CaseStudy{},
+		Figure6: core.Figure6{AtLeast5: map[string]float64{"activity": 0.6, "noactivity": 0.25, "baseline": 0.35, "vetted": 0.55, "unvetted": 0.2}},
+		Section3: &core.HoneyResults{
+			TotalInstalls:    1679,
+			PublicInstallBin: 1000,
+			Campaigns: []core.HoneyCampaign{
+				{IIP: iip.Fyber, ConsoleInstalls: 626, TelemetryInstalls: 626, Engaged: 275, CompletionHours: 2, TopAffiliate: "proxima.makemoney.android"},
+			},
+		},
+	}
+}
+
+func TestWriteAllRendersEverySection(t *testing.T) {
+	var b strings.Builder
+	WriteAll(&b, sampleResults())
+	out := b.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+		"Table 6", "Table 7", "Table 8", "Figure 2", "Figure 4",
+		"Figure 5", "Figure 6", "Section 3", "Section 5.2", "arbitrage",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Spot values.
+	for _, want := range []string{
+		"1,000,000+", "RankApp", "$2.98", "1679", "no qualifying case study",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing value %q", want)
+		}
+	}
+}
+
+func TestWriteOutcomeChiSquared(t *testing.T) {
+	var b strings.Builder
+	o := core.GroupOutcome{
+		Baseline: core.GroupCell{N: 300, Positive: 6},
+		Vetted:   core.GroupCell{N: 492, Positive: 61},
+		Unvetted: core.GroupCell{N: 538, Positive: 88},
+	}
+	res, err := stats.ChiSquareIndependence(stats.Table2x2{A0: 294, A1: 6, B0: 431, B1: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.VettedTest = res
+	WriteOutcome(&b, "test outcome", o)
+	out := b.String()
+	if !strings.Contains(out, "2.0%") || !strings.Contains(out, "12.4%") {
+		t.Errorf("fractions missing: %s", out)
+	}
+	if !strings.Contains(out, "reject@0.05=true") {
+		t.Errorf("chi-squared line missing: %s", out)
+	}
+}
+
+func TestWriteFigure5WithPoints(t *testing.T) {
+	var b strings.Builder
+	WriteFigure5(&b, []core.CaseStudy{{
+		Package: "com.case.study", Chart: "top-games",
+		Points: []core.CasePoint{
+			{Day: 59, Rank: 0},
+			{Day: 61, Rank: 12, Percentile: 94.5},
+		},
+	}})
+	out := b.String()
+	if !strings.Contains(out, "com.case.study") || !strings.Contains(out, "rank 12") {
+		t.Errorf("case study rendering wrong: %s", out)
+	}
+}

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dates"
+	"repro/internal/device"
+	"repro/internal/iip"
+	"repro/internal/mediator"
+	"repro/internal/offers"
+	"repro/internal/playstore"
+	"repro/internal/randx"
+)
+
+// RunStats summarizes one full simulation run.
+type RunStats struct {
+	Days                 int
+	OrganicInstalls      int64
+	IncentivizedInstalls int64
+	CertifiedCompletions int64
+	RevenueUSD           float64
+}
+
+// Run executes the day engine over the configured window: organic store
+// activity, campaign deliveries through the mediator and ledger, and daily
+// chart/enforcement steps. Run is deterministic for a given world.
+func (w *World) Run() (RunStats, error) {
+	return w.RunWithHook(nil)
+}
+
+// RunWithHook runs the day engine, invoking hook after each day's
+// activity and chart/enforcement step. The measurement pipelines (crawler,
+// offer-wall milker) attach here, observing the world exactly as the
+// paper's infrastructure observed the live ecosystem.
+func (w *World) RunWithHook(hook func(day dates.Date) error) (RunStats, error) {
+	r := randx.Derive(w.Cfg.Seed, "engine")
+	var stats RunStats
+	for day := w.Cfg.Window.Start; day <= w.Cfg.Window.End; day++ {
+		if err := w.stepOrganic(r, day, &stats); err != nil {
+			return stats, fmt.Errorf("sim: organic step %s: %w", day, err)
+		}
+		if err := w.stepCampaigns(r, day, &stats); err != nil {
+			return stats, fmt.Errorf("sim: campaign step %s: %w", day, err)
+		}
+		w.Store.StepDay(day)
+		stats.Days++
+		if hook != nil {
+			if err := hook(day); err != nil {
+				return stats, fmt.Errorf("sim: hook on %s: %w", day, err)
+			}
+		}
+	}
+	return stats, nil
+}
+
+// stepOrganic generates the day's organic installs, sessions, and revenue
+// for every app in the catalog, recorded through the store's batch APIs.
+func (w *World) stepOrganic(r *randx.Rand, day dates.Date, stats *RunStats) error {
+	for _, pkg := range w.Store.Packages() {
+		// Chart presence yesterday boosts organic acquisition
+		// ("visibility"), the reason developers want top-chart slots.
+		boost := 1.0
+		if w.Store.ChartRank(playstore.ChartTopFree, day.AddDays(-1), pkg) > 0 {
+			boost = 1.5
+		}
+		n := int64(r.Poisson(w.organicInstall[pkg] * boost))
+		if err := w.Store.RecordInstallBatch(pkg, day, n, playstore.SourceOrganic, 0.05); err != nil {
+			return err
+		}
+		stats.OrganicInstalls += n
+
+		// Day-to-day engagement fluctuates multiplicatively (weekday
+		// effects, feature placements), which keeps chart boundaries
+		// churning the way real "trending" charts do.
+		dau := int64(r.Poisson(w.organicDAU[pkg] * r.LogNormal(0, 0.10)))
+		if dau > 0 {
+			secPer := int64(60 + r.IntN(240))
+			if err := w.Store.RecordSessionBatch(pkg, day, dau, secPer); err != nil {
+				return err
+			}
+		}
+		if rate := w.organicRevenue[pkg]; rate > 0 {
+			usd := rate * r.LogNormal(0, 0.3)
+			if err := w.Store.RecordPurchase(pkg, playstore.Purchase{Day: day, USD: usd}); err != nil {
+				return err
+			}
+			stats.RevenueUSD += usd
+		}
+	}
+	return nil
+}
+
+// fullFidelityPerDay bounds how many of a campaign's daily completions run
+// through the full per-worker flow (click tracking, telemetry-grade
+// behaviour, individual ledger postings); the remainder settles through
+// the batch paths with identical aggregate effects.
+const fullFidelityPerDay = 8
+
+// stepCampaigns delivers the day's incentivized completions.
+func (w *World) stepCampaigns(r *randx.Rand, day dates.Date, stats *RunStats) error {
+	for _, c := range w.Campaigns {
+		if !c.Spec.Window.Contains(day) {
+			continue
+		}
+		platform := w.Platforms[c.IIP]
+		// Demand-limited delivery, capped by the platform's pacing and
+		// by the campaign's remaining purchased completions.
+		n := r.Poisson(c.DailyUptake)
+		if paceCap := int(platform.PacePerHour * 24); n > paceCap {
+			n = paceCap
+		}
+		snap, err := platform.Campaign(c.OfferID)
+		if err != nil {
+			return err
+		}
+		if remaining := snap.Spec.Target - snap.Delivered; n > remaining {
+			n = remaining
+		}
+		pool := w.Pools[c.IIP]
+		full := n
+		if full > fullFidelityPerDay {
+			full = fullFidelityPerDay
+		}
+		for i := 0; i < full; i++ {
+			done, err := w.deliverOne(r, platform, c, pool, day)
+			if err != nil {
+				return err
+			}
+			if !done {
+				full = i
+				break
+			}
+			stats.IncentivizedInstalls++
+		}
+		if bulk := n - full; bulk > 0 && full == fullFidelityPerDay {
+			delivered, err := w.deliverBatch(r, platform, c, pool, day, bulk)
+			if err != nil {
+				return err
+			}
+			stats.IncentivizedInstalls += int64(delivered)
+		}
+	}
+	stats.CertifiedCompletions = int64(w.Mediator.Certified())
+	return nil
+}
+
+// deliverBatch settles n completions through the batch paths: aggregate
+// store installs and sessions, one money split, one certification batch.
+func (w *World) deliverBatch(r *randx.Rand, platform *iip.Platform, c *PlannedCampaign, pool []*device.Worker, day dates.Date, n int) (int, error) {
+	disb, settled, err := platform.RecordCompletions(c.OfferID, day, n)
+	if err != nil || settled == 0 {
+		return 0, err
+	}
+	// Mean fraud score of the pool approximates the batch's devices.
+	meanFraud := 0.0
+	for i := 0; i < 16; i++ {
+		meanFraud += pool[r.IntN(len(pool))].FraudScore()
+	}
+	meanFraud = meanFraud/16 + c.Botness
+	if err := w.Store.RecordInstallBatch(c.App, day, int64(settled), playstore.SourceReferral, meanFraud); err != nil {
+		return 0, err
+	}
+	for i := 0; i < settled; i++ {
+		w.InstallLog = append(w.InstallLog, InstallRecord{
+			Device: pool[r.IntN(len(pool))].ID, App: c.App, Day: day,
+		})
+	}
+	seconds, purchase := engagementFor(r, c.Spec.Type)
+	if seconds > 0 {
+		if err := w.Store.RecordSessionBatch(c.App, day, int64(settled), seconds); err != nil {
+			return 0, err
+		}
+	}
+	if purchase > 0 {
+		if err := w.Store.RecordPurchase(c.App, playstore.Purchase{Day: day, USD: purchase * float64(settled)}); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Mediator.CertifyBatch(c.OfferID, settled); err != nil {
+		return 0, err
+	}
+	dev := mediator.DeveloperAccount(c.Spec.Developer)
+	aff := w.pickAffiliate(r, c.IIP)
+	fee := w.Mediator.FeePerUser * float64(settled)
+	if err := w.Ledger.Post(dev, mediator.IIPAccount(c.IIP), disb.Gross, "offer completions (batch)"); err != nil {
+		return 0, err
+	}
+	if err := w.Ledger.Post(mediator.IIPAccount(c.IIP), mediator.AffiliateAccount(aff), disb.AffiliateCut+disb.UserPayout, "affiliate share (batch)"); err != nil {
+		return 0, err
+	}
+	if err := w.Ledger.Post(mediator.AffiliateAccount(aff), mediator.UserAccount("pool-"+c.IIP), disb.UserPayout, "reward redemptions (batch)"); err != nil {
+		return 0, err
+	}
+	if err := w.Ledger.Post(dev, mediator.MediatorAccount(w.Mediator.Name), fee, "attribution fees (batch)"); err != nil {
+		return 0, err
+	}
+	return settled, nil
+}
+
+// engagementFor returns the mean session seconds and per-user purchase
+// amount generated by completing an offer of the given type.
+func engagementFor(r *randx.Rand, t offers.Type) (seconds int64, purchaseUSD float64) {
+	switch t {
+	case offers.Usage:
+		return int64(300 + r.IntN(1200)), 0
+	case offers.Registration:
+		return int64(120 + r.IntN(240)), 0
+	case offers.Purchase:
+		return int64(180 + r.IntN(600)), []float64{0.99, 1.99, 2.99, 4.99, 9.99}[r.IntN(5)]
+	default:
+		return int64(30 + r.IntN(60)), 0
+	}
+}
+
+// deliverOne runs a single worker through the full Figure 1 flow: click
+// tracking, install, in-app events, certification, settlement, and payout.
+// It returns false (and no error) when the campaign cannot accept more
+// completions.
+func (w *World) deliverOne(r *randx.Rand, platform *iip.Platform, c *PlannedCampaign, pool []*device.Worker, day dates.Date) (bool, error) {
+	worker := pool[r.IntN(len(pool))]
+	click := w.Mediator.TrackClick(c.OfferID, worker.ID, day)
+
+	// The install lands on the store regardless of engagement quality;
+	// bot-farm fulfillment raises the device-reputation penalty.
+	if err := w.Store.RecordInstall(c.App, playstore.Install{
+		Day:        day,
+		Source:     playstore.SourceReferral,
+		FraudScore: worker.FraudScore() + c.Botness,
+	}); err != nil {
+		return false, err
+	}
+	w.InstallLog = append(w.InstallLog, InstallRecord{Device: worker.ID, App: c.App, Day: day})
+
+	// In-app behaviour. For no-activity offers on sloppy platforms the
+	// completion may be claimed without a real open (RankApp's missing
+	// telemetry), but activity offers force the worker through the task.
+	opened := worker.OpenProb >= 1 || r.Bool(worker.OpenProb) || c.Spec.Type.IsActivity()
+	if opened {
+		if _, err := w.Mediator.Postback(click.ID, mediator.EventOpen, day); err != nil {
+			return false, err
+		}
+		seconds := int64(30 + r.IntN(60))
+		switch c.Spec.Type {
+		case offers.Usage:
+			seconds = int64(300 + r.IntN(1200))
+			if _, err := w.Mediator.Postback(click.ID, mediator.EventUsage, day); err != nil {
+				return false, err
+			}
+		case offers.Registration:
+			seconds = int64(120 + r.IntN(240))
+			if _, err := w.Mediator.Postback(click.ID, mediator.EventRegister, day); err != nil {
+				return false, err
+			}
+		case offers.Purchase:
+			seconds = int64(180 + r.IntN(600))
+			amount := []float64{0.99, 1.99, 2.99, 4.99, 9.99}[r.IntN(5)]
+			if err := w.Store.RecordPurchase(c.App, playstore.Purchase{Day: day, USD: amount}); err != nil {
+				return false, err
+			}
+			if _, err := w.Mediator.Postback(click.ID, mediator.EventPurchase, day); err != nil {
+				return false, err
+			}
+		}
+		if err := w.Store.RecordSession(c.App, playstore.Session{Day: day, Seconds: seconds}); err != nil {
+			return false, err
+		}
+	}
+
+	// Certification: activity offers certify via their task postback
+	// above; no-activity offers certify on open — or, on lax platforms,
+	// through a spoofed postback even without an open.
+	if c.Spec.Type == offers.NoActivity && !opened {
+		if _, err := w.Mediator.Postback(click.ID, mediator.EventOpen, day); err != nil {
+			return false, err
+		}
+	}
+
+	// Settlement through the platform and the ledger.
+	disb, err := platform.RecordCompletion(c.OfferID, day)
+	if err != nil {
+		// Target reached or balance exhausted: stop delivering.
+		return false, nil
+	}
+	dev := mediator.DeveloperAccount(c.Spec.Developer)
+	aff := w.pickAffiliate(r, c.IIP)
+	if err := w.Ledger.Post(dev, mediator.IIPAccount(c.IIP), disb.Gross, "offer completion"); err != nil {
+		return false, err
+	}
+	if err := w.Ledger.Post(mediator.IIPAccount(c.IIP), mediator.AffiliateAccount(aff), disb.AffiliateCut+disb.UserPayout, "affiliate share"); err != nil {
+		return false, err
+	}
+	if err := w.Ledger.Post(mediator.AffiliateAccount(aff), mediator.UserAccount(worker.ID), disb.UserPayout, "reward redemption"); err != nil {
+		return false, err
+	}
+	if err := w.Ledger.Post(dev, mediator.MediatorAccount(w.Mediator.Name), w.Mediator.FeePerUser, "attribution fee"); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// pickAffiliate selects the affiliate app credited with a completion.
+func (w *World) pickAffiliate(r *randx.Rand, iipName string) string {
+	apps := w.AffiliatesForIIP(iipName)
+	if len(apps) == 0 {
+		// IIPs without instrumented affiliates still have their own
+		// (unobserved) distribution network.
+		return "uninstrumented." + iipName
+	}
+	return apps[r.IntN(len(apps))].Package
+}

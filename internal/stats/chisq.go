@@ -1,0 +1,188 @@
+// Package stats provides the statistical machinery used by the study:
+// the chi-squared test of independence for 2x2 contingency tables (the
+// paper's significance test for Tables 5-7), the chi-squared CDF via the
+// regularized incomplete gamma function, and small descriptive-statistics
+// helpers (median, ECDF, log-scale histogram bins).
+//
+// Everything is implemented from scratch on top of the math package so the
+// module stays dependency-free.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Table2x2 is a 2x2 contingency table:
+//
+//	          outcome=no   outcome=yes
+//	group A   A0           A1
+//	group B   B0           B1
+//
+// In the paper, group A is the baseline app set and group B the treatment
+// (apps advertised on vetted or unvetted IIPs); the outcome is "install
+// count increased", "appeared in top charts", or "raised funding".
+type Table2x2 struct {
+	A0, A1 uint64
+	B0, B1 uint64
+}
+
+// Totals returns the row sums, column sums, and grand total.
+func (t Table2x2) Totals() (rowA, rowB, col0, col1, n uint64) {
+	rowA = t.A0 + t.A1
+	rowB = t.B0 + t.B1
+	col0 = t.A0 + t.B0
+	col1 = t.A1 + t.B1
+	n = rowA + rowB
+	return
+}
+
+// ChiSquareResult is the outcome of a chi-squared test of independence.
+type ChiSquareResult struct {
+	Chi2     float64 // test statistic
+	P        float64 // p-value for 1 degree of freedom
+	DF       int     // degrees of freedom (always 1 for a 2x2 table)
+	N        uint64  // grand total
+	Expected [2][2]float64
+	// RejectAt05 is true when the null hypothesis of independence is
+	// rejected at the 0.05 significance level, matching the paper's
+	// decision rule.
+	RejectAt05 bool
+}
+
+func (r ChiSquareResult) String() string {
+	return fmt.Sprintf("chi2=%.4g p=%.4g df=%d n=%d reject@0.05=%v",
+		r.Chi2, r.P, r.DF, r.N, r.RejectAt05)
+}
+
+// ErrDegenerateTable is returned when a contingency table has an empty row
+// or column, making the test undefined.
+var ErrDegenerateTable = errors.New("stats: degenerate contingency table (empty row or column)")
+
+// ChiSquareIndependence runs Pearson's chi-squared test of independence on
+// a 2x2 table without Yates' continuity correction, matching the standard
+// formulation cited by the paper (McHugh 2013). Degrees of freedom are
+// (2-1)*(2-1) = 1.
+func ChiSquareIndependence(t Table2x2) (ChiSquareResult, error) {
+	rowA, rowB, col0, col1, n := t.Totals()
+	if rowA == 0 || rowB == 0 || col0 == 0 || col1 == 0 {
+		return ChiSquareResult{}, ErrDegenerateTable
+	}
+	fn := float64(n)
+	exp := [2][2]float64{
+		{float64(rowA) * float64(col0) / fn, float64(rowA) * float64(col1) / fn},
+		{float64(rowB) * float64(col0) / fn, float64(rowB) * float64(col1) / fn},
+	}
+	obs := [2][2]float64{
+		{float64(t.A0), float64(t.A1)},
+		{float64(t.B0), float64(t.B1)},
+	}
+	chi2 := 0.0
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			d := obs[i][j] - exp[i][j]
+			chi2 += d * d / exp[i][j]
+		}
+	}
+	p := ChiSquareSurvival(chi2, 1)
+	return ChiSquareResult{
+		Chi2:       chi2,
+		P:          p,
+		DF:         1,
+		N:          n,
+		Expected:   exp,
+		RejectAt05: p < 0.05,
+	}, nil
+}
+
+// ChiSquareSurvival returns P(X >= x) for a chi-squared random variable X
+// with df degrees of freedom; i.e. the p-value of a chi-squared statistic.
+// It is computed as Q(df/2, x/2), the regularized upper incomplete gamma
+// function.
+func ChiSquareSurvival(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	return regIncGammaQ(float64(df)/2, x/2)
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-squared random variable X with
+// df degrees of freedom.
+func ChiSquareCDF(x float64, df int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - ChiSquareSurvival(x, df)
+}
+
+// regIncGammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = Gamma(a, x)/Gamma(a) using the series expansion for x < a+1
+// and the continued-fraction expansion otherwise (Numerical Recipes
+// gammp/gammq construction).
+func regIncGammaQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - regIncGammaPSeries(a, x)
+	default:
+		return regIncGammaQContinued(a, x)
+	}
+}
+
+// regIncGammaPSeries evaluates P(a, x) by its power series.
+func regIncGammaPSeries(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// regIncGammaQContinued evaluates Q(a, x) by a modified Lentz continued
+// fraction.
+func regIncGammaQContinued(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

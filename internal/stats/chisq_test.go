@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// approx checks relative closeness.
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) {
+		t.Fatalf("%s: got %v want %v", name, got, want)
+	}
+	if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s: got %g want %g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestChiSquarePaperTable5Vetted(t *testing.T) {
+	// Paper Table 5, vetted vs baseline: baseline 294/6, vetted 431/61.
+	// Paper reports chi2 = 26.0, p = 3.378e-7.
+	res, err := ChiSquareIndependence(Table2x2{A0: 294, A1: 6, B0: 431, B1: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "chi2", res.Chi2, 26.0, 0.02)
+	approx(t, "p", res.P, 3.378e-7, 0.05)
+	if !res.RejectAt05 {
+		t.Error("expected rejection at 0.05")
+	}
+}
+
+func TestChiSquarePaperTable5Unvetted(t *testing.T) {
+	// Paper Table 5, unvetted vs baseline: baseline 294/6, unvetted 450/88.
+	// Paper reports chi2 = 39.9, p ~ 0.
+	res, err := ChiSquareIndependence(Table2x2{A0: 294, A1: 6, B0: 450, B1: 88})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "chi2", res.Chi2, 39.9, 0.02)
+	if res.P > 1e-8 {
+		t.Errorf("p = %g, want ~0", res.P)
+	}
+}
+
+func TestChiSquarePaperTable6(t *testing.T) {
+	// Vetted vs baseline: 253/8 vs 296/24 -> chi2=5.43, p=0.02.
+	res, err := ChiSquareIndependence(Table2x2{A0: 253, A1: 8, B0: 296, B1: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "chi2 vetted", res.Chi2, 5.43, 0.03)
+	approx(t, "p vetted", res.P, 0.02, 0.05)
+	if !res.RejectAt05 {
+		t.Error("vetted vs baseline should reject at 0.05")
+	}
+
+	// Unvetted vs baseline: 253/8 vs 472/12 -> chi2=0.22, p=0.64.
+	res, err = ChiSquareIndependence(Table2x2{A0: 253, A1: 8, B0: 472, B1: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "chi2 unvetted", res.Chi2, 0.22, 0.1)
+	approx(t, "p unvetted", res.P, 0.64, 0.03)
+	if res.RejectAt05 {
+		t.Error("unvetted vs baseline should NOT reject at 0.05")
+	}
+}
+
+func TestChiSquarePaperTable7(t *testing.T) {
+	// Vetted vs baseline: 77/5 vs 162/30 -> chi2=4.7, p=0.03.
+	res, err := ChiSquareIndependence(Table2x2{A0: 77, A1: 5, B0: 162, B1: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "chi2 vetted", res.Chi2, 4.7, 0.05)
+	approx(t, "p vetted", res.P, 0.03, 0.1)
+	if !res.RejectAt05 {
+		t.Error("vetted vs baseline funding should reject")
+	}
+
+	// Unvetted vs baseline: 77/5 vs 68/11 -> chi2=2.8, p=0.10.
+	res, err = ChiSquareIndependence(Table2x2{A0: 77, A1: 5, B0: 68, B1: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "chi2 unvetted", res.Chi2, 2.8, 0.06)
+	approx(t, "p unvetted", res.P, 0.10, 0.1)
+	if res.RejectAt05 {
+		t.Error("unvetted vs baseline funding should NOT reject")
+	}
+}
+
+func TestChiSquareDegenerate(t *testing.T) {
+	cases := []Table2x2{
+		{},                           // all zero
+		{A0: 0, A1: 0, B0: 5, B1: 5}, // empty row A
+		{A0: 5, A1: 5, B0: 0, B1: 0}, // empty row B
+		{A0: 0, A1: 5, B0: 0, B1: 5}, // empty col 0
+		{A0: 5, A1: 0, B0: 5, B1: 0}, // empty col 1
+	}
+	for i, c := range cases {
+		if _, err := ChiSquareIndependence(c); err == nil {
+			t.Errorf("case %d: expected ErrDegenerateTable", i)
+		}
+	}
+}
+
+func TestChiSquareIndependentTable(t *testing.T) {
+	// A perfectly proportional table has chi2 = 0, p = 1.
+	res, err := ChiSquareIndependence(Table2x2{A0: 40, A1: 10, B0: 80, B1: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chi2 > 1e-12 {
+		t.Errorf("chi2 = %g, want 0", res.Chi2)
+	}
+	approx(t, "p", res.P, 1, 1e-9)
+}
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Reference values for df=1: P(X >= 3.841) ~ 0.05, P(X >= 6.635) ~ 0.01.
+	approx(t, "crit 0.05", ChiSquareSurvival(3.841459, 1), 0.05, 1e-4)
+	approx(t, "crit 0.01", ChiSquareSurvival(6.634897, 1), 0.01, 1e-4)
+	// df=2: survival is exp(-x/2).
+	approx(t, "df2", ChiSquareSurvival(4, 2), math.Exp(-2), 1e-10)
+	// df=4 at x=4: Q(2,2) = e^-2 * (1 + 2) = 3e^-2.
+	approx(t, "df4", ChiSquareSurvival(4, 4), 3*math.Exp(-2), 1e-10)
+}
+
+func TestChiSquareSurvivalEdges(t *testing.T) {
+	if got := ChiSquareSurvival(0, 1); got != 1 {
+		t.Errorf("survival at 0 = %g, want 1", got)
+	}
+	if got := ChiSquareSurvival(-1, 1); got != 1 {
+		t.Errorf("survival at -1 = %g, want 1", got)
+	}
+	if !math.IsNaN(ChiSquareSurvival(1, 0)) {
+		t.Error("df=0 should give NaN")
+	}
+}
+
+func TestChiSquareCDFComplement(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10, 30} {
+		for _, df := range []int{1, 2, 3, 5, 10} {
+			sum := ChiSquareCDF(x, df) + ChiSquareSurvival(x, df)
+			approx(t, "cdf+sf", sum, 1, 1e-9)
+		}
+	}
+}
+
+func TestChiSquareSurvivalMonotone(t *testing.T) {
+	prev := 1.0
+	for x := 0.0; x <= 50; x += 0.25 {
+		s := ChiSquareSurvival(x, 1)
+		if s > prev+1e-12 {
+			t.Fatalf("survival not monotone at x=%g: %g > %g", x, s, prev)
+		}
+		prev = s
+	}
+}
+
+// Property: chi-squared statistic is invariant under swapping rows or
+// columns of the table, and the p-value is always in [0, 1].
+func TestChiSquareProperties(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint16) bool {
+		tab := Table2x2{A0: uint64(a0) + 1, A1: uint64(a1) + 1, B0: uint64(b0) + 1, B1: uint64(b1) + 1}
+		r1, err1 := ChiSquareIndependence(tab)
+		r2, err2 := ChiSquareIndependence(Table2x2{A0: tab.B0, A1: tab.B1, B0: tab.A0, B1: tab.A1})
+		r3, err3 := ChiSquareIndependence(Table2x2{A0: tab.A1, A1: tab.A0, B0: tab.B1, B1: tab.B0})
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if math.Abs(r1.Chi2-r2.Chi2) > 1e-9*(1+r1.Chi2) {
+			return false
+		}
+		if math.Abs(r1.Chi2-r3.Chi2) > 1e-9*(1+r1.Chi2) {
+			return false
+		}
+		return r1.P >= 0 && r1.P <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling every cell by a constant k >= 1 scales chi2 by ~k.
+func TestChiSquareScaling(t *testing.T) {
+	tab := Table2x2{A0: 30, A1: 10, B0: 20, B1: 25}
+	r1, err := ChiSquareIndependence(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := ChiSquareIndependence(Table2x2{A0: 300, A1: 100, B0: 200, B1: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "scaled chi2", r10.Chi2, 10*r1.Chi2, 1e-9)
+}

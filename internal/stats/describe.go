@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of vs. It returns NaN for an empty slice and
+// does not modify its argument.
+func Median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// MedianInt returns the median of integer samples as a float64.
+func MedianInt(vs []int64) float64 {
+	fs := make([]float64, len(vs))
+	for i, v := range vs {
+		fs[i] = float64(v)
+	}
+	return Median(fs)
+}
+
+// Mean returns the arithmetic mean of vs, or NaN when empty.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// ECDF is an empirical cumulative distribution function over float64
+// samples. The zero value is unusable; build one with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from samples (copied and sorted).
+func NewECDF(samples []float64) *ECDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns F(x) = fraction of samples <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// First index with sorted[i] > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using nearest-rank.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// HistogramBin is one bin of a histogram with inclusive Lo and exclusive
+// Hi bounds (the final bin's Hi may be +Inf).
+type HistogramBin struct {
+	Lo, Hi float64
+	Count  int
+	Label  string
+}
+
+// Histogram counts samples into the provided bin edges. edges must be
+// strictly increasing; samples below edges[0] are dropped and samples at
+// or above edges[len-1] fall into a final open-ended bin.
+func Histogram(samples []float64, edges []float64, labels []string) []HistogramBin {
+	bins := make([]HistogramBin, len(edges))
+	for i := range edges {
+		bins[i].Lo = edges[i]
+		if i+1 < len(edges) {
+			bins[i].Hi = edges[i+1]
+		} else {
+			bins[i].Hi = math.Inf(1)
+		}
+		if i < len(labels) {
+			bins[i].Label = labels[i]
+		}
+	}
+	for _, v := range samples {
+		for i := len(bins) - 1; i >= 0; i-- {
+			if v >= bins[i].Lo {
+				bins[i].Count++
+				break
+			}
+		}
+	}
+	return bins
+}
+
+// FractionAtLeast returns the fraction of samples >= threshold.
+func FractionAtLeast(samples []float64, threshold float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, v := range samples {
+		if v >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}

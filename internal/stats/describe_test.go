@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1}, 1},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{-5, 0, 5}, 0},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMedianInt(t *testing.T) {
+	if got := MedianInt([]int64{100, 1000, 10}); got != 100 {
+		t.Errorf("MedianInt = %g, want 100", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ECDF.At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d, want 4", e.Len())
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40, 50})
+	if got := e.Quantile(0.5); got != 30 {
+		t.Errorf("Quantile(0.5) = %g, want 30", got)
+	}
+	if got := e.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %g, want 10", got)
+	}
+	if got := e.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %g, want 50", got)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if !math.IsNaN(e.At(1)) || !math.IsNaN(e.Quantile(0.5)) {
+		t.Error("empty ECDF should yield NaN")
+	}
+}
+
+// Property: ECDF is monotone non-decreasing and bounded in [0,1].
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(samples []float64, probes []float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		for i, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				samples[i] = 0
+			}
+		}
+		e := NewECDF(samples)
+		sort.Float64s(probes)
+		prev := -1.0
+		for _, p := range probes {
+			if math.IsNaN(p) {
+				continue
+			}
+			v := e.At(p)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges := []float64{0, 10, 100}
+	labels := []string{"0-10", "10-100", "100+"}
+	bins := Histogram([]float64{1, 5, 10, 50, 99, 100, 1e6, -3}, edges, labels)
+	if len(bins) != 3 {
+		t.Fatalf("len(bins) = %d, want 3", len(bins))
+	}
+	if bins[0].Count != 2 { // 1, 5 (-3 dropped)
+		t.Errorf("bin0 = %d, want 2", bins[0].Count)
+	}
+	if bins[1].Count != 3 { // 10, 50, 99
+		t.Errorf("bin1 = %d, want 3", bins[1].Count)
+	}
+	if bins[2].Count != 2 { // 100, 1e6
+		t.Errorf("bin2 = %d, want 2", bins[2].Count)
+	}
+	if bins[0].Label != "0-10" || bins[2].Label != "100+" {
+		t.Errorf("labels wrong: %+v", bins)
+	}
+	if !math.IsInf(bins[2].Hi, 1) {
+		t.Error("last bin should be open-ended")
+	}
+}
+
+// Property: every in-range sample lands in exactly one bin.
+func TestHistogramConservation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		samples := make([]float64, len(raw))
+		for i, r := range raw {
+			samples[i] = float64(r)
+		}
+		edges := []float64{0, 100, 1000, 10000}
+		bins := Histogram(samples, edges, nil)
+		total := 0
+		for _, b := range bins {
+			total += b.Count
+		}
+		return total == len(samples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionAtLeast(t *testing.T) {
+	if got := FractionAtLeast([]float64{1, 5, 5, 10}, 5); got != 0.75 {
+		t.Errorf("FractionAtLeast = %g, want 0.75", got)
+	}
+	if !math.IsNaN(FractionAtLeast(nil, 1)) {
+		t.Error("empty should be NaN")
+	}
+}

@@ -1,0 +1,35 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleChiSquareIndependence() {
+	// The paper's Table 5, vetted vs. baseline: did the proportion of
+	// apps with install-count increases differ between groups?
+	res, err := stats.ChiSquareIndependence(stats.Table2x2{
+		A0: 294, A1: 6, // baseline: 294 no increase, 6 increase
+		B0: 431, B1: 61, // vetted: 431 no increase, 61 increase
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("chi2=%.1f reject@0.05=%v\n", res.Chi2, res.RejectAt05)
+	// Output:
+	// chi2=26.0 reject@0.05=true
+}
+
+func ExampleMedian() {
+	fmt.Println(stats.Median([]float64{100, 1000, 500000}))
+	// Output:
+	// 1000
+}
+
+func ExampleNewECDF() {
+	e := stats.NewECDF([]float64{1, 3, 3, 7})
+	fmt.Println(e.At(3))
+	// Output:
+	// 0.75
+}

@@ -1,0 +1,156 @@
+package textgen
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(randx.New(5))
+	b := New(randx.New(5))
+	for i := 0; i < 50; i++ {
+		ta, tb := a.AppTitle(), b.AppTitle()
+		if ta != tb {
+			t.Fatalf("titles diverged: %q vs %q", ta, tb)
+		}
+		if a.PackageName(ta) != b.PackageName(tb) {
+			t.Fatal("package names diverged")
+		}
+	}
+}
+
+func TestPackageNameUniqueAndValid(t *testing.T) {
+	g := New(randx.New(1))
+	valid := regexp.MustCompile(`^[a-z0-9.]+$`)
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		pkg := g.PackageName(g.AppTitle())
+		if seen[pkg] {
+			t.Fatalf("duplicate package name: %s", pkg)
+		}
+		seen[pkg] = true
+		if !valid.MatchString(pkg) {
+			t.Fatalf("invalid package name: %q", pkg)
+		}
+		if strings.HasPrefix(pkg, ".") || strings.HasSuffix(pkg, ".") {
+			t.Fatalf("package name has leading/trailing dot: %q", pkg)
+		}
+		if strings.Count(pkg, ".") < 2 {
+			t.Fatalf("package name too shallow: %q", pkg)
+		}
+	}
+}
+
+func TestCompanyNameUnique(t *testing.T) {
+	g := New(randx.New(2))
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := g.CompanyName()
+		if seen[c] {
+			t.Fatalf("duplicate company: %s", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestRewardAppTitleHasKeyword(t *testing.T) {
+	g := New(randx.New(3))
+	for i := 0; i < 100; i++ {
+		title := g.RewardAppTitle()
+		if !HasMoneyKeyword(title) {
+			t.Fatalf("reward title lacks money keyword: %q", title)
+		}
+	}
+}
+
+func TestHasMoneyKeyword(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"CashPirate", true},
+		{"Make Money Easy", true},
+		{"eu.gcashapp", true},
+		{"Super Puzzle 3D", false},
+		{"REWARD hub", true},
+		{"photo editor", false},
+	}
+	for _, c := range cases {
+		if got := HasMoneyKeyword(c.in); got != c.want {
+			t.Errorf("HasMoneyKeyword(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCountryDistributionHeadHeavy(t *testing.T) {
+	g := New(randx.New(4))
+	counts := map[string]int{}
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		counts[g.Country()]++
+	}
+	if counts["USA"] < counts[Countries[len(Countries)-1]] {
+		t.Error("country distribution should be head-heavy (USA first)")
+	}
+	if len(counts) < 20 {
+		t.Errorf("expected broad country coverage, got %d", len(counts))
+	}
+}
+
+func TestDeviceBuildEmulatorMarkers(t *testing.T) {
+	g := New(randx.New(6))
+	for i := 0; i < 50; i++ {
+		b := g.DeviceBuild(true)
+		if !strings.Contains(b, "generic") && !strings.Contains(b, "genymotion") {
+			t.Fatalf("emulator build lacks marker: %q", b)
+		}
+		if nb := g.DeviceBuild(false); strings.Contains(nb, "generic") || strings.Contains(nb, "genymotion") {
+			t.Fatalf("real-device build carries emulator marker: %q", nb)
+		}
+	}
+}
+
+func TestWebsiteAndEmail(t *testing.T) {
+	g := New(randx.New(7))
+	c := g.CompanyName()
+	w := g.Website(c)
+	if !strings.HasPrefix(w, "https://") || strings.Contains(w, " ") {
+		t.Errorf("bad website: %q", w)
+	}
+	e := g.Email(c)
+	if !strings.Contains(e, "@") || strings.Contains(e, " ") {
+		t.Errorf("bad email: %q", e)
+	}
+}
+
+func TestGenreInList(t *testing.T) {
+	g := New(randx.New(8))
+	set := map[string]bool{}
+	for _, genre := range Genres {
+		set[genre] = true
+	}
+	for i := 0; i < 200; i++ {
+		if !set[g.Genre()] {
+			t.Fatal("Genre returned value outside Genres")
+		}
+	}
+}
+
+func TestMilkerCountriesMatchPaper(t *testing.T) {
+	if len(MilkerCountries) != 8 {
+		t.Fatalf("paper uses 8 VPN exit countries, got %d", len(MilkerCountries))
+	}
+}
+
+func TestSSIDShape(t *testing.T) {
+	g := New(randx.New(9))
+	re := regexp.MustCompile(`^[A-Za-z-]+-\d{4}$`)
+	for i := 0; i < 20; i++ {
+		if s := g.SSID(); !re.MatchString(s) {
+			t.Errorf("unexpected SSID shape: %q", s)
+		}
+	}
+}
