@@ -10,6 +10,7 @@ package repro
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -297,6 +298,87 @@ func BenchmarkFullStudy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Engine scaling (DESIGN.md: "Sharded store + parallel day engine") ---
+
+// benchSimRun times the day engine alone: world construction happens off
+// the clock, each iteration replays the full window at the given worker
+// count. Results are identical for every worker count (asserted by
+// TestEngineDeterministicAcrossWorkerCounts); only wall-clock differs.
+func benchSimRun(b *testing.B, cfg sim.Config, workers int) {
+	b.Helper()
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := cfg
+		c.Seed += uint64(i)
+		w, err := sim.NewWorld(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRunTiny is the small-world engine baseline (DESIGN.md E1).
+// The pooled sub-benchmark is named "workers=max" (not the numeric
+// GOMAXPROCS) so names are stable across machines and never collide with
+// "workers=1" on single-core hosts.
+func BenchmarkSimRunTiny(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchSimRun(b, sim.TinyConfig(), 1) })
+	b.Run("workers=max", func(b *testing.B) { benchSimRun(b, sim.TinyConfig(), 0) })
+}
+
+// BenchmarkSimRunScale replays the ~20x world sequentially and with the
+// full worker pool (workers=max, i.e. GOMAXPROCS); the ratio between the
+// two sub-benchmarks is the engine's parallel speedup on this machine
+// (DESIGN.md E2).
+func BenchmarkSimRunScale(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchSimRun(b, sim.ScaleConfig(), 1) })
+	b.Run("workers=max", func(b *testing.B) { benchSimRun(b, sim.ScaleConfig(), 0) })
+}
+
+// BenchmarkStoreRecordParallel hammers the sharded write path from all
+// procs at once; before sharding, every RecordInstallBatch serialized on
+// one store-wide mutex (DESIGN.md E3).
+func BenchmarkStoreRecordParallel(b *testing.B) {
+	store := playstore.New(dates.StudyStart)
+	store.AddDeveloper(playstore.Developer{ID: "d"})
+	const apps = 512
+	pkgs := make([]string, apps)
+	for i := range pkgs {
+		pkgs[i] = fmt.Sprintf("bench.app.n%04d", i)
+		if err := store.Publish(playstore.Listing{
+			Package: pkgs[i], Title: "B", Genre: "Puzzle", Developer: "d",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var goroutineSeq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Stagger goroutines across the package space so they mostly hit
+		// different shards, the pattern the day engine produces.
+		i := int(goroutineSeq.Add(1)) * 7919
+		for pb.Next() {
+			pkg := pkgs[i%apps]
+			// b.Error, not b.Fatal: FailNow must not be called from
+			// RunParallel worker goroutines.
+			if err := store.RecordInstallBatch(pkg, dates.StudyStart, 3, playstore.SourceReferral, 0.3); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := store.RecordSessionBatch(pkg, dates.StudyStart, 2, 120); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 }
 
 // --- Ablations (design choices called out in DESIGN.md) ---

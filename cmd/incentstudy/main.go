@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	incentstudy [-seed N] [-tiny] [-milk-every D] [-skip-honey] [-quiet]
+//	incentstudy [-seed N] [-tiny] [-scale] [-workers N] [-milk-every D] [-skip-honey] [-quiet]
 package main
 
 import (
@@ -24,19 +24,28 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 0, "override the world seed (0 = calibrated default)")
 	tiny := flag.Bool("tiny", false, "run the small smoke-test world instead of the full study")
+	scale := flag.Bool("scale", false, "run the ~20x throughput-test world (see sim.ScaleConfig)")
+	workers := flag.Int("workers", 0, "day-engine worker pool size (0 = GOMAXPROCS; results are identical for any value)")
 	milkEvery := flag.Int("milk-every", 4, "days between offer-wall milking runs")
 	skipHoney := flag.Bool("skip-honey", false, "skip the Section 3 honey-app experiment")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	dumpOffers := flag.String("dump-offers", "", "write the milked offer dataset to this CSV file (the paper's shared-data analogue)")
 	flag.Parse()
 
+	if *tiny && *scale {
+		log.Fatal("incentstudy: -tiny and -scale are mutually exclusive")
+	}
 	cfg := sim.DefaultConfig()
 	if *tiny {
 		cfg = sim.TinyConfig()
 	}
+	if *scale {
+		cfg = sim.ScaleConfig()
+	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	opts := core.Options{MilkEveryDays: *milkEvery, SkipHoney: *skipHoney}
 	if !*quiet {

@@ -1,0 +1,53 @@
+// Scaling: run the identical seeded world through the day engine at
+// several worker-pool widths and show that (a) every run produces
+// bit-identical results — the engine's determinism contract — and (b)
+// wall-clock drops as workers are added on multi-core hardware.
+//
+// The determinism model is what makes this safe to show: each app and
+// each campaign owns a derived random stream, writes are partitioned so
+// no two workers touch the same float, and cross-cutting effects (ledger
+// postings, install log) are buffered per unit and flushed in canonical
+// order. See DESIGN.md.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
+	fmt.Printf("replaying the same seeded world at %v workers (GOMAXPROCS=%d)\n\n",
+		widths, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-9s %-10s %-12s %-14s %-14s %s\n",
+		"workers", "wall", "organic", "incentivized", "revenueUSD", "ledger sum")
+
+	var first sim.RunStats
+	for i, workers := range widths {
+		cfg := sim.TinyConfig()
+		cfg.Workers = workers
+		world, err := sim.NewWorld(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		stats, err := world.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9d %-10s %-12d %-14d %-14.2f %.6f\n",
+			workers, time.Since(t0).Round(time.Millisecond),
+			stats.OrganicInstalls, stats.IncentivizedInstalls,
+			stats.RevenueUSD, world.Ledger.Sum())
+		if i == 0 {
+			first = stats
+		} else if stats != first {
+			log.Fatalf("determinism violated: %+v != %+v", stats, first)
+		}
+	}
+	fmt.Println("\nall rows identical: worker count changes wall-clock, never results")
+}

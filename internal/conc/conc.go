@@ -1,0 +1,45 @@
+// Package conc provides the one concurrency primitive the simulation's
+// hot paths share: a bounded fan-out over an index range. The engine's
+// day phases and the store's StepDay shard scan both drain work through
+// it, so pool mechanics live in exactly one place.
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForN runs fn(0), ..., fn(n-1), each exactly once, across at most
+// workers goroutines, and returns when every call has completed.
+// workers <= 1 (or n <= 1) runs inline on the caller's goroutine.
+// Scheduling order is unspecified: callers must make fn order-free,
+// which is precisely the determinism contract the simulation's work
+// units are built around.
+func ForN(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,32 @@
+package conc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForNRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 500
+		var hits [n]atomic.Int32
+		ForN(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForNZeroAndOne(t *testing.T) {
+	ran := false
+	ForN(4, 0, func(int) { ran = true })
+	if ran {
+		t.Error("n=0 must not call fn")
+	}
+	count := 0
+	ForN(8, 1, func(int) { count++ }) // inline: no goroutine, no race
+	if count != 1 {
+		t.Errorf("n=1 ran %d times", count)
+	}
+}

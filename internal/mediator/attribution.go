@@ -85,10 +85,13 @@ type Mediator struct {
 	// FeePerUser is charged to the developer per certified completion.
 	FeePerUser float64
 
-	mu        sync.Mutex
-	required  map[string]EventType // offerID -> completing event
-	clicks    map[string]*clickState
-	nextClick int
+	mu       sync.Mutex
+	required map[string]EventType // offerID -> completing event
+	clicks   map[string]*clickState
+	// nextClick numbers clicks per offer rather than globally: offers are
+	// delivered concurrently by the day engine, and per-offer sequences
+	// keep click IDs deterministic regardless of cross-offer interleaving.
+	nextClick map[string]int
 	certified int
 }
 
@@ -105,6 +108,7 @@ func New(name string) *Mediator {
 		FeePerUser: 0.03,
 		required:   map[string]EventType{},
 		clicks:     map[string]*clickState{},
+		nextClick:  map[string]int{},
 	}
 }
 
@@ -120,9 +124,9 @@ func (m *Mediator) RegisterOffer(offerID string, t offers.Type) {
 func (m *Mediator) TrackClick(offerID, worker string, day dates.Date) Click {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.nextClick++
+	m.nextClick[offerID]++
 	c := Click{
-		ID:      fmt.Sprintf("%s-c%07d", m.Name, m.nextClick),
+		ID:      fmt.Sprintf("%s-%s-c%06d", m.Name, offerID, m.nextClick[offerID]),
 		OfferID: offerID,
 		Worker:  worker,
 		Day:     day,

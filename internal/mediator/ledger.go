@@ -37,14 +37,77 @@ func NewLedger() *Ledger {
 
 // Post transfers amount from one account to another.
 func (l *Ledger) Post(from, to string, amount float64, memo string) error {
-	if amount <= 0 {
-		return fmt.Errorf("%w: %.4f (%s -> %s)", ErrBadAmount, amount, from, to)
+	if err := validateTx(from, to, amount); err != nil {
+		return err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.balances[from] -= amount
-	l.balances[to] += amount
-	l.txs = append(l.txs, Tx{From: from, To: to, Amount: amount, Memo: memo})
+	l.applyLocked(Tx{From: from, To: to, Amount: amount, Memo: memo})
+	return nil
+}
+
+// PostAll applies a batch of pre-validated transactions under one lock
+// acquisition, in slice order. The parallel day engine flushes each work
+// unit's TxBuffer through here in a fixed unit order, so the ledger's
+// transaction log — and every floating-point balance — is bit-for-bit
+// identical regardless of how many workers produced the buffers.
+func (l *Ledger) PostAll(txs []Tx) error {
+	for _, tx := range txs {
+		if err := validateTx(tx.From, tx.To, tx.Amount); err != nil {
+			return err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, tx := range txs {
+		l.applyLocked(tx)
+	}
+	return nil
+}
+
+func (l *Ledger) applyLocked(tx Tx) {
+	l.balances[tx.From] -= tx.Amount
+	l.balances[tx.To] += tx.Amount
+	l.txs = append(l.txs, tx)
+}
+
+func validateTx(from, to string, amount float64) error {
+	if amount <= 0 {
+		return fmt.Errorf("%w: %.4f (%s -> %s)", ErrBadAmount, amount, from, to)
+	}
+	return nil
+}
+
+// TxBuffer accumulates postings without touching a ledger. It is not safe
+// for concurrent use: each concurrent work unit owns its own buffer and
+// the engine flushes them sequentially in canonical unit order.
+type TxBuffer struct {
+	txs []Tx
+}
+
+// Post validates and buffers one transfer.
+func (b *TxBuffer) Post(from, to string, amount float64, memo string) error {
+	if err := validateTx(from, to, amount); err != nil {
+		return err
+	}
+	b.txs = append(b.txs, Tx{From: from, To: to, Amount: amount, Memo: memo})
+	return nil
+}
+
+// Len returns how many transfers are buffered.
+func (b *TxBuffer) Len() int { return len(b.txs) }
+
+// FlushTo applies the buffered transfers to the ledger in posting order
+// and empties the buffer. On a rejected batch the buffer is left intact
+// so the caller can inspect what failed to post.
+func (b *TxBuffer) FlushTo(l *Ledger) error {
+	if len(b.txs) == 0 {
+		return nil
+	}
+	if err := l.PostAll(b.txs); err != nil {
+		return err
+	}
+	b.txs = b.txs[:0]
 	return nil
 }
 
@@ -53,6 +116,18 @@ func (l *Ledger) Balance(account string) float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.balances[account]
+}
+
+// Balances returns a copy of every account balance; the determinism tests
+// compare whole-economy snapshots across engine worker counts.
+func (l *Ledger) Balances() map[string]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]float64, len(l.balances))
+	for k, v := range l.balances {
+		out[k] = v
+	}
+	return out
 }
 
 // Sum returns the sum over all balances; it is 0 unless the ledger is

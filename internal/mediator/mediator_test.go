@@ -90,6 +90,82 @@ func TestLedgerConcurrent(t *testing.T) {
 	}
 }
 
+// TestTxBufferDeferredFlush covers the engine's buffered-settlement path:
+// validation is eager, application is deferred, and FlushTo preserves
+// posting order so replays are bit-identical.
+func TestTxBufferDeferredFlush(t *testing.T) {
+	l := NewLedger()
+	var b TxBuffer
+	if err := b.Post("a", "b", -1, "bad"); !errors.Is(err, ErrBadAmount) {
+		t.Error("buffer must validate eagerly")
+	}
+	if err := b.Post(ExternalWorld, "a", 10, "fund"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Post("a", "b", 4, "pay"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("buffered = %d, want 2", b.Len())
+	}
+	if l.NumTransactions() != 0 {
+		t.Error("buffered postings must not touch the ledger before flush")
+	}
+	if err := b.FlushTo(l); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Error("flush must empty the buffer")
+	}
+	txs := l.Transactions()
+	if len(txs) != 2 || txs[0].Memo != "fund" || txs[1].Memo != "pay" {
+		t.Errorf("flush must preserve posting order: %+v", txs)
+	}
+	if got := l.Balance("a"); got != 6 {
+		t.Errorf("a = %g, want 6", got)
+	}
+	if bal := l.Balances(); bal["b"] != 4 || len(bal) != 3 {
+		t.Errorf("Balances snapshot wrong: %v", bal)
+	}
+	if math.Abs(l.Sum()) > 1e-9 {
+		t.Errorf("sum = %g", l.Sum())
+	}
+}
+
+func TestPostAllRejectsInvalidBatchAtomically(t *testing.T) {
+	l := NewLedger()
+	err := l.PostAll([]Tx{
+		{From: "a", To: "b", Amount: 5, Memo: "ok"},
+		{From: "b", To: "c", Amount: -2, Memo: "bad"},
+	})
+	if !errors.Is(err, ErrBadAmount) {
+		t.Fatalf("want ErrBadAmount, got %v", err)
+	}
+	if l.NumTransactions() != 0 {
+		t.Error("an invalid batch must apply nothing")
+	}
+}
+
+func TestClickIDsPerOfferDeterministic(t *testing.T) {
+	// Interleaving clicks across offers must not change any offer's own
+	// ID sequence — the property the parallel engine relies on.
+	a := New("af")
+	b := New("af")
+	a.TrackClick("o1", "w", 0)
+	c1 := a.TrackClick("o2", "w", 0)
+	a.TrackClick("o1", "w", 0)
+	c2 := a.TrackClick("o2", "w", 0)
+
+	d1 := b.TrackClick("o2", "w", 0)
+	b.TrackClick("o1", "w", 0)
+	b.TrackClick("o1", "w", 0)
+	d2 := b.TrackClick("o2", "w", 0)
+	if c1.ID != d1.ID || c2.ID != d2.ID {
+		t.Errorf("o2 click IDs depend on cross-offer interleaving: %s/%s vs %s/%s",
+			c1.ID, c2.ID, d1.ID, d2.ID)
+	}
+}
+
 func TestTransactionsCopy(t *testing.T) {
 	l := NewLedger()
 	l.Post("a", "b", 5, "x")

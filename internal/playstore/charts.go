@@ -115,44 +115,6 @@ func grossScore(w windowMetrics) float64 {
 	return math.Log1p(w.revenue)
 }
 
-// computeChartsLocked recomputes every chart for the given day. Caller
-// holds s.mu.
-func (s *Store) computeChartsLocked(day dates.Date) {
-	free := map[string]float64{}
-	games := map[string]float64{}
-	grossing := map[string]float64{}
-	for _, pkg := range s.pkgs {
-		a := s.apps[pkg]
-		if a.released > day {
-			continue
-		}
-		w := a.window(day, chartWindowDays)
-		prev := a.window(day.AddDays(-chartWindowDays), chartWindowDays)
-		fs := freeScore(w, prev, s.scoring)
-		if fs > 0 {
-			free[pkg] = fs
-			if gameGenres[a.genre] {
-				games[pkg] = fs
-			}
-		}
-		if gs := grossScore(w); gs > 0 {
-			grossing[pkg] = gs
-		}
-	}
-	size := s.effectiveChartSizeLocked()
-	s.charts[ChartTopFree] = sortedByScore(free, size)
-	s.charts[ChartTopGames] = sortedByScore(games, size)
-	s.charts[ChartTopGrossing] = sortedByScore(grossing, size)
-	for name, entries := range s.charts {
-		h, ok := s.history[name]
-		if !ok {
-			h = map[dates.Date][]ChartEntry{}
-			s.history[name] = h
-		}
-		h[day] = entries
-	}
-}
-
 // Chart returns the latest computed entries for a chart name (nil if the
 // chart has never been computed or is unknown).
 func (s *Store) Chart(name string) []ChartEntry {

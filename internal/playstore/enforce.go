@@ -1,6 +1,9 @@
 package playstore
 
 import (
+	"fmt"
+	"sync/atomic"
+
 	"repro/internal/dates"
 	"repro/internal/randx"
 )
@@ -15,6 +18,11 @@ import (
 // on unvetted IIPs ever showed install-count decreases. The default
 // Sensitivity is calibrated to that observed behaviour; the enforcement
 // ablation bench sweeps it.
+//
+// Scans run concurrently across store shards, so the detection draw for an
+// app is keyed by (app, day) rather than consumed from a shared stream:
+// the decision for a given app on a given day is identical no matter which
+// shard worker reaches it first.
 type Enforcer struct {
 	// Sensitivity in [0, 1] scales the per-scan detection probability.
 	Sensitivity float64
@@ -28,10 +36,12 @@ type Enforcer struct {
 	// removed upon detection.
 	RemoveFraction float64
 
-	rand *randx.Rand
+	// seed keys the per-(app, day) detection draws.
+	seed uint64
 
-	// detections counts enforcement actions, for reporting.
-	detections int
+	// detections counts enforcement actions, for reporting; it is bumped
+	// atomically because shard scans run in parallel.
+	detections atomic.Int64
 }
 
 // DefaultEnforcer returns an enforcer calibrated to the weak enforcement
@@ -42,7 +52,7 @@ func DefaultEnforcer(r *randx.Rand) *Enforcer {
 		FraudThreshold: 0.55,
 		MinBurst:       20,
 		RemoveFraction: 0.9,
-		rand:           r,
+		seed:           r.Uint64(),
 	}
 }
 
@@ -55,10 +65,10 @@ func NewEnforcer(r *randx.Rand, sensitivity float64) *Enforcer {
 }
 
 // Detections returns the number of enforcement actions taken so far.
-func (e *Enforcer) Detections() int { return e.detections }
+func (e *Enforcer) Detections() int { return int(e.detections.Load()) }
 
 // scan inspects one app on one day and applies filtering. Called by the
-// store with its lock held.
+// store with the app's shard lock held; different shards scan in parallel.
 func (e *Enforcer) scan(a *app, day dates.Date) {
 	if e == nil || e.Sensitivity <= 0 {
 		return
@@ -71,9 +81,10 @@ func (e *Enforcer) scan(a *app, day dates.Date) {
 	if meanFraud < e.FraudThreshold {
 		return
 	}
-	// Detection probability grows with how blatant the fraud is.
+	// Detection probability grows with how blatant the fraud is. The draw
+	// is a pure function of (seed, app, day): order-free determinism.
 	p := e.Sensitivity * (meanFraud - e.FraudThreshold) / (1 - e.FraudThreshold)
-	if !e.rand.Bool(p) {
+	if randx.Unit01(e.seed, fmt.Sprintf("enforce/%s/%d", a.pkg, day)) >= p {
 		return
 	}
 	// A filtering pass claws back the referral installs accumulated over
@@ -85,7 +96,7 @@ func (e *Enforcer) scan(a *app, day dates.Date) {
 	if remove <= 0 {
 		return
 	}
-	e.detections++
+	e.detections.Add(1)
 	// Attribute removals to the most recent days first, mirroring how a
 	// public install count drops after a filtering pass.
 	left := remove

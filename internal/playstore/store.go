@@ -6,7 +6,9 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/conc"
 	"repro/internal/dates"
+	"repro/internal/randx"
 )
 
 // Common store errors.
@@ -16,13 +18,30 @@ var (
 	ErrDuplicateApp     = errors.New("playstore: duplicate package name")
 )
 
+// NumShards is how many independently locked shards the catalog is split
+// into. Writes to apps on different shards never contend, which is what
+// lets the parallel day engine record millions of installs per simulated
+// day across all cores.
+const NumShards = 32
+
+// shard holds one slice of the app catalog under its own lock.
+type shard struct {
+	mu   sync.RWMutex
+	apps map[string]*app
+}
+
 // Store is the simulated Play Store. All methods are safe for concurrent
 // use; the HTTP facade in internal/playapi serves it from multiple
-// goroutines.
+// goroutines and the simulation engine records activity from a worker
+// pool. App state is sharded by package-name hash so per-app writes on
+// different apps proceed in parallel; store-wide metadata (developers,
+// charts, the current day) lives under a separate coarse lock that the hot
+// write path never takes.
 type Store struct {
-	mu        sync.RWMutex
+	shards [NumShards]shard
+
+	mu        sync.RWMutex // guards everything below
 	devs      map[DeveloperID]*Developer
-	apps      map[string]*app
 	pkgs      []string // stable iteration order (insertion)
 	today     dates.Date
 	charts    map[string][]ChartEntry                // latest computed charts
@@ -30,17 +49,38 @@ type Store struct {
 	enforcer  *Enforcer
 	scoring   ChartScoring
 	chartSize int
+	// stepWorkers bounds StepDay's shard fan-out (0 = one goroutine per
+	// shard). The sim engine wires its Workers knob through here so a
+	// Workers=1 run is genuinely serial end to end.
+	stepWorkers int
 }
 
 // New creates an empty store positioned at the given day.
 func New(today dates.Date) *Store {
-	return &Store{
+	s := &Store{
 		devs:    map[DeveloperID]*Developer{},
-		apps:    map[string]*app{},
 		today:   today,
 		charts:  map[string][]ChartEntry{},
 		history: map[string]map[dates.Date][]ChartEntry{},
 	}
+	for i := range s.shards {
+		s.shards[i].apps = map[string]*app{}
+	}
+	return s
+}
+
+// shardFor maps a package name onto its shard.
+func (s *Store) shardFor(pkg string) *shard {
+	return &s.shards[randx.Hash64(pkg)%NumShards]
+}
+
+// SetStepWorkers bounds how many goroutines StepDay fans out over the
+// shards. n <= 0 or n > NumShards means one per shard; 1 runs the scan
+// serially. The result of StepDay is identical for every setting.
+func (s *Store) SetStepWorkers(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stepWorkers = n
 }
 
 // SetEnforcer installs a policy-enforcement module that runs during
@@ -90,13 +130,16 @@ type Listing struct {
 func (s *Store) Publish(l Listing) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.apps[l.Package]; ok {
-		return fmt.Errorf("%w: %s", ErrDuplicateApp, l.Package)
-	}
 	if _, ok := s.devs[l.Developer]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownDeveloper, l.Developer)
 	}
-	s.apps[l.Package] = &app{
+	sh := s.shardFor(l.Package)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.apps[l.Package]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateApp, l.Package)
+	}
+	sh.apps[l.Package] = &app{
 		pkg:      l.Package,
 		title:    l.Title,
 		genre:    l.Genre,
@@ -112,7 +155,7 @@ func (s *Store) Publish(l Listing) error {
 func (s *Store) NumApps() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.apps)
+	return len(s.pkgs)
 }
 
 // Packages returns all package names in publication order.
@@ -122,14 +165,27 @@ func (s *Store) Packages() []string {
 	return append([]string(nil), s.pkgs...)
 }
 
+// lookup returns the shard and app for pkg without holding any lock on
+// return; callers lock the shard around their access.
+func (s *Store) lookup(pkg string) (*shard, *app, error) {
+	sh := s.shardFor(pkg)
+	sh.mu.RLock()
+	a, ok := sh.apps[pkg]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	}
+	return sh, a, nil
+}
+
 // RecordInstall records one install event for an app.
 func (s *Store) RecordInstall(pkg string, in Install) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.apps[pkg]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	sh, a, err := s.lookup(pkg)
+	if err != nil {
+		return err
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	m := a.day(in.Day)
 	switch in.Source {
 	case SourceOrganic:
@@ -151,12 +207,12 @@ func (s *Store) RecordInstallBatch(pkg string, day dates.Date, n int64, source I
 	if n <= 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.apps[pkg]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	sh, a, err := s.lookup(pkg)
+	if err != nil {
+		return err
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	m := a.day(day)
 	switch source {
 	case SourceOrganic:
@@ -174,12 +230,12 @@ func (s *Store) RecordSessionBatch(pkg string, day dates.Date, n, secondsPer int
 	if n <= 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.apps[pkg]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	sh, a, err := s.lookup(pkg)
+	if err != nil {
+		return err
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	m := a.day(day)
 	m.sessions += n
 	m.sessionSec += n * secondsPer
@@ -190,12 +246,12 @@ func (s *Store) RecordSessionBatch(pkg string, day dates.Date, n, secondsPer int
 // RecordSession records an app-usage session (drives DAU and session-length
 // engagement metrics).
 func (s *Store) RecordSession(pkg string, sess Session) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.apps[pkg]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	sh, a, err := s.lookup(pkg)
+	if err != nil {
+		return err
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	m := a.day(sess.Day)
 	m.sessions++
 	m.sessionSec += sess.Seconds
@@ -205,12 +261,12 @@ func (s *Store) RecordSession(pkg string, sess Session) error {
 
 // RecordPurchase records an in-app purchase.
 func (s *Store) RecordPurchase(pkg string, p Purchase) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.apps[pkg]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	sh, a, err := s.lookup(pkg)
+	if err != nil {
+		return err
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	a.day(p.Day).revenue += p.USD
 	return nil
 }
@@ -219,12 +275,12 @@ func (s *Store) RecordPurchase(pkg string, p Purchase) error {
 // generating daily activity; the world builder uses it to give pre-existing
 // apps their historical popularity.
 func (s *Store) SeedInstalls(pkg string, n int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.apps[pkg]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	sh, a, err := s.lookup(pkg)
+	if err != nil {
+		return err
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if n < 0 {
 		n = 0
 	}
@@ -236,25 +292,31 @@ func (s *Store) SeedInstalls(pkg string, n int64) error {
 // simulator and tests use it, the crawler never sees it (it only sees
 // Profile.InstallBin, like the paper).
 func (s *Store) ExactInstalls(pkg string) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.apps[pkg]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	sh, a, err := s.lookup(pkg)
+	if err != nil {
+		return 0, err
 	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	return a.installs, nil
 }
 
 // Profile returns the public store listing for an app.
 func (s *Store) Profile(pkg string) (Profile, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.apps[pkg]
-	if !ok {
-		return Profile{}, fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	sh, a, err := s.lookup(pkg)
+	if err != nil {
+		return Profile{}, err
 	}
-	dev := s.devs[a.dev]
-	bin := InstallBin(a.installs)
+	sh.mu.RLock()
+	installs := a.installs
+	devID := a.dev
+	sh.mu.RUnlock()
+
+	s.mu.RLock()
+	dev := s.devs[devID]
+	s.mu.RUnlock()
+
+	bin := InstallBin(installs)
 	return Profile{
 		Package:       a.pkg,
 		Title:         a.title,
@@ -262,7 +324,7 @@ func (s *Store) Profile(pkg string) (Profile, error) {
 		Released:      a.released,
 		InstallBin:    bin,
 		InstallLabel:  BinLabel(bin),
-		DeveloperID:   a.dev,
+		DeveloperID:   devID,
 		DeveloperName: dev.Name,
 		Country:       dev.Country,
 		Website:       dev.Website,
@@ -274,12 +336,12 @@ func (s *Store) Profile(pkg string) (Profile, error) {
 // inclusive. Unlike Profile, this is the app developer's private view with
 // exact per-day acquisition numbers.
 func (s *Store) Console(pkg string, from, to dates.Date) ([]ConsoleDay, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.apps[pkg]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownApp, pkg)
+	sh, a, err := s.lookup(pkg)
+	if err != nil {
+		return nil, err
 	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	var out []ConsoleDay
 	for d := from; d <= to; d++ {
 		m, ok := a.daily[d]
@@ -292,19 +354,84 @@ func (s *Store) Console(pkg string, from, to dates.Date) ([]ConsoleDay, error) {
 	return out, nil
 }
 
-// StepDay advances the store to the given day: it runs enforcement over the
-// trailing window and recomputes all top charts. Days must be stepped in
-// nondecreasing order.
+// StepDay advances the store to the given day: it runs enforcement over
+// the trailing window and recomputes all top charts. Days must be stepped
+// in nondecreasing order. The scan and score pass fans out over the
+// shards — each worker walks its shard's apps under that shard's lock —
+// and the per-shard partial score maps are then merged into one ranked
+// chart per name. Enforcement decisions are keyed by (app, day), so the
+// result is identical no matter how the fan-out is scheduled.
 func (s *Store) StepDay(day dates.Date) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.today = day
-	if s.enforcer != nil {
-		for _, pkg := range s.pkgs {
-			s.enforcer.scan(s.apps[pkg], day)
+
+	type partial struct {
+		free, games, grossing map[string]float64
+	}
+	partials := make([]partial, NumShards)
+	scanShard := func(i int) {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		p := partial{
+			free:     map[string]float64{},
+			games:    map[string]float64{},
+			grossing: map[string]float64{},
+		}
+		for _, a := range sh.apps {
+			if s.enforcer != nil {
+				s.enforcer.scan(a, day)
+			}
+			if a.released > day {
+				continue
+			}
+			w := a.window(day, chartWindowDays)
+			prev := a.window(day.AddDays(-chartWindowDays), chartWindowDays)
+			if fs := freeScore(w, prev, s.scoring); fs > 0 {
+				p.free[a.pkg] = fs
+				if gameGenres[a.genre] {
+					p.games[a.pkg] = fs
+				}
+			}
+			if gs := grossScore(w); gs > 0 {
+				p.grossing[a.pkg] = gs
+			}
+		}
+		partials[i] = p
+	}
+	workers := s.stepWorkers
+	if workers <= 0 || workers > NumShards {
+		workers = NumShards
+	}
+	conc.ForN(workers, NumShards, scanShard)
+
+	free := map[string]float64{}
+	games := map[string]float64{}
+	grossing := map[string]float64{}
+	for _, p := range partials {
+		for k, v := range p.free {
+			free[k] = v
+		}
+		for k, v := range p.games {
+			games[k] = v
+		}
+		for k, v := range p.grossing {
+			grossing[k] = v
 		}
 	}
-	s.computeChartsLocked(day)
+	size := s.effectiveChartSizeLocked()
+	s.charts[ChartTopFree] = sortedByScore(free, size)
+	s.charts[ChartTopGames] = sortedByScore(games, size)
+	s.charts[ChartTopGrossing] = sortedByScore(grossing, size)
+	for name, entries := range s.charts {
+		h, ok := s.history[name]
+		if !ok {
+			h = map[dates.Date][]ChartEntry{}
+			s.history[name] = h
+		}
+		h[day] = entries
+	}
 }
 
 // sortedByScore ranks packages by descending score with a stable package

@@ -25,13 +25,17 @@ func New(seed uint64) *Rand {
 // different labels on the same parent produce decoupled deterministic
 // sequences; the same label always produces the same sequence. This keeps
 // e.g. the user-population generator stable when the campaign generator
-// changes how many draws it makes.
+// changes how many draws it makes, and lets concurrent work units own
+// decoupled streams whose output is independent of scheduling order.
 func Derive(seed uint64, label string) *Rand {
-	h := fnv64(label)
+	h := Hash64(label)
 	return &Rand{rand.New(rand.NewPCG(seed^h, (seed*0x100000001b3)^(h<<1|1)))}
 }
 
-func fnv64(s string) uint64 {
+// Hash64 returns the FNV-1a hash of s. It is the stable string hash used
+// for stream derivation and for shard selection in concurrent stores, so
+// both sides of the system agree on a single cheap hash.
+func Hash64(s string) uint64 {
 	const offset = 0xcbf29ce484222325
 	const prime = 0x100000001b3
 	h := uint64(offset)
@@ -40,6 +44,22 @@ func fnv64(s string) uint64 {
 		h *= prime
 	}
 	return h
+}
+
+// Unit01 returns a deterministic uniform draw in [0, 1) keyed by (seed,
+// label). Unlike consuming a shared *Rand, the result depends only on the
+// key, never on how many draws other call sites made first — which makes
+// it safe for decisions taken concurrently in arbitrary order.
+func Unit01(seed uint64, label string) float64 {
+	h := Hash64(label)
+	// One round of splitmix64 over the combined key decorrelates nearby
+	// seeds and labels.
+	x := seed ^ h
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
 }
 
 // Bool returns true with probability p.

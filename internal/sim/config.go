@@ -96,6 +96,12 @@ type Config struct {
 
 	// Obfuscation is the APK obfuscation probability for static analysis.
 	Obfuscation float64
+
+	// Workers bounds the day engine's worker pool. 0 (the default) uses
+	// GOMAXPROCS. Results are identical for every setting — the engine's
+	// random streams are owned per work unit, not per worker — so this is
+	// purely a throughput knob.
+	Workers int
 }
 
 // BasePayout is the per-type average user payout (Table 3).
@@ -215,6 +221,21 @@ func TinyConfig() Config {
 	cfg.WorkerPoolSize = 120
 	cfg.ChartSize = 18
 	cfg.Window.End = cfg.Window.Start.AddDays(40)
+	return cfg
+}
+
+// ScaleConfig returns a world roughly 20x TinyConfig: a catalog in the
+// thousands with the full advertised population and offer census of the
+// paper. It exists to exercise the parallel day engine at a size where
+// single-core replay is visibly the bottleneck; BenchmarkSimRunScale runs
+// it at 1 worker and at GOMAXPROCS to measure the speedup.
+func ScaleConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BaselineApps = 600
+	cfg.BackgroundApps = 2200
+	cfg.ChartSize = 200
+	cfg.WorkerPoolSize = 400
+	cfg.Window.End = cfg.Window.Start.AddDays(60)
 	return cfg
 }
 

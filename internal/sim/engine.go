@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/conc"
+	"repro/internal/dates"
+	"repro/internal/mediator"
+	"repro/internal/playstore"
+	"repro/internal/randx"
+)
+
+// engine executes the day loop over a bounded worker pool while keeping
+// the run bit-for-bit deterministic in the world's seed.
+//
+// The determinism model has three rules:
+//
+//  1. Randomness is owned, never shared. Every organic app and every
+//     campaign carries its own randx.Derive stream keyed by a stable name
+//     ("engine/<pkg>", "engine/campaign/<offerID>"), so the values a unit
+//     draws do not depend on which worker runs it or when.
+//
+//  2. Writes are partitioned. Organic work units are single apps;
+//     campaign work units are whole developer groups. A developer owns
+//     all of their apps' store rows and their platform balance, so every
+//     mutable float is only ever touched from one goroutine per phase —
+//     no cross-unit accumulation whose order could vary.
+//
+//  3. Cross-cutting effects are buffered and flushed in canonical order.
+//     Ledger postings, install-log records, and stat deltas land in
+//     per-unit sinks merged sequentially after each phase barrier, so
+//     the transaction log and floating-point totals are identical for
+//     any worker count.
+type engine struct {
+	w       *World
+	workers int
+
+	pkgs        []string
+	organicRand []*randx.Rand // parallel to pkgs
+
+	// groups are the campaign work units: all campaigns of one developer,
+	// in first-appearance order of w.Campaigns (the canonical flush order).
+	groups   [][]*PlannedCampaign
+	campRand map[string]*randx.Rand // offerID -> stream
+}
+
+// unitSink collects one campaign unit's side effects for deterministic
+// merging at the day barrier.
+type unitSink struct {
+	txs       mediator.TxBuffer
+	log       []InstallRecord
+	delivered int64
+}
+
+// newEngine prepares the per-unit streams and work partition for a run.
+// The catalog is snapshotted here: apps published mid-run have no organic
+// rates and thus generated no activity under the sequential engine either,
+// so the snapshot changes nothing observable while keeping the organic
+// fan-out race-free.
+func newEngine(w *World) *engine {
+	workers := w.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Wire the same resolved bound into the store's StepDay fan-out, so
+	// one knob governs every pool and a Workers=1 run is genuinely
+	// serial end to end, even if Cfg.Workers was mutated after NewWorld.
+	w.Store.SetStepWorkers(workers)
+	e := &engine{
+		w:        w,
+		workers:  workers,
+		pkgs:     w.Store.Packages(),
+		campRand: make(map[string]*randx.Rand, len(w.Campaigns)),
+	}
+	e.organicRand = make([]*randx.Rand, len(e.pkgs))
+	for i, pkg := range e.pkgs {
+		e.organicRand[i] = randx.Derive(w.Cfg.Seed, "engine/"+pkg)
+	}
+	groupOf := map[string]int{}
+	for _, c := range w.Campaigns {
+		g, ok := groupOf[c.Spec.Developer]
+		if !ok {
+			g = len(e.groups)
+			groupOf[c.Spec.Developer] = g
+			e.groups = append(e.groups, nil)
+		}
+		e.groups[g] = append(e.groups[g], c)
+		e.campRand[c.OfferID] = randx.Derive(w.Cfg.Seed, "engine/campaign/"+c.OfferID)
+	}
+	return e
+}
+
+// parallelFor runs fn(0..n-1) across the worker pool and blocks until all
+// complete. All indices run even after a failure — so world state after a
+// failed day is identical for any pool width — and the error belonging to
+// the lowest index is returned, making failure reporting deterministic.
+func (e *engine) parallelFor(n int, fn func(i int) error) error {
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	conc.ForN(e.workers, n, func(i int) {
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}
+
+// stepDay executes one simulated day: the organic phase fanned out over
+// apps, a barrier, the campaign phase fanned out over developer groups,
+// and the ordered sink flush.
+func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
+	w := e.w
+
+	// Phase 1: organic activity, one unit per app.
+	type organicDelta struct {
+		installs int64
+		revenue  float64
+	}
+	deltas := make([]organicDelta, len(e.pkgs))
+	err := e.parallelFor(len(e.pkgs), func(i int) error {
+		pkg, r := e.pkgs[i], e.organicRand[i]
+		// Chart presence yesterday boosts organic acquisition
+		// ("visibility"), the reason developers want top-chart slots.
+		boost := 1.0
+		if w.Store.ChartRank(playstore.ChartTopFree, day.AddDays(-1), pkg) > 0 {
+			boost = 1.5
+		}
+		n := int64(r.Poisson(w.organicInstall[pkg] * boost))
+		if err := w.Store.RecordInstallBatch(pkg, day, n, playstore.SourceOrganic, 0.05); err != nil {
+			return err
+		}
+		deltas[i].installs = n
+
+		// Day-to-day engagement fluctuates multiplicatively (weekday
+		// effects, feature placements), which keeps chart boundaries
+		// churning the way real "trending" charts do.
+		dau := int64(r.Poisson(w.organicDAU[pkg] * r.LogNormal(0, 0.10)))
+		if dau > 0 {
+			secPer := int64(60 + r.IntN(240))
+			if err := w.Store.RecordSessionBatch(pkg, day, dau, secPer); err != nil {
+				return err
+			}
+		}
+		if rate := w.organicRevenue[pkg]; rate > 0 {
+			usd := rate * r.LogNormal(0, 0.3)
+			if err := w.Store.RecordPurchase(pkg, playstore.Purchase{Day: day, USD: usd}); err != nil {
+				return err
+			}
+			deltas[i].revenue = usd
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("sim: organic step %s: %w", day, err)
+	}
+	for i := range deltas {
+		stats.OrganicInstalls += deltas[i].installs
+		stats.RevenueUSD += deltas[i].revenue
+	}
+
+	// Phase 2: campaign deliveries, one unit per developer group.
+	sinks := make([]unitSink, len(e.groups))
+	err = e.parallelFor(len(e.groups), func(g int) error {
+		for _, c := range e.groups[g] {
+			if err := w.campaignDay(e.campRand[c.OfferID], c, day, &sinks[g]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("sim: campaign step %s: %w", day, err)
+	}
+	for g := range sinks {
+		if err := sinks[g].txs.FlushTo(w.Ledger); err != nil {
+			return fmt.Errorf("sim: ledger flush %s: %w", day, err)
+		}
+		w.InstallLog = append(w.InstallLog, sinks[g].log...)
+		stats.IncentivizedInstalls += sinks[g].delivered
+	}
+	stats.CertifiedCompletions = int64(w.Mediator.Certified())
+	return nil
+}

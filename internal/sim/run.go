@@ -23,7 +23,9 @@ type RunStats struct {
 
 // Run executes the day engine over the configured window: organic store
 // activity, campaign deliveries through the mediator and ledger, and daily
-// chart/enforcement steps. Run is deterministic for a given world.
+// chart/enforcement steps. Run is deterministic for a given world — the
+// same seed produces identical results for any Cfg.Workers setting and
+// any GOMAXPROCS (see engine.go for the determinism model).
 func (w *World) Run() (RunStats, error) {
 	return w.RunWithHook(nil)
 }
@@ -33,14 +35,11 @@ func (w *World) Run() (RunStats, error) {
 // offer-wall milker) attach here, observing the world exactly as the
 // paper's infrastructure observed the live ecosystem.
 func (w *World) RunWithHook(hook func(day dates.Date) error) (RunStats, error) {
-	r := randx.Derive(w.Cfg.Seed, "engine")
+	eng := newEngine(w)
 	var stats RunStats
 	for day := w.Cfg.Window.Start; day <= w.Cfg.Window.End; day++ {
-		if err := w.stepOrganic(r, day, &stats); err != nil {
-			return stats, fmt.Errorf("sim: organic step %s: %w", day, err)
-		}
-		if err := w.stepCampaigns(r, day, &stats); err != nil {
-			return stats, fmt.Errorf("sim: campaign step %s: %w", day, err)
+		if err := eng.stepDay(day, &stats); err != nil {
+			return stats, err
 		}
 		w.Store.StepDay(day)
 		stats.Days++
@@ -53,100 +52,63 @@ func (w *World) RunWithHook(hook func(day dates.Date) error) (RunStats, error) {
 	return stats, nil
 }
 
-// stepOrganic generates the day's organic installs, sessions, and revenue
-// for every app in the catalog, recorded through the store's batch APIs.
-func (w *World) stepOrganic(r *randx.Rand, day dates.Date, stats *RunStats) error {
-	for _, pkg := range w.Store.Packages() {
-		// Chart presence yesterday boosts organic acquisition
-		// ("visibility"), the reason developers want top-chart slots.
-		boost := 1.0
-		if w.Store.ChartRank(playstore.ChartTopFree, day.AddDays(-1), pkg) > 0 {
-			boost = 1.5
-		}
-		n := int64(r.Poisson(w.organicInstall[pkg] * boost))
-		if err := w.Store.RecordInstallBatch(pkg, day, n, playstore.SourceOrganic, 0.05); err != nil {
-			return err
-		}
-		stats.OrganicInstalls += n
-
-		// Day-to-day engagement fluctuates multiplicatively (weekday
-		// effects, feature placements), which keeps chart boundaries
-		// churning the way real "trending" charts do.
-		dau := int64(r.Poisson(w.organicDAU[pkg] * r.LogNormal(0, 0.10)))
-		if dau > 0 {
-			secPer := int64(60 + r.IntN(240))
-			if err := w.Store.RecordSessionBatch(pkg, day, dau, secPer); err != nil {
-				return err
-			}
-		}
-		if rate := w.organicRevenue[pkg]; rate > 0 {
-			usd := rate * r.LogNormal(0, 0.3)
-			if err := w.Store.RecordPurchase(pkg, playstore.Purchase{Day: day, USD: usd}); err != nil {
-				return err
-			}
-			stats.RevenueUSD += usd
-		}
-	}
-	return nil
-}
-
 // fullFidelityPerDay bounds how many of a campaign's daily completions run
 // through the full per-worker flow (click tracking, telemetry-grade
 // behaviour, individual ledger postings); the remainder settles through
 // the batch paths with identical aggregate effects.
 const fullFidelityPerDay = 8
 
-// stepCampaigns delivers the day's incentivized completions.
-func (w *World) stepCampaigns(r *randx.Rand, day dates.Date, stats *RunStats) error {
-	for _, c := range w.Campaigns {
-		if !c.Spec.Window.Contains(day) {
-			continue
-		}
-		platform := w.Platforms[c.IIP]
-		// Demand-limited delivery, capped by the platform's pacing and
-		// by the campaign's remaining purchased completions.
-		n := r.Poisson(c.DailyUptake)
-		if paceCap := int(platform.PacePerHour * 24); n > paceCap {
-			n = paceCap
-		}
-		snap, err := platform.Campaign(c.OfferID)
+// campaignDay delivers one campaign's completions for one day. It draws
+// only from r (the campaign's own stream) and writes money movements and
+// install-log records only into sink, so campaigns of different
+// developers can run concurrently.
+func (w *World) campaignDay(r *randx.Rand, c *PlannedCampaign, day dates.Date, sink *unitSink) error {
+	if !c.Spec.Window.Contains(day) {
+		return nil
+	}
+	platform := w.Platforms[c.IIP]
+	// Demand-limited delivery, capped by the platform's pacing and
+	// by the campaign's remaining purchased completions.
+	n := r.Poisson(c.DailyUptake)
+	if paceCap := int(platform.PacePerHour * 24); n > paceCap {
+		n = paceCap
+	}
+	snap, err := platform.Campaign(c.OfferID)
+	if err != nil {
+		return err
+	}
+	if remaining := snap.Spec.Target - snap.Delivered; n > remaining {
+		n = remaining
+	}
+	pool := w.Pools[c.IIP]
+	full := n
+	if full > fullFidelityPerDay {
+		full = fullFidelityPerDay
+	}
+	for i := 0; i < full; i++ {
+		done, err := w.deliverOne(r, platform, c, pool, day, sink)
 		if err != nil {
 			return err
 		}
-		if remaining := snap.Spec.Target - snap.Delivered; n > remaining {
-			n = remaining
+		if !done {
+			full = i
+			break
 		}
-		pool := w.Pools[c.IIP]
-		full := n
-		if full > fullFidelityPerDay {
-			full = fullFidelityPerDay
-		}
-		for i := 0; i < full; i++ {
-			done, err := w.deliverOne(r, platform, c, pool, day)
-			if err != nil {
-				return err
-			}
-			if !done {
-				full = i
-				break
-			}
-			stats.IncentivizedInstalls++
-		}
-		if bulk := n - full; bulk > 0 && full == fullFidelityPerDay {
-			delivered, err := w.deliverBatch(r, platform, c, pool, day, bulk)
-			if err != nil {
-				return err
-			}
-			stats.IncentivizedInstalls += int64(delivered)
-		}
+		sink.delivered++
 	}
-	stats.CertifiedCompletions = int64(w.Mediator.Certified())
+	if bulk := n - full; bulk > 0 && full == fullFidelityPerDay {
+		delivered, err := w.deliverBatch(r, platform, c, pool, day, bulk, sink)
+		if err != nil {
+			return err
+		}
+		sink.delivered += int64(delivered)
+	}
 	return nil
 }
 
 // deliverBatch settles n completions through the batch paths: aggregate
 // store installs and sessions, one money split, one certification batch.
-func (w *World) deliverBatch(r *randx.Rand, platform *iip.Platform, c *PlannedCampaign, pool []*device.Worker, day dates.Date, n int) (int, error) {
+func (w *World) deliverBatch(r *randx.Rand, platform *iip.Platform, c *PlannedCampaign, pool []*device.Worker, day dates.Date, n int, sink *unitSink) (int, error) {
 	disb, settled, err := platform.RecordCompletions(c.OfferID, day, n)
 	if err != nil || settled == 0 {
 		return 0, err
@@ -161,7 +123,7 @@ func (w *World) deliverBatch(r *randx.Rand, platform *iip.Platform, c *PlannedCa
 		return 0, err
 	}
 	for i := 0; i < settled; i++ {
-		w.InstallLog = append(w.InstallLog, InstallRecord{
+		sink.log = append(sink.log, InstallRecord{
 			Device: pool[r.IntN(len(pool))].ID, App: c.App, Day: day,
 		})
 	}
@@ -182,16 +144,16 @@ func (w *World) deliverBatch(r *randx.Rand, platform *iip.Platform, c *PlannedCa
 	dev := mediator.DeveloperAccount(c.Spec.Developer)
 	aff := w.pickAffiliate(r, c.IIP)
 	fee := w.Mediator.FeePerUser * float64(settled)
-	if err := w.Ledger.Post(dev, mediator.IIPAccount(c.IIP), disb.Gross, "offer completions (batch)"); err != nil {
+	if err := sink.txs.Post(dev, mediator.IIPAccount(c.IIP), disb.Gross, "offer completions (batch)"); err != nil {
 		return 0, err
 	}
-	if err := w.Ledger.Post(mediator.IIPAccount(c.IIP), mediator.AffiliateAccount(aff), disb.AffiliateCut+disb.UserPayout, "affiliate share (batch)"); err != nil {
+	if err := sink.txs.Post(mediator.IIPAccount(c.IIP), mediator.AffiliateAccount(aff), disb.AffiliateCut+disb.UserPayout, "affiliate share (batch)"); err != nil {
 		return 0, err
 	}
-	if err := w.Ledger.Post(mediator.AffiliateAccount(aff), mediator.UserAccount("pool-"+c.IIP), disb.UserPayout, "reward redemptions (batch)"); err != nil {
+	if err := sink.txs.Post(mediator.AffiliateAccount(aff), mediator.UserAccount("pool-"+c.IIP), disb.UserPayout, "reward redemptions (batch)"); err != nil {
 		return 0, err
 	}
-	if err := w.Ledger.Post(dev, mediator.MediatorAccount(w.Mediator.Name), fee, "attribution fees (batch)"); err != nil {
+	if err := sink.txs.Post(dev, mediator.MediatorAccount(w.Mediator.Name), fee, "attribution fees (batch)"); err != nil {
 		return 0, err
 	}
 	return settled, nil
@@ -216,7 +178,7 @@ func engagementFor(r *randx.Rand, t offers.Type) (seconds int64, purchaseUSD flo
 // tracking, install, in-app events, certification, settlement, and payout.
 // It returns false (and no error) when the campaign cannot accept more
 // completions.
-func (w *World) deliverOne(r *randx.Rand, platform *iip.Platform, c *PlannedCampaign, pool []*device.Worker, day dates.Date) (bool, error) {
+func (w *World) deliverOne(r *randx.Rand, platform *iip.Platform, c *PlannedCampaign, pool []*device.Worker, day dates.Date, sink *unitSink) (bool, error) {
 	worker := pool[r.IntN(len(pool))]
 	click := w.Mediator.TrackClick(c.OfferID, worker.ID, day)
 
@@ -229,7 +191,7 @@ func (w *World) deliverOne(r *randx.Rand, platform *iip.Platform, c *PlannedCamp
 	}); err != nil {
 		return false, err
 	}
-	w.InstallLog = append(w.InstallLog, InstallRecord{Device: worker.ID, App: c.App, Day: day})
+	sink.log = append(sink.log, InstallRecord{Device: worker.ID, App: c.App, Day: day})
 
 	// In-app behaviour. For no-activity offers on sloppy platforms the
 	// completion may be claimed without a real open (RankApp's missing
@@ -283,16 +245,16 @@ func (w *World) deliverOne(r *randx.Rand, platform *iip.Platform, c *PlannedCamp
 	}
 	dev := mediator.DeveloperAccount(c.Spec.Developer)
 	aff := w.pickAffiliate(r, c.IIP)
-	if err := w.Ledger.Post(dev, mediator.IIPAccount(c.IIP), disb.Gross, "offer completion"); err != nil {
+	if err := sink.txs.Post(dev, mediator.IIPAccount(c.IIP), disb.Gross, "offer completion"); err != nil {
 		return false, err
 	}
-	if err := w.Ledger.Post(mediator.IIPAccount(c.IIP), mediator.AffiliateAccount(aff), disb.AffiliateCut+disb.UserPayout, "affiliate share"); err != nil {
+	if err := sink.txs.Post(mediator.IIPAccount(c.IIP), mediator.AffiliateAccount(aff), disb.AffiliateCut+disb.UserPayout, "affiliate share"); err != nil {
 		return false, err
 	}
-	if err := w.Ledger.Post(mediator.AffiliateAccount(aff), mediator.UserAccount(worker.ID), disb.UserPayout, "reward redemption"); err != nil {
+	if err := sink.txs.Post(mediator.AffiliateAccount(aff), mediator.UserAccount(worker.ID), disb.UserPayout, "reward redemption"); err != nil {
 		return false, err
 	}
-	if err := w.Ledger.Post(dev, mediator.MediatorAccount(w.Mediator.Name), w.Mediator.FeePerUser, "attribution fee"); err != nil {
+	if err := sink.txs.Post(dev, mediator.MediatorAccount(w.Mediator.Name), w.Mediator.FeePerUser, "attribution fee"); err != nil {
 		return false, err
 	}
 	return true, nil

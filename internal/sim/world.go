@@ -104,6 +104,9 @@ type World struct {
 	gen  *textgen.Gen
 	// developer bookkeeping for crunchbase generation.
 	devOfApp map[string]playstore.DeveloperID
+	// affByIIP caches AffiliatesForIIP results; the delivery hot path
+	// calls it for every completion from many goroutines at once.
+	affByIIP map[string][]*affiliate.App
 }
 
 // NewWorld builds the world from a config. Building is deterministic in
@@ -142,6 +145,7 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("sim: building APKs: %w", err)
 	}
 	w.buildPools()
+	w.cacheAffiliates()
 	return w, nil
 }
 
@@ -377,7 +381,14 @@ func (w *World) AdvertisedByPackage(pkg string) (*AdvertisedApp, bool) {
 }
 
 // AffiliatesForIIP lists instrumented affiliate apps integrating an IIP.
+// The standard platform names are pre-resolved at build time (the
+// concurrent delivery path hits only those); other names fall through to
+// a fresh scan and are not cached, keeping the method read-only and
+// race-free.
 func (w *World) AffiliatesForIIP(name string) []*affiliate.App {
+	if cached, ok := w.affByIIP[name]; ok {
+		return cached
+	}
 	var out []*affiliate.App
 	for _, a := range w.Affiliates {
 		if a.IntegratesIIP(name) {
@@ -386,4 +397,13 @@ func (w *World) AffiliatesForIIP(name string) []*affiliate.App {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Package < out[j].Package })
 	return out
+}
+
+// cacheAffiliates pre-resolves the per-IIP affiliate lists so the
+// concurrent delivery path never rebuilds them.
+func (w *World) cacheAffiliates() {
+	w.affByIIP = map[string][]*affiliate.App{}
+	for _, name := range iip.StandardNames {
+		w.affByIIP[name] = w.AffiliatesForIIP(name)
+	}
 }
