@@ -1,0 +1,151 @@
+// Command benchjson runs a set of Go benchmarks and records the parsed
+// results (ns/op, B/op, allocs/op) into a JSON file, keyed by a label such
+// as "before" or "after". scripts/bench.sh drives it to maintain the
+// per-PR performance trajectory files (BENCH_PR2.json, ...).
+//
+// Each positional argument is a suite spec "dir:benchRegexp:benchtime",
+// e.g. "./internal/playstore:BenchmarkStepDayScale|BenchmarkAppWindow:200x".
+// Every suite runs with -run=NONE -benchmem and the configured -count, and
+// all parsed result lines are appended under the label.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark output line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Run is every sample collected under one label.
+type Run struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Count      int      `json:"count"`
+	Results    []Result `json:"results"`
+}
+
+// File is the on-disk shape: one run per label.
+type File struct {
+	Description string          `json:"description"`
+	Runs        map[string]*Run `json:"runs"`
+}
+
+// benchLine matches standard testing benchmark output, with or without
+// -benchmem columns and with or without the -N GOMAXPROCS suffix.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "", "label to record results under (e.g. before, after)")
+	out := flag.String("out", "BENCH.json", "JSON file to create or merge into")
+	count := flag.Int("count", 3, "benchmark -count")
+	flag.Parse()
+	if *label == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -label NAME [-out FILE] [-count N] dir:benchRegexp:benchtime ...")
+		os.Exit(2)
+	}
+
+	run := &Run{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Count:      *count,
+	}
+	for _, spec := range flag.Args() {
+		parts := strings.SplitN(spec, ":", 3)
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad suite spec %q (want dir:benchRegexp:benchtime)\n", spec)
+			os.Exit(2)
+		}
+		dir, pattern, benchtime := parts[0], parts[1], parts[2]
+		results, err := runSuite(dir, pattern, benchtime, *count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: suite %q: %v\n", spec, err)
+			os.Exit(1)
+		}
+		run.Results = append(run.Results, results...)
+	}
+
+	file := &File{Runs: map[string]*Run{}}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse existing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if file.Description == "" {
+		file.Description = "go test benchmark samples recorded by scripts/bench.sh (cmd/benchjson)"
+	}
+	if file.Runs == nil {
+		file.Runs = map[string]*Run{}
+	}
+	file.Runs[*label] = run
+
+	raw, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: recorded %d results under %q in %s\n", len(run.Results), *label, *out)
+}
+
+// runSuite executes one go test -bench invocation and parses its output.
+func runSuite(dir, pattern, benchtime string, count int) ([]Result, error) {
+	args := []string{
+		"test", "-run=NONE", "-benchmem",
+		"-bench=" + pattern,
+		"-benchtime=" + benchtime,
+		"-count=" + strconv.Itoa(count),
+		dir,
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outRaw, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, outRaw)
+	}
+	var results []Result
+	for _, line := range strings.Split(string(outRaw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched pattern %q in %s", pattern, dir)
+	}
+	return results, nil
+}

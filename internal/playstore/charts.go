@@ -136,20 +136,32 @@ func (s *Store) ChartOn(name string, day dates.Date) []ChartEntry {
 }
 
 // ChartRank returns the 1-based rank of pkg in the named chart on day, or
-// 0 when absent.
+// 0 when absent. The lookup is O(1): StepDay stores a package->rank index
+// alongside each day's entries.
 func (s *Store) ChartRank(name string, day dates.Date, pkg string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	h := s.history[name]
-	if h == nil {
-		return 0
+	return s.ranks[name][day][pkg]
+}
+
+// ChartRanks returns the package->rank index for a chart on a previously
+// stepped day (nil when the chart was not computed that day). The copy is
+// the caller's own — one O(chart-size) allocation per call. Hot callers —
+// the engine's organic phase resolves chart presence for every app every
+// simulated day — fetch it once per day and read it without further store
+// locking.
+func (s *Store) ChartRanks(name string, day dates.Date) map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx := s.ranks[name][day]
+	if idx == nil {
+		return nil
 	}
-	for _, e := range h[day] {
-		if e.Package == pkg {
-			return e.Rank
-		}
+	cp := make(map[string]int, len(idx))
+	for pkg, rank := range idx {
+		cp[pkg] = rank
 	}
-	return 0
+	return cp
 }
 
 // ChartPercentile converts a rank to the percentile-rank representation of

@@ -69,11 +69,13 @@ func (e *Enforcer) Detections() int { return int(e.detections.Load()) }
 
 // scan inspects one app on one day and applies filtering. Called by the
 // store with the app's shard lock held; different shards scan in parallel.
-func (e *Enforcer) scan(a *app, day dates.Date) {
+// w is the app's trailing chart window ending at day, computed once by the
+// caller and shared with chart scoring (scan itself only mutates removal
+// counters and the lifetime install counter, never window inputs).
+func (e *Enforcer) scan(a *app, day dates.Date, w windowMetrics) {
 	if e == nil || e.Sensitivity <= 0 {
 		return
 	}
-	w := a.window(day, chartWindowDays)
 	if w.installs < e.MinBurst {
 		return
 	}
@@ -101,8 +103,8 @@ func (e *Enforcer) scan(a *app, day dates.Date) {
 	// public install count drops after a filtering pass.
 	left := remove
 	for d := day; d >= day.AddDays(-(clawbackDays-1)) && left > 0; d-- {
-		m, ok := a.daily[d]
-		if !ok {
+		m := a.dayAt(d)
+		if m == nil {
 			continue
 		}
 		avail := m.organic + m.referral - m.removed

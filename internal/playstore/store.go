@@ -3,7 +3,6 @@ package playstore
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/conc"
@@ -44,8 +43,9 @@ type Store struct {
 	devs      map[DeveloperID]*Developer
 	pkgs      []string // stable iteration order (insertion)
 	today     dates.Date
-	charts    map[string][]ChartEntry                // latest computed charts
-	history   map[string]map[dates.Date][]ChartEntry // chart name -> day -> entries
+	charts    map[string][]ChartEntry                  // latest computed charts
+	history   map[string]map[dates.Date][]ChartEntry   // chart name -> day -> entries
+	ranks     map[string]map[dates.Date]map[string]int // chart name -> day -> package -> rank
 	enforcer  *Enforcer
 	scoring   ChartScoring
 	chartSize int
@@ -62,6 +62,7 @@ func New(today dates.Date) *Store {
 		today:   today,
 		charts:  map[string][]ChartEntry{},
 		history: map[string]map[dates.Date][]ChartEntry{},
+		ranks:   map[string]map[dates.Date]map[string]int{},
 	}
 	for i := range s.shards {
 		s.shards[i].apps = map[string]*app{}
@@ -145,7 +146,6 @@ func (s *Store) Publish(l Listing) error {
 		genre:    l.Genre,
 		dev:      l.Developer,
 		released: l.Released,
-		daily:    map[dates.Date]*dayMetrics{},
 	}
 	s.pkgs = append(s.pkgs, l.Package)
 	return nil
@@ -187,14 +187,17 @@ func (s *Store) RecordInstall(pkg string, in Install) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	m := a.day(in.Day)
+	delta := winInts{installs: 1}
 	switch in.Source {
 	case SourceOrganic:
 		m.organic++
 	default:
 		m.referral++
+		delta.referral = 1
 	}
 	m.fraudSum += clamp01(in.FraudScore)
 	a.installs++
+	a.winTrack(in.Day, delta)
 	return nil
 }
 
@@ -214,14 +217,17 @@ func (s *Store) RecordInstallBatch(pkg string, day dates.Date, n int64, source I
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	m := a.day(day)
+	delta := winInts{installs: n}
 	switch source {
 	case SourceOrganic:
 		m.organic += n
 	default:
 		m.referral += n
+		delta.referral = n
 	}
 	m.fraudSum += clamp01(meanFraud) * float64(n)
 	a.installs += n
+	a.winTrack(day, delta)
 	return nil
 }
 
@@ -240,6 +246,7 @@ func (s *Store) RecordSessionBatch(pkg string, day dates.Date, n, secondsPer int
 	m.sessions += n
 	m.sessionSec += n * secondsPer
 	m.activeUser += n
+	a.winTrack(day, winInts{sessions: n, sessionSec: n * secondsPer, dau: n})
 	return nil
 }
 
@@ -256,6 +263,7 @@ func (s *Store) RecordSession(pkg string, sess Session) error {
 	m.sessions++
 	m.sessionSec += sess.Seconds
 	m.activeUser++ // one session == one active-user contribution
+	a.winTrack(sess.Day, winInts{sessions: 1, sessionSec: sess.Seconds, dau: 1})
 	return nil
 }
 
@@ -342,14 +350,16 @@ func (s *Store) Console(pkg string, from, to dates.Date) ([]ConsoleDay, error) {
 	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	var out []ConsoleDay
+	if to < from {
+		return nil, nil
+	}
+	out := make([]ConsoleDay, 0, int(to-from)+1)
 	for d := from; d <= to; d++ {
-		m, ok := a.daily[d]
-		if !ok {
-			out = append(out, ConsoleDay{Day: d})
-			continue
+		cd := ConsoleDay{Day: d}
+		if m := a.dayAt(d); m != nil {
+			cd.Organic, cd.Referral, cd.Removed = m.organic, m.referral, m.removed
 		}
-		out = append(out, ConsoleDay{Day: d, Organic: m.organic, Referral: m.referral, Removed: m.removed})
+		out = append(out, cd)
 	}
 	return out, nil
 }
@@ -357,17 +367,20 @@ func (s *Store) Console(pkg string, from, to dates.Date) ([]ConsoleDay, error) {
 // StepDay advances the store to the given day: it runs enforcement over
 // the trailing window and recomputes all top charts. Days must be stepped
 // in nondecreasing order. The scan and score pass fans out over the
-// shards — each worker walks its shard's apps under that shard's lock —
-// and the per-shard partial score maps are then merged into one ranked
-// chart per name. Enforcement decisions are keyed by (app, day), so the
-// result is identical no matter how the fan-out is scheduled.
+// shards — each worker walks its shard's apps under that shard's lock,
+// appending positive scores to pre-sized per-shard slices (no map churn on
+// the daily path) — and the partials are then merged through a bounded
+// top-K selection, so ranking costs O(n log k) in the chart size k rather
+// than a full catalog sort. Enforcement decisions are keyed by (app, day)
+// and the selection is order-independent, so the result is identical no
+// matter how the fan-out is scheduled.
 func (s *Store) StepDay(day dates.Date) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.today = day
 
 	type partial struct {
-		free, games, grossing map[string]float64
+		free, games, grossing []scoredApp
 	}
 	partials := make([]partial, NumShards)
 	scanShard := func(i int) {
@@ -375,27 +388,30 @@ func (s *Store) StepDay(day dates.Date) {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		p := partial{
-			free:     map[string]float64{},
-			games:    map[string]float64{},
-			grossing: map[string]float64{},
+			free:     make([]scoredApp, 0, len(sh.apps)),
+			games:    make([]scoredApp, 0, len(sh.apps)),
+			grossing: make([]scoredApp, 0, len(sh.apps)),
 		}
 		for _, a := range sh.apps {
+			// One trailing-window aggregation serves both the enforcer
+			// scan and chart scoring (the scan only mutates removal
+			// counters, never window inputs).
+			w := a.window(day, chartWindowDays)
 			if s.enforcer != nil {
-				s.enforcer.scan(a, day)
+				s.enforcer.scan(a, day, w)
 			}
 			if a.released > day {
 				continue
 			}
-			w := a.window(day, chartWindowDays)
 			prev := a.window(day.AddDays(-chartWindowDays), chartWindowDays)
 			if fs := freeScore(w, prev, s.scoring); fs > 0 {
-				p.free[a.pkg] = fs
+				p.free = append(p.free, scoredApp{a.pkg, fs})
 				if gameGenres[a.genre] {
-					p.games[a.pkg] = fs
+					p.games = append(p.games, scoredApp{a.pkg, fs})
 				}
 			}
 			if gs := grossScore(w); gs > 0 {
-				p.grossing[a.pkg] = gs
+				p.grossing = append(p.grossing, scoredApp{a.pkg, gs})
 			}
 		}
 		partials[i] = p
@@ -406,61 +422,47 @@ func (s *Store) StepDay(day dates.Date) {
 	}
 	conc.ForN(workers, NumShards, scanShard)
 
-	free := map[string]float64{}
-	games := map[string]float64{}
-	grossing := map[string]float64{}
-	for _, p := range partials {
-		for k, v := range p.free {
-			free[k] = v
-		}
-		for k, v := range p.games {
-			games[k] = v
-		}
-		for k, v := range p.grossing {
-			grossing[k] = v
-		}
-	}
 	size := s.effectiveChartSizeLocked()
-	s.charts[ChartTopFree] = sortedByScore(free, size)
-	s.charts[ChartTopGames] = sortedByScore(games, size)
-	s.charts[ChartTopGrossing] = sortedByScore(grossing, size)
-	for name, entries := range s.charts {
-		h, ok := s.history[name]
-		if !ok {
-			h = map[dates.Date][]ChartEntry{}
-			s.history[name] = h
+	free := newTopK(size)
+	games := newTopK(size)
+	grossing := newTopK(size)
+	for i := range partials {
+		for _, e := range partials[i].free {
+			free.push(e)
 		}
-		h[day] = entries
+		for _, e := range partials[i].games {
+			games.push(e)
+		}
+		for _, e := range partials[i].grossing {
+			grossing.push(e)
+		}
 	}
+	s.setChartLocked(ChartTopFree, day, free.ranked())
+	s.setChartLocked(ChartTopGames, day, games.ranked())
+	s.setChartLocked(ChartTopGrossing, day, grossing.ranked())
 }
 
-// sortedByScore ranks packages by descending score with a stable package
-// tiebreak so chart output is deterministic.
-func sortedByScore(scores map[string]float64, limit int) []ChartEntry {
-	type kv struct {
-		pkg   string
-		score float64
+// setChartLocked publishes one day's chart: the latest entries, the
+// per-day history, and the package->rank index that makes ChartRank and
+// ChartRanks O(1) in the chart size.
+func (s *Store) setChartLocked(name string, day dates.Date, entries []ChartEntry) {
+	s.charts[name] = entries
+	h, ok := s.history[name]
+	if !ok {
+		h = map[dates.Date][]ChartEntry{}
+		s.history[name] = h
 	}
-	arr := make([]kv, 0, len(scores))
-	for p, sc := range scores {
-		if sc > 0 {
-			arr = append(arr, kv{p, sc})
-		}
+	h[day] = entries
+	idx := make(map[string]int, len(entries))
+	for _, e := range entries {
+		idx[e.Package] = e.Rank
 	}
-	sort.Slice(arr, func(i, j int) bool {
-		if arr[i].score != arr[j].score {
-			return arr[i].score > arr[j].score
-		}
-		return arr[i].pkg < arr[j].pkg
-	})
-	if len(arr) > limit {
-		arr = arr[:limit]
+	r, ok := s.ranks[name]
+	if !ok {
+		r = map[dates.Date]map[string]int{}
+		s.ranks[name] = r
 	}
-	out := make([]ChartEntry, len(arr))
-	for i, e := range arr {
-		out[i] = ChartEntry{Rank: i + 1, Package: e.pkg, Score: e.score}
-	}
-	return out
+	r[day] = idx
 }
 
 func clamp01(x float64) float64 {

@@ -112,8 +112,10 @@ func TestParallelWritesDuringStepDay(t *testing.T) {
 			i++
 		}
 	}()
+	// Nondecreasing days (StepDay's contract), each stepped repeatedly
+	// while the writer mutates the same day range.
 	for d := 0; d < 20; d++ {
-		s.StepDay(dates.StudyStart.AddDays(d % 5))
+		s.StepDay(dates.StudyStart.AddDays(d / 4))
 	}
 	close(stop)
 	wg.Wait()

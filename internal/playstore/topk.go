@@ -1,0 +1,92 @@
+package playstore
+
+import "sort"
+
+// scoredApp is one positive chart score produced by the shard scan.
+type scoredApp struct {
+	pkg   string
+	score float64
+}
+
+// chartWorse reports whether x ranks strictly below y in chart order
+// (descending score, ascending package tiebreak). Packages are unique
+// within a day's scores, so this is a strict total order — which is what
+// makes the bounded selection below independent of push order.
+func chartWorse(x, y scoredApp) bool {
+	if x.score != y.score {
+		return x.score < y.score
+	}
+	return x.pkg > y.pkg
+}
+
+// topK selects the k best scored apps from a stream without sorting the
+// whole catalog: a bounded min-heap (in chart order) keeps the worst kept
+// entry at the root, so a full day's chart merge costs O(n log k) with k
+// the chart size, instead of the O(n log n) sort-then-truncate it
+// replaces. The selected set — and, after ranked(), its order — is
+// identical to sorting all candidates and truncating to k.
+type topK struct {
+	k    int
+	heap []scoredApp
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, heap: make([]scoredApp, 0, k)}
+}
+
+// push offers one candidate to the selection.
+func (t *topK) push(e scoredApp) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, e)
+		t.up(len(t.heap) - 1)
+		return
+	}
+	if chartWorse(e, t.heap[0]) {
+		return // worse than the worst kept entry
+	}
+	t.heap[0] = e
+	t.down(0)
+}
+
+func (t *topK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !chartWorse(t.heap[i], t.heap[parent]) {
+			return
+		}
+		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
+		i = parent
+	}
+}
+
+func (t *topK) down(i int) {
+	n := len(t.heap)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && chartWorse(t.heap[l], t.heap[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && chartWorse(t.heap[r], t.heap[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.heap[i], t.heap[worst] = t.heap[worst], t.heap[i]
+		i = worst
+	}
+}
+
+// ranked consumes the selection and returns it as a rank-ordered chart.
+func (t *topK) ranked() []ChartEntry {
+	sort.Slice(t.heap, func(i, j int) bool { return chartWorse(t.heap[j], t.heap[i]) })
+	out := make([]ChartEntry, len(t.heap))
+	for i, e := range t.heap {
+		out[i] = ChartEntry{Rank: i + 1, Package: e.pkg, Score: e.score}
+	}
+	t.heap = t.heap[:0]
+	return out
+}

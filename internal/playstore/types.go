@@ -114,6 +114,26 @@ type ConsoleDay struct {
 }
 
 // app is the store-internal mutable state for a listing.
+//
+// Daily metrics live in a dense day-indexed slice anchored at the first
+// day the app ever recorded activity: the slot for day d is
+// days[d-base], grown on write. The hot paths — every install, session,
+// and purchase record, plus the per-day trailing-window aggregation in
+// StepDay — are pure index arithmetic over contiguous memory, with no
+// hashing and no per-day allocations (the map[dates.Date]*dayMetrics this
+// replaces paid a hash probe per touch and an allocation per app-day).
+//
+// On top of the slice, a rolling 7-day window (winEnd, win) keeps the
+// integer chart-window aggregates incrementally: advancing one day adds
+// the entering day's totals and subtracts the leaving day's, both exact
+// in int64, so the StepDay/enforcer window query is O(1) arithmetic for
+// those fields. The two float fields (fraudSum, revenue) are deliberately
+// NOT maintained that way: float addition is not associative, and an
+// add/subtract rolling sum would drift from the bit patterns the seed
+// engine produced. window() re-sums exactly those two fields over the
+// dense slice in ascending day order — the same summation order as the
+// seed engine — so every chart score and enforcement draw stays
+// bit-identical while still never touching a map.
 type app struct {
 	pkg      string
 	title    string
@@ -123,7 +143,11 @@ type app struct {
 
 	installs int64 // cumulative net installs
 
-	daily map[dates.Date]*dayMetrics
+	base dates.Date   // day of days[0]; meaningful only when len(days) > 0
+	days []dayMetrics // dense per-day metrics, index = day - base
+
+	winEnd dates.Date // newest day the rolling window is anchored at
+	win    winInts    // exact integer sums over (winEnd-7, winEnd]
 }
 
 // dayMetrics accumulates one day of activity for an app.
@@ -138,13 +162,119 @@ type dayMetrics struct {
 	activeUser int64 // distinct opens proxy (DAU)
 }
 
+// winInts are the integer fields of windowMetrics, maintained as an exact
+// rolling sum (see the app doc for why the float fields are excluded).
+type winInts struct {
+	installs   int64
+	referral   int64
+	sessions   int64
+	sessionSec int64
+	dau        int64
+}
+
+func (w *winInts) add(o winInts) {
+	w.installs += o.installs
+	w.referral += o.referral
+	w.sessions += o.sessions
+	w.sessionSec += o.sessionSec
+	w.dau += o.dau
+}
+
+func (w *winInts) sub(o winInts) {
+	w.installs -= o.installs
+	w.referral -= o.referral
+	w.sessions -= o.sessions
+	w.sessionSec -= o.sessionSec
+	w.dau -= o.dau
+}
+
+// day returns the mutable metrics slot for d, growing the dense slice as
+// needed and rolling the window anchor forward when d opens a new newest
+// day. Callers hold the shard write lock, mutate the slot immediately,
+// and mirror integer deltas through winTrack.
 func (a *app) day(d dates.Date) *dayMetrics {
-	m, ok := a.daily[d]
-	if !ok {
-		m = &dayMetrics{}
-		a.daily[d] = m
+	if len(a.days) == 0 {
+		a.base = d
+		a.winEnd = d
+		a.days = append(a.days, dayMetrics{})
+		return &a.days[0]
 	}
-	return m
+	if d > a.winEnd {
+		a.rollTo(d)
+	}
+	idx := int(d - a.base)
+	switch {
+	case idx < 0:
+		// A write before the first-ever active day: shift right and
+		// re-anchor. Rare (never on the engine's monotonic day path).
+		grown := make([]dayMetrics, len(a.days)-idx)
+		copy(grown[-idx:], a.days)
+		a.days = grown
+		a.base = d
+		idx = 0
+	case idx >= len(a.days):
+		a.days = append(a.days, make([]dayMetrics, idx+1-len(a.days))...)
+	}
+	return &a.days[idx]
+}
+
+// dayAt returns the metrics slot for d read-only, nil when d falls outside
+// the app's dense range.
+func (a *app) dayAt(d dates.Date) *dayMetrics {
+	if len(a.days) == 0 {
+		return nil
+	}
+	idx := int(d - a.base)
+	if idx < 0 || idx >= len(a.days) {
+		return nil
+	}
+	return &a.days[idx]
+}
+
+// dayInts reads the integer window contribution of day d, zero outside the
+// dense range.
+func (a *app) dayInts(d dates.Date) winInts {
+	m := a.dayAt(d)
+	if m == nil {
+		return winInts{}
+	}
+	return winInts{
+		installs:   m.organic + m.referral,
+		referral:   m.referral,
+		sessions:   m.sessions,
+		sessionSec: m.sessionSec,
+		dau:        m.activeUser,
+	}
+}
+
+// rollTo advances the rolling window anchor so win covers (end-7, end].
+// Steady-state day advances are +1 (one subtract, one add); gaps of a full
+// window or more rebuild from the slice directly, so the amortized cost
+// per simulated day is O(1). The anchor never moves backward: every day
+// newer than winEnd is guaranteed to have an all-zero (or absent) slot,
+// which keeps the incremental sums exact.
+func (a *app) rollTo(end dates.Date) {
+	if int(end-a.winEnd) >= chartWindowDays {
+		a.win = winInts{}
+		for d := end.AddDays(-(chartWindowDays - 1)); d <= end; d++ {
+			a.win.add(a.dayInts(d))
+		}
+	} else {
+		for e := a.winEnd + 1; e <= end; e++ {
+			a.win.sub(a.dayInts(e.AddDays(-chartWindowDays)))
+			a.win.add(a.dayInts(e))
+		}
+	}
+	a.winEnd = end
+}
+
+// winTrack mirrors an integer delta just applied to day d into the rolling
+// window. The record paths call it after mutating the day slot returned by
+// day(), which has already anchored the window at the newest written day.
+func (a *app) winTrack(d dates.Date, delta winInts) {
+	if d > a.winEnd.AddDays(-chartWindowDays) && d <= a.winEnd {
+		a.win.add(delta)
+	}
 }
 
 // windowMetrics aggregates the trailing-window activity used for chart
@@ -159,13 +289,47 @@ type windowMetrics struct {
 	dau        int64
 }
 
+// window aggregates the trailing days ending at end (inclusive).
+//
+// The chart-window query at the rolling anchor — the once-per-app-per-day
+// StepDay and enforcement pattern — takes the fast path: integer fields
+// are O(1) copies of the incremental sums, and only the two float fields
+// are re-summed, in ascending day order over the dense slice, preserving
+// the seed engine's float bit patterns (see the app doc). Every other
+// query (the previous-window trend term, the enforcer's 30-day clawback,
+// arbitrary test queries) scans the dense range directly — still pure
+// contiguous arithmetic, never map probes.
+//
+// Callers hold the shard lock. A chart-window query with end beyond the
+// current anchor advances the anchor and therefore requires the shard
+// write lock; every current caller (StepDay's shard scan, the enforcer)
+// already holds it.
 func (a *app) window(end dates.Date, days int) windowMetrics {
 	var w windowMetrics
-	for d := end.AddDays(-(days - 1)); d <= end; d++ {
-		m, ok := a.daily[d]
-		if !ok {
-			continue
+	if len(a.days) == 0 {
+		return w
+	}
+	if days == chartWindowDays {
+		if end > a.winEnd {
+			a.rollTo(end)
 		}
+		if end == a.winEnd {
+			lo, hi := a.clamp(end.AddDays(-(chartWindowDays - 1)), end)
+			for i := lo; i <= hi; i++ {
+				w.fraudSum += a.days[i].fraudSum
+				w.revenue += a.days[i].revenue
+			}
+			w.installs = a.win.installs
+			w.referral = a.win.referral
+			w.sessions = a.win.sessions
+			w.sessionSec = a.win.sessionSec
+			w.dau = a.win.dau
+			return w
+		}
+	}
+	lo, hi := a.clamp(end.AddDays(-(days - 1)), end)
+	for i := lo; i <= hi; i++ {
+		m := &a.days[i]
 		w.installs += m.organic + m.referral
 		w.referral += m.referral
 		w.fraudSum += m.fraudSum
@@ -175,4 +339,19 @@ func (a *app) window(end dates.Date, days int) windowMetrics {
 		w.dau += m.activeUser
 	}
 	return w
+}
+
+// clamp converts an inclusive day range to inclusive slice indexes,
+// intersected with the dense range (lo > hi when the intersection is
+// empty).
+func (a *app) clamp(from, to dates.Date) (lo, hi int) {
+	lo = int(from - a.base)
+	hi = int(to - a.base)
+	if lo < 0 {
+		lo = 0
+	}
+	if last := len(a.days) - 1; hi > last {
+		hi = last
+	}
+	return lo, hi
 }

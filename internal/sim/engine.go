@@ -120,7 +120,11 @@ func (e *engine) parallelFor(n int, fn func(i int) error) error {
 func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 	w := e.w
 
-	// Phase 1: organic activity, one unit per app.
+	// Phase 1: organic activity, one unit per app. Yesterday's top-free
+	// rank index is fetched once and shared read-only across the fan-out,
+	// so the per-app chart-presence check is a single map read with no
+	// store locking.
+	prevRanks := w.Store.ChartRanks(playstore.ChartTopFree, day.AddDays(-1))
 	type organicDelta struct {
 		installs int64
 		revenue  float64
@@ -131,7 +135,7 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 		// Chart presence yesterday boosts organic acquisition
 		// ("visibility"), the reason developers want top-chart slots.
 		boost := 1.0
-		if w.Store.ChartRank(playstore.ChartTopFree, day.AddDays(-1), pkg) > 0 {
+		if prevRanks[pkg] > 0 {
 			boost = 1.5
 		}
 		n := int64(r.Poisson(w.organicInstall[pkg] * boost))
@@ -178,14 +182,22 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 		return nil
 	})
 	if err != nil {
-		return fmt.Errorf("sim: campaign step %s: %w", day, err)
+		err = fmt.Errorf("sim: campaign step %s: %w", day, err)
 	}
+	// Flush every sink even when a campaign unit failed: parallelFor ran
+	// all units regardless and their store writes are already visible, so
+	// flushing keeps the install log and ledger consistent with the store
+	// when a failed day is inspected post mortem. The earliest error —
+	// campaign before flush, lower sink first — is the one reported.
 	for g := range sinks {
-		if err := sinks[g].txs.FlushTo(w.Ledger); err != nil {
-			return fmt.Errorf("sim: ledger flush %s: %w", day, err)
+		if ferr := sinks[g].txs.FlushTo(w.Ledger); ferr != nil && err == nil {
+			err = fmt.Errorf("sim: ledger flush %s: %w", day, ferr)
 		}
 		w.InstallLog = append(w.InstallLog, sinks[g].log...)
 		stats.IncentivizedInstalls += sinks[g].delivered
+	}
+	if err != nil {
+		return err
 	}
 	stats.CertifiedCompletions = int64(w.Mediator.Certified())
 	return nil

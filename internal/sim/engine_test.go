@@ -46,24 +46,16 @@ func fingerprintRun(t *testing.T, workers, maxProcs int) runFingerprint {
 	}
 	// Order-sensitive digest of the transaction log: the ordered flush
 	// must make even the posting sequence identical across worker counts.
-	const prime = 0x100000001b3
-	h := uint64(0xcbf29ce484222325)
-	mix := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime
-		}
-		h ^= '|'
-		h *= prime
-	}
+	// Shares the fnvMix accumulator with the equivalence goldens so both
+	// tests hash transactions identically.
+	h := newFnv()
 	for _, tx := range w.Ledger.Transactions() {
-		mix(tx.From)
-		mix(tx.To)
-		mix(tx.Memo)
-		h ^= math.Float64bits(tx.Amount)
-		h *= prime
+		h.str(tx.From)
+		h.str(tx.To)
+		h.str(tx.Memo)
+		h.u64(math.Float64bits(tx.Amount))
 	}
-	fp.txDigest = h
+	fp.txDigest = uint64(h)
 	for _, name := range playstore.ChartNames {
 		fp.charts[name] = w.Store.Chart(name)
 	}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/playstore"
+)
+
+// The goldens below were captured from the seed engine (map-based per-app
+// day storage, full-sort chart ranking) at PR 1, running TinyConfig with
+// the default seed. The dense-storage/top-K refactor must reproduce every
+// one of them bit-for-bit: same RunStats (RevenueUSD to the bit), same
+// charts (ranks, packages, score bits), same install log, and the same
+// ledger transaction sequence and balances. Regenerate with:
+//
+//	go test ./internal/sim/ -run TestStorageRefactorEquivalence -v -print-goldens
+const (
+	goldenDays            = 41
+	goldenOrganic         = 314091172
+	goldenIncentivized    = 324114
+	goldenCertified       = 324114
+	goldenRevenueBits     = 0x41835ab289197188
+	goldenInstallLogLen   = 324114
+	goldenInstallLogHash  = 0x25c90634a020219b
+	goldenNumTxs          = 78024
+	goldenTxHash          = 0x8f6bbb453a6b9bc1
+	goldenBalancesHash    = 0x40bab5e4f06b0fd9
+	goldenTopFreeLen      = 18
+	goldenTopFreeHash     = 0x70862ffa8b463ebd
+	goldenTopGamesLen     = 18
+	goldenTopGamesHash    = 0x0f5fd4fbb9464b70
+	goldenTopGrossingLen  = 18
+	goldenTopGrossingHash = 0x7567a4241d7f54e7
+)
+
+var printGoldens = flag.Bool("print-goldens", false, "print current equivalence goldens")
+
+// fnvMix is a tiny order-sensitive FNV-1a accumulator shared by the
+// equivalence digests.
+type fnvMix uint64
+
+func newFnv() fnvMix { return 0xcbf29ce484222325 }
+
+func (h *fnvMix) str(s string) {
+	const prime = 0x100000001b3
+	for i := 0; i < len(s); i++ {
+		*h ^= fnvMix(s[i])
+		*h *= prime
+	}
+	*h ^= '|'
+	*h *= prime
+}
+
+func (h *fnvMix) u64(v uint64) {
+	const prime = 0x100000001b3
+	*h ^= fnvMix(v)
+	*h *= prime
+}
+
+// TestStorageRefactorEquivalence locks the simulated world's observable
+// output to the seed engine: any storage or chart-selection change that
+// alters a single float bit, rank, or transaction shows up here.
+func TestStorageRefactorEquivalence(t *testing.T) {
+	w, err := NewWorld(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	installHash := newFnv()
+	for _, rec := range w.InstallLog {
+		installHash.str(rec.Device)
+		installHash.str(rec.App)
+		installHash.u64(uint64(rec.Day))
+	}
+	txHash := newFnv()
+	for _, tx := range w.Ledger.Transactions() {
+		txHash.str(tx.From)
+		txHash.str(tx.To)
+		txHash.str(tx.Memo)
+		txHash.u64(math.Float64bits(tx.Amount))
+	}
+	balances := w.Ledger.Balances()
+	accounts := make([]string, 0, len(balances))
+	for acct := range balances {
+		accounts = append(accounts, acct)
+	}
+	sort.Strings(accounts)
+	balHash := newFnv()
+	for _, acct := range accounts {
+		balHash.str(acct)
+		balHash.u64(math.Float64bits(balances[acct]))
+	}
+	chartHash := map[string]fnvMix{}
+	chartLen := map[string]int{}
+	for _, name := range playstore.ChartNames {
+		h := newFnv()
+		entries := w.Store.Chart(name)
+		for _, e := range entries {
+			h.u64(uint64(e.Rank))
+			h.str(e.Package)
+			h.u64(math.Float64bits(e.Score))
+		}
+		chartHash[name] = h
+		chartLen[name] = len(entries)
+	}
+
+	if *printGoldens {
+		t.Logf("goldenDays            = %d", stats.Days)
+		t.Logf("goldenOrganic         = %d", stats.OrganicInstalls)
+		t.Logf("goldenIncentivized    = %d", stats.IncentivizedInstalls)
+		t.Logf("goldenCertified       = %d", stats.CertifiedCompletions)
+		t.Logf("goldenRevenueBits     = %#x", math.Float64bits(stats.RevenueUSD))
+		t.Logf("goldenInstallLogLen   = %d", len(w.InstallLog))
+		t.Logf("goldenInstallLogHash  = %#x", uint64(installHash))
+		t.Logf("goldenNumTxs          = %d", w.Ledger.NumTransactions())
+		t.Logf("goldenTxHash          = %#x", uint64(txHash))
+		t.Logf("goldenBalancesHash    = %#x", uint64(balHash))
+		for _, name := range playstore.ChartNames {
+			t.Logf("golden %-14s len = %d hash = %#x", name, chartLen[name], uint64(chartHash[name]))
+		}
+	}
+
+	check := func(what string, got, want uint64) {
+		if got != want {
+			t.Errorf("%s = %#x, want %#x (storage refactor changed observable output)", what, got, want)
+		}
+	}
+	check("days", uint64(stats.Days), goldenDays)
+	check("organic installs", uint64(stats.OrganicInstalls), goldenOrganic)
+	check("incentivized installs", uint64(stats.IncentivizedInstalls), goldenIncentivized)
+	check("certified completions", uint64(stats.CertifiedCompletions), goldenCertified)
+	check("revenue bits", math.Float64bits(stats.RevenueUSD), goldenRevenueBits)
+	check("install log length", uint64(len(w.InstallLog)), goldenInstallLogLen)
+	check("install log hash", uint64(installHash), goldenInstallLogHash)
+	check("num transactions", uint64(w.Ledger.NumTransactions()), goldenNumTxs)
+	check("transaction hash", uint64(txHash), goldenTxHash)
+	check("balances hash", uint64(balHash), goldenBalancesHash)
+	wantChart := map[string][2]uint64{
+		playstore.ChartTopFree:     {goldenTopFreeLen, goldenTopFreeHash},
+		playstore.ChartTopGames:    {goldenTopGamesLen, goldenTopGamesHash},
+		playstore.ChartTopGrossing: {goldenTopGrossingLen, goldenTopGrossingHash},
+	}
+	for _, name := range playstore.ChartNames {
+		check(fmt.Sprintf("chart %s length", name), uint64(chartLen[name]), wantChart[name][0])
+		check(fmt.Sprintf("chart %s hash", name), uint64(chartHash[name]), wantChart[name][1])
+	}
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Record the PR's key benchmarks into BENCH_PR2.json so the performance
+# trajectory is versioned alongside the code.
+#
+# Usage:
+#   scripts/bench.sh before   # run once on the parent commit's tree
+#   scripts/bench.sh after    # run on the PR tree (default)
+#
+# Heavy end-to-end engine benchmarks run at -benchtime=1x (each iteration
+# replays a full simulated window); microbenchmarks get longer benchtimes
+# so ns/op is stable. Everything runs with -count=3 -benchmem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-after}"
+out="${BENCH_OUT:-BENCH_PR2.json}"
+
+go run ./cmd/benchjson -label "$label" -out "$out" -count 3 \
+  '.:BenchmarkSimRunScale/workers=1$:1x' \
+  '.:BenchmarkStoreRecordParallel$:20000x' \
+  './internal/playstore:BenchmarkStepDayScale$:20x' \
+  './internal/playstore:BenchmarkAppWindow:5000x' \
+  './internal/playstore:BenchmarkChartRank:20000x'
