@@ -1,0 +1,66 @@
+package iip
+
+import (
+	"fmt"
+
+	"repro/internal/dates"
+)
+
+// CampaignHandle pins one campaign, its developer's funding account, and
+// the platform's per-completion money split, all resolved exactly once.
+// Settlement through a handle performs no map lookup and takes no lock.
+//
+// Ownership contract: a handle's write methods mutate the campaign row and
+// the developer balance without the platform lock, so a single goroutine
+// must own every campaign of a developer while writes are in flight, and
+// lock-taking Platform methods (ActiveOffers, Campaigns, Balance, ...)
+// must not run concurrently with them. The day engine satisfies both: the
+// campaign phase partitions work by developer group, and observers (the
+// crawler/milker hook) only run at the day barrier.
+type CampaignHandle struct {
+	p *Platform
+	c *Campaign
+	d *developerAccount
+	// gross is GrossCostPerInstall(spec.UserPayoutUSD), precomputed: the
+	// same pure function of immutable fields the locked path evaluates per
+	// completion, so every derived float is bit-identical.
+	gross float64
+}
+
+// CampaignHandle resolves an offer ID to a settlement handle.
+func (p *Platform) CampaignHandle(offerID string) (*CampaignHandle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.campaigns[offerID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownOffer, offerID)
+	}
+	return &CampaignHandle{
+		p:     p,
+		c:     c,
+		d:     p.devs[c.Spec.Developer],
+		gross: p.GrossCostPerInstall(c.Spec.UserPayoutUSD),
+	}, nil
+}
+
+// OfferID returns the handle's offer ID.
+func (h *CampaignHandle) OfferID() string { return h.c.OfferID }
+
+// Remaining returns how many purchased completions are still undelivered.
+func (h *CampaignHandle) Remaining() int { return h.c.Spec.Target - h.c.Delivered }
+
+// RecordCompletion settles one certified completion through the same
+// settleOne body as Platform.RecordCompletion, minus the lock and lookup.
+func (h *CampaignHandle) RecordCompletion(day dates.Date) (Disbursement, error) {
+	return h.p.settleOne(h.c, h.d, h.gross, day)
+}
+
+// RecordCompletions settles up to n completions at once through the same
+// settleBatch body as Platform.RecordCompletions, minus the lock and
+// lookup.
+func (h *CampaignHandle) RecordCompletions(day dates.Date, n int) (Disbursement, int, error) {
+	if n <= 0 {
+		return Disbursement{}, 0, nil
+	}
+	return h.p.settleBatch(h.c, h.d, h.gross, day, n)
+}

@@ -1,0 +1,154 @@
+package iip
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dates"
+)
+
+func TestCampaignHandleResolution(t *testing.T) {
+	p := newFundedPlatform(t, Fyber)
+	c := launch(t, p, basicSpec())
+	h, err := p.CampaignHandle(c.OfferID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.OfferID() != c.OfferID {
+		t.Fatalf("handle offer = %s, want %s", h.OfferID(), c.OfferID)
+	}
+	if h.Remaining() != c.Spec.Target {
+		t.Fatalf("remaining = %d, want %d", h.Remaining(), c.Spec.Target)
+	}
+	if _, err := p.CampaignHandle("nope"); !errors.Is(err, ErrUnknownOffer) {
+		t.Fatalf("unknown offer err = %v, want ErrUnknownOffer", err)
+	}
+}
+
+// TestCampaignHandleMatchesPlatformSettlement settles the same campaign
+// shape through the locked platform path and through a handle, and
+// requires bit-identical disbursements and balances: the handle is a
+// lookup/lock hoist, not a second implementation allowed to drift.
+func TestCampaignHandleMatchesPlatformSettlement(t *testing.T) {
+	pA := newFundedPlatform(t, Fyber)
+	cA := launch(t, pA, basicSpec())
+	pB := newFundedPlatform(t, Fyber)
+	cB := launch(t, pB, basicSpec())
+	h, err := pB.CampaignHandle(cB.OfferID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dA1, err := pA.RecordCompletion(cA.OfferID, dates.StudyStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dB1, err := h.RecordCompletion(dates.StudyStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dA1 != dB1 {
+		t.Fatalf("single settlement diverges: %+v vs %+v", dA1, dB1)
+	}
+
+	dA2, nA, err := pA.RecordCompletions(cA.OfferID, dates.StudyStart, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dB2, nB, err := h.RecordCompletions(dates.StudyStart, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nA != nB || dA2 != dB2 {
+		t.Fatalf("batch settlement diverges: (%d, %+v) vs (%d, %+v)", nA, dA2, nB, dB2)
+	}
+
+	balA, _ := pA.Balance("dev1")
+	balB, _ := pB.Balance("dev1")
+	if math.Float64bits(balA) != math.Float64bits(balB) {
+		t.Fatalf("balances diverge: %v vs %v (bit-exact required)", balA, balB)
+	}
+	snapA, _ := pA.Campaign(cA.OfferID)
+	snapB, _ := pB.Campaign(cB.OfferID)
+	if snapA.Delivered != snapB.Delivered || snapA.Stopped != snapB.Stopped {
+		t.Fatalf("campaign state diverges: %+v vs %+v", snapA, snapB)
+	}
+}
+
+func TestCampaignHandleTargetExhaustion(t *testing.T) {
+	p := newFundedPlatform(t, RankApp)
+	spec := basicSpec()
+	spec.Target = 3
+	c := launch(t, p, spec)
+	h, err := p.CampaignHandle(c.OfferID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := h.RecordCompletion(dates.StudyStart); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Remaining() != 0 {
+		t.Fatalf("remaining after exhaustion = %d, want 0", h.Remaining())
+	}
+	if _, err := h.RecordCompletion(dates.StudyStart); !errors.Is(err, ErrCampaignComplete) {
+		t.Fatalf("exhausted handle err = %v, want ErrCampaignComplete", err)
+	}
+	// Batch settlement matches the locked path: a delivered-out campaign
+	// is no longer live, so the batch is rejected as inactive.
+	if _, n, err := h.RecordCompletions(dates.StudyStart, 5); !errors.Is(err, ErrCampaignInactive) || n != 0 {
+		t.Fatalf("exhausted batch = (%d, %v), want (0, ErrCampaignInactive)", n, err)
+	}
+	// The exhausted campaign disappears from the (locked) wall view, so
+	// handle writes and platform reads agree.
+	if got := p.ActiveOffers(dates.StudyStart, "USA"); len(got) != 0 {
+		t.Error("completed campaign still on wall")
+	}
+	// Settlement outside the window is rejected exactly like the locked
+	// path.
+	if _, err := h.RecordCompletion(testWindow.End.AddDays(5)); err == nil {
+		t.Error("want error settling after exhaustion/window, got nil")
+	}
+}
+
+// TestCampaignHandleBalanceExhaustion shares one funded balance between
+// two campaigns, drains most of it through the locked path, and checks
+// the handle settles only what remains and stops its campaign the way
+// the locked path does. (A single campaign can never exhaust the balance:
+// LaunchCampaign requires full funding up front.)
+func TestCampaignHandleBalanceExhaustion(t *testing.T) {
+	p := newFundedPlatform(t, Fyber) // $5000 funded
+	gross := p.GrossCostPerInstall(0.06)
+	target := int(3000.0 / gross) // each campaign costs ~$3000 of the $5000
+	specA := basicSpec()
+	specA.Target = target
+	cA := launch(t, p, specA)
+	specB := basicSpec()
+	specB.Target = target
+	cB := launch(t, p, specB)
+	hB, err := p.CampaignHandle(cB.OfferID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n, err := p.RecordCompletions(cA.OfferID, dates.StudyStart, target); err != nil || n != target {
+		t.Fatalf("draining campaign A: n=%d err=%v", n, err)
+	}
+	// The handle batch settles only the affordable remainder and stops
+	// the campaign.
+	_, n, err := hB.RecordCompletions(dates.StudyStart, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= target {
+		t.Fatalf("affordable batch = %d, want 0 < n < %d", n, target)
+	}
+	snap, _ := p.Campaign(cB.OfferID)
+	if !snap.Stopped {
+		t.Error("balance exhaustion must stop the campaign")
+	}
+	if _, err := hB.RecordCompletion(dates.StudyStart); err == nil {
+		t.Error("want error settling on a stopped campaign, got nil")
+	}
+}

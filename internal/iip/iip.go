@@ -236,14 +236,20 @@ func (p *Platform) RecordCompletion(offerID string, day dates.Date) (Disbursemen
 	if !ok {
 		return Disbursement{}, fmt.Errorf("%w: %s", ErrUnknownOffer, offerID)
 	}
+	return p.settleOne(c, p.devs[c.Spec.Developer], p.GrossCostPerInstall(c.Spec.UserPayoutUSD), day)
+}
+
+// settleOne applies one completion to a campaign and its developer
+// account. The caller either holds p.mu or owns the campaign exclusively
+// under the CampaignHandle contract; both entry points share this body so
+// the money split and stop conditions cannot drift between them.
+func (p *Platform) settleOne(c *Campaign, d *developerAccount, gross float64, day dates.Date) (Disbursement, error) {
 	if c.Delivered >= c.Spec.Target {
-		return Disbursement{}, fmt.Errorf("%w: %s", ErrCampaignComplete, offerID)
+		return Disbursement{}, fmt.Errorf("%w: %s", ErrCampaignComplete, c.OfferID)
 	}
 	if !p.liveLocked(c, day) {
-		return Disbursement{}, fmt.Errorf("%w: %s on %s", ErrCampaignInactive, offerID, day)
+		return Disbursement{}, fmt.Errorf("%w: %s on %s", ErrCampaignInactive, c.OfferID, day)
 	}
-	d := p.devs[c.Spec.Developer]
-	gross := p.GrossCostPerInstall(c.Spec.UserPayoutUSD)
 	if d.balance < gross {
 		c.Stopped = true
 		return Disbursement{}, fmt.Errorf("%w: %s", ErrInsufficientBalance, c.Spec.Developer)
@@ -274,14 +280,18 @@ func (p *Platform) RecordCompletions(offerID string, day dates.Date, n int) (Dis
 	if !ok {
 		return Disbursement{}, 0, fmt.Errorf("%w: %s", ErrUnknownOffer, offerID)
 	}
+	return p.settleBatch(c, p.devs[c.Spec.Developer], p.GrossCostPerInstall(c.Spec.UserPayoutUSD), day, n)
+}
+
+// settleBatch applies up to n completions; same sharing contract as
+// settleOne. n must be positive.
+func (p *Platform) settleBatch(c *Campaign, d *developerAccount, gross float64, day dates.Date, n int) (Disbursement, int, error) {
 	if !p.liveLocked(c, day) {
-		return Disbursement{}, 0, fmt.Errorf("%w: %s on %s", ErrCampaignInactive, offerID, day)
+		return Disbursement{}, 0, fmt.Errorf("%w: %s on %s", ErrCampaignInactive, c.OfferID, day)
 	}
 	if remaining := c.Spec.Target - c.Delivered; n > remaining {
 		n = remaining
 	}
-	d := p.devs[c.Spec.Developer]
-	gross := p.GrossCostPerInstall(c.Spec.UserPayoutUSD)
 	if affordable := int(d.balance / gross); n > affordable {
 		n = affordable
 		c.Stopped = true

@@ -186,6 +186,13 @@ func (s *Store) RecordInstall(pkg string, in Install) error {
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	a.recordInstall(in)
+	return nil
+}
+
+// recordInstall applies one install event; the caller holds the shard
+// write lock (or owns the app exclusively under the handle batch contract).
+func (a *app) recordInstall(in Install) {
 	m := a.day(in.Day)
 	delta := winInts{installs: 1}
 	switch in.Source {
@@ -198,7 +205,6 @@ func (s *Store) RecordInstall(pkg string, in Install) error {
 	m.fraudSum += clamp01(in.FraudScore)
 	a.installs++
 	a.winTrack(in.Day, delta)
-	return nil
 }
 
 // RecordInstallBatch records n installs sharing a day, source, and mean
@@ -216,6 +222,16 @@ func (s *Store) RecordInstallBatch(pkg string, day dates.Date, n int64, source I
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	a.recordInstallBatch(day, n, source, meanFraud)
+	return nil
+}
+
+// recordInstallBatch applies n installs sharing a day, source, and mean
+// fraud score; the caller holds the shard write lock. n <= 0 is a no-op.
+func (a *app) recordInstallBatch(day dates.Date, n int64, source InstallSource, meanFraud float64) {
+	if n <= 0 {
+		return
+	}
 	m := a.day(day)
 	delta := winInts{installs: n}
 	switch source {
@@ -228,7 +244,6 @@ func (s *Store) RecordInstallBatch(pkg string, day dates.Date, n int64, source I
 	m.fraudSum += clamp01(meanFraud) * float64(n)
 	a.installs += n
 	a.winTrack(day, delta)
-	return nil
 }
 
 // RecordSessionBatch records n sessions of secondsPer seconds each.
@@ -242,12 +257,21 @@ func (s *Store) RecordSessionBatch(pkg string, day dates.Date, n, secondsPer int
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	a.recordSessionBatch(day, n, secondsPer)
+	return nil
+}
+
+// recordSessionBatch applies n sessions of secondsPer seconds each; the
+// caller holds the shard write lock. n <= 0 is a no-op.
+func (a *app) recordSessionBatch(day dates.Date, n, secondsPer int64) {
+	if n <= 0 {
+		return
+	}
 	m := a.day(day)
 	m.sessions += n
 	m.sessionSec += n * secondsPer
 	m.activeUser += n
 	a.winTrack(day, winInts{sessions: n, sessionSec: n * secondsPer, dau: n})
-	return nil
 }
 
 // RecordSession records an app-usage session (drives DAU and session-length
@@ -259,12 +283,17 @@ func (s *Store) RecordSession(pkg string, sess Session) error {
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	a.recordSession(sess)
+	return nil
+}
+
+// recordSession applies one session; the caller holds the shard write lock.
+func (a *app) recordSession(sess Session) {
 	m := a.day(sess.Day)
 	m.sessions++
 	m.sessionSec += sess.Seconds
 	m.activeUser++ // one session == one active-user contribution
 	a.winTrack(sess.Day, winInts{sessions: 1, sessionSec: sess.Seconds, dau: 1})
-	return nil
 }
 
 // RecordPurchase records an in-app purchase.
@@ -275,8 +304,14 @@ func (s *Store) RecordPurchase(pkg string, p Purchase) error {
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	a.day(p.Day).revenue += p.USD
+	a.recordPurchase(p)
 	return nil
+}
+
+// recordPurchase applies one purchase; the caller holds the shard write
+// lock.
+func (a *app) recordPurchase(p Purchase) {
+	a.day(p.Day).revenue += p.USD
 }
 
 // SeedInstalls initializes an app's lifetime install counter without

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/device"
+	"repro/internal/iip"
+	"repro/internal/mediator"
+	"repro/internal/offers"
+	"repro/internal/playstore"
+	"repro/internal/randx"
+)
+
+// benchDeliveryFixture hand-assembles the smallest world that can run the
+// full deliverOne flow (click, install, postbacks, settlement, payout
+// postings) with a campaign target and balance big enough to never
+// exhaust under any b.N.
+func benchDeliveryFixture(b *testing.B, typ offers.Type) (*World, *campUnit, dates.Date) {
+	b.Helper()
+	day := dates.StudyStart
+	const pkg = "bench.delivery.app"
+
+	store := playstore.New(day)
+	store.AddDeveloper(playstore.Developer{ID: "bench-dev"})
+	if err := store.Publish(playstore.Listing{
+		Package: pkg, Title: "B", Genre: "Puzzle", Developer: "bench-dev", Released: day,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	appHandle, err := store.AppHandle(pkg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	platform := &iip.Platform{
+		Name: "benchiip", FeeFraction: 0.30, AffiliateFraction: 0.30,
+		PacePerHour: 1e9,
+	}
+	if err := platform.RegisterDeveloper("bench-dev", iip.Documentation{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := platform.Deposit("bench-dev", 1e12); err != nil {
+		b.Fatal(err)
+	}
+	spec := iip.CampaignSpec{
+		Developer: "bench-dev", AppPackage: pkg,
+		Description: "Install and Register", Type: typ,
+		UserPayoutUSD: 0.06, Target: 1 << 30,
+		Window: dates.Range{Start: day, End: day.AddDays(1 << 20)},
+	}
+	c, err := platform.LaunchCampaign(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	offerHandle, err := platform.CampaignHandle(c.OfferID)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	med := mediator.New("bench")
+	med.RegisterOffer(c.OfferID, typ)
+	session, err := med.Session(c.OfferID)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	pool := make([]*device.Worker, 64)
+	poolAccts := make([]string, len(pool))
+	for i := range pool {
+		pool[i] = &device.Worker{
+			ID: "bench-worker", OpenProb: 1, EngageProb: 0.5, ReturnProb: 0.1,
+		}
+		poolAccts[i] = mediator.UserAccount(pool[i].ID)
+	}
+
+	w := &World{
+		Cfg:       TinyConfig(),
+		Store:     store,
+		Platforms: map[string]*iip.Platform{platform.Name: platform},
+		Mediator:  med,
+		Ledger:    mediator.NewLedger(),
+		Pools:     map[string][]*device.Worker{platform.Name: pool},
+	}
+	w.medAcct = mediator.MediatorAccount(med.Name)
+
+	u := &campUnit{
+		c: &PlannedCampaign{
+			IIP: platform.Name, OfferID: c.OfferID, App: pkg, Spec: spec,
+			DailyUptake: 5,
+		},
+		r:         randx.Derive(1, "bench/deliver"),
+		app:       appHandle,
+		offer:     offerHandle,
+		session:   session,
+		pool:      pool,
+		poolAccts: poolAccts,
+		noAffAcct: mediator.AffiliateAccount("uninstrumented." + platform.Name),
+		paceCap:   1 << 30,
+		devAcct:   mediator.DeveloperAccount(spec.Developer),
+		iipAcct:   mediator.IIPAccount(platform.Name),
+		poolAcct:  mediator.UserAccount("pool-" + platform.Name),
+	}
+	return w, u, day
+}
+
+// BenchmarkDeliverOne times the full-fidelity delivery flow the campaign
+// phase runs per completion (DESIGN.md E5): worker pick, click session,
+// store install/session records through the app handle, postback
+// certification, lock-free settlement, and four buffered ledger postings.
+func BenchmarkDeliverOne(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		typ  offers.Type
+	}{
+		{"noactivity", offers.NoActivity},
+		{"registration", offers.Registration},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			w, u, day := benchDeliveryFixture(b, tc.typ)
+			sink := &unitSink{}
+			u.app.Lock()
+			defer u.app.Unlock()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				done, err := w.deliverOne(u, day, sink)
+				if err != nil || !done {
+					b.Fatalf("deliverOne = (%v, %v)", done, err)
+				}
+				// Drain the sink the way the day barrier does, keeping
+				// steady-state memory bounded at any b.N.
+				if sink.txs.Len() >= 4096 {
+					if err := sink.txs.FlushTo(w.Ledger); err != nil {
+						b.Fatal(err)
+					}
+					sink.log = sink.log[:0]
+					if w.Ledger.NumTransactions() >= 1<<20 {
+						w.Ledger = mediator.NewLedger()
+					}
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/conc"
 	"repro/internal/dates"
+	"repro/internal/device"
+	"repro/internal/iip"
 	"repro/internal/mediator"
 	"repro/internal/playstore"
 	"repro/internal/randx"
@@ -33,17 +35,85 @@ import (
 //     per-unit sinks merged sequentially after each phase barrier, so
 //     the transaction log and floating-point totals are identical for
 //     any worker count.
+//
+// On top of those rules, every string key the day loop would otherwise
+// resolve per event is resolved exactly once here, at construction: app
+// rows become playstore.AppHandle values, campaigns become iip
+// settlement handles plus mediator click sessions, organic rate maps
+// become slices, and ledger account names arrive pre-interned from the
+// world build. The inner loops then run on pointers and integers — no
+// string hashing, no map growth, and (thanks to the write partition) one
+// shard-lock acquisition per (app, day) batch instead of one per event.
 type engine struct {
 	w       *World
 	workers int
 
-	pkgs        []string
-	organicRand []*randx.Rand // parallel to pkgs
+	// organic are the phase-1 work units, parallel to the catalog
+	// snapshot, each with its stream, store handle, and activity rates
+	// pre-resolved.
+	organic []organicUnit
 
 	// groups are the campaign work units: all campaigns of one developer,
-	// in first-appearance order of w.Campaigns (the canonical flush order).
-	groups   [][]*PlannedCampaign
-	campRand map[string]*randx.Rand // offerID -> stream
+	// in first-appearance order of w.Campaigns (the canonical flush
+	// order), each fully resolved to handles.
+	groups [][]*campUnit
+
+	// sinks and deltas are the per-day scratch buffers, allocated once
+	// and reset at each day barrier instead of reallocated per day.
+	sinks  []unitSink
+	deltas []organicDelta
+
+	// logBound caps InstallLog growth estimates: the log can never exceed
+	// its length at construction plus every campaign's then-remaining
+	// target (each delivery appends exactly one record on either path).
+	logBound int
+}
+
+// organicUnit is one phase-1 work unit: an app with its random stream,
+// store handle, and organic activity rates resolved at construction.
+type organicUnit struct {
+	pkg     string
+	r       *randx.Rand
+	app     playstore.AppHandle
+	install float64 // expected organic installs per day
+	dau     float64 // expected daily active users
+	revenue float64 // expected purchase revenue per day (0 = none)
+}
+
+// campUnit is one campaign with every per-event lookup hoisted to
+// construction time: the campaign's random stream, the store handle of the
+// advertised app, the platform settlement handle, the mediator click
+// session, the worker pool with pre-interned user account names, the
+// interned affiliate account names, and the platform's daily pace cap.
+type campUnit struct {
+	c         *PlannedCampaign
+	r         *randx.Rand
+	app       playstore.AppHandle
+	offer     *iip.CampaignHandle
+	session   *mediator.OfferSession
+	pool      []*device.Worker
+	poolAccts []string // "user:<worker.ID>", parallel to pool
+	affAccts  []string // "affiliate:<pkg>" per instrumented affiliate
+	noAffAcct string   // fallback when the IIP has no instrumented affiliates
+	paceCap   int
+
+	// Ledger account names interned once per campaign; the delivery hot
+	// path posts four transfers per completion and never rebuilds them.
+	devAcct  string // "dev:<developer>"
+	iipAcct  string // "iip:<platform>"
+	poolAcct string // "user:pool-<platform>", the batch payout account
+}
+
+// pickAffiliateAccount selects the interned ledger account of the
+// affiliate app credited with a completion. IIPs without instrumented
+// affiliates settle through their (unobserved) own-network account and
+// consume no randomness, exactly like the string-building path it
+// replaces.
+func (u *campUnit) pickAffiliateAccount(r *randx.Rand) string {
+	if len(u.affAccts) == 0 {
+		return u.noAffAcct
+	}
+	return u.affAccts[r.IntN(len(u.affAccts))]
 }
 
 // unitSink collects one campaign unit's side effects for deterministic
@@ -52,14 +122,21 @@ type unitSink struct {
 	txs       mediator.TxBuffer
 	log       []InstallRecord
 	delivered int64
+	certified int64
 }
 
-// newEngine prepares the per-unit streams and work partition for a run.
-// The catalog is snapshotted here: apps published mid-run have no organic
-// rates and thus generated no activity under the sequential engine either,
-// so the snapshot changes nothing observable while keeping the organic
-// fan-out race-free.
-func newEngine(w *World) *engine {
+// organicDelta is one organic unit's stat contribution for a day.
+type organicDelta struct {
+	installs int64
+	revenue  float64
+}
+
+// newEngine prepares the per-unit streams, handles, and work partition
+// for a run. The catalog is snapshotted here: apps published mid-run have
+// no organic rates and thus generated no activity under the sequential
+// engine either, so the snapshot changes nothing observable while keeping
+// the organic fan-out race-free.
+func newEngine(w *World) (*engine, error) {
 	workers := w.Cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -68,16 +145,37 @@ func newEngine(w *World) *engine {
 	// one knob governs every pool and a Workers=1 run is genuinely
 	// serial end to end, even if Cfg.Workers was mutated after NewWorld.
 	w.Store.SetStepWorkers(workers)
-	e := &engine{
-		w:        w,
-		workers:  workers,
-		pkgs:     w.Store.Packages(),
-		campRand: make(map[string]*randx.Rand, len(w.Campaigns)),
+	w.medAcct = mediator.MediatorAccount(w.Mediator.Name)
+	e := &engine{w: w, workers: workers}
+
+	pkgs := w.Store.Packages()
+	e.organic = make([]organicUnit, len(pkgs))
+	for i, pkg := range pkgs {
+		h, err := w.Store.AppHandle(pkg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: resolving organic app %s: %w", pkg, err)
+		}
+		e.organic[i] = organicUnit{
+			pkg:     pkg,
+			r:       randx.Derive(w.Cfg.Seed, "engine/"+pkg),
+			app:     h,
+			install: w.organicInstall[pkg],
+			dau:     w.organicDAU[pkg],
+			revenue: w.organicRevenue[pkg],
+		}
 	}
-	e.organicRand = make([]*randx.Rand, len(e.pkgs))
-	for i, pkg := range e.pkgs {
-		e.organicRand[i] = randx.Derive(w.Cfg.Seed, "engine/"+pkg)
+
+	// User ledger accounts are interned once per pool (pools are shared
+	// by every campaign on the same IIP).
+	poolAccts := make(map[string][]string, len(w.Pools))
+	for name, pool := range w.Pools {
+		accts := make([]string, len(pool))
+		for i, wk := range pool {
+			accts[i] = mediator.UserAccount(wk.ID)
+		}
+		poolAccts[name] = accts
 	}
+
 	groupOf := map[string]int{}
 	for _, c := range w.Campaigns {
 		g, ok := groupOf[c.Spec.Developer]
@@ -86,10 +184,68 @@ func newEngine(w *World) *engine {
 			groupOf[c.Spec.Developer] = g
 			e.groups = append(e.groups, nil)
 		}
-		e.groups[g] = append(e.groups[g], c)
-		e.campRand[c.OfferID] = randx.Derive(w.Cfg.Seed, "engine/campaign/"+c.OfferID)
+		u, err := e.resolveUnit(c, poolAccts)
+		if err != nil {
+			return nil, err
+		}
+		e.groups[g] = append(e.groups[g], u)
+		if rem := u.offer.Remaining(); rem > 0 {
+			e.logBound += rem
+		}
 	}
-	return e
+	e.logBound += len(w.InstallLog)
+	e.sinks = make([]unitSink, len(e.groups))
+	e.deltas = make([]organicDelta, len(e.organic))
+	return e, nil
+}
+
+// resolveUnit turns one planned campaign into a fully resolved work unit.
+func (e *engine) resolveUnit(c *PlannedCampaign, poolAccts map[string][]string) (*campUnit, error) {
+	w := e.w
+	platform := w.Platforms[c.IIP]
+	if platform == nil {
+		return nil, fmt.Errorf("sim: campaign %s on unknown platform %s", c.OfferID, c.IIP)
+	}
+	offer, err := platform.CampaignHandle(c.OfferID)
+	if err != nil {
+		return nil, fmt.Errorf("sim: resolving campaign %s: %w", c.OfferID, err)
+	}
+	session, err := w.Mediator.Session(c.OfferID)
+	if err != nil {
+		return nil, fmt.Errorf("sim: resolving campaign %s: %w", c.OfferID, err)
+	}
+	app, err := w.Store.AppHandle(c.App)
+	if err != nil {
+		return nil, fmt.Errorf("sim: resolving campaign %s: %w", c.OfferID, err)
+	}
+	// Affiliate accounts come from the world's per-IIP cache when present
+	// (the standard platforms); any other platform name is resolved here,
+	// so hand-assembled worlds never post to empty account names.
+	affAccts, ok := w.affAcctByIIP[c.IIP]
+	if !ok {
+		for _, a := range w.AffiliatesForIIP(c.IIP) {
+			affAccts = append(affAccts, mediator.AffiliateAccount(a.Package))
+		}
+	}
+	noAffAcct := w.noAffAcctByIIP[c.IIP]
+	if noAffAcct == "" {
+		noAffAcct = mediator.AffiliateAccount("uninstrumented." + c.IIP)
+	}
+	return &campUnit{
+		c:         c,
+		r:         randx.Derive(w.Cfg.Seed, "engine/campaign/"+c.OfferID),
+		app:       app,
+		offer:     offer,
+		session:   session,
+		pool:      w.Pools[c.IIP],
+		poolAccts: poolAccts[c.IIP],
+		affAccts:  affAccts,
+		noAffAcct: noAffAcct,
+		paceCap:   int(platform.PacePerHour * 24),
+		devAcct:   mediator.DeveloperAccount(c.Spec.Developer),
+		iipAcct:   mediator.IIPAccount(c.IIP),
+		poolAcct:  mediator.UserAccount("pool-" + c.IIP),
+	}, nil
 }
 
 // parallelFor runs fn(0..n-1) across the worker pool and blocks until all
@@ -123,44 +279,45 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 	// Phase 1: organic activity, one unit per app. Yesterday's top-free
 	// rank index is fetched once and shared read-only across the fan-out,
 	// so the per-app chart-presence check is a single map read with no
-	// store locking.
+	// store locking. All randomness is drawn before the handle's shard
+	// lock is taken, so the lock covers exactly the (app, day) write
+	// batch — one acquisition per unit instead of one per record call.
 	prevRanks := w.Store.ChartRanks(playstore.ChartTopFree, day.AddDays(-1))
-	type organicDelta struct {
-		installs int64
-		revenue  float64
-	}
-	deltas := make([]organicDelta, len(e.pkgs))
-	err := e.parallelFor(len(e.pkgs), func(i int) error {
-		pkg, r := e.pkgs[i], e.organicRand[i]
+	deltas := e.deltas
+	err := e.parallelFor(len(e.organic), func(i int) error {
+		u := &e.organic[i]
+		r := u.r
 		// Chart presence yesterday boosts organic acquisition
 		// ("visibility"), the reason developers want top-chart slots.
 		boost := 1.0
-		if prevRanks[pkg] > 0 {
+		if prevRanks[u.pkg] > 0 {
 			boost = 1.5
 		}
-		n := int64(r.Poisson(w.organicInstall[pkg] * boost))
-		if err := w.Store.RecordInstallBatch(pkg, day, n, playstore.SourceOrganic, 0.05); err != nil {
-			return err
-		}
-		deltas[i].installs = n
+		n := int64(r.Poisson(u.install * boost))
 
 		// Day-to-day engagement fluctuates multiplicatively (weekday
 		// effects, feature placements), which keeps chart boundaries
 		// churning the way real "trending" charts do.
-		dau := int64(r.Poisson(w.organicDAU[pkg] * r.LogNormal(0, 0.10)))
+		dau := int64(r.Poisson(u.dau * r.LogNormal(0, 0.10)))
+		var secPer int64
 		if dau > 0 {
-			secPer := int64(60 + r.IntN(240))
-			if err := w.Store.RecordSessionBatch(pkg, day, dau, secPer); err != nil {
-				return err
-			}
+			secPer = int64(60 + r.IntN(240))
 		}
-		if rate := w.organicRevenue[pkg]; rate > 0 {
-			usd := rate * r.LogNormal(0, 0.3)
-			if err := w.Store.RecordPurchase(pkg, playstore.Purchase{Day: day, USD: usd}); err != nil {
-				return err
-			}
-			deltas[i].revenue = usd
+		var usd float64
+		if u.revenue > 0 {
+			usd = u.revenue * r.LogNormal(0, 0.3)
 		}
+
+		u.app.Lock()
+		u.app.RecordInstallBatchLocked(day, n, playstore.SourceOrganic, 0.05)
+		if dau > 0 {
+			u.app.RecordSessionBatchLocked(day, dau, secPer)
+		}
+		if u.revenue > 0 {
+			u.app.RecordPurchaseLocked(playstore.Purchase{Day: day, USD: usd})
+		}
+		u.app.Unlock()
+		deltas[i] = organicDelta{installs: n, revenue: usd}
 		return nil
 	})
 	if err != nil {
@@ -172,10 +329,9 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 	}
 
 	// Phase 2: campaign deliveries, one unit per developer group.
-	sinks := make([]unitSink, len(e.groups))
 	err = e.parallelFor(len(e.groups), func(g int) error {
-		for _, c := range e.groups[g] {
-			if err := w.campaignDay(e.campRand[c.OfferID], c, day, &sinks[g]); err != nil {
+		for _, u := range e.groups[g] {
+			if err := w.campaignDay(u, day, &e.sinks[g]); err != nil {
 				return err
 			}
 		}
@@ -189,13 +345,44 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 	// flushing keeps the install log and ledger consistent with the store
 	// when a failed day is inspected post mortem. The earliest error —
 	// campaign before flush, lower sink first — is the one reported.
-	for g := range sinks {
-		if ferr := sinks[g].txs.FlushTo(w.Ledger); ferr != nil && err == nil {
+	//
+	// The install log grows by one allocation sized for the remaining
+	// window at the current daily delivery rate — capped by the total
+	// deliveries still possible, so a burst day never reserves more than
+	// the campaigns can ever append — instead of repeated append
+	// doublings across the run.
+	need := 0
+	for g := range e.sinks {
+		need += len(e.sinks[g].log)
+	}
+	if need > 0 && cap(w.InstallLog)-len(w.InstallLog) < need {
+		daysLeft := int(w.Cfg.Window.End-day) + 1
+		est := len(w.InstallLog) + need*daysLeft
+		if est > e.logBound {
+			est = e.logBound
+		}
+		if min := len(w.InstallLog) + need; est < min {
+			est = min
+		}
+		grown := make([]InstallRecord, len(w.InstallLog), est)
+		copy(grown, w.InstallLog)
+		w.InstallLog = grown
+	}
+	var certified int64
+	for g := range e.sinks {
+		s := &e.sinks[g]
+		if ferr := s.txs.FlushTo(w.Ledger); ferr != nil && err == nil {
 			err = fmt.Errorf("sim: ledger flush %s: %w", day, ferr)
 		}
-		w.InstallLog = append(w.InstallLog, sinks[g].log...)
-		stats.IncentivizedInstalls += sinks[g].delivered
+		w.InstallLog = append(w.InstallLog, s.log...)
+		stats.IncentivizedInstalls += s.delivered
+		certified += s.certified
+		s.log = s.log[:0]
+		s.delivered, s.certified = 0, 0
 	}
+	// Session certifications reach the mediator's global count only here,
+	// at the barrier; the count is a plain sum, so merge order is free.
+	w.Mediator.AddCertified(int(certified))
 	if err != nil {
 		return err
 	}

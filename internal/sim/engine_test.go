@@ -157,15 +157,20 @@ func TestEngineWorkersConfig(t *testing.T) {
 
 // TestEngineGroupsPartitionCampaigns verifies the write-partition
 // invariant the determinism model relies on: every campaign appears in
-// exactly one developer group, and no developer spans two groups.
+// exactly one developer group, no developer spans two groups, and every
+// unit is fully resolved to handles at construction.
 func TestEngineGroupsPartitionCampaigns(t *testing.T) {
 	w := buildTiny(t)
-	eng := newEngine(w)
+	eng, err := newEngine(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seenOffer := map[string]bool{}
 	devGroup := map[string]int{}
 	total := 0
 	for g, group := range eng.groups {
-		for _, c := range group {
+		for _, u := range group {
+			c := u.c
 			total++
 			if seenOffer[c.OfferID] {
 				t.Fatalf("offer %s appears in two groups", c.OfferID)
@@ -175,12 +180,22 @@ func TestEngineGroupsPartitionCampaigns(t *testing.T) {
 				t.Fatalf("developer %s split across groups %d and %d", c.Spec.Developer, prev, g)
 			}
 			devGroup[c.Spec.Developer] = g
+			if u.r == nil || u.session == nil || u.offer == nil || !u.app.Valid() {
+				t.Fatalf("unit %s not fully resolved: %+v", c.OfferID, u)
+			}
+			if u.session.OfferID() != c.OfferID || u.offer.OfferID() != c.OfferID {
+				t.Fatalf("unit %s wired to wrong handles (%s / %s)",
+					c.OfferID, u.session.OfferID(), u.offer.OfferID())
+			}
+			if len(u.poolAccts) != len(u.pool) {
+				t.Fatalf("unit %s: %d pool accounts for %d workers", c.OfferID, len(u.poolAccts), len(u.pool))
+			}
+			if u.devAcct == "" || u.iipAcct == "" || u.poolAcct == "" || u.noAffAcct == "" {
+				t.Fatalf("unit %s missing interned ledger accounts", c.OfferID)
+			}
 		}
 	}
 	if total != len(w.Campaigns) {
 		t.Errorf("groups cover %d campaigns, want %d", total, len(w.Campaigns))
-	}
-	if len(eng.campRand) != len(w.Campaigns) {
-		t.Errorf("campaign streams = %d, want %d", len(eng.campRand), len(w.Campaigns))
 	}
 }

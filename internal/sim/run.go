@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/dates"
-	"repro/internal/device"
-	"repro/internal/iip"
 	"repro/internal/mediator"
 	"repro/internal/offers"
 	"repro/internal/playstore"
@@ -35,7 +33,10 @@ func (w *World) Run() (RunStats, error) {
 // offer-wall milker) attach here, observing the world exactly as the
 // paper's infrastructure observed the live ecosystem.
 func (w *World) RunWithHook(hook func(day dates.Date) error) (RunStats, error) {
-	eng := newEngine(w)
+	eng, err := newEngine(w)
+	if err != nil {
+		return RunStats{}, err
+	}
 	var stats RunStats
 	for day := w.Cfg.Window.Start; day <= w.Cfg.Window.End; day++ {
 		if err := eng.stepDay(day, &stats); err != nil {
@@ -58,35 +59,44 @@ func (w *World) RunWithHook(hook func(day dates.Date) error) (RunStats, error) {
 // the batch paths with identical aggregate effects.
 const fullFidelityPerDay = 8
 
+// purchaseAmounts are the in-app purchase price points drawn by offer
+// completions, hoisted to package scope so the delivery hot path never
+// allocates the literal slice per draw.
+var purchaseAmounts = [...]float64{0.99, 1.99, 2.99, 4.99, 9.99}
+
 // campaignDay delivers one campaign's completions for one day. It draws
-// only from r (the campaign's own stream) and writes money movements and
+// only from u.r (the campaign's own stream) and writes money movements and
 // install-log records only into sink, so campaigns of different
-// developers can run concurrently.
-func (w *World) campaignDay(r *randx.Rand, c *PlannedCampaign, day dates.Date, sink *unitSink) error {
+// developers can run concurrently. The advertised app's shard lock is
+// taken once around the whole day's deliveries — the determinism model
+// guarantees this unit is the app's only writer during the phase, so the
+// lock provides visibility and whole-shard-reader exclusion, not
+// per-event ordering.
+func (w *World) campaignDay(u *campUnit, day dates.Date, sink *unitSink) error {
+	c := u.c
 	if !c.Spec.Window.Contains(day) {
 		return nil
 	}
-	platform := w.Platforms[c.IIP]
 	// Demand-limited delivery, capped by the platform's pacing and
 	// by the campaign's remaining purchased completions.
-	n := r.Poisson(c.DailyUptake)
-	if paceCap := int(platform.PacePerHour * 24); n > paceCap {
-		n = paceCap
+	n := u.r.Poisson(c.DailyUptake)
+	if n > u.paceCap {
+		n = u.paceCap
 	}
-	snap, err := platform.Campaign(c.OfferID)
-	if err != nil {
-		return err
-	}
-	if remaining := snap.Spec.Target - snap.Delivered; n > remaining {
+	if remaining := u.offer.Remaining(); n > remaining {
 		n = remaining
 	}
-	pool := w.Pools[c.IIP]
+	if n <= 0 {
+		return nil
+	}
+	u.app.Lock()
+	defer u.app.Unlock()
 	full := n
 	if full > fullFidelityPerDay {
 		full = fullFidelityPerDay
 	}
 	for i := 0; i < full; i++ {
-		done, err := w.deliverOne(r, platform, c, pool, day, sink)
+		done, err := w.deliverOne(u, day, sink)
 		if err != nil {
 			return err
 		}
@@ -97,7 +107,7 @@ func (w *World) campaignDay(r *randx.Rand, c *PlannedCampaign, day dates.Date, s
 		sink.delivered++
 	}
 	if bulk := n - full; bulk > 0 && full == fullFidelityPerDay {
-		delivered, err := w.deliverBatch(r, platform, c, pool, day, bulk, sink)
+		delivered, err := w.deliverBatch(u, day, bulk, sink)
 		if err != nil {
 			return err
 		}
@@ -108,52 +118,48 @@ func (w *World) campaignDay(r *randx.Rand, c *PlannedCampaign, day dates.Date, s
 
 // deliverBatch settles n completions through the batch paths: aggregate
 // store installs and sessions, one money split, one certification batch.
-func (w *World) deliverBatch(r *randx.Rand, platform *iip.Platform, c *PlannedCampaign, pool []*device.Worker, day dates.Date, n int, sink *unitSink) (int, error) {
-	disb, settled, err := platform.RecordCompletions(c.OfferID, day, n)
+// The caller holds the advertised app's shard lock.
+func (w *World) deliverBatch(u *campUnit, day dates.Date, n int, sink *unitSink) (int, error) {
+	c := u.c
+	disb, settled, err := u.offer.RecordCompletions(day, n)
 	if err != nil || settled == 0 {
 		return 0, err
 	}
 	// Mean fraud score of the pool approximates the batch's devices.
 	meanFraud := 0.0
 	for i := 0; i < 16; i++ {
-		meanFraud += pool[r.IntN(len(pool))].FraudScore()
+		meanFraud += u.pool[u.r.IntN(len(u.pool))].FraudScore()
 	}
 	meanFraud = meanFraud/16 + c.Botness
-	if err := w.Store.RecordInstallBatch(c.App, day, int64(settled), playstore.SourceReferral, meanFraud); err != nil {
-		return 0, err
-	}
+	u.app.RecordInstallBatchLocked(day, int64(settled), playstore.SourceReferral, meanFraud)
 	for i := 0; i < settled; i++ {
 		sink.log = append(sink.log, InstallRecord{
-			Device: pool[r.IntN(len(pool))].ID, App: c.App, Day: day,
+			Device: u.pool[u.r.IntN(len(u.pool))].ID, App: c.App, Day: day,
 		})
 	}
-	seconds, purchase := engagementFor(r, c.Spec.Type)
+	seconds, purchase := engagementFor(u.r, c.Spec.Type)
 	if seconds > 0 {
-		if err := w.Store.RecordSessionBatch(c.App, day, int64(settled), seconds); err != nil {
-			return 0, err
-		}
+		u.app.RecordSessionBatchLocked(day, int64(settled), seconds)
 	}
 	if purchase > 0 {
-		if err := w.Store.RecordPurchase(c.App, playstore.Purchase{Day: day, USD: purchase * float64(settled)}); err != nil {
-			return 0, err
-		}
+		u.app.RecordPurchaseLocked(playstore.Purchase{Day: day, USD: purchase * float64(settled)})
 	}
-	if err := w.Mediator.CertifyBatch(c.OfferID, settled); err != nil {
-		return 0, err
-	}
-	dev := mediator.DeveloperAccount(c.Spec.Developer)
-	aff := w.pickAffiliate(r, c.IIP)
+	// The offer's completion requirement was validated when the unit's
+	// click session was resolved; the certified count merges through the
+	// sink at the day barrier.
+	sink.certified += int64(settled)
+	aff := u.pickAffiliateAccount(u.r)
 	fee := w.Mediator.FeePerUser * float64(settled)
-	if err := sink.txs.Post(dev, mediator.IIPAccount(c.IIP), disb.Gross, "offer completions (batch)"); err != nil {
+	if err := sink.txs.Post(u.devAcct, u.iipAcct, disb.Gross, "offer completions (batch)"); err != nil {
 		return 0, err
 	}
-	if err := sink.txs.Post(mediator.IIPAccount(c.IIP), mediator.AffiliateAccount(aff), disb.AffiliateCut+disb.UserPayout, "affiliate share (batch)"); err != nil {
+	if err := sink.txs.Post(u.iipAcct, aff, disb.AffiliateCut+disb.UserPayout, "affiliate share (batch)"); err != nil {
 		return 0, err
 	}
-	if err := sink.txs.Post(mediator.AffiliateAccount(aff), mediator.UserAccount("pool-"+c.IIP), disb.UserPayout, "reward redemptions (batch)"); err != nil {
+	if err := sink.txs.Post(aff, u.poolAcct, disb.UserPayout, "reward redemptions (batch)"); err != nil {
 		return 0, err
 	}
-	if err := sink.txs.Post(dev, mediator.MediatorAccount(w.Mediator.Name), fee, "attribution fees (batch)"); err != nil {
+	if err := sink.txs.Post(u.devAcct, w.medAcct, fee, "attribution fees (batch)"); err != nil {
 		return 0, err
 	}
 	return settled, nil
@@ -168,7 +174,7 @@ func engagementFor(r *randx.Rand, t offers.Type) (seconds int64, purchaseUSD flo
 	case offers.Registration:
 		return int64(120 + r.IntN(240)), 0
 	case offers.Purchase:
-		return int64(180 + r.IntN(600)), []float64{0.99, 1.99, 2.99, 4.99, 9.99}[r.IntN(5)]
+		return int64(180 + r.IntN(600)), purchaseAmounts[r.IntN(len(purchaseAmounts))]
 	default:
 		return int64(30 + r.IntN(60)), 0
 	}
@@ -177,96 +183,96 @@ func engagementFor(r *randx.Rand, t offers.Type) (seconds int64, purchaseUSD flo
 // deliverOne runs a single worker through the full Figure 1 flow: click
 // tracking, install, in-app events, certification, settlement, and payout.
 // It returns false (and no error) when the campaign cannot accept more
-// completions.
-func (w *World) deliverOne(r *randx.Rand, platform *iip.Platform, c *PlannedCampaign, pool []*device.Worker, day dates.Date, sink *unitSink) (bool, error) {
-	worker := pool[r.IntN(len(pool))]
-	click := w.Mediator.TrackClick(c.OfferID, worker.ID, day)
+// completions. The caller holds the advertised app's shard lock; every
+// other structure it touches (click session, settlement handle, sink) is
+// owned by this unit's goroutine, so no per-event lock is taken anywhere.
+func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, error) {
+	c := u.c
+	wi := u.r.IntN(len(u.pool))
+	worker := u.pool[wi]
+	click := u.session.TrackClick(worker.ID, day)
 
 	// The install lands on the store regardless of engagement quality;
 	// bot-farm fulfillment raises the device-reputation penalty.
-	if err := w.Store.RecordInstall(c.App, playstore.Install{
+	u.app.RecordInstallLocked(playstore.Install{
 		Day:        day,
 		Source:     playstore.SourceReferral,
 		FraudScore: worker.FraudScore() + c.Botness,
-	}); err != nil {
-		return false, err
-	}
+	})
 	sink.log = append(sink.log, InstallRecord{Device: worker.ID, App: c.App, Day: day})
 
 	// In-app behaviour. For no-activity offers on sloppy platforms the
 	// completion may be claimed without a real open (RankApp's missing
 	// telemetry), but activity offers force the worker through the task.
-	opened := worker.OpenProb >= 1 || r.Bool(worker.OpenProb) || c.Spec.Type.IsActivity()
+	opened := worker.OpenProb >= 1 || u.r.Bool(worker.OpenProb) || c.Spec.Type.IsActivity()
 	if opened {
-		if _, err := w.Mediator.Postback(click.ID, mediator.EventOpen, day); err != nil {
+		ok, err := u.session.Postback(click, mediator.EventOpen)
+		if err != nil {
 			return false, err
 		}
-		seconds := int64(30 + r.IntN(60))
+		if ok {
+			sink.certified++
+		}
+		seconds := int64(30 + u.r.IntN(60))
 		switch c.Spec.Type {
 		case offers.Usage:
-			seconds = int64(300 + r.IntN(1200))
-			if _, err := w.Mediator.Postback(click.ID, mediator.EventUsage, day); err != nil {
+			seconds = int64(300 + u.r.IntN(1200))
+			if ok, err := u.session.Postback(click, mediator.EventUsage); err != nil {
 				return false, err
+			} else if ok {
+				sink.certified++
 			}
 		case offers.Registration:
-			seconds = int64(120 + r.IntN(240))
-			if _, err := w.Mediator.Postback(click.ID, mediator.EventRegister, day); err != nil {
+			seconds = int64(120 + u.r.IntN(240))
+			if ok, err := u.session.Postback(click, mediator.EventRegister); err != nil {
 				return false, err
+			} else if ok {
+				sink.certified++
 			}
 		case offers.Purchase:
-			seconds = int64(180 + r.IntN(600))
-			amount := []float64{0.99, 1.99, 2.99, 4.99, 9.99}[r.IntN(5)]
-			if err := w.Store.RecordPurchase(c.App, playstore.Purchase{Day: day, USD: amount}); err != nil {
+			seconds = int64(180 + u.r.IntN(600))
+			amount := purchaseAmounts[u.r.IntN(len(purchaseAmounts))]
+			u.app.RecordPurchaseLocked(playstore.Purchase{Day: day, USD: amount})
+			if ok, err := u.session.Postback(click, mediator.EventPurchase); err != nil {
 				return false, err
-			}
-			if _, err := w.Mediator.Postback(click.ID, mediator.EventPurchase, day); err != nil {
-				return false, err
+			} else if ok {
+				sink.certified++
 			}
 		}
-		if err := w.Store.RecordSession(c.App, playstore.Session{Day: day, Seconds: seconds}); err != nil {
-			return false, err
-		}
+		u.app.RecordSessionLocked(playstore.Session{Day: day, Seconds: seconds})
 	}
 
 	// Certification: activity offers certify via their task postback
 	// above; no-activity offers certify on open — or, on lax platforms,
 	// through a spoofed postback even without an open.
 	if c.Spec.Type == offers.NoActivity && !opened {
-		if _, err := w.Mediator.Postback(click.ID, mediator.EventOpen, day); err != nil {
+		ok, err := u.session.Postback(click, mediator.EventOpen)
+		if err != nil {
 			return false, err
+		}
+		if ok {
+			sink.certified++
 		}
 	}
 
-	// Settlement through the platform and the ledger.
-	disb, err := platform.RecordCompletion(c.OfferID, day)
+	// Settlement through the platform handle and the ledger.
+	disb, err := u.offer.RecordCompletion(day)
 	if err != nil {
 		// Target reached or balance exhausted: stop delivering.
 		return false, nil
 	}
-	dev := mediator.DeveloperAccount(c.Spec.Developer)
-	aff := w.pickAffiliate(r, c.IIP)
-	if err := sink.txs.Post(dev, mediator.IIPAccount(c.IIP), disb.Gross, "offer completion"); err != nil {
+	aff := u.pickAffiliateAccount(u.r)
+	if err := sink.txs.Post(u.devAcct, u.iipAcct, disb.Gross, "offer completion"); err != nil {
 		return false, err
 	}
-	if err := sink.txs.Post(mediator.IIPAccount(c.IIP), mediator.AffiliateAccount(aff), disb.AffiliateCut+disb.UserPayout, "affiliate share"); err != nil {
+	if err := sink.txs.Post(u.iipAcct, aff, disb.AffiliateCut+disb.UserPayout, "affiliate share"); err != nil {
 		return false, err
 	}
-	if err := sink.txs.Post(mediator.AffiliateAccount(aff), mediator.UserAccount(worker.ID), disb.UserPayout, "reward redemption"); err != nil {
+	if err := sink.txs.Post(aff, u.poolAccts[wi], disb.UserPayout, "reward redemption"); err != nil {
 		return false, err
 	}
-	if err := sink.txs.Post(dev, mediator.MediatorAccount(w.Mediator.Name), w.Mediator.FeePerUser, "attribution fee"); err != nil {
+	if err := sink.txs.Post(u.devAcct, w.medAcct, w.Mediator.FeePerUser, "attribution fee"); err != nil {
 		return false, err
 	}
 	return true, nil
-}
-
-// pickAffiliate selects the affiliate app credited with a completion.
-func (w *World) pickAffiliate(r *randx.Rand, iipName string) string {
-	apps := w.AffiliatesForIIP(iipName)
-	if len(apps) == 0 {
-		// IIPs without instrumented affiliates still have their own
-		// (unobserved) distribution network.
-		return "uninstrumented." + iipName
-	}
-	return apps[r.IntN(len(apps))].Package
 }

@@ -107,6 +107,14 @@ type World struct {
 	// affByIIP caches AffiliatesForIIP results; the delivery hot path
 	// calls it for every completion from many goroutines at once.
 	affByIIP map[string][]*affiliate.App
+	// affAcctByIIP / noAffAcctByIIP intern each IIP's affiliate ledger
+	// account names ("affiliate:<pkg>", plus the uninstrumented-network
+	// fallback), so per-completion payouts never concatenate strings.
+	affAcctByIIP   map[string][]string
+	noAffAcctByIIP map[string]string
+	// medAcct is the mediator's interned ledger account name, resolved by
+	// newEngine before the day loop starts.
+	medAcct string
 }
 
 // NewWorld builds the world from a config. Building is deterministic in
@@ -399,11 +407,23 @@ func (w *World) AffiliatesForIIP(name string) []*affiliate.App {
 	return out
 }
 
-// cacheAffiliates pre-resolves the per-IIP affiliate lists so the
-// concurrent delivery path never rebuilds them.
+// cacheAffiliates pre-resolves the per-IIP affiliate lists — and the
+// interned ledger account name of every affiliate — so the concurrent
+// delivery path never rebuilds either.
 func (w *World) cacheAffiliates() {
 	w.affByIIP = map[string][]*affiliate.App{}
+	w.affAcctByIIP = map[string][]string{}
+	w.noAffAcctByIIP = map[string]string{}
 	for _, name := range iip.StandardNames {
-		w.affByIIP[name] = w.AffiliatesForIIP(name)
+		apps := w.AffiliatesForIIP(name)
+		w.affByIIP[name] = apps
+		accts := make([]string, len(apps))
+		for i, a := range apps {
+			accts[i] = mediator.AffiliateAccount(a.Package)
+		}
+		w.affAcctByIIP[name] = accts
+		// IIPs without instrumented affiliates still have their own
+		// (unobserved) distribution network.
+		w.noAffAcctByIIP[name] = mediator.AffiliateAccount("uninstrumented." + name)
 	}
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Record the PR's key benchmarks into BENCH_PR2.json so the performance
+# Record the PR's key benchmarks into BENCH_PR3.json so the performance
 # trajectory is versioned alongside the code.
 #
 # Usage:
@@ -9,15 +9,29 @@
 # Heavy end-to-end engine benchmarks run at -benchtime=1x (each iteration
 # replays a full simulated window); microbenchmarks get longer benchtimes
 # so ns/op is stable. Everything runs with -count=3 -benchmem.
+#
+# Note: the E5 suites (DeliverOne/Postback/LedgerPost) were introduced by
+# PR 3 and do not exist on the parent tree; a "before" run there records
+# only the pre-existing suites.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-after}"
-out="${BENCH_OUT:-BENCH_PR2.json}"
+out="${BENCH_OUT:-BENCH_PR3.json}"
 
-go run ./cmd/benchjson -label "$label" -out "$out" -count 3 \
-  '.:BenchmarkSimRunScale/workers=1$:1x' \
-  '.:BenchmarkStoreRecordParallel$:20000x' \
-  './internal/playstore:BenchmarkStepDayScale$:20x' \
-  './internal/playstore:BenchmarkAppWindow:5000x' \
+suites=(
+  '.:BenchmarkSimRunScale/workers=1$:1x'
+  '.:BenchmarkStoreRecordParallel$:20000x'
+  './internal/playstore:BenchmarkStepDayScale$:20x'
+  './internal/playstore:BenchmarkAppWindow:5000x'
   './internal/playstore:BenchmarkChartRank:20000x'
+)
+if [ "$label" != "before" ]; then
+  suites+=(
+    './internal/sim:BenchmarkDeliverOne$:20000x'
+    './internal/mediator:BenchmarkPostback$:100000x'
+    './internal/mediator:BenchmarkLedgerPost$:100000x'
+  )
+fi
+
+go run ./cmd/benchjson -label "$label" -out "$out" -count 3 "${suites[@]}"
