@@ -8,7 +8,9 @@ package repro
 // Run with: go test -bench=. -benchmem .
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -340,6 +342,44 @@ func BenchmarkSimRunTiny(b *testing.B) {
 func BenchmarkSimRunScale(b *testing.B) {
 	b.Run("workers=1", func(b *testing.B) { benchSimRun(b, sim.ScaleConfig(), 1) })
 	b.Run("workers=max", func(b *testing.B) { benchSimRun(b, sim.ScaleConfig(), 0) })
+}
+
+// benchSimRunEvents replays the ~20x world with and without the
+// event-sourced run log attached (DESIGN.md E6). The log drains into a
+// buffered discard writer, so the measured delta is the engine-side cost
+// the subsystem adds — per-unit event encoding plus the ordered barrier
+// concatenation — independent of disk speed. events=off must match
+// BenchmarkSimRunScale/workers=1 (the nil-writer paths compile to a
+// branch), and events=on is the <5% overhead target.
+func benchSimRunEvents(b *testing.B, events bool) {
+	cfg := sim.ScaleConfig()
+	cfg.Workers = 1
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := cfg
+		c.Seed += uint64(i)
+		w, err := sim.NewWorld(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts sim.RunOptions
+		if events {
+			runLog, err := w.NewRunLog(bufio.NewWriterSize(io.Discard, 1<<20))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts.Log = runLog
+		}
+		b.StartTimer()
+		if _, err := w.RunOpts(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimRunEvents(b *testing.B) {
+	b.Run("events=off", func(b *testing.B) { benchSimRunEvents(b, false) })
+	b.Run("events=on", func(b *testing.B) { benchSimRunEvents(b, true) })
 }
 
 // BenchmarkStoreRecordParallel hammers the sharded write path from all

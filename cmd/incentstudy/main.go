@@ -6,6 +6,15 @@
 // Usage:
 //
 //	incentstudy [-seed N] [-tiny] [-scale] [-workers N] [-milk-every D] [-skip-honey] [-quiet]
+//	            [-events run.log] [-checkpoint run.ckpt] [-checkpoint-every N] [-resume run.ckpt]
+//
+// With -events the run streams its event-sourced log (installs, clicks,
+// postbacks, settlements, enforcement, chart snapshots) to a file that
+// cmd/runlog can cat/stats/verify and that stream.Replay rebuilds the
+// world from. With -checkpoint the run leaves a resumable day-boundary
+// checkpoint; after a crash, rerun with the same size/seed flags plus
+// -resume (and the same -events path, which is truncated to the
+// checkpoint and appended byte-identically).
 package main
 
 import (
@@ -30,6 +39,10 @@ func main() {
 	skipHoney := flag.Bool("skip-honey", false, "skip the Section 3 honey-app experiment")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	dumpOffers := flag.String("dump-offers", "", "write the milked offer dataset to this CSV file (the paper's shared-data analogue)")
+	events := flag.String("events", "", "stream the event-sourced run log to this file (inspect with cmd/runlog)")
+	checkpoint := flag.String("checkpoint", "", "write a resumable day-boundary checkpoint to this file")
+	checkpointEvery := flag.Int("checkpoint-every", 7, "days between checkpoints (each checkpoint re-encodes full run state; see DESIGN.md E6)")
+	resume := flag.String("resume", "", "resume a killed run from this checkpoint (same seed/size flags required)")
 	flag.Parse()
 
 	if *tiny && *scale {
@@ -47,7 +60,14 @@ func main() {
 	}
 	cfg.Workers = *workers
 
-	opts := core.Options{MilkEveryDays: *milkEvery, SkipHoney: *skipHoney}
+	opts := core.Options{
+		MilkEveryDays:   *milkEvery,
+		SkipHoney:       *skipHoney,
+		EventLogPath:    *events,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		ResumePath:      *resume,
+	}
 	if !*quiet {
 		opts.Logf = func(format string, args ...any) {
 			log.Printf(format, args...)

@@ -1,0 +1,222 @@
+// Command runlog inspects event-sourced run logs written by the simulator
+// (incentstudy -events, sim.RunOptions.Log; format in DESIGN.md E6).
+//
+// Usage:
+//
+//	runlog cat [-v] [-kind K] run.log     print events (one line each)
+//	runlog stats run.log                  frame counts, sizes, run totals
+//	runlog verify run.log                 full replay with verification
+//
+// verify rebuilds the entire world state from the log alone — every store
+// metric, chart, enforcement action, and ledger balance — and fails if
+// any logged chart snapshot, enforcement action, or day-end stat line
+// disagrees with the recomputation, or if any frame CRC is wrong.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("runlog: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "cat":
+		cat(args)
+	case "stats":
+		stats(args)
+	case "verify":
+		verify(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: runlog {cat [-v] [-kind K] | stats | verify} run.log")
+	os.Exit(2)
+}
+
+func open(path string) (*os.File, *stream.Reader) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := stream.NewReader(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return f, r
+}
+
+func cat(args []string) {
+	fs := flag.NewFlagSet("cat", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print chart entries and batch device lists in full")
+	kind := fs.String("kind", "", "only print events of this kind (e.g. install, settle, day-end)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, r := open(fs.Arg(0))
+	defer f.Close()
+
+	h := r.Header()
+	fmt.Printf("# run log v%d seed=%d window=%s..%s mediator=%s fee=$%.2f\n",
+		h.Version, h.Seed, h.WindowStart, h.WindowEnd, h.MediatorName, h.FeePerUser)
+
+	var ev stream.Event
+	for {
+		err := r.Next(&ev)
+		if err == io.EOF {
+			return
+		}
+		if err == io.ErrUnexpectedEOF {
+			log.Fatal("log ends mid-frame (killed run); resume it or verify the prefix")
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *kind != "" && ev.Kind.String() != *kind {
+			continue
+		}
+		printEvent(&ev, *verbose)
+	}
+}
+
+func printEvent(ev *stream.Event, verbose bool) {
+	switch ev.Kind {
+	case stream.KindDayStart:
+		fmt.Printf("== %s ==\n", ev.Day)
+	case stream.KindOrganic:
+		fmt.Printf("organic       %-28s installs=%d dau=%d sec=%d usd=%.2f\n", ev.Pkg, ev.N, ev.DAU, ev.Seconds, ev.USD)
+	case stream.KindClick:
+		fmt.Printf("click         %-28s worker=%s\n", ev.Offer, ev.Worker)
+	case stream.KindInstall:
+		fmt.Printf("install       %-28s device=%s fraud=%.2f\n", ev.Pkg, ev.Device, ev.Fraud)
+	case stream.KindInstallBatch:
+		if verbose {
+			fmt.Printf("install-batch %-28s n=%d fraud=%.2f devices=%v\n", ev.Pkg, ev.N, ev.Fraud, ev.Devices)
+		} else {
+			fmt.Printf("install-batch %-28s n=%d fraud=%.2f\n", ev.Pkg, ev.N, ev.Fraud)
+		}
+	case stream.KindPostback:
+		fmt.Printf("postback      %-28s event=%d certified=%v\n", ev.Offer, ev.PostEvent, ev.Certified)
+	case stream.KindCertifyBatch:
+		fmt.Printf("certify-batch %-28s n=%d\n", ev.Offer, ev.N)
+	case stream.KindSession:
+		fmt.Printf("session       %-28s n=%d sec=%d\n", ev.Pkg, ev.N, ev.Seconds)
+	case stream.KindPurchase:
+		fmt.Printf("purchase      %-28s usd=%.2f\n", ev.Pkg, ev.USD)
+	case stream.KindSettle:
+		fmt.Printf("settle        %-28s n=%d batch=%v gross=%.4f aff=%.4f user=%.4f via %s\n",
+			ev.Offer, ev.N, ev.Batch, ev.Gross, ev.AffCut, ev.UserPayout, ev.AffAcct)
+	case stream.KindEnforce:
+		fmt.Printf("enforce       %-28s removed=%d\n", ev.Pkg, ev.N)
+	case stream.KindChart:
+		fmt.Printf("chart         %-28s entries=%d\n", ev.Chart, len(ev.Entries))
+		if verbose {
+			for _, e := range ev.Entries {
+				fmt.Printf("                #%-3d %-36s %.4f\n", e.Rank, e.Package, e.Score)
+			}
+		}
+	case stream.KindDayEnd:
+		fmt.Printf("day-end       %-28s organic=%d incent=%d certified=%d revenue=%.2f\n",
+			ev.Day, ev.CumOrganic, ev.CumIncent, ev.CumCertified, ev.CumRevenue)
+	}
+}
+
+func stats(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, r := open(args[0])
+	defer f.Close()
+
+	counts := map[stream.Kind]int{}
+	var ev stream.Event
+	var days int
+	var last stream.Event
+	truncated := false
+	for {
+		err := r.Next(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			truncated = true
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts[ev.Kind]++
+		if ev.Kind == stream.KindDayEnd {
+			days++
+			last = ev
+			last.Entries, last.Devices = nil, nil
+		}
+	}
+
+	h := r.Header()
+	fi, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run log %s: %d bytes, seed=%d, window %s..%s\n", args[0], fi.Size(), h.Seed, h.WindowStart, h.WindowEnd)
+	base := r.Base()
+	fmt.Printf("base snapshot: store=%d ledger=%d mediator=%d bytes\n", len(base.Store), len(base.Ledger), len(base.Mediator))
+
+	kinds := make([]stream.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, k := range kinds {
+		fmt.Fprintf(tw, "  %s\t%d\n", k, counts[k])
+	}
+	tw.Flush()
+	fmt.Printf("%d complete days\n", days)
+	if days > 0 {
+		fmt.Printf("through %s: organic=%d incentivized=%d certified=%d revenue=$%.2f\n",
+			last.Day, last.CumOrganic, last.CumIncent, last.CumCertified, last.CumRevenue)
+	}
+	if truncated {
+		fmt.Println("NOTE: log ends mid-frame (killed run) — resume from its checkpoint to finish it")
+	}
+}
+
+func verify(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	res, err := stream.Replay(f)
+	if err != nil {
+		if res != nil {
+			fmt.Printf("replayed %d complete days before the failure\n", res.Stats.Days)
+		}
+		log.Fatalf("FAIL: %v", err)
+	}
+	fmt.Printf("OK: %d days verified (every frame CRC, %d chart snapshots, enforcement actions, day-end stats)\n",
+		res.Stats.Days, res.Stats.Days*3)
+	fmt.Printf("replayed state: organic=%d incentivized=%d certified=%d revenue=$%.2f installs=%d apps=%d ledger-sum=%.6f\n",
+		res.Stats.OrganicInstalls, res.Stats.IncentivizedInstalls, res.Stats.CertifiedCompletions,
+		res.Stats.RevenueUSD, len(res.Installs), res.Store.NumApps(), res.Ledger.Sum())
+}

@@ -1,99 +1,122 @@
-// Monitoring: stand up real offer-wall HTTP servers for two IIPs, drive
-// the instrumented affiliate apps through the recording MITM proxy (the
-// paper's Figure 3 infrastructure), and classify the intercepted offers —
-// the in-the-wild measurement pipeline of Section 4.1 end to end.
+// Monitoring: follow a live run through its event-sourced log instead of
+// polling end-of-run aggregates. The simulation writes its append-only
+// run log to disk while a tail consumer — which could just as well live
+// in another process — reads complete frames as each day barrier flushes,
+// feeds the device-resolved install stream into the incremental lockstep
+// detector (the Section 5.2 defense), and reports detections as they
+// form, day by day, while the run is still executing.
 package main
 
 import (
 	"fmt"
 	"log"
-	"net"
-	"net/http"
-	"time"
+	"os"
+	"path/filepath"
 
-	"repro/internal/affiliate"
 	"repro/internal/dates"
-	"repro/internal/iip"
-	"repro/internal/monitor"
-	"repro/internal/offers"
+	"repro/internal/lockstep"
+	"repro/internal/sim"
+	"repro/internal/stream"
 )
 
 func main() {
-	// Two live platforms with a handful of campaigns.
-	platforms := iip.StandardPlatforms()
-	fyber, ayet := platforms[iip.Fyber], platforms[iip.AyetStudios]
-	mustRegister(fyber, "dev", iip.Documentation{TaxID: "T", BankAccount: "B"})
-	mustRegister(ayet, "dev", iip.Documentation{})
-	must(fyber.Deposit("dev", 1e5))
-	must(ayet.Deposit("dev", 1e5))
+	cfg := sim.TinyConfig()
+	w, err := sim.NewWorld(cfg)
+	must(err)
 
-	window := dates.Range{Start: dates.StudyStart, End: dates.StudyEnd}
-	launch(fyber, "com.example.game", "Install and Reach level 10", offers.Usage, 0.50, window)
-	launch(fyber, "com.example.shop", "Install and make a $4.99 in-app purchase", offers.Purchase, 2.98, window)
-	launch(ayet, "com.example.news", "Install and Launch", offers.NoActivity, 0.05, window)
-	launch(ayet, "com.example.cash",
-		"Install and reach 850 points by completing tasks (watch videos, complete surveys)",
-		offers.Usage, 0.67, window)
+	dir, err := os.MkdirTemp("", "runlog-*")
+	must(err)
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "run.log")
+	f, err := os.Create(path)
+	must(err)
+	defer f.Close()
 
-	// Offer-wall HTTP servers.
-	apps := affiliate.StandardAffiliates()
-	rates := map[string]float64{}
-	for _, a := range apps {
-		rates[a.Package] = a.PointsPerUSD
-	}
-	endpoints := map[string]string{}
-	for name, p := range map[string]*iip.Platform{iip.Fyber: fyber, iip.AyetStudios: ayet} {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		must(err)
-		srv := &http.Server{Handler: iip.NewServer(p, rates).Handler(), ReadHeaderTimeout: 5 * time.Second}
-		go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
-		defer srv.Close()
-		endpoints[name] = "http://" + ln.Addr().String()
-	}
+	runLog, err := w.NewRunLog(f)
+	must(err)
 
-	// Instrument only affiliate apps whose every wall has an endpoint.
-	var instrumented []*affiliate.App
-	for _, a := range apps {
-		ok := true
-		for _, n := range a.IIPs {
-			if _, have := endpoints[n]; !have {
-				ok = false
+	// The online consumer: a tail over the same file (ReadAt-addressed,
+	// so it never trips over a partially written frame) plus the
+	// incremental detector.
+	tail := stream.NewTail(f)
+	det := lockstep.NewDetector(lockstep.DefaultConfig())
+	var (
+		ev       stream.Event
+		curDay   dates.Date
+		installs int
+		flagged  = map[string]bool{}
+	)
+	drain := func() {
+		for {
+			ok, err := tail.Next(&ev)
+			must(err)
+			if !ok {
+				return
+			}
+			switch ev.Kind {
+			case stream.KindDayStart:
+				curDay = ev.Day
+			case stream.KindInstall:
+				det.Ingest(ev.Device, ev.Pkg, curDay)
+				installs++
+			case stream.KindInstallBatch:
+				for _, dev := range ev.Devices {
+					det.Ingest(dev, ev.Pkg, curDay)
+					installs++
+				}
 			}
 		}
-		if ok {
-			instrumented = append(instrumented, a)
+	}
+
+	fmt.Printf("monitoring %s (%d-day window) via %s\n\n", "tiny world", cfg.Window.Days(), path)
+	fmt.Printf("%-12s %10s %8s %8s %9s\n", "day", "installs", "groups", "flagged", "new")
+	_, err = w.RunOpts(sim.RunOptions{
+		Log: runLog,
+		Hook: func(day dates.Date) error {
+			drain()
+			groups := det.Groups()
+			newDevices := 0
+			total := 0
+			for _, g := range groups {
+				for _, d := range g.Devices {
+					total++
+					if !flagged[d] {
+						flagged[d] = true
+						newDevices++
+					}
+				}
+			}
+			marker := ""
+			if newDevices > 0 {
+				marker = fmt.Sprintf("+%d", newDevices)
+			}
+			fmt.Printf("%-12s %10d %8d %8d %9s\n", day, installs, len(groups), total, marker)
+			return nil
+		},
+	})
+	must(err)
+
+	// Score the online detections against the simulator's ground truth,
+	// exactly as the post-hoc Section 5.2 analysis does (only workers that
+	// actually appear in the install stream can be recalled).
+	active := make(map[string]bool, len(w.InstallLog))
+	for _, rec := range w.InstallLog {
+		active[rec.Device] = true
+	}
+	truth := map[string]bool{}
+	for _, pool := range w.Pools {
+		for _, worker := range pool {
+			if active[worker.ID] {
+				truth[worker.ID] = true
+			}
 		}
 	}
-
-	milk, err := monitor.NewMilker(instrumented, endpoints)
-	must(err)
-	defer milk.Close()
-	must(milk.MilkDay(dates.StudyStart))
-
-	cls := offers.RuleClassifier{}
-	fmt.Printf("milked %d unique offers via %d instrumented affiliate apps from %d countries:\n\n",
-		len(milk.Offers()), len(instrumented), len(milk.Countries))
-	for _, o := range milk.Offers() {
-		fmt.Printf("%-14s %-18s $%.2f  %-24v arbitrage=%v\n    %q\n",
-			o.IIP, o.AppPackage, o.PayoutUSD, cls.Classify(o.Description),
-			offers.IsArbitrage(o.Description), o.Description)
-	}
+	eval := lockstep.Evaluate(det.Groups(), truth)
+	fmt.Printf("\nonline lockstep detection after %d streamed installs: %s\n", installs, eval)
 }
 
 func must(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-}
-
-func mustRegister(p *iip.Platform, dev string, docs iip.Documentation) {
-	must(p.RegisterDeveloper(dev, docs))
-}
-
-func launch(p *iip.Platform, pkg, desc string, t offers.Type, payout float64, w dates.Range) {
-	_, err := p.LaunchCampaign(iip.CampaignSpec{
-		Developer: "dev", AppPackage: pkg, Description: desc,
-		Type: t, UserPayoutUSD: payout, Target: 1000, Window: w,
-	})
-	must(err)
 }

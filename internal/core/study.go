@@ -10,9 +10,12 @@
 package core
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/crawler"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/playapi"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/stream"
 )
 
 // Options tune the study run.
@@ -33,6 +37,27 @@ type Options struct {
 	SkipHoney bool
 	// Verbose emits progress via the Logf callback.
 	Logf func(format string, args ...any)
+
+	// EventLogPath, when set, streams the run's event-sourced log to this
+	// file (DESIGN.md E6). On resume the file is truncated to the
+	// checkpoint's offset and appended, leaving bytes identical to an
+	// uninterrupted run.
+	EventLogPath string
+	// CheckpointPath, when set, atomically (re)writes a day-boundary
+	// checkpoint there every CheckpointEvery days (<= 0: every day).
+	CheckpointPath  string
+	CheckpointEvery int
+	// ResumePath continues a killed run from the named checkpoint. The
+	// config must match the original run. The Section 3 honey experiment
+	// is skipped (its effects are already inside the checkpointed state;
+	// its report exists only in the original run's output). The world
+	// state and the event log continue exactly; the crawler/milker
+	// observation datasets, however, are rebuilt fresh and cover only the
+	// remaining days (plus a final-day pass when nothing remains), so the
+	// Section 4/5 report tables of a resumed run are computed from that
+	// shorter observation window — replay the event log when the full
+	// stream is needed.
+	ResumePath string
 }
 
 func (o *Options) log(format string, args ...any) {
@@ -106,6 +131,29 @@ func Run(cfg sim.Config, opts Options) (*Study, error) {
 	}
 	s := &Study{World: world, Opts: opts}
 
+	runOpts := sim.RunOptions{}
+	if opts.ResumePath != "" {
+		cp, err := stream.ReadCheckpointFile(opts.ResumePath)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading resume checkpoint: %w", err)
+		}
+		// Restore before wiring the HTTP facade: the store pointer the
+		// facade serves must be the restored one — and validate the
+		// checkpoint against the rebuilt world before anything
+		// destructive (the event-log truncation below) can happen.
+		if err := world.Restore(cp); err != nil {
+			return nil, fmt.Errorf("core: restoring checkpoint: %w", err)
+		}
+		if err := world.ValidateResume(cp); err != nil {
+			return nil, fmt.Errorf("core: refusing to resume: %w", err)
+		}
+		opts.log("resuming after %s (day %d of the window, log offset %d)",
+			cp.Day, cp.Days, cp.LogOffset)
+		runOpts.Resume = cp
+		opts.SkipHoney = true
+		s.Opts = opts
+	}
+
 	if err := s.startInfrastructure(); err != nil {
 		s.Close()
 		return nil, err
@@ -121,9 +169,27 @@ func Run(cfg sim.Config, opts Options) (*Study, error) {
 		s.Results.Section3 = honey
 	}
 
+	// The run log opens after any pre-run activity (honey campaigns) so
+	// the base snapshot matches the state the day loop starts from.
+	if opts.EventLogPath != "" {
+		log, closeLog, err := s.openRunLog(runOpts.Resume)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		defer closeLog()
+		runOpts.Log = log
+	}
+	if opts.CheckpointPath != "" {
+		runOpts.CheckpointEvery = opts.CheckpointEvery
+		runOpts.Checkpoint = func(cp *stream.Checkpoint) error {
+			return stream.WriteCheckpointFile(opts.CheckpointPath, cp)
+		}
+	}
+
 	opts.log("running %d-day study window", world.Cfg.Window.Days())
 	start := world.Cfg.Window.Start
-	runStats, err := world.RunWithHook(func(day dates.Date) error {
+	runOpts.Hook = func(day dates.Date) error {
 		if err := s.Crawler.MaybeCrawl(day); err != nil {
 			return err
 		}
@@ -133,12 +199,36 @@ func Run(cfg sim.Config, opts Options) (*Study, error) {
 			}
 		}
 		return nil
-	})
+	}
+	runStats, err := world.RunOpts(runOpts)
 	if err != nil {
 		s.Close()
 		return nil, fmt.Errorf("core: running world: %w", err)
 	}
 	s.Results.RunStats = runStats
+
+	// A resumed study rebuilds its crawler/milker fresh, so their datasets
+	// cover only the post-resume days (documented on ResumePath). When the
+	// checkpoint sat at (or near) the window end either pipeline may have
+	// observed nothing — the crawler crawls the first post-resume day but
+	// the milking cadence can miss every remaining day — so each empty
+	// dataset independently gets one final-day pass, keeping the analyses
+	// running against the restored world instead of failing.
+	if runOpts.Resume != nil {
+		end := world.Cfg.Window.End
+		if len(s.Crawler.Dataset().Days()) == 0 {
+			if err := s.Crawler.CrawlNow(end); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("core: post-resume crawl: %w", err)
+			}
+		}
+		if len(s.Milker.Offers()) == 0 {
+			if err := s.Milker.MilkDay(end); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("core: post-resume milking: %w", err)
+			}
+		}
+	}
 
 	opts.log("analyzing")
 	if err := s.analyze(); err != nil {
@@ -163,6 +253,60 @@ func RunHoneyOnly(cfg sim.Config) (*Study, error) {
 	}
 	s.Results.Section3 = honey
 	return s, nil
+}
+
+// openRunLog opens the event log file: created fresh for a new run, or —
+// when resuming — truncated to the checkpoint's offset and appended so
+// the resulting bytes are identical to an uninterrupted run's log.
+func (s *Study) openRunLog(resume *stream.Checkpoint) (*stream.Writer, func(), error) {
+	path := s.Opts.EventLogPath
+	if resume == nil {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: creating event log: %w", err)
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		log, err := s.World.NewRunLog(bw)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("core: opening event log: %w", err)
+		}
+		return log, func() { bw.Flush(); f.Close() }, nil
+	}
+	if resume.LogOffset == 0 {
+		return nil, nil, fmt.Errorf("core: checkpoint was taken without an event log; start a fresh log instead of resuming %s", path)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: opening event log for resume: %w", err)
+	}
+	if fi, err := f.Stat(); err != nil || fi.Size() < resume.LogOffset {
+		f.Close()
+		return nil, nil, fmt.Errorf("core: event log shorter than checkpoint offset %d (err=%v)", resume.LogOffset, err)
+	}
+	// Refuse to truncate a file that is not this run's log: the prefix
+	// must carry a readable header whose seed and window match the world.
+	hdr, ok, err := stream.NewTail(f).Header()
+	if err != nil || !ok {
+		f.Close()
+		return nil, nil, fmt.Errorf("core: %s is not a run log for this world (header unreadable: %v)", path, err)
+	}
+	if hdr.Seed != s.World.Cfg.Seed || hdr.WindowStart != s.World.Cfg.Window.Start || hdr.WindowEnd != s.World.Cfg.Window.End {
+		f.Close()
+		return nil, nil, fmt.Errorf("core: %s belongs to a different run (seed %d window %s..%s, want seed %d window %s..%s)",
+			path, hdr.Seed, hdr.WindowStart, hdr.WindowEnd,
+			s.World.Cfg.Seed, s.World.Cfg.Window.Start, s.World.Cfg.Window.End)
+	}
+	if err := f.Truncate(resume.LogOffset); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("core: truncating event log at checkpoint: %w", err)
+	}
+	if _, err := f.Seek(resume.LogOffset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("core: seeking event log: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	return s.World.ResumeRunLog(bw, resume), func() { bw.Flush(); f.Close() }, nil
 }
 
 // startInfrastructure brings up the store facade, the per-IIP offer-wall

@@ -1,0 +1,32 @@
+package lockstep
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// benchEvents builds the standard synthetic workload: 120 workers in
+// lockstep over 25 advertised apps against 1,500 organic devices across a
+// 2,000-app catalog (~14k events).
+func benchEvents(b *testing.B) ([]Event, map[string]bool) {
+	b.Helper()
+	r := randx.New(1234)
+	return synth(r, 120, 1500, 25, 2000)
+}
+
+// BenchmarkLockstepIngest measures the full detection pipeline on a
+// pre-built event stream: ingest of every event plus group extraction
+// (DESIGN.md E6; the online tail consumer pays exactly this cost spread
+// across the run).
+func BenchmarkLockstepIngest(b *testing.B) {
+	events, _ := benchEvents(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups := Detect(events, DefaultConfig())
+		if len(groups) == 0 {
+			b.Fatal("no groups detected")
+		}
+	}
+}

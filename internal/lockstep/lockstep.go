@@ -11,7 +11,6 @@ package lockstep
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/dates"
 )
@@ -58,119 +57,16 @@ type Group struct {
 }
 
 // Detect finds lockstep groups in the event stream. It is deterministic:
-// groups and their members come out sorted.
+// groups and their members come out sorted. Detect is the batch facade
+// over the incremental Detector — one Ingest per event, one Groups call —
+// so the post-hoc and online paths cannot drift.
 func Detect(events []Event, cfg Config) []Group {
-	if cfg.DayBucket < 1 {
-		cfg.DayBucket = 1
-	}
-	if cfg.MinCommonApps < 1 {
-		cfg.MinCommonApps = 1
-	}
-	if cfg.MinGroupSize < 2 {
-		cfg.MinGroupSize = 2
-	}
-
-	// Incidence: (app, bucket) -> devices.
-	type cell struct {
-		app    string
-		bucket int
-	}
-	incidence := map[cell][]string{}
-	seen := map[string]map[string]bool{} // device -> app dedup
+	d := NewDetector(cfg)
+	d.Grow(len(events))
 	for _, ev := range events {
-		apps := seen[ev.Device]
-		if apps == nil {
-			apps = map[string]bool{}
-			seen[ev.Device] = apps
-		}
-		if apps[ev.App] {
-			continue // one install per (device, app)
-		}
-		apps[ev.App] = true
-		c := cell{app: ev.App, bucket: int(ev.Day) / cfg.DayBucket}
-		incidence[c] = append(incidence[c], ev.Device)
+		d.Ingest(ev.Device, ev.App, ev.Day)
 	}
-
-	// Pairwise co-occurrence counts, with the shared apps retained.
-	type pair struct{ a, b string }
-	coApps := map[pair]map[string]bool{}
-	cells := make([]cell, 0, len(incidence))
-	for c := range incidence {
-		cells = append(cells, c)
-	}
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].app != cells[j].app {
-			return cells[i].app < cells[j].app
-		}
-		return cells[i].bucket < cells[j].bucket
-	})
-	for _, c := range cells {
-		devs := incidence[c]
-		if cfg.MaxBucketPopulation > 0 && len(devs) > cfg.MaxBucketPopulation {
-			continue
-		}
-		sort.Strings(devs)
-		for i := 0; i < len(devs); i++ {
-			for j := i + 1; j < len(devs); j++ {
-				p := pair{devs[i], devs[j]}
-				m := coApps[p]
-				if m == nil {
-					m = map[string]bool{}
-					coApps[p] = m
-				}
-				m[c.app] = true
-			}
-		}
-	}
-
-	// Union-find over devices linked by >= MinCommonApps shared apps.
-	uf := newUnionFind()
-	linkApps := map[string]map[string]bool{} // root apps accumulate on merge
-	for p, apps := range coApps {
-		if len(apps) < cfg.MinCommonApps {
-			continue
-		}
-		ra, rb := uf.find(p.a), uf.find(p.b)
-		merged := map[string]bool{}
-		for app := range apps {
-			merged[app] = true
-		}
-		for app := range linkApps[ra] {
-			merged[app] = true
-		}
-		for app := range linkApps[rb] {
-			merged[app] = true
-		}
-		root := uf.union(p.a, p.b)
-		delete(linkApps, ra)
-		delete(linkApps, rb)
-		linkApps[root] = merged
-	}
-
-	// Collect groups.
-	members := map[string][]string{}
-	for dev := range seen {
-		if !uf.has(dev) {
-			continue
-		}
-		root := uf.find(dev)
-		members[root] = append(members[root], dev)
-	}
-	var out []Group
-	for root, devs := range members {
-		if len(devs) < cfg.MinGroupSize {
-			continue
-		}
-		sort.Strings(devs)
-		var apps []string
-		for app := range linkApps[uf.find(root)] {
-			apps = append(apps, app)
-		}
-		sort.Strings(apps)
-		out = append(out, Group{Devices: devs, Apps: apps})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Devices[0] < out[j].Devices[0] })
-	return out
+	return d.Groups()
 }
 
 // Evaluation scores detected groups against ground-truth labels.
@@ -215,46 +111,4 @@ func Evaluate(groups []Group, workers map[string]bool) Evaluation {
 		e.Recall = float64(e.TruePositives) / float64(e.TruePositives+e.FalseNegatives)
 	}
 	return e
-}
-
-// unionFind is a standard path-compressing disjoint-set forest over
-// strings, created lazily.
-type unionFind struct {
-	parent map[string]string
-}
-
-func newUnionFind() *unionFind {
-	return &unionFind{parent: map[string]string{}}
-}
-
-func (u *unionFind) has(x string) bool {
-	_, ok := u.parent[x]
-	return ok
-}
-
-func (u *unionFind) find(x string) string {
-	p, ok := u.parent[x]
-	if !ok {
-		u.parent[x] = x
-		return x
-	}
-	if p == x {
-		return x
-	}
-	root := u.find(p)
-	u.parent[x] = root
-	return root
-}
-
-func (u *unionFind) union(a, b string) string {
-	ra, rb := u.find(a), u.find(b)
-	if ra == rb {
-		return ra
-	}
-	// Deterministic: smaller string becomes the root.
-	if rb < ra {
-		ra, rb = rb, ra
-	}
-	u.parent[rb] = ra
-	return ra
 }

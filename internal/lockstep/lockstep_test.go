@@ -177,16 +177,90 @@ func TestEvaluateEdgeCases(t *testing.T) {
 }
 
 func TestUnionFind(t *testing.T) {
-	uf := newUnionFind()
-	uf.union("b", "a")
-	uf.union("c", "b")
-	if uf.find("c") != uf.find("a") {
+	uf := newUnionFind(5)
+	uf.union(1, 0)
+	uf.union(2, 1)
+	if uf.find(2) != uf.find(0) {
 		t.Error("transitive union failed")
 	}
-	if uf.find("a") != "a" {
-		t.Errorf("root should be lexicographically smallest, got %s", uf.find("a"))
+	if uf.find(0) != 0 {
+		t.Errorf("root should be the smallest index, got %d", uf.find(0))
 	}
-	if uf.has("zz") {
-		t.Error("has() on unknown element")
+	if uf.linked(4) {
+		t.Error("linked() on an element that never joined a union")
+	}
+}
+
+// TestDetectorMatchesBatch feeds the same synthetic stream through the
+// incremental detector (several ingest orders, mid-stream Groups calls)
+// and the batch facade over the identical order; results must match —
+// including the MaxBucketPopulation retraction path. Batch and
+// incremental share first-occurrence-wins (device, app) dedup, which is
+// order-SENSITIVE when a device reinstalls an app in a different day
+// bucket, so each trial compares both detectors over the same shuffle
+// rather than against one canonical order.
+func TestDetectorMatchesBatch(t *testing.T) {
+	r := randx.New(99)
+	events, _ := synth(r, 25, 150, 10, 60) // small catalog: some buckets cross the cap
+	cfg := DefaultConfig()
+	cfg.MaxBucketPopulation = 20
+	if len(Detect(events, cfg)) == 0 {
+		t.Fatal("batch detector found nothing; fixture too weak")
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		shuffled := make([]Event, len(events))
+		for i, p := range r.Perm(len(events)) {
+			shuffled[i] = events[p]
+		}
+		want := Detect(shuffled, cfg)
+		d := NewDetector(cfg)
+		for i, ev := range shuffled {
+			d.IngestEvent(ev)
+			if i == len(shuffled)/2 {
+				d.Groups() // mid-stream query must not perturb state
+			}
+		}
+		got := d.Groups()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i].Devices) != len(want[i].Devices) || len(got[i].Apps) != len(want[i].Apps) {
+				t.Fatalf("trial %d: group %d shape differs: %+v vs %+v", trial, i, got[i], want[i])
+			}
+			for j := range want[i].Devices {
+				if got[i].Devices[j] != want[i].Devices[j] {
+					t.Fatalf("trial %d: group %d member %d differs", trial, i, j)
+				}
+			}
+			for j := range want[i].Apps {
+				if got[i].Apps[j] != want[i].Apps[j] {
+					t.Fatalf("trial %d: group %d app %d differs", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestDetectorIncrementalGrowth: groups appear as soon as the linking
+// evidence arrives, the online property the run-log tail consumer relies
+// on.
+func TestDetectorIncrementalGrowth(t *testing.T) {
+	cfg := Config{DayBucket: 2, MinCommonApps: 2, MinGroupSize: 2}
+	d := NewDetector(cfg)
+	d.Ingest("a", "x", 0)
+	d.Ingest("b", "x", 1)
+	if got := d.Groups(); len(got) != 0 {
+		t.Fatalf("one shared app must not group yet: %+v", got)
+	}
+	d.Ingest("a", "y", 4)
+	d.Ingest("b", "y", 4)
+	got := d.Groups()
+	if len(got) != 1 || len(got[0].Devices) != 2 {
+		t.Fatalf("second shared app must form the group: %+v", got)
+	}
+	if d.Events() != 4 {
+		t.Errorf("Events() = %d, want 4", d.Events())
 	}
 }

@@ -1,0 +1,83 @@
+package mediator
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/offers"
+)
+
+func TestMediatorSnapshotResumesClickNumbering(t *testing.T) {
+	m := New("snaptest")
+	m.RegisterOffer("offer-1", offers.NoActivity)
+	m.RegisterOffer("offer-2", offers.Usage)
+	s1, err := m.Session("offer-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s1.TrackClick("w", 10)
+	}
+	if ok, err := s1.Postback(s1.TrackClick("w", 10), EventOpen); err != nil || !ok {
+		t.Fatalf("postback = (%v, %v)", ok, err)
+	}
+	s1.SyncTo(m)
+	snap := m.EncodeSnapshot()
+
+	// A fresh mediator (the resume world build re-registers offers) with
+	// the snapshot restored continues the exact click ID sequence.
+	m2 := New("snaptest")
+	m2.RegisterOffer("offer-1", offers.NoActivity)
+	m2.RegisterOffer("offer-2", offers.Usage)
+	if err := m2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m2.Certified(), m.Certified(); got != want {
+		t.Errorf("certified = %d, want %d", got, want)
+	}
+	s1b, err := m2.Session("offer-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClick, err := s1b.Click(s1b.TrackClick("w", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveClick, err := s1.Click(s1.TrackClick("w", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantClick.ID != liveClick.ID {
+		t.Errorf("post-restore click ID %q, want %q (numbering must continue)", wantClick.ID, liveClick.ID)
+	}
+	if _, err := m2.Session("offer-2"); err != nil {
+		t.Errorf("untouched offer session: %v", err)
+	}
+}
+
+func TestLedgerSnapshotRoundTrip(t *testing.T) {
+	l := NewLedger()
+	if err := l.Post("a", "b", 1.25, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Post("b", "c", 0.3, "second"); err != nil {
+		t.Fatal(err)
+	}
+	snap := l.EncodeSnapshot()
+	l2 := NewLedger()
+	if err := l2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(l2.EncodeSnapshot(), snap) {
+		t.Fatal("ledger encode→decode→encode is not byte-identical")
+	}
+	if got := l2.Balance("b"); got != l.Balance("b") {
+		t.Errorf("balance b = %v, want %v", got, l.Balance("b"))
+	}
+	if got, want := l2.NumTransactions(), 2; got != want {
+		t.Errorf("transactions = %d, want %d", got, want)
+	}
+	if err := l2.RestoreSnapshot(snap[:len(snap)-1]); err == nil {
+		t.Error("truncated ledger snapshot must not decode")
+	}
+}

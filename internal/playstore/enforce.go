@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/binenc"
 	"repro/internal/dates"
 	"repro/internal/randx"
 )
@@ -67,27 +68,62 @@ func NewEnforcer(r *randx.Rand, sensitivity float64) *Enforcer {
 // Detections returns the number of enforcement actions taken so far.
 func (e *Enforcer) Detections() int { return int(e.detections.Load()) }
 
-// scan inspects one app on one day and applies filtering. Called by the
-// store with the app's shard lock held; different shards scan in parallel.
-// w is the app's trailing chart window ending at day, computed once by the
-// caller and shared with chart scoring (scan itself only mutates removal
-// counters and the lifetime install counter, never window inputs).
-func (e *Enforcer) scan(a *app, day dates.Date, w windowMetrics) {
+// EncodeState serializes the enforcer's parameters, detection-draw seed,
+// and action counter; DecodeEnforcer rebuilds an identically behaving
+// enforcer. The run-log snapshot codec uses the pair so a resumed or
+// replayed run redraws every remaining (app, day) detection decision
+// bit-for-bit.
+func (e *Enforcer) EncodeState() []byte {
+	enc := binenc.NewEnc(64)
+	enc.F64(e.Sensitivity)
+	enc.F64(e.FraudThreshold)
+	enc.Varint(e.MinBurst)
+	enc.F64(e.RemoveFraction)
+	enc.U64(e.seed)
+	enc.Varint(e.detections.Load())
+	return enc.Bytes()
+}
+
+// DecodeEnforcer rebuilds an enforcer from EncodeState output.
+func DecodeEnforcer(state []byte) (*Enforcer, error) {
+	dec := binenc.NewDec(state)
+	e := &Enforcer{
+		Sensitivity:    dec.F64(),
+		FraudThreshold: dec.F64(),
+		MinBurst:       dec.Varint(),
+		RemoveFraction: dec.F64(),
+		seed:           dec.U64(),
+	}
+	e.detections.Store(dec.Varint())
+	if err := dec.Done(); err != nil {
+		return nil, fmt.Errorf("playstore: decoding enforcer: %w", err)
+	}
+	return e, nil
+}
+
+// scan inspects one app on one day and applies filtering, reporting the
+// net installs removed (-1 when no detection fired; 0 and up when it did).
+// Called by the store with the app's shard lock held; different shards
+// scan in parallel. w is the app's trailing chart window ending at day,
+// computed once by the caller and shared with chart scoring (scan itself
+// only mutates removal counters and the lifetime install counter, never
+// window inputs).
+func (e *Enforcer) scan(a *app, day dates.Date, w windowMetrics) int64 {
 	if e == nil || e.Sensitivity <= 0 {
-		return
+		return -1
 	}
 	if w.installs < e.MinBurst {
-		return
+		return -1
 	}
 	meanFraud := w.fraudSum / float64(w.installs)
 	if meanFraud < e.FraudThreshold {
-		return
+		return -1
 	}
 	// Detection probability grows with how blatant the fraud is. The draw
 	// is a pure function of (seed, app, day): order-free determinism.
 	p := e.Sensitivity * (meanFraud - e.FraudThreshold) / (1 - e.FraudThreshold)
 	if randx.Unit01(e.seed, fmt.Sprintf("enforce/%s/%d", a.pkg, day)) >= p {
-		return
+		return -1
 	}
 	// A filtering pass claws back the referral installs accumulated over
 	// the trailing month, not just the triggering burst (the paper's
@@ -96,7 +132,7 @@ func (e *Enforcer) scan(a *app, day dates.Date, w windowMetrics) {
 	back := a.window(day, clawbackDays)
 	remove := int64(float64(back.referral) * e.RemoveFraction)
 	if remove <= 0 {
-		return
+		return -1
 	}
 	e.detections.Add(1)
 	// Attribute removals to the most recent days first, mirroring how a
@@ -122,4 +158,5 @@ func (e *Enforcer) scan(a *app, day dates.Date, w windowMetrics) {
 	if a.installs < 0 {
 		a.installs = 0
 	}
+	return remove - left
 }

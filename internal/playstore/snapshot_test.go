@@ -1,0 +1,131 @@
+package playstore
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/randx"
+)
+
+// buildSnapshotFixture assembles a store with developers, apps, daily
+// activity, stepped charts, and an enforcer, so the snapshot covers every
+// section of the wire format.
+func buildSnapshotFixture(t *testing.T) *Store {
+	t.Helper()
+	day0 := dates.StudyStart
+	s := New(day0)
+	s.SetChartSize(5)
+	s.SetEnforcer(NewEnforcer(randx.Derive(7, "enforce"), 0.8))
+	s.AddDeveloper(Developer{ID: "d1", Name: "One", Country: "US", Website: "https://one.example", Email: "a@one.example"})
+	s.AddDeveloper(Developer{ID: "d2", Name: "Two", Public: true})
+	apps := []Listing{
+		{Package: "com.a", Title: "A", Genre: "Puzzle", Developer: "d1", Released: day0.AddDays(-100)},
+		{Package: "com.b", Title: "B", Genre: "Tools", Developer: "d2", Released: day0.AddDays(-10)},
+		{Package: "com.idle", Title: "I", Genre: "Card", Developer: "d1", Released: day0.AddDays(-50)},
+	}
+	for _, l := range apps {
+		if err := s.Publish(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SeedInstalls("com.a", 12345); err != nil {
+		t.Fatal(err)
+	}
+	r := randx.Derive(3, "snapshot-fixture")
+	for d := day0; d < day0.AddDays(9); d++ {
+		if err := s.RecordInstallBatch("com.a", d, int64(5+r.IntN(50)), SourceOrganic, 0.05); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RecordInstallBatch("com.b", d, int64(30+r.IntN(80)), SourceReferral, 0.9); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RecordSessionBatch("com.a", d, int64(1+r.IntN(20)), 120); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RecordPurchase("com.b", Purchase{Day: d, USD: r.LogNormal(1, 0.5)}); err != nil {
+			t.Fatal(err)
+		}
+		s.StepDay(d)
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := buildSnapshotFixture(t)
+	snap := s.EncodeSnapshot()
+	restored, err := DecodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical encoding: re-encoding the decoded store reproduces the
+	// identical bytes, which is how the replay equivalence tests compare
+	// whole stores.
+	if !bytes.Equal(restored.EncodeSnapshot(), snap) {
+		t.Fatal("snapshot encode→decode→encode is not byte-identical")
+	}
+	if restored.Today() != s.Today() {
+		t.Errorf("today = %v, want %v", restored.Today(), s.Today())
+	}
+	if got, want := restored.Enforcer().Detections(), s.Enforcer().Detections(); got != want {
+		t.Errorf("enforcer detections = %d, want %d", got, want)
+	}
+}
+
+// TestSnapshotRestoredStoreBehavesIdentically drives a restored store and
+// the original through identical further activity and verifies they stay
+// byte-identical — the property resume relies on.
+func TestSnapshotRestoredStoreBehavesIdentically(t *testing.T) {
+	s := buildSnapshotFixture(t)
+	restored, err := DecodeSnapshot(s.EncodeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := s.Today().AddDays(1)
+	for _, st := range []*Store{s, restored} {
+		r := randx.Derive(11, "post-restore")
+		for d := day; d < day.AddDays(5); d++ {
+			if err := st.RecordInstallBatch("com.b", d, int64(40+r.IntN(30)), SourceReferral, 0.9); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.RecordPurchase("com.a", Purchase{Day: d, USD: r.LogNormal(0, 1)}); err != nil {
+				t.Fatal(err)
+			}
+			st.StepDay(d)
+		}
+	}
+	if !bytes.Equal(s.EncodeSnapshot(), restored.EncodeSnapshot()) {
+		t.Fatal("restored store diverged from original under identical activity")
+	}
+}
+
+func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
+	s := buildSnapshotFixture(t)
+	snap := s.EncodeSnapshot()
+	if _, err := DecodeSnapshot(snap[:len(snap)/2]); err == nil {
+		t.Error("truncated snapshot must not decode")
+	}
+	if _, err := DecodeSnapshot(nil); err == nil {
+		t.Error("empty snapshot must not decode")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[0] = 99 // unsupported version
+	if _, err := DecodeSnapshot(bad); err == nil {
+		t.Error("unknown snapshot version must not decode")
+	}
+}
+
+func TestEnforcerStateRoundTrip(t *testing.T) {
+	e := NewEnforcer(randx.Derive(5, "enf"), 0.7)
+	e.detections.Store(9)
+	got, err := DecodeEnforcer(e.EncodeState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sensitivity != e.Sensitivity || got.seed != e.seed || got.Detections() != 9 {
+		t.Errorf("enforcer state did not round-trip: %+v vs %+v", got, e)
+	}
+	if !bytes.Equal(got.EncodeState(), e.EncodeState()) {
+		t.Error("enforcer encode→decode→encode is not byte-identical")
+	}
+}

@@ -3,12 +3,21 @@ package playstore
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/conc"
 	"repro/internal/dates"
 	"repro/internal/randx"
 )
+
+// EnforceAction records one enforcement decision taken by StepDay: the
+// scanned app and the net installs clawed back (0 when the detection fired
+// but nothing was removable).
+type EnforceAction struct {
+	Package string
+	Removed int64
+}
 
 // Common store errors.
 var (
@@ -49,6 +58,11 @@ type Store struct {
 	enforcer  *Enforcer
 	scoring   ChartScoring
 	chartSize int
+	// lastEnforce is the canonical (package-sorted) list of enforcement
+	// actions taken by the most recent StepDay; the run log emits it as
+	// enforcement events and replay cross-checks its own recomputation
+	// against it.
+	lastEnforce []EnforceAction
 	// stepWorkers bounds StepDay's shard fan-out (0 = one goroutine per
 	// shard). The sim engine wires its Workers knob through here so a
 	// Workers=1 run is genuinely serial end to end.
@@ -90,6 +104,23 @@ func (s *Store) SetEnforcer(e *Enforcer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.enforcer = e
+}
+
+// Enforcer returns the installed policy-enforcement module (nil when
+// filtering is disabled). Snapshot decoding reattaches the serialized
+// enforcer this way.
+func (s *Store) Enforcer() *Enforcer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.enforcer
+}
+
+// LastEnforcementActions returns the enforcement actions taken by the most
+// recent StepDay, sorted by package.
+func (s *Store) LastEnforcementActions() []EnforceAction {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]EnforceAction(nil), s.lastEnforce...)
 }
 
 // Today returns the store's current simulation day.
@@ -416,6 +447,7 @@ func (s *Store) StepDay(day dates.Date) {
 
 	type partial struct {
 		free, games, grossing []scoredApp
+		enforced              []EnforceAction
 	}
 	partials := make([]partial, NumShards)
 	scanShard := func(i int) {
@@ -433,7 +465,9 @@ func (s *Store) StepDay(day dates.Date) {
 			// counters, never window inputs).
 			w := a.window(day, chartWindowDays)
 			if s.enforcer != nil {
-				s.enforcer.scan(a, day, w)
+				if removed := s.enforcer.scan(a, day, w); removed >= 0 {
+					p.enforced = append(p.enforced, EnforceAction{Package: a.pkg, Removed: removed})
+				}
 			}
 			if a.released > day {
 				continue
@@ -456,6 +490,17 @@ func (s *Store) StepDay(day dates.Date) {
 		workers = NumShards
 	}
 	conc.ForN(workers, NumShards, scanShard)
+
+	// Merge the per-shard enforcement actions into one canonical list:
+	// shard-map iteration order varies run to run, so the merged list is
+	// sorted by package before anything observable (the run log) sees it.
+	s.lastEnforce = s.lastEnforce[:0]
+	for i := range partials {
+		s.lastEnforce = append(s.lastEnforce, partials[i].enforced...)
+	}
+	sort.Slice(s.lastEnforce, func(i, j int) bool {
+		return s.lastEnforce[i].Package < s.lastEnforce[j].Package
+	})
 
 	size := s.effectiveChartSizeLocked()
 	free := newTopK(size)

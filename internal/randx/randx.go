@@ -6,19 +6,27 @@
 package randx
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 )
 
 // Rand is a deterministic random source. It embeds *rand.Rand so all the
-// standard methods (IntN, Float64, Perm, ...) are available directly.
+// standard methods (IntN, Float64, Perm, ...) are available directly, and
+// retains its PCG source so stream positions can be checkpointed and
+// restored (rand.Rand itself keeps no state beyond the source).
 type Rand struct {
 	*rand.Rand
+	pcg *rand.PCG
+}
+
+func fromPCG(p *rand.PCG) *Rand {
+	return &Rand{Rand: rand.New(p), pcg: p}
 }
 
 // New returns a Rand seeded with the given study seed.
 func New(seed uint64) *Rand {
-	return &Rand{rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	return fromPCG(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 }
 
 // Derive returns an independent sub-stream identified by label. Two
@@ -29,7 +37,30 @@ func New(seed uint64) *Rand {
 // decoupled streams whose output is independent of scheduling order.
 func Derive(seed uint64, label string) *Rand {
 	h := Hash64(label)
-	return &Rand{rand.New(rand.NewPCG(seed^h, (seed*0x100000001b3)^(h<<1|1)))}
+	return fromPCG(rand.NewPCG(seed^h, (seed*0x100000001b3)^(h<<1|1)))
+}
+
+// ErrNoState rejects state operations on a Rand that was not built by New
+// or Derive and therefore does not carry its PCG source.
+var ErrNoState = errors.New("randx: Rand has no captured source state")
+
+// MarshalState returns the stream's current position as an opaque byte
+// string. Restoring it with UnmarshalState resumes the sequence exactly
+// where it left off — the checkpoint/resume machinery serializes every
+// engine work-unit stream this way.
+func (r *Rand) MarshalState() ([]byte, error) {
+	if r.pcg == nil {
+		return nil, ErrNoState
+	}
+	return r.pcg.MarshalBinary()
+}
+
+// UnmarshalState restores a stream position captured by MarshalState.
+func (r *Rand) UnmarshalState(state []byte) error {
+	if r.pcg == nil {
+		return ErrNoState
+	}
+	return r.pcg.UnmarshalBinary(state)
 }
 
 // Hash64 returns the FNV-1a hash of s. It is the stable string hash used

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/conc"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/playstore"
 	"repro/internal/randx"
+	"repro/internal/stream"
 )
 
 // engine executes the day loop over a bounded worker pool while keeping
@@ -67,6 +69,15 @@ type engine struct {
 	// its length at construction plus every campaign's then-remaining
 	// target (each delivery appends exactly one record on either path).
 	logBound int
+
+	// log, when non-nil, receives the event-sourced run log. Each organic
+	// unit and each campaign group buffers its events in its own encoder
+	// during the parallel phases; the barrier concatenates the buffers in
+	// canonical unit order, so the log bytes are bit-identical for any
+	// worker count (the same argument as the ledger flush).
+	log     *stream.Writer
+	orgEnc  []stream.Encoder
+	sinkEnc []stream.Encoder
 }
 
 // organicUnit is one phase-1 work unit: an app with its random stream,
@@ -102,6 +113,11 @@ type campUnit struct {
 	devAcct  string // "dev:<developer>"
 	iipAcct  string // "iip:<platform>"
 	poolAcct string // "user:pool-<platform>", the batch payout account
+
+	// devRefs are the run log's pre-resolved device references, parallel
+	// to pool (nil when event logging is disabled). Resolving once at
+	// enableLog keeps the delivery hot path free of per-event map lookups.
+	devRefs []uint32
 }
 
 // pickAffiliateAccount selects the interned ledger account of the
@@ -123,6 +139,11 @@ type unitSink struct {
 	log       []InstallRecord
 	delivered int64
 	certified int64
+	// enc buffers the group's run-log events (nil when event logging is
+	// disabled — the delivery hot path then skips all encoding); refs is
+	// the batch path's device-reference scratch, reused per batch.
+	enc  *stream.Encoder
+	refs []uint32
 }
 
 // organicDelta is one organic unit's stat contribution for a day.
@@ -130,6 +151,12 @@ type organicDelta struct {
 	installs int64
 	revenue  float64
 }
+
+// organicMeanFraud is the store-visible fraud score of organic installs:
+// real users occasionally trip device-reputation heuristics too. One
+// constant shared by the store write and the run-log event keeps live and
+// replayed fraudSum accumulation identical by construction.
+const organicMeanFraud = 0.05
 
 // newEngine prepares the per-unit streams, handles, and work partition
 // for a run. The catalog is snapshotted here: apps published mid-run have
@@ -199,6 +226,36 @@ func newEngine(w *World) (*engine, error) {
 	return e, nil
 }
 
+// enableLog attaches the event-sourced run log, allocating the per-unit
+// encoders the parallel phases buffer into. With no log attached the hot
+// paths skip event encoding entirely.
+func (e *engine) enableLog(w *stream.Writer) {
+	e.log = w
+	e.orgEnc = make([]stream.Encoder, len(e.organic))
+	e.sinkEnc = make([]stream.Encoder, len(e.sinks))
+	for g := range e.sinks {
+		e.sinkEnc[g].SetDeviceTable(w.DeviceTable())
+		e.sinks[g].enc = &e.sinkEnc[g]
+	}
+	// Pre-resolve every pool member's device reference once per pool
+	// (pools are shared per IIP, so cache by slice identity via the first
+	// campaign that carries them).
+	refsByIIP := map[string][]uint32{}
+	for _, g := range e.groups {
+		for _, u := range g {
+			refs, ok := refsByIIP[u.c.IIP]
+			if !ok {
+				refs = make([]uint32, len(u.pool))
+				for i, wk := range u.pool {
+					refs[i] = e.sinkEnc[0].DeviceRef(wk.ID)
+				}
+				refsByIIP[u.c.IIP] = refs
+			}
+			u.devRefs = refs
+		}
+	}
+}
+
 // resolveUnit turns one planned campaign into a fully resolved work unit.
 func (e *engine) resolveUnit(c *PlannedCampaign, poolAccts map[string][]string) (*campUnit, error) {
 	w := e.w
@@ -246,6 +303,98 @@ func (e *engine) resolveUnit(c *PlannedCampaign, poolAccts map[string][]string) 
 		iipAcct:   mediator.IIPAccount(c.IIP),
 		poolAcct:  mediator.UserAccount("pool-" + c.IIP),
 	}, nil
+}
+
+// checkpoint captures everything a resumed run needs to continue
+// byte-identically after the just-completed day: the cumulative stats,
+// the log offset, snapshots of the store, ledger, mediator (with session
+// click numbering folded in), and every platform, the exact RNG position
+// of every work-unit stream, and the install log so far.
+func (e *engine) checkpoint(day dates.Date, stats RunStats, logOffset int64) (*stream.Checkpoint, error) {
+	w := e.w
+	for _, g := range e.groups {
+		for _, u := range g {
+			u.session.SyncTo(w.Mediator)
+		}
+	}
+	cp := &stream.Checkpoint{
+		Day:                  day,
+		Days:                 int64(stats.Days),
+		OrganicInstalls:      stats.OrganicInstalls,
+		IncentivizedInstalls: stats.IncentivizedInstalls,
+		CertifiedCompletions: stats.CertifiedCompletions,
+		RevenueUSD:           stats.RevenueUSD,
+		LogOffset:            logOffset,
+		Store:                w.Store.EncodeSnapshot(),
+		Ledger:               w.Ledger.EncodeSnapshot(),
+		Mediator:             w.Mediator.EncodeSnapshot(),
+	}
+	names := make([]string, 0, len(w.Platforms))
+	for name := range w.Platforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cp.Platforms = append(cp.Platforms, stream.NamedBlob{Name: name, Data: w.Platforms[name].EncodeSnapshot()})
+	}
+	add := func(label string, r *randx.Rand) error {
+		state, err := r.MarshalState()
+		if err != nil {
+			return fmt.Errorf("sim: checkpointing stream %s: %w", label, err)
+		}
+		cp.Streams = append(cp.Streams, stream.NamedBlob{Name: label, Data: state})
+		return nil
+	}
+	for i := range e.organic {
+		if err := add("engine/"+e.organic[i].pkg, e.organic[i].r); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range e.groups {
+		for _, u := range g {
+			if err := add("engine/campaign/"+u.c.OfferID, u.r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cp.Installs = make([]stream.Install, len(w.InstallLog))
+	for i, rec := range w.InstallLog {
+		cp.Installs[i] = stream.Install{Device: rec.Device, App: rec.App, Day: rec.Day}
+	}
+	return cp, nil
+}
+
+// restoreStreams fast-forwards every work-unit RNG stream to the position
+// a checkpoint recorded. Every stream must be present: a missing label
+// means the checkpoint belongs to a different world or config.
+func (e *engine) restoreStreams(cp *stream.Checkpoint) error {
+	byName := make(map[string][]byte, len(cp.Streams))
+	for _, b := range cp.Streams {
+		byName[b.Name] = b.Data
+	}
+	restore := func(label string, r *randx.Rand) error {
+		state, ok := byName[label]
+		if !ok {
+			return fmt.Errorf("sim: checkpoint has no stream state for %s (wrong config or seed?)", label)
+		}
+		if err := r.UnmarshalState(state); err != nil {
+			return fmt.Errorf("sim: restoring stream %s: %w", label, err)
+		}
+		return nil
+	}
+	for i := range e.organic {
+		if err := restore("engine/"+e.organic[i].pkg, e.organic[i].r); err != nil {
+			return err
+		}
+	}
+	for _, g := range e.groups {
+		for _, u := range g {
+			if err := restore("engine/campaign/"+u.c.OfferID, u.r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // parallelFor runs fn(0..n-1) across the worker pool and blocks until all
@@ -309,7 +458,7 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 		}
 
 		u.app.Lock()
-		u.app.RecordInstallBatchLocked(day, n, playstore.SourceOrganic, 0.05)
+		u.app.RecordInstallBatchLocked(day, n, playstore.SourceOrganic, organicMeanFraud)
 		if dau > 0 {
 			u.app.RecordSessionBatchLocked(day, dau, secPer)
 		}
@@ -317,6 +466,9 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 			u.app.RecordPurchaseLocked(playstore.Purchase{Day: day, USD: usd})
 		}
 		u.app.Unlock()
+		if e.log != nil && (n > 0 || dau > 0 || usd > 0) {
+			e.orgEnc[i].Organic(u.pkg, n, organicMeanFraud, dau, secPer, usd)
+		}
 		deltas[i] = organicDelta{installs: n, revenue: usd}
 		return nil
 	})
@@ -387,5 +539,33 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 		return err
 	}
 	stats.CertifiedCompletions = int64(w.Mediator.Certified())
+
+	// Event-log flush: the per-unit buffers concatenate in canonical order
+	// (day marker, organic units in catalog order, campaign groups in
+	// group order), which makes the log bytes independent of the worker
+	// count and of phase scheduling.
+	if e.log != nil {
+		if err := e.log.DayStart(day); err != nil {
+			return err
+		}
+		for i := range e.orgEnc {
+			if e.orgEnc[i].Len() == 0 {
+				continue
+			}
+			if err := e.log.AppendFrames(e.orgEnc[i].Bytes()); err != nil {
+				return err
+			}
+			e.orgEnc[i].Reset()
+		}
+		for g := range e.sinkEnc {
+			if e.sinkEnc[g].Len() == 0 {
+				continue
+			}
+			if err := e.log.AppendFrames(e.sinkEnc[g].Bytes()); err != nil {
+				return err
+			}
+			e.sinkEnc[g].Reset()
+		}
+	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/offers"
 	"repro/internal/playstore"
 	"repro/internal/randx"
+	"repro/internal/stream"
 )
 
 // RunStats summarizes one full simulation run.
@@ -25,7 +26,7 @@ type RunStats struct {
 // same seed produces identical results for any Cfg.Workers setting and
 // any GOMAXPROCS (see engine.go for the determinism model).
 func (w *World) Run() (RunStats, error) {
-	return w.RunWithHook(nil)
+	return w.RunOpts(RunOptions{})
 }
 
 // RunWithHook runs the day engine, invoking hook after each day's
@@ -33,24 +34,128 @@ func (w *World) Run() (RunStats, error) {
 // offer-wall milker) attach here, observing the world exactly as the
 // paper's infrastructure observed the live ecosystem.
 func (w *World) RunWithHook(hook func(day dates.Date) error) (RunStats, error) {
+	return w.RunOpts(RunOptions{Hook: hook})
+}
+
+// RunOptions extends a run with the event-sourced run log, day-boundary
+// checkpoints, and resume (DESIGN.md E6).
+type RunOptions struct {
+	// Hook runs after each day's activity, chart/enforcement step, and
+	// event-log flush (so a hook tailing the log observes the full day).
+	Hook func(day dates.Date) error
+
+	// Log, when non-nil, receives the framed event stream. Open it with
+	// World.NewRunLog (fresh run) or stream.ResumeWriter (resumed run).
+	Log *stream.Writer
+
+	// Checkpoint, when non-nil, receives a day-boundary checkpoint every
+	// CheckpointEvery days (counted from the window start, so a resumed
+	// run checkpoints on the same days the original would have).
+	Checkpoint      func(cp *stream.Checkpoint) error
+	CheckpointEvery int // days between checkpoints; <= 0 means every day
+
+	// Resume continues a killed run from a checkpoint: world state is
+	// restored, every engine stream is fast-forwarded, and the day loop
+	// starts after the checkpointed day. The world must have been built
+	// from the same Config as the checkpointed run. With Log attached via
+	// stream.ResumeWriter at the checkpoint's LogOffset, the remaining
+	// event log is byte-identical to what the uninterrupted run would
+	// have written.
+	Resume *stream.Checkpoint
+}
+
+// RunOpts runs the day engine with the given options.
+func (w *World) RunOpts(o RunOptions) (RunStats, error) {
+	var stats RunStats
+	start := w.Cfg.Window.Start
+	if o.Resume != nil {
+		if w.restored != o.Resume {
+			if err := w.Restore(o.Resume); err != nil {
+				return stats, err
+			}
+		}
+		// Consume the restore marker: if this run fails mid-window and the
+		// caller retries with the same checkpoint, the retry must restore
+		// afresh rather than run on top of partially-applied days.
+		w.restored = nil
+		stats = RunStats{
+			Days:                 int(o.Resume.Days),
+			OrganicInstalls:      o.Resume.OrganicInstalls,
+			IncentivizedInstalls: o.Resume.IncentivizedInstalls,
+			CertifiedCompletions: o.Resume.CertifiedCompletions,
+			RevenueUSD:           o.Resume.RevenueUSD,
+		}
+		start = o.Resume.Day.AddDays(1)
+	}
 	eng, err := newEngine(w)
 	if err != nil {
-		return RunStats{}, err
+		return stats, err
 	}
-	var stats RunStats
-	for day := w.Cfg.Window.Start; day <= w.Cfg.Window.End; day++ {
+	if o.Resume != nil {
+		if err := eng.restoreStreams(o.Resume); err != nil {
+			return stats, err
+		}
+	}
+	if o.Log != nil {
+		eng.enableLog(o.Log)
+	}
+	every := o.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	for day := start; day <= w.Cfg.Window.End; day++ {
 		if err := eng.stepDay(day, &stats); err != nil {
 			return stats, err
 		}
 		w.Store.StepDay(day)
 		stats.Days++
-		if hook != nil {
-			if err := hook(day); err != nil {
+		if o.Log != nil {
+			if err := w.logDayBarrier(o.Log, day, &stats); err != nil {
+				return stats, err
+			}
+		}
+		if o.Hook != nil {
+			if err := o.Hook(day); err != nil {
 				return stats, fmt.Errorf("sim: hook on %s: %w", day, err)
+			}
+		}
+		if o.Checkpoint != nil && (day.DaysSince(w.Cfg.Window.Start)+1)%every == 0 {
+			var off int64
+			if o.Log != nil {
+				off = o.Log.Offset()
+			}
+			cp, err := eng.checkpoint(day, stats, off)
+			if err != nil {
+				return stats, err
+			}
+			if err := o.Checkpoint(cp); err != nil {
+				return stats, fmt.Errorf("sim: checkpoint on %s: %w", day, err)
 			}
 		}
 	}
 	return stats, nil
+}
+
+// logDayBarrier writes the barrier-side events of a completed day — the
+// enforcement actions and charts StepDay just computed, and the
+// cumulative-stats day-end line — then flushes so tail consumers observe
+// whole days.
+func (w *World) logDayBarrier(log *stream.Writer, day dates.Date, stats *RunStats) error {
+	for _, act := range w.Store.LastEnforcementActions() {
+		if err := log.Enforce(act.Package, act.Removed); err != nil {
+			return err
+		}
+	}
+	for _, name := range playstore.ChartNames {
+		if err := log.Chart(name, w.Store.Chart(name)); err != nil {
+			return err
+		}
+	}
+	if err := log.DayEnd(day, stats.OrganicInstalls, stats.IncentivizedInstalls,
+		stats.CertifiedCompletions, stats.RevenueUSD); err != nil {
+		return err
+	}
+	return log.Flush()
 }
 
 // fullFidelityPerDay bounds how many of a campaign's daily completions run
@@ -132,17 +237,35 @@ func (w *World) deliverBatch(u *campUnit, day dates.Date, n int, sink *unitSink)
 	}
 	meanFraud = meanFraud/16 + c.Botness
 	u.app.RecordInstallBatchLocked(day, int64(settled), playstore.SourceReferral, meanFraud)
+	logBase := len(sink.log)
+	if sink.enc != nil {
+		sink.refs = sink.refs[:0]
+	}
 	for i := 0; i < settled; i++ {
-		sink.log = append(sink.log, InstallRecord{
-			Device: u.pool[u.r.IntN(len(u.pool))].ID, App: c.App, Day: day,
+		wi := u.r.IntN(len(u.pool))
+		sink.log = append(sink.log, InstallRecord{Device: u.pool[wi].ID, App: c.App, Day: day})
+		if sink.enc != nil {
+			sink.refs = append(sink.refs, u.devRefs[wi])
+		}
+	}
+	if sink.enc != nil {
+		sink.enc.InstallBatchRef(c.App, meanFraud, settled, func(i int) (uint32, string) {
+			return sink.refs[i], sink.log[logBase+i].Device
 		})
 	}
 	seconds, purchase := engagementFor(u.r, c.Spec.Type)
 	if seconds > 0 {
 		u.app.RecordSessionBatchLocked(day, int64(settled), seconds)
+		if sink.enc != nil {
+			sink.enc.Session(c.App, int64(settled), seconds)
+		}
 	}
 	if purchase > 0 {
-		u.app.RecordPurchaseLocked(playstore.Purchase{Day: day, USD: purchase * float64(settled)})
+		usd := purchase * float64(settled)
+		u.app.RecordPurchaseLocked(playstore.Purchase{Day: day, USD: usd})
+		if sink.enc != nil {
+			sink.enc.Purchase(c.App, usd)
+		}
 	}
 	// The offer's completion requirement was validated when the unit's
 	// click session was resolved; the certified count merges through the
@@ -161,6 +284,12 @@ func (w *World) deliverBatch(u *campUnit, day dates.Date, n int, sink *unitSink)
 	}
 	if err := sink.txs.Post(u.devAcct, w.medAcct, fee, "attribution fees (batch)"); err != nil {
 		return 0, err
+	}
+	if sink.enc != nil {
+		sink.enc.CertifyBatch(c.OfferID, int64(settled))
+		sink.enc.Settle(c.OfferID, int64(settled), true,
+			disb.Gross, disb.AffiliateCut, disb.UserPayout,
+			u.devAcct, u.iipAcct, aff, u.poolAcct)
 	}
 	return settled, nil
 }
@@ -191,15 +320,22 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 	wi := u.r.IntN(len(u.pool))
 	worker := u.pool[wi]
 	click := u.session.TrackClick(worker.ID, day)
+	if sink.enc != nil {
+		sink.enc.ClickRef(c.OfferID, u.devRefs[wi], worker.ID)
+	}
 
 	// The install lands on the store regardless of engagement quality;
 	// bot-farm fulfillment raises the device-reputation penalty.
+	fraud := worker.FraudScore() + c.Botness
 	u.app.RecordInstallLocked(playstore.Install{
 		Day:        day,
 		Source:     playstore.SourceReferral,
-		FraudScore: worker.FraudScore() + c.Botness,
+		FraudScore: fraud,
 	})
 	sink.log = append(sink.log, InstallRecord{Device: worker.ID, App: c.App, Day: day})
+	if sink.enc != nil {
+		sink.enc.InstallRef(c.App, u.devRefs[wi], worker.ID, fraud)
+	}
 
 	// In-app behaviour. For no-activity offers on sloppy platforms the
 	// completion may be claimed without a real open (RankApp's missing
@@ -213,33 +349,57 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 		if ok {
 			sink.certified++
 		}
+		if sink.enc != nil {
+			sink.enc.Postback(c.OfferID, uint8(mediator.EventOpen), ok)
+		}
 		seconds := int64(30 + u.r.IntN(60))
 		switch c.Spec.Type {
 		case offers.Usage:
 			seconds = int64(300 + u.r.IntN(1200))
-			if ok, err := u.session.Postback(click, mediator.EventUsage); err != nil {
+			ok, err := u.session.Postback(click, mediator.EventUsage)
+			if err != nil {
 				return false, err
-			} else if ok {
+			}
+			if ok {
 				sink.certified++
+			}
+			if sink.enc != nil {
+				sink.enc.Postback(c.OfferID, uint8(mediator.EventUsage), ok)
 			}
 		case offers.Registration:
 			seconds = int64(120 + u.r.IntN(240))
-			if ok, err := u.session.Postback(click, mediator.EventRegister); err != nil {
+			ok, err := u.session.Postback(click, mediator.EventRegister)
+			if err != nil {
 				return false, err
-			} else if ok {
+			}
+			if ok {
 				sink.certified++
+			}
+			if sink.enc != nil {
+				sink.enc.Postback(c.OfferID, uint8(mediator.EventRegister), ok)
 			}
 		case offers.Purchase:
 			seconds = int64(180 + u.r.IntN(600))
 			amount := purchaseAmounts[u.r.IntN(len(purchaseAmounts))]
 			u.app.RecordPurchaseLocked(playstore.Purchase{Day: day, USD: amount})
-			if ok, err := u.session.Postback(click, mediator.EventPurchase); err != nil {
+			if sink.enc != nil {
+				sink.enc.Purchase(c.App, amount)
+			}
+			ok, err := u.session.Postback(click, mediator.EventPurchase)
+			if err != nil {
 				return false, err
-			} else if ok {
+			}
+			if ok {
 				sink.certified++
+			}
+			if sink.enc != nil {
+				sink.enc.Postback(c.OfferID, uint8(mediator.EventPurchase), ok)
 			}
 		}
 		u.app.RecordSessionLocked(playstore.Session{Day: day, Seconds: seconds})
+		if sink.enc != nil {
+			sink.enc.Session(c.App, 1, seconds)
+		}
 	}
 
 	// Certification: activity offers certify via their task postback
@@ -252,6 +412,9 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 		}
 		if ok {
 			sink.certified++
+		}
+		if sink.enc != nil {
+			sink.enc.Postback(c.OfferID, uint8(mediator.EventOpen), ok)
 		}
 	}
 
@@ -273,6 +436,11 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 	}
 	if err := sink.txs.Post(u.devAcct, w.medAcct, w.Mediator.FeePerUser, "attribution fee"); err != nil {
 		return false, err
+	}
+	if sink.enc != nil {
+		sink.enc.Settle(c.OfferID, 1, false,
+			disb.Gross, disb.AffiliateCut, disb.UserPayout,
+			u.devAcct, u.iipAcct, aff, u.poolAccts[wi])
 	}
 	return true, nil
 }

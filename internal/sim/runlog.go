@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/playstore"
+	"repro/internal/stream"
+)
+
+// NewRunLog opens an event-sourced run log on out for this world: the
+// header (run parameters) and the base snapshot (store, ledger, mediator
+// exactly as they stand now) are written immediately, and the returned
+// writer is ready to be attached via RunOptions.Log. Call it right before
+// the run so any pre-run activity (e.g. the honey-app experiment) is part
+// of the base snapshot.
+func (w *World) NewRunLog(out io.Writer) (*stream.Writer, error) {
+	h := stream.Header{
+		Version:      stream.Version,
+		Seed:         w.Cfg.Seed,
+		WindowStart:  w.Cfg.Window.Start,
+		WindowEnd:    w.Cfg.Window.End,
+		MediatorName: w.Mediator.Name,
+		FeePerUser:   w.Mediator.FeePerUser,
+	}
+	base := stream.Base{
+		Store:    w.Store.EncodeSnapshot(),
+		Ledger:   w.Ledger.EncodeSnapshot(),
+		Mediator: w.Mediator.EncodeSnapshot(),
+		Devices:  w.RunLogDevices(),
+	}
+	return stream.NewWriter(out, h, base)
+}
+
+// RunLogDevices returns the run log's interned device table: every
+// crowd-worker device ID, in deterministic (pool name, pool order). The
+// world build is deterministic, so a resumed run reconstructs the exact
+// table the original log's base frame carries — which is what lets
+// stream.ResumeWriter keep device references byte-identical.
+func (w *World) RunLogDevices() []string {
+	names := make([]string, 0, len(w.Pools))
+	for name := range w.Pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []string
+	seen := map[string]bool{}
+	for _, name := range names {
+		for _, wk := range w.Pools[name] {
+			if !seen[wk.ID] {
+				seen[wk.ID] = true
+				out = append(out, wk.ID)
+			}
+		}
+	}
+	return out
+}
+
+// ResumeRunLog continues the event log of a checkpointed run: out must be
+// the original log file truncated to cp.LogOffset and positioned at its
+// end. The appended frames are byte-identical to what the uninterrupted
+// run would have written.
+func (w *World) ResumeRunLog(out io.Writer, cp *stream.Checkpoint) *stream.Writer {
+	return stream.ResumeWriter(out, cp.LogOffset, w.RunLogDevices())
+}
+
+// ValidateResume checks that a restored checkpoint is consistent with
+// this world — every engine work unit resolves and has its RNG stream
+// state — without running anything. Callers with destructive follow-up
+// work (truncating the original event log) run it first, so a checkpoint
+// from a different seed or config fails before any file is touched.
+func (w *World) ValidateResume(cp *stream.Checkpoint) error {
+	eng, err := newEngine(w)
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint does not match this world: %w", err)
+	}
+	if err := eng.restoreStreams(cp); err != nil {
+		return fmt.Errorf("sim: checkpoint does not match this world: %w", err)
+	}
+	return nil
+}
+
+// Restore overlays a day-boundary checkpoint onto a freshly built world:
+// the store is replaced with the snapshot (enforcer state included), the
+// ledger, mediator, and every platform get their mutable state back
+// bit-exact, and the install log is rebuilt. The world must come from the
+// same Config as the checkpointed run — the deterministic build supplies
+// everything the checkpoint deliberately omits (catalog plans, campaign
+// specs, worker pools, organic rates). RunOpts calls this automatically
+// when RunOptions.Resume is set.
+func (w *World) Restore(cp *stream.Checkpoint) error {
+	store, err := playstore.DecodeSnapshot(cp.Store)
+	if err != nil {
+		return fmt.Errorf("sim: restoring store: %w", err)
+	}
+	if err := w.Ledger.RestoreSnapshot(cp.Ledger); err != nil {
+		return fmt.Errorf("sim: restoring ledger: %w", err)
+	}
+	if err := w.Mediator.RestoreSnapshot(cp.Mediator); err != nil {
+		return fmt.Errorf("sim: restoring mediator: %w", err)
+	}
+	for _, blob := range cp.Platforms {
+		p := w.Platforms[blob.Name]
+		if p == nil {
+			return fmt.Errorf("sim: checkpoint references unknown platform %s", blob.Name)
+		}
+		if err := p.RestoreSnapshot(blob.Data); err != nil {
+			return fmt.Errorf("sim: restoring platform %s: %w", blob.Name, err)
+		}
+	}
+	w.Store = store
+	if enf := store.Enforcer(); enf != nil {
+		w.Enforcer = enf
+	}
+	w.InstallLog = make([]InstallRecord, len(cp.Installs))
+	for i, in := range cp.Installs {
+		w.InstallLog[i] = InstallRecord{Device: in.Device, App: in.App, Day: in.Day}
+	}
+	w.restored = cp
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/playstore"
 	"repro/internal/randx"
+	"repro/internal/stream"
 	"repro/internal/textgen"
 )
 
@@ -115,6 +116,11 @@ type World struct {
 	// medAcct is the mediator's interned ledger account name, resolved by
 	// newEngine before the day loop starts.
 	medAcct string
+	// restored remembers the checkpoint last applied via Restore, so
+	// RunOpts does not re-apply one the caller already restored (callers
+	// that hand out w.Store references — the HTTP facade — must restore
+	// before wiring those up).
+	restored *stream.Checkpoint
 }
 
 // NewWorld builds the world from a config. Building is deterministic in

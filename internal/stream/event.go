@@ -1,0 +1,638 @@
+// Package stream implements the event-sourced run log: a typed,
+// append-only, binary stream of everything the day engine does — installs,
+// organic activity, clicks, postbacks, settlements, enforcement actions,
+// chart snapshots — plus day-boundary checkpoints, full-state replay, and
+// an online tail consumer.
+//
+// The log is framed: every record is [kind, u32 payload length, payload,
+// u32 CRC-32C]. A file starts with an 8-byte magic, a header frame (run
+// parameters), and a base frame (store/ledger/mediator snapshots at run
+// start); event frames follow. All payload encodings are canonical (one
+// byte form per value), so encode→decode→encode round-trips byte-exactly.
+//
+// Determinism: the engine buffers each work unit's events in a per-unit
+// encoder during the parallel phases and concatenates the buffers at the
+// day barrier in canonical unit order — the same order its ledger and
+// install-log flushes already use — so the log bytes are bit-identical
+// for any worker count. Replay applies the frames in order onto the base
+// snapshot and recomputes charts and enforcement through the very same
+// store code, reproducing the live run's state bit-for-bit (and verifying
+// itself against the logged chart snapshots, enforcement actions, and
+// day-end stat lines as it goes).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/binenc"
+	"repro/internal/dates"
+	"repro/internal/playstore"
+)
+
+// Magic opens every run-log file.
+const Magic = "IIRLOG1\n"
+
+// Version is the current run-log format version, written into the header.
+const Version = 1
+
+// maxFramePayload bounds a single frame (the base snapshot of a large
+// world is the biggest frame written in practice).
+const maxFramePayload = 1 << 30
+
+// Codec errors.
+var (
+	ErrBadMagic = errors.New("stream: bad run-log magic")
+	ErrCRC      = errors.New("stream: frame CRC mismatch")
+	ErrFrame    = errors.New("stream: malformed frame")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Kind identifies a frame type.
+type Kind uint8
+
+// Frame kinds. KindHeader and KindBase appear exactly once, at the start
+// of a log; everything else is an event frame.
+const (
+	KindHeader       Kind = 1  // run parameters
+	KindBase         Kind = 2  // store/ledger/mediator snapshots at run start
+	KindDayStart     Kind = 3  // a simulated day begins
+	KindOrganic      Kind = 4  // one app's organic installs/sessions/revenue for the day
+	KindClick        Kind = 5  // offer-wall click tracked by the mediator
+	KindInstall      Kind = 6  // one incentivized install (full-fidelity path)
+	KindInstallBatch Kind = 7  // bulk incentivized installs (batch path)
+	KindPostback     Kind = 8  // SDK event postback (certifying or not)
+	KindCertifyBatch Kind = 9  // bulk certification without individual clicks
+	KindSession      Kind = 10 // app-usage sessions recorded by the store
+	KindPurchase     Kind = 11 // in-app purchase revenue
+	KindSettle       Kind = 12 // settlement: money split + the four ledger legs
+	KindEnforce      Kind = 13 // store enforcement action during StepDay
+	KindChart        Kind = 14 // one chart's entries as computed for the day
+	KindDayEnd       Kind = 15 // day barrier: cumulative run stats
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHeader:
+		return "header"
+	case KindBase:
+		return "base"
+	case KindDayStart:
+		return "day-start"
+	case KindOrganic:
+		return "organic"
+	case KindClick:
+		return "click"
+	case KindInstall:
+		return "install"
+	case KindInstallBatch:
+		return "install-batch"
+	case KindPostback:
+		return "postback"
+	case KindCertifyBatch:
+		return "certify-batch"
+	case KindSession:
+		return "session"
+	case KindPurchase:
+		return "purchase"
+	case KindSettle:
+		return "settle"
+	case KindEnforce:
+		return "enforce"
+	case KindChart:
+		return "chart"
+	case KindDayEnd:
+		return "day-end"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Header carries the run parameters replay needs beyond the base
+// snapshot: the seed (informational), the monitored window, and the
+// mediator identity/fee that reconstruct attribution-fee postings.
+type Header struct {
+	Version      uint32
+	Seed         uint64
+	WindowStart  dates.Date
+	WindowEnd    dates.Date
+	MediatorName string
+	FeePerUser   float64
+}
+
+// Base is the run-start state: the snapshots replay rebuilds its world
+// from. Store and Ledger use the playstore/mediator snapshot codecs; the
+// mediator blob contributes the pre-run certified count (a honey-app
+// experiment may have certified completions before the window opened).
+//
+// Devices is the interned device table: the run's known device IDs (the
+// crowd-worker pools) in a deterministic order. Install/click events
+// reference these by index — one or two bytes instead of a copied string
+// for the millions of repeated references a large run produces — with an
+// inline-string fallback for devices outside the table.
+type Base struct {
+	Store    []byte
+	Ledger   []byte
+	Mediator []byte
+	Devices  []string
+}
+
+// DeviceTable builds the string→ref lookup for Devices. Encoders writing
+// into the same log share one table.
+func (b Base) DeviceTable() map[string]uint32 {
+	tab := make(map[string]uint32, len(b.Devices))
+	for i, d := range b.Devices {
+		if _, ok := tab[d]; !ok {
+			tab[d] = uint32(i)
+		}
+	}
+	return tab
+}
+
+// Event is one decoded frame. It is a sum type flattened into a struct:
+// Kind selects which fields are meaningful (see the per-kind encoders for
+// the exact field sets). Decoders reuse one Event across calls, so slices
+// (Devices, Entries) are only valid until the next Next call.
+type Event struct {
+	Kind Kind
+
+	Day dates.Date // DayStart, DayEnd
+
+	Pkg    string // Organic, Install, InstallBatch, Session, Purchase, Enforce
+	Device string // Install
+	Offer  string // Click, Postback, CertifyBatch, Settle
+	Worker string // Click
+	Chart  string // Chart
+
+	N       int64 // Organic installs, CertifyBatch/Session/Settle counts, Enforce removals
+	DAU     int64 // Organic
+	Seconds int64 // Organic and Session per-unit seconds
+
+	PostEvent uint8 // Postback: the mediator.EventType reported
+	Certified bool  // Postback: whether this postback certified the completion
+	Batch     bool  // Settle: batch settlement (affects memos)
+
+	Fraud      float64 // Organic, Install, InstallBatch
+	USD        float64 // Organic (0 = no purchase), Purchase
+	Gross      float64 // Settle
+	AffCut     float64 // Settle
+	UserPayout float64 // Settle
+
+	DevAcct  string // Settle
+	IIPAcct  string // Settle
+	AffAcct  string // Settle
+	UserAcct string // Settle
+
+	Devices []string               // InstallBatch
+	Entries []playstore.ChartEntry // Chart
+
+	CumOrganic   int64   // DayEnd: cumulative organic installs
+	CumIncent    int64   // DayEnd: cumulative incentivized installs
+	CumCertified int64   // DayEnd: cumulative certified completions
+	CumRevenue   float64 // DayEnd: cumulative organic revenue (bit-exact)
+}
+
+// Encoder appends complete frames to an in-memory buffer. Each engine work
+// unit owns one, so frames can be produced concurrently and concatenated
+// in canonical order at the day barrier. The zero value is ready to use
+// (devices are then always written inline; SetDeviceTable enables the
+// interned references).
+type Encoder struct {
+	enc binenc.Enc
+	tab map[string]uint32
+}
+
+// SetDeviceTable installs the shared device-ref table (Base.DeviceTable).
+// The table must match the Devices list in the log's base frame.
+func (e *Encoder) SetDeviceTable(tab map[string]uint32) { e.tab = tab }
+
+// dev writes a device reference: table index + 1, or 0 followed by the
+// inline string for devices outside the table.
+func (e *Encoder) dev(s string) {
+	if id, ok := e.tab[s]; ok {
+		e.enc.Uvarint(uint64(id) + 1)
+		return
+	}
+	e.enc.Uvarint(0)
+	e.enc.Str(s)
+}
+
+// DeviceRef pre-resolves a device to its wire reference (table index + 1,
+// or 0 = encode inline). Hot callers resolve each device once and pass
+// the ref to the *Ref encoder variants, avoiding a map lookup per event.
+func (e *Encoder) DeviceRef(device string) uint32 {
+	if id, ok := e.tab[device]; ok {
+		return id + 1
+	}
+	return 0
+}
+
+// devPre writes a pre-resolved reference (ref 0 falls back to the inline
+// string). Byte-identical to dev(s) under the same table.
+func (e *Encoder) devPre(ref uint32, s string) {
+	if ref != 0 {
+		e.enc.Uvarint(uint64(ref))
+		return
+	}
+	e.enc.Uvarint(0)
+	e.enc.Str(s)
+}
+
+// Bytes returns every frame appended so far.
+func (e *Encoder) Bytes() []byte { return e.enc.Bytes() }
+
+// Len returns the buffered byte count.
+func (e *Encoder) Len() int { return e.enc.Len() }
+
+// Reset empties the encoder, keeping its capacity.
+func (e *Encoder) Reset() { e.enc.Reset() }
+
+// begin opens a frame: kind byte plus a length placeholder. It returns the
+// payload start offset for end.
+func (e *Encoder) begin(k Kind) int {
+	e.enc.U8(uint8(k))
+	e.enc.U32(0)
+	return e.enc.Len()
+}
+
+// end backpatches the payload length and appends the payload CRC.
+func (e *Encoder) end(start int) {
+	buf := e.enc.Bytes()
+	payload := buf[start:]
+	binenc.PutU32(buf[start-4:start], uint32(len(payload)))
+	e.enc.U32(crc32.Checksum(payload, castagnoli))
+}
+
+// Header appends the header frame.
+func (e *Encoder) Header(h Header) {
+	s := e.begin(KindHeader)
+	e.enc.Uvarint(uint64(h.Version))
+	e.enc.U64(h.Seed)
+	e.enc.Varint(int64(h.WindowStart))
+	e.enc.Varint(int64(h.WindowEnd))
+	e.enc.Str(h.MediatorName)
+	e.enc.F64(h.FeePerUser)
+	e.end(s)
+}
+
+// Base appends the base-snapshot frame.
+func (e *Encoder) Base(b Base) {
+	s := e.begin(KindBase)
+	e.enc.Blob(b.Store)
+	e.enc.Blob(b.Ledger)
+	e.enc.Blob(b.Mediator)
+	e.enc.Uvarint(uint64(len(b.Devices)))
+	for _, d := range b.Devices {
+		e.enc.Str(d)
+	}
+	e.end(s)
+}
+
+// DayStart appends a day-start marker.
+func (e *Encoder) DayStart(day dates.Date) {
+	s := e.begin(KindDayStart)
+	e.enc.Varint(int64(day))
+	e.end(s)
+}
+
+// Organic appends one app's organic activity for the current day:
+// installs (at meanFraud), dau sessions of secPer seconds, and usd of
+// purchase revenue (0 = none recorded).
+func (e *Encoder) Organic(pkg string, installs int64, meanFraud float64, dau, secPer int64, usd float64) {
+	s := e.begin(KindOrganic)
+	e.enc.Str(pkg)
+	e.enc.Uvarint(uint64(installs))
+	e.enc.F64(meanFraud)
+	e.enc.Uvarint(uint64(dau))
+	e.enc.Uvarint(uint64(secPer))
+	e.enc.F64(usd)
+	e.end(s)
+}
+
+// Click appends a tracked offer-wall click.
+func (e *Encoder) Click(offer, worker string) {
+	s := e.begin(KindClick)
+	e.enc.Str(offer)
+	e.dev(worker)
+	e.end(s)
+}
+
+// ClickRef is Click with a pre-resolved device reference.
+func (e *Encoder) ClickRef(offer string, ref uint32, worker string) {
+	s := e.begin(KindClick)
+	e.enc.Str(offer)
+	e.devPre(ref, worker)
+	e.end(s)
+}
+
+// Install appends one full-fidelity incentivized install.
+func (e *Encoder) Install(pkg, device string, fraud float64) {
+	s := e.begin(KindInstall)
+	e.enc.Str(pkg)
+	e.dev(device)
+	e.enc.F64(fraud)
+	e.end(s)
+}
+
+// InstallRef is Install with a pre-resolved device reference.
+func (e *Encoder) InstallRef(pkg string, ref uint32, device string, fraud float64) {
+	s := e.begin(KindInstall)
+	e.enc.Str(pkg)
+	e.devPre(ref, device)
+	e.enc.F64(fraud)
+	e.end(s)
+}
+
+// InstallBatch appends a bulk install event; device(i) supplies the i-th
+// fulfilling device ID (a callback so callers with the IDs already in a
+// larger structure need not build a throwaway slice).
+func (e *Encoder) InstallBatch(pkg string, meanFraud float64, n int, device func(i int) string) {
+	s := e.begin(KindInstallBatch)
+	e.enc.Str(pkg)
+	e.enc.F64(meanFraud)
+	e.enc.Uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		e.dev(device(i))
+	}
+	e.end(s)
+}
+
+// InstallBatchRef is InstallBatch with pre-resolved device references;
+// device(i) returns the i-th ref plus the fallback string for ref 0.
+func (e *Encoder) InstallBatchRef(pkg string, meanFraud float64, n int, device func(i int) (uint32, string)) {
+	s := e.begin(KindInstallBatch)
+	e.enc.Str(pkg)
+	e.enc.F64(meanFraud)
+	e.enc.Uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		ref, name := device(i)
+		e.devPre(ref, name)
+	}
+	e.end(s)
+}
+
+// Postback appends an SDK event postback.
+func (e *Encoder) Postback(offer string, event uint8, certified bool) {
+	s := e.begin(KindPostback)
+	e.enc.Str(offer)
+	e.enc.U8(event)
+	e.enc.Bool(certified)
+	e.end(s)
+}
+
+// CertifyBatch appends a bulk certification.
+func (e *Encoder) CertifyBatch(offer string, n int64) {
+	s := e.begin(KindCertifyBatch)
+	e.enc.Str(offer)
+	e.enc.Uvarint(uint64(n))
+	e.end(s)
+}
+
+// Session appends n recorded sessions of secPer seconds each.
+func (e *Encoder) Session(pkg string, n, secPer int64) {
+	s := e.begin(KindSession)
+	e.enc.Str(pkg)
+	e.enc.Uvarint(uint64(n))
+	e.enc.Uvarint(uint64(secPer))
+	e.end(s)
+}
+
+// Purchase appends in-app purchase revenue.
+func (e *Encoder) Purchase(pkg string, usd float64) {
+	s := e.begin(KindPurchase)
+	e.enc.Str(pkg)
+	e.enc.F64(usd)
+	e.end(s)
+}
+
+// Settle appends one settlement: n completions of an offer, the money
+// split, and the four ledger accounts the split moves through. Replay
+// reconstructs the exact transfer sequence from these fields plus the
+// header's mediator identity.
+func (e *Encoder) Settle(offer string, n int64, batch bool, gross, affCut, userPayout float64, devAcct, iipAcct, affAcct, userAcct string) {
+	s := e.begin(KindSettle)
+	e.enc.Str(offer)
+	e.enc.Uvarint(uint64(n))
+	e.enc.Bool(batch)
+	e.enc.F64(gross)
+	e.enc.F64(affCut)
+	e.enc.F64(userPayout)
+	e.enc.Str(devAcct)
+	e.enc.Str(iipAcct)
+	e.enc.Str(affAcct)
+	e.enc.Str(userAcct)
+	e.end(s)
+}
+
+// Enforce appends a store enforcement action.
+func (e *Encoder) Enforce(pkg string, removed int64) {
+	s := e.begin(KindEnforce)
+	e.enc.Str(pkg)
+	e.enc.Uvarint(uint64(removed))
+	e.end(s)
+}
+
+// Chart appends one chart's computed entries for the current day.
+func (e *Encoder) Chart(name string, entries []playstore.ChartEntry) {
+	s := e.begin(KindChart)
+	e.enc.Str(name)
+	e.enc.Uvarint(uint64(len(entries)))
+	for _, en := range entries {
+		e.enc.Varint(int64(en.Rank))
+		e.enc.Str(en.Package)
+		e.enc.F64(en.Score)
+	}
+	e.end(s)
+}
+
+// DayEnd appends the day barrier with cumulative run stats.
+func (e *Encoder) DayEnd(day dates.Date, cumOrganic, cumIncent, cumCertified int64, cumRevenue float64) {
+	s := e.begin(KindDayEnd)
+	e.enc.Varint(int64(day))
+	e.enc.Uvarint(uint64(cumOrganic))
+	e.enc.Uvarint(uint64(cumIncent))
+	e.enc.Uvarint(uint64(cumCertified))
+	e.enc.F64(cumRevenue)
+	e.end(s)
+}
+
+// Event appends ev as a frame, dispatching to the canonical per-kind
+// encoder; the codec round-trip tests and the runlog tooling use it.
+// Header/Base frames are not events and are rejected.
+func (e *Encoder) Event(ev *Event) error {
+	switch ev.Kind {
+	case KindDayStart:
+		e.DayStart(ev.Day)
+	case KindOrganic:
+		e.Organic(ev.Pkg, ev.N, ev.Fraud, ev.DAU, ev.Seconds, ev.USD)
+	case KindClick:
+		e.Click(ev.Offer, ev.Worker)
+	case KindInstall:
+		e.Install(ev.Pkg, ev.Device, ev.Fraud)
+	case KindInstallBatch:
+		e.InstallBatch(ev.Pkg, ev.Fraud, len(ev.Devices), func(i int) string { return ev.Devices[i] })
+	case KindPostback:
+		e.Postback(ev.Offer, ev.PostEvent, ev.Certified)
+	case KindCertifyBatch:
+		e.CertifyBatch(ev.Offer, ev.N)
+	case KindSession:
+		e.Session(ev.Pkg, ev.N, ev.Seconds)
+	case KindPurchase:
+		e.Purchase(ev.Pkg, ev.USD)
+	case KindSettle:
+		e.Settle(ev.Offer, ev.N, ev.Batch, ev.Gross, ev.AffCut, ev.UserPayout,
+			ev.DevAcct, ev.IIPAcct, ev.AffAcct, ev.UserAcct)
+	case KindEnforce:
+		e.Enforce(ev.Pkg, ev.N)
+	case KindChart:
+		e.Chart(ev.Chart, ev.Entries)
+	case KindDayEnd:
+		e.DayEnd(ev.Day, ev.CumOrganic, ev.CumIncent, ev.CumCertified, ev.CumRevenue)
+	default:
+		return fmt.Errorf("%w: cannot encode kind %s", ErrFrame, ev.Kind)
+	}
+	return nil
+}
+
+// decodeDev reads a device reference written by Encoder.dev.
+func decodeDev(dec *binenc.Dec, table []string) string {
+	n := dec.Uvarint()
+	if n == 0 {
+		return dec.Str()
+	}
+	idx := n - 1
+	if idx >= uint64(len(table)) {
+		dec.Fail(fmt.Errorf("%w: device ref %d beyond table of %d", ErrFrame, idx, len(table)))
+		return ""
+	}
+	return table[idx]
+}
+
+// decodePayload fills ev from a frame payload, resolving device refs
+// through table (the log's Base.Devices). The Devices and Entries slices
+// on ev are reused across calls.
+func decodePayload(k Kind, payload []byte, ev *Event, table []string) error {
+	dec := binenc.NewDec(payload)
+	*ev = Event{Kind: k, Devices: ev.Devices[:0], Entries: ev.Entries[:0]}
+	switch k {
+	case KindDayStart:
+		ev.Day = dates.Date(dec.Varint())
+	case KindOrganic:
+		ev.Pkg = dec.Str()
+		ev.N = int64(dec.Uvarint())
+		ev.Fraud = dec.F64()
+		ev.DAU = int64(dec.Uvarint())
+		ev.Seconds = int64(dec.Uvarint())
+		ev.USD = dec.F64()
+	case KindClick:
+		ev.Offer = dec.Str()
+		ev.Worker = decodeDev(dec, table)
+	case KindInstall:
+		ev.Pkg = dec.Str()
+		ev.Device = decodeDev(dec, table)
+		ev.Fraud = dec.F64()
+	case KindInstallBatch:
+		ev.Pkg = dec.Str()
+		ev.Fraud = dec.F64()
+		n := dec.Uvarint()
+		if dec.Err() == nil && n > uint64(dec.Remaining()) {
+			return fmt.Errorf("%w: install batch count %d", ErrFrame, n)
+		}
+		for i := uint64(0); i < n && dec.Err() == nil; i++ {
+			ev.Devices = append(ev.Devices, decodeDev(dec, table))
+		}
+		ev.N = int64(len(ev.Devices))
+	case KindPostback:
+		ev.Offer = dec.Str()
+		ev.PostEvent = dec.U8()
+		ev.Certified = dec.Bool()
+	case KindCertifyBatch:
+		ev.Offer = dec.Str()
+		ev.N = int64(dec.Uvarint())
+	case KindSession:
+		ev.Pkg = dec.Str()
+		ev.N = int64(dec.Uvarint())
+		ev.Seconds = int64(dec.Uvarint())
+	case KindPurchase:
+		ev.Pkg = dec.Str()
+		ev.USD = dec.F64()
+	case KindSettle:
+		ev.Offer = dec.Str()
+		ev.N = int64(dec.Uvarint())
+		ev.Batch = dec.Bool()
+		ev.Gross = dec.F64()
+		ev.AffCut = dec.F64()
+		ev.UserPayout = dec.F64()
+		ev.DevAcct = dec.Str()
+		ev.IIPAcct = dec.Str()
+		ev.AffAcct = dec.Str()
+		ev.UserAcct = dec.Str()
+	case KindEnforce:
+		ev.Pkg = dec.Str()
+		ev.N = int64(dec.Uvarint())
+	case KindChart:
+		ev.Chart = dec.Str()
+		n := dec.Uvarint()
+		if dec.Err() == nil && n > uint64(dec.Remaining()) {
+			return fmt.Errorf("%w: chart entry count %d", ErrFrame, n)
+		}
+		for i := uint64(0); i < n && dec.Err() == nil; i++ {
+			ev.Entries = append(ev.Entries, playstore.ChartEntry{
+				Rank:    int(dec.Varint()),
+				Package: dec.Str(),
+				Score:   dec.F64(),
+			})
+		}
+	case KindDayEnd:
+		ev.Day = dates.Date(dec.Varint())
+		ev.CumOrganic = int64(dec.Uvarint())
+		ev.CumIncent = int64(dec.Uvarint())
+		ev.CumCertified = int64(dec.Uvarint())
+		ev.CumRevenue = dec.F64()
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrFrame, uint8(k))
+	}
+	if err := dec.Done(); err != nil {
+		return fmt.Errorf("%w: decoding %s: %v", ErrFrame, k, err)
+	}
+	return nil
+}
+
+// decodeHeader parses a KindHeader payload.
+func decodeHeader(payload []byte) (Header, error) {
+	dec := binenc.NewDec(payload)
+	h := Header{
+		Version:      uint32(dec.Uvarint()),
+		Seed:         dec.U64(),
+		WindowStart:  dates.Date(dec.Varint()),
+		WindowEnd:    dates.Date(dec.Varint()),
+		MediatorName: dec.Str(),
+		FeePerUser:   dec.F64(),
+	}
+	if err := dec.Done(); err != nil {
+		return Header{}, fmt.Errorf("%w: decoding header: %v", ErrFrame, err)
+	}
+	if h.Version != Version {
+		return Header{}, fmt.Errorf("stream: unsupported run-log version %d", h.Version)
+	}
+	return h, nil
+}
+
+// decodeBase parses a KindBase payload.
+func decodeBase(payload []byte) (Base, error) {
+	dec := binenc.NewDec(payload)
+	b := Base{Store: dec.Blob(), Ledger: dec.Blob(), Mediator: dec.Blob()}
+	n := dec.Uvarint()
+	if dec.Err() == nil && n > uint64(dec.Remaining()) {
+		return Base{}, fmt.Errorf("%w: device table of %d entries", ErrFrame, n)
+	}
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		b.Devices = append(b.Devices, dec.Str())
+	}
+	if err := dec.Done(); err != nil {
+		return Base{}, fmt.Errorf("%w: decoding base snapshot: %v", ErrFrame, err)
+	}
+	return b, nil
+}

@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/playstore"
+)
+
+// FuzzEventCodecRoundTrip asserts the canonical-codec property on
+// arbitrary field values: encode→decode→encode is byte-identical for
+// every event kind, including NaN float payloads, empty strings,
+// pathological counts, and both device encodings (interned table ref and
+// inline fallback).
+func FuzzEventCodecRoundTrip(f *testing.F) {
+	f.Add(uint8(3), int64(41), "com.pkg", "dev-1", "offer-1", "worker-1", "chart", uint64(5), uint64(7), uint64(11), uint8(2), true, false, math.Pi, 4.99, 1.25, 0.25, 0.5, uint64(3), true)
+	f.Add(uint8(12), int64(0), "", "", "", "", "", uint64(0), uint64(0), uint64(0), uint8(0), false, true, math.Inf(1), math.NaN(), -0.0, 1e-300, -1e300, uint64(0), false)
+	f.Add(uint8(15), int64(-9), "p", "d", "o", "w", "c", uint64(1)<<40, uint64(1)<<50, uint64(9), uint8(255), true, true, 0.0, 0.0, 0.0, 0.0, 0.0, uint64(2), true)
+	f.Fuzz(func(t *testing.T, kind uint8, day int64, pkg, device, offer, worker, chart string,
+		n, dau, seconds uint64, postEvent uint8, certified, batch bool,
+		f1, f2, f3, f4, f5 float64, listLen uint64, useTable bool) {
+		// Optionally intern the fuzzed device/worker strings, exercising
+		// the table-ref path; otherwise everything goes inline.
+		var table []string
+		var tab map[string]uint32
+		if useTable {
+			table = []string{device, worker, "other-device"}
+			tab = Base{Devices: table}.DeviceTable()
+		}
+		kinds := []Kind{KindDayStart, KindOrganic, KindClick, KindInstall, KindInstallBatch,
+			KindPostback, KindCertifyBatch, KindSession, KindPurchase, KindSettle,
+			KindEnforce, KindChart, KindDayEnd}
+		ev := Event{
+			Kind:      kinds[int(kind)%len(kinds)],
+			Day:       dates.Date(day),
+			Pkg:       pkg,
+			Device:    device,
+			Offer:     offer,
+			Worker:    worker,
+			Chart:     chart,
+			N:         int64(n),
+			DAU:       int64(dau),
+			Seconds:   int64(seconds),
+			PostEvent: postEvent,
+			Certified: certified,
+			Batch:     batch,
+			Fraud:     f1,
+			USD:       f2,
+			Gross:     f3,
+			AffCut:    f4,
+			UserPayout: math.Float64frombits(
+				math.Float64bits(f5)), // arbitrary bits, kept verbatim
+			DevAcct:      pkg,
+			IIPAcct:      offer,
+			AffAcct:      device,
+			UserAcct:     worker,
+			CumOrganic:   int64(n),
+			CumIncent:    int64(dau),
+			CumCertified: int64(seconds),
+			CumRevenue:   f2,
+		}
+		for i := uint64(0); i < listLen%8; i++ {
+			ev.Devices = append(ev.Devices, device)
+			ev.Entries = append(ev.Entries, playstore.ChartEntry{Rank: int(i) + 1, Package: pkg, Score: f3})
+		}
+		if ev.Kind == KindInstallBatch {
+			ev.N = int64(len(ev.Devices))
+		}
+
+		var enc Encoder
+		enc.SetDeviceTable(tab)
+		if err := enc.Event(&ev); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		first := append([]byte(nil), enc.Bytes()...)
+
+		k, payload, next, ok, err := (&Tail{r: bytes.NewReader(first)}).peekFrame(0)
+		if err != nil || !ok || next != int64(len(first)) {
+			t.Fatalf("frame not self-delimiting: ok=%v next=%d len=%d err=%v", ok, next, len(first), err)
+		}
+		var got Event
+		if err := decodePayload(k, payload, &got, table); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		var enc2 Encoder
+		enc2.SetDeviceTable(tab)
+		if err := enc2.Event(&got); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc2.Bytes(), first) {
+			t.Fatalf("encode→decode→encode not byte-identical for %s\n first: %x\nsecond: %x", ev.Kind, first, enc2.Bytes())
+		}
+	})
+}
+
+// FuzzFrameDecodeRobustness throws arbitrary bytes at the frame parser:
+// it must never panic, and whatever it accepts must satisfy the CRC.
+func FuzzFrameDecodeRobustness(f *testing.F) {
+	var enc Encoder
+	enc.Install("com.x", "d", 0.5)
+	f.Add(enc.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{6, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tail := &Tail{r: bytes.NewReader(data)}
+		k, payload, _, ok, err := tail.peekFrame(0)
+		if err != nil || !ok {
+			return
+		}
+		var ev Event
+		_ = k
+		_ = decodePayload(k, payload, &ev, nil)
+	})
+}

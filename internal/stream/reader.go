@@ -1,0 +1,109 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Reader iterates a complete run log from an io.Reader, verifying every
+// frame's CRC. Use Tail for logs still being written.
+type Reader struct {
+	br      *bufio.Reader
+	hdr     Header
+	base    Base
+	devices []string
+	scratch []byte
+}
+
+// NewReader opens a run log: it consumes the magic, the header frame, and
+// the base frame, leaving the reader positioned at the first event.
+func NewReader(r io.Reader) (*Reader, error) {
+	lr := &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(lr.br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	k, payload, err := lr.readFrame()
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading header: %w", err)
+	}
+	if k != KindHeader {
+		return nil, fmt.Errorf("%w: first frame is %s, want header", ErrFrame, k)
+	}
+	if lr.hdr, err = decodeHeader(payload); err != nil {
+		return nil, err
+	}
+	if k, payload, err = lr.readFrame(); err != nil {
+		return nil, fmt.Errorf("stream: reading base snapshot: %w", err)
+	}
+	if k != KindBase {
+		return nil, fmt.Errorf("%w: second frame is %s, want base", ErrFrame, k)
+	}
+	if lr.base, err = decodeBase(payload); err != nil {
+		return nil, err
+	}
+	lr.devices = lr.base.Devices
+	return lr, nil
+}
+
+// Header returns the run parameters.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Base returns the run-start snapshots.
+func (r *Reader) Base() Base { return r.base }
+
+// readFrame reads one full frame, verifying its CRC. The payload slice is
+// reused across calls.
+func (r *Reader) readFrame() (Kind, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.br, hdr[:1]); err != nil {
+		return 0, nil, err // io.EOF here is a clean end of log
+	}
+	if _, err := io.ReadFull(r.br, hdr[1:]); err != nil {
+		return 0, nil, unexpectedEOF(err)
+	}
+	k := Kind(hdr[0])
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: payload of %d bytes", ErrFrame, n)
+	}
+	if cap(r.scratch) < int(n)+4 {
+		r.scratch = make([]byte, int(n)+4)
+	}
+	buf := r.scratch[:int(n)+4]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return 0, nil, unexpectedEOF(err)
+	}
+	payload := buf[:n]
+	want := binary.LittleEndian.Uint32(buf[n:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return 0, nil, fmt.Errorf("%w in %s frame", ErrCRC, k)
+	}
+	return k, payload, nil
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Next decodes the next event into ev. It returns io.EOF at a clean end of
+// log and io.ErrUnexpectedEOF when the log stops mid-frame (a killed run).
+func (r *Reader) Next(ev *Event) error {
+	k, payload, err := r.readFrame()
+	if err != nil {
+		return err
+	}
+	if k == KindHeader || k == KindBase {
+		return fmt.Errorf("%w: duplicate %s frame", ErrFrame, k)
+	}
+	return decodePayload(k, payload, ev, r.devices)
+}

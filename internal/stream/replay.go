@@ -1,0 +1,303 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dates"
+	"repro/internal/mediator"
+	"repro/internal/playstore"
+)
+
+// ErrReplayDiverged reports that replayed state disagreed with a
+// verification record in the log (chart snapshot, enforcement action, or
+// day-end stat line) — either the log is corrupt or determinism broke.
+var ErrReplayDiverged = errors.New("stream: replay diverged from logged run")
+
+// ReplayStats mirrors the simulator's RunStats, accumulated from events.
+type ReplayStats struct {
+	Days                 int
+	OrganicInstalls      int64
+	IncentivizedInstalls int64
+	CertifiedCompletions int64
+	RevenueUSD           float64
+}
+
+// ReplayResult is the world state rebuilt from a run log: the store (with
+// charts and enforcement recomputed through the live code paths), the
+// ledger (every balance bit-exact), the device-resolved install log, and
+// the run stats.
+type ReplayResult struct {
+	Header   Header
+	Stats    ReplayStats
+	Store    *playstore.Store
+	Ledger   *mediator.Ledger
+	Installs []Install
+}
+
+// Replay rebuilds the run's state from the log alone. The base snapshot
+// seeds the store/ledger; every event is applied through the same
+// playstore/mediator record methods the live engine used, in the same
+// canonical order, and each day boundary recomputes charts and
+// enforcement via Store.StepDay — so every float bit matches the live
+// run. Logged chart snapshots, enforcement actions, and day-end stat
+// lines are verified against the recomputation as it goes; any
+// disagreement fails with ErrReplayDiverged.
+//
+// A log that ends mid-day (a killed run) replays up to the last complete
+// frame and then returns io.ErrUnexpectedEOF wrapped in the error; state
+// up to the last completed day is valid.
+func Replay(r io.Reader) (*ReplayResult, error) {
+	lr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return replayFrames(lr)
+}
+
+func replayFrames(lr *Reader) (*ReplayResult, error) {
+	base := lr.Base()
+	store, err := playstore.DecodeSnapshot(base.Store)
+	if err != nil {
+		return nil, fmt.Errorf("stream: replay base store: %w", err)
+	}
+	ledger := mediator.NewLedger()
+	if err := ledger.RestoreSnapshot(base.Ledger); err != nil {
+		return nil, fmt.Errorf("stream: replay base ledger: %w", err)
+	}
+	// The mediator snapshot contributes the pre-run certified count (the
+	// day-end stat lines report the mediator's absolute total).
+	med := mediator.New(lr.Header().MediatorName)
+	if err := med.RestoreSnapshot(base.Mediator); err != nil {
+		return nil, fmt.Errorf("stream: replay base mediator: %w", err)
+	}
+
+	res := &ReplayResult{Header: lr.Header(), Store: store, Ledger: ledger}
+	st := replayState{
+		hdr:       lr.Header(),
+		res:       res,
+		certified: int64(med.Certified()),
+		medAcct:   mediator.MediatorAccount(lr.Header().MediatorName),
+	}
+	var ev Event
+	for {
+		if err := lr.Next(&ev); err != nil {
+			if err == io.EOF {
+				return res, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return res, fmt.Errorf("stream: run log ends mid-frame (killed run): %w", err)
+			}
+			return nil, err
+		}
+		if err := st.apply(&ev); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// replayState tracks the in-flight day while frames are applied.
+type replayState struct {
+	hdr       Header
+	res       *ReplayResult
+	certified int64  // absolute mediator count, matching the day-end lines
+	medAcct   string // interned mediator ledger account for fee legs
+
+	day       dates.Date // current day; valid once inDay
+	inDay     bool
+	stepped   bool // Store.StepDay(day) already ran for this day
+	enforced  []playstore.EnforceAction
+	enforceAt int
+	txs       [4]mediator.Tx
+}
+
+func (st *replayState) apply(ev *Event) error {
+	res := st.res
+	day := st.day
+	switch ev.Kind {
+	case KindDayStart:
+		if st.inDay {
+			return fmt.Errorf("%w: day %s started before %s ended", ErrFrame, ev.Day, day)
+		}
+		st.day = ev.Day
+		st.inDay = true
+		st.stepped = false
+		st.enforceAt = 0
+
+	case KindOrganic:
+		if err := st.requireInDay(ev); err != nil {
+			return err
+		}
+		if ev.N > 0 {
+			if err := res.Store.RecordInstallBatch(ev.Pkg, day, ev.N, playstore.SourceOrganic, ev.Fraud); err != nil {
+				return replayErr(ev, err)
+			}
+		}
+		if ev.DAU > 0 {
+			if err := res.Store.RecordSessionBatch(ev.Pkg, day, ev.DAU, ev.Seconds); err != nil {
+				return replayErr(ev, err)
+			}
+		}
+		if ev.USD > 0 {
+			if err := res.Store.RecordPurchase(ev.Pkg, playstore.Purchase{Day: day, USD: ev.USD}); err != nil {
+				return replayErr(ev, err)
+			}
+		}
+		res.Stats.OrganicInstalls += ev.N
+		res.Stats.RevenueUSD += ev.USD
+
+	case KindClick:
+		// Clicks carry no store/ledger state; online consumers read them.
+
+	case KindInstall:
+		if err := st.requireInDay(ev); err != nil {
+			return err
+		}
+		if err := res.Store.RecordInstall(ev.Pkg, playstore.Install{
+			Day: day, Source: playstore.SourceReferral, FraudScore: ev.Fraud,
+		}); err != nil {
+			return replayErr(ev, err)
+		}
+		res.Installs = append(res.Installs, Install{Device: ev.Device, App: ev.Pkg, Day: day})
+
+	case KindInstallBatch:
+		if err := st.requireInDay(ev); err != nil {
+			return err
+		}
+		if err := res.Store.RecordInstallBatch(ev.Pkg, day, ev.N, playstore.SourceReferral, ev.Fraud); err != nil {
+			return replayErr(ev, err)
+		}
+		for _, dev := range ev.Devices {
+			res.Installs = append(res.Installs, Install{Device: dev, App: ev.Pkg, Day: day})
+		}
+
+	case KindPostback:
+		if ev.Certified {
+			st.certified++
+		}
+
+	case KindCertifyBatch:
+		st.certified += ev.N
+
+	case KindSession:
+		if err := st.requireInDay(ev); err != nil {
+			return err
+		}
+		if err := res.Store.RecordSessionBatch(ev.Pkg, day, ev.N, ev.Seconds); err != nil {
+			return replayErr(ev, err)
+		}
+
+	case KindPurchase:
+		if err := st.requireInDay(ev); err != nil {
+			return err
+		}
+		if err := res.Store.RecordPurchase(ev.Pkg, playstore.Purchase{Day: day, USD: ev.USD}); err != nil {
+			return replayErr(ev, err)
+		}
+
+	case KindSettle:
+		// Reconstruct the four ledger legs exactly as the live path posted
+		// them (amount expressions included, so the float bits match).
+		memo := [4]string{"offer completion", "affiliate share", "reward redemption", "attribution fee"}
+		fee := st.hdr.FeePerUser
+		if ev.Batch {
+			memo = [4]string{"offer completions (batch)", "affiliate share (batch)", "reward redemptions (batch)", "attribution fees (batch)"}
+			fee = st.hdr.FeePerUser * float64(ev.N)
+		}
+		st.txs[0] = mediator.Tx{From: ev.DevAcct, To: ev.IIPAcct, Amount: ev.Gross, Memo: memo[0]}
+		st.txs[1] = mediator.Tx{From: ev.IIPAcct, To: ev.AffAcct, Amount: ev.AffCut + ev.UserPayout, Memo: memo[1]}
+		st.txs[2] = mediator.Tx{From: ev.AffAcct, To: ev.UserAcct, Amount: ev.UserPayout, Memo: memo[2]}
+		st.txs[3] = mediator.Tx{From: ev.DevAcct, To: st.medAcct, Amount: fee, Memo: memo[3]}
+		if err := res.Ledger.PostAll(st.txs[:]); err != nil {
+			return replayErr(ev, err)
+		}
+		res.Stats.IncentivizedInstalls += ev.N
+
+	case KindEnforce:
+		if err := st.step(ev); err != nil {
+			return err
+		}
+		if st.enforceAt >= len(st.enforced) {
+			return fmt.Errorf("%w: logged enforcement on %s not reproduced (day %s)", ErrReplayDiverged, ev.Pkg, day)
+		}
+		got := st.enforced[st.enforceAt]
+		st.enforceAt++
+		if got.Package != ev.Pkg || got.Removed != ev.N {
+			return fmt.Errorf("%w: enforcement %s/-%d, log says %s/-%d (day %s)",
+				ErrReplayDiverged, got.Package, got.Removed, ev.Pkg, ev.N, day)
+		}
+
+	case KindChart:
+		if err := st.step(ev); err != nil {
+			return err
+		}
+		got := res.Store.Chart(ev.Chart)
+		if len(got) != len(ev.Entries) {
+			return fmt.Errorf("%w: chart %s has %d entries, log says %d (day %s)",
+				ErrReplayDiverged, ev.Chart, len(got), len(ev.Entries), day)
+		}
+		for i := range got {
+			if got[i] != ev.Entries[i] {
+				return fmt.Errorf("%w: chart %s rank %d is %+v, log says %+v (day %s)",
+					ErrReplayDiverged, ev.Chart, i+1, got[i], ev.Entries[i], day)
+			}
+		}
+
+	case KindDayEnd:
+		if err := st.step(ev); err != nil {
+			return err
+		}
+		if st.enforceAt != len(st.enforced) {
+			return fmt.Errorf("%w: %d enforcement actions recomputed, %d logged (day %s)",
+				ErrReplayDiverged, len(st.enforced), st.enforceAt, day)
+		}
+		res.Stats.Days++
+		res.Stats.CertifiedCompletions = st.certified
+		if ev.Day != day {
+			return fmt.Errorf("%w: day-end for %s inside day %s", ErrFrame, ev.Day, day)
+		}
+		if ev.CumOrganic != res.Stats.OrganicInstalls ||
+			ev.CumIncent != res.Stats.IncentivizedInstalls ||
+			ev.CumCertified != res.Stats.CertifiedCompletions ||
+			math.Float64bits(ev.CumRevenue) != math.Float64bits(res.Stats.RevenueUSD) {
+			return fmt.Errorf("%w: day %s stats organic=%d incent=%d certified=%d revenue=%x, log says organic=%d incent=%d certified=%d revenue=%x",
+				ErrReplayDiverged, day,
+				res.Stats.OrganicInstalls, res.Stats.IncentivizedInstalls, res.Stats.CertifiedCompletions, math.Float64bits(res.Stats.RevenueUSD),
+				ev.CumOrganic, ev.CumIncent, ev.CumCertified, math.Float64bits(ev.CumRevenue))
+		}
+		st.inDay = false
+
+	default:
+		return fmt.Errorf("%w: unexpected %s frame in event stream", ErrFrame, ev.Kind)
+	}
+	return nil
+}
+
+// requireInDay rejects activity events outside a day.
+func (st *replayState) requireInDay(ev *Event) error {
+	if !st.inDay {
+		return fmt.Errorf("%w: %s event outside a day", ErrFrame, ev.Kind)
+	}
+	return nil
+}
+
+// step runs the store's day step (charts + enforcement) exactly once per
+// day, triggered by the first barrier-side event.
+func (st *replayState) step(ev *Event) error {
+	if err := st.requireInDay(ev); err != nil {
+		return err
+	}
+	if st.stepped {
+		return nil
+	}
+	st.res.Store.StepDay(st.day)
+	st.enforced = st.res.Store.LastEnforcementActions()
+	st.stepped = true
+	return nil
+}
+
+func replayErr(ev *Event, err error) error {
+	return fmt.Errorf("stream: replaying %s: %w", ev.Kind, err)
+}

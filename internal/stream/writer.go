@@ -1,0 +1,123 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dates"
+	"repro/internal/playstore"
+)
+
+// Writer appends a run log to an io.Writer. It is not safe for concurrent
+// use: the engine writes only at day barriers, on one goroutine.
+//
+// Offset tracks the total bytes written (including the preamble), which is
+// what checkpoints record so a resumed run knows where to truncate and
+// continue the file.
+type Writer struct {
+	w   io.Writer
+	off int64
+	enc Encoder // scratch for single-event writes
+	tab map[string]uint32
+}
+
+// NewWriter opens a fresh run log on w: magic, header frame, base frame.
+func NewWriter(w io.Writer, h Header, base Base) (*Writer, error) {
+	lw := &Writer{w: w, tab: base.DeviceTable()}
+	lw.enc.SetDeviceTable(lw.tab)
+	if err := lw.writeRaw([]byte(Magic)); err != nil {
+		return nil, err
+	}
+	lw.enc.Header(h)
+	lw.enc.Base(base)
+	if err := lw.flushScratch(); err != nil {
+		return nil, err
+	}
+	return lw, nil
+}
+
+// ResumeWriter continues an existing run log whose first offset bytes are
+// already on disk (the caller truncates the file to the checkpoint's
+// LogOffset and seeks to the end). No preamble is written; subsequent
+// frames continue the byte stream exactly where the checkpointed run
+// stopped. devices must be the same device table the original log's base
+// frame carries, or device refs in the appended frames would not resolve.
+func ResumeWriter(w io.Writer, offset int64, devices []string) *Writer {
+	lw := &Writer{w: w, off: offset, tab: Base{Devices: devices}.DeviceTable()}
+	lw.enc.SetDeviceTable(lw.tab)
+	return lw
+}
+
+// DeviceTable returns the writer's device-ref table; engine encoders
+// feeding AppendFrames share it via Encoder.SetDeviceTable.
+func (w *Writer) DeviceTable() map[string]uint32 { return w.tab }
+
+// Offset returns the total log bytes written so far.
+func (w *Writer) Offset() int64 { return w.off }
+
+func (w *Writer) writeRaw(b []byte) error {
+	n, err := w.w.Write(b)
+	w.off += int64(n)
+	if err != nil {
+		return fmt.Errorf("stream: writing run log: %w", err)
+	}
+	return nil
+}
+
+func (w *Writer) flushScratch() error {
+	err := w.writeRaw(w.enc.Bytes())
+	w.enc.Reset()
+	return err
+}
+
+// AppendFrames writes pre-encoded frames (a per-unit encoder's buffer)
+// verbatim.
+func (w *Writer) AppendFrames(frames []byte) error {
+	return w.writeRaw(frames)
+}
+
+// DayStart writes a day-start marker.
+func (w *Writer) DayStart(day dates.Date) error {
+	w.enc.DayStart(day)
+	return w.flushScratch()
+}
+
+// Enforce writes an enforcement action.
+func (w *Writer) Enforce(pkg string, removed int64) error {
+	w.enc.Enforce(pkg, removed)
+	return w.flushScratch()
+}
+
+// Chart writes one chart snapshot.
+func (w *Writer) Chart(name string, entries []playstore.ChartEntry) error {
+	w.enc.Chart(name, entries)
+	return w.flushScratch()
+}
+
+// DayEnd writes the day barrier with cumulative stats.
+func (w *Writer) DayEnd(day dates.Date, cumOrganic, cumIncent, cumCertified int64, cumRevenue float64) error {
+	w.enc.DayEnd(day, cumOrganic, cumIncent, cumCertified, cumRevenue)
+	return w.flushScratch()
+}
+
+// Event writes one event frame (runlog tooling; the engine uses the
+// specialized paths).
+func (w *Writer) Event(ev *Event) error {
+	if err := w.enc.Event(ev); err != nil {
+		w.enc.Reset()
+		return err
+	}
+	return w.flushScratch()
+}
+
+// Flush forwards to the underlying writer's Flush when it has one (e.g. a
+// bufio.Writer); the run loop calls it at each day barrier so tail
+// consumers observe whole days.
+func (w *Writer) Flush() error {
+	if f, ok := w.w.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil {
+			return fmt.Errorf("stream: flushing run log: %w", err)
+		}
+	}
+	return nil
+}

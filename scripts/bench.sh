@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Record the PR's key benchmarks into BENCH_PR3.json so the performance
+# Record the PR's key benchmarks into BENCH_PR4.json so the performance
 # trajectory is versioned alongside the code.
 #
 # Usage:
@@ -10,14 +10,19 @@
 # replays a full simulated window); microbenchmarks get longer benchtimes
 # so ns/op is stable. Everything runs with -count=3 -benchmem.
 #
-# Note: the E5 suites (DeliverOne/Postback/LedgerPost) were introduced by
-# PR 3 and do not exist on the parent tree; a "before" run there records
-# only the pre-existing suites.
+# Notes on before/after coverage:
+#   - BenchmarkSimRunEvents (E6 log-write overhead) only exists on the PR
+#     tree; the "before" baseline for it is BenchmarkSimRunScale/workers=1
+#     (events=off is the same run).
+#   - BenchmarkLockstepIngest benchmarks Detect, which exists on both
+#     trees; to record "before", copy internal/lockstep/bench_test.go
+#     onto the parent tree first (the fixture only uses Detect + synth).
+#   - The E5 suites (DeliverOne/Postback/LedgerPost) date from PR 3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-after}"
-out="${BENCH_OUT:-BENCH_PR3.json}"
+out="${BENCH_OUT:-BENCH_PR4.json}"
 
 suites=(
   '.:BenchmarkSimRunScale/workers=1$:1x'
@@ -25,9 +30,11 @@ suites=(
   './internal/playstore:BenchmarkStepDayScale$:20x'
   './internal/playstore:BenchmarkAppWindow:5000x'
   './internal/playstore:BenchmarkChartRank:20000x'
+  './internal/lockstep:BenchmarkLockstepIngest$:5x'
 )
 if [ "$label" != "before" ]; then
   suites+=(
+    '.:BenchmarkSimRunEvents:1x'
     './internal/sim:BenchmarkDeliverOne$:20000x'
     './internal/mediator:BenchmarkPostback$:100000x'
     './internal/mediator:BenchmarkLedgerPost$:100000x'
