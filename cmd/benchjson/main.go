@@ -31,15 +31,39 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// Run is every sample collected under one label.
+// Run is every sample collected under one label. The environment block
+// (go version, GOMAXPROCS, CPU model) is what makes the committed
+// BENCH_*.json trajectory interpretable across PRs: a regression that is
+// really a machine change shows up here instead of being mistaken for a
+// code change.
 type Run struct {
 	Date       string   `json:"date"`
 	GoVersion  string   `json:"go_version"`
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	CPUModel   string   `json:"cpu_model,omitempty"`
 	Count      int      `json:"count"`
 	Results    []Result `json:"results"`
+}
+
+// cpuModel best-effort identifies the CPU this run executed on: the
+// first "model name" line of /proc/cpuinfo on Linux, empty elsewhere
+// (the field is omitted rather than guessed).
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
 }
 
 // File is the on-disk shape: one run per label.
@@ -69,6 +93,8 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
 		Count:      *count,
 	}
 	for _, spec := range flag.Args() {

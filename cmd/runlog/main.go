@@ -177,6 +177,7 @@ func stats(args []string) {
 	fmt.Printf("run log %s: %d bytes, seed=%d, window %s..%s\n", args[0], fi.Size(), h.Seed, h.WindowStart, h.WindowEnd)
 	base := r.Base()
 	fmt.Printf("base snapshot: store=%d ledger=%d mediator=%d bytes\n", len(base.Store), len(base.Ledger), len(base.Mediator))
+	fmt.Printf("interned tables: %d devices, %d strings (packages/offers/accounts)\n", len(base.Devices), len(base.Strings))
 
 	kinds := make([]stream.Kind, 0, len(counts))
 	for k := range counts {

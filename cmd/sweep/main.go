@@ -1,0 +1,102 @@
+// Command sweep runs a scenario×seed grid of full simulations in
+// parallel and reports lockstep-detector precision/recall/F1 per
+// adversary scenario against each world's recorded ground truth — the
+// executable form of the paper's Section 5.2 open question.
+//
+// Usage:
+//
+//	sweep [-base tiny|default|scale] [-scenarios a,b,c] [-seeds N] [-seed-base S]
+//	      [-workers N] [-json FILE] [-list] [-quiet]
+//
+// Every cell builds an isolated world (Workers=1) and taps its
+// event-sourced run log online into the incremental detector; cells run
+// concurrently up to -workers. Output is a text table on stdout plus,
+// with -json, the full machine-readable grid.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+func main() {
+	base := flag.String("base", "tiny", "base world per cell: tiny, default, or scale")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario names (default: all registered)")
+	seeds := flag.Int("seeds", 2, "seeds per scenario")
+	seedBase := flag.Uint64("seed-base", 20190301, "first seed; cell i uses seed-base+i")
+	workers := flag.Int("workers", 0, "concurrent grid cells (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write the machine-readable grid result to this file")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress")
+	flag.Parse()
+
+	if *list {
+		for _, name := range scenario.Names() {
+			sp, _ := scenario.Lookup(name)
+			fmt.Printf("%-16s %s\n", name, sp.Description)
+		}
+		return
+	}
+
+	opts := sweep.Options{Base: *base, Workers: *workers}
+	if *scenarios != "" {
+		for _, name := range strings.Split(*scenarios, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Scenarios = append(opts.Scenarios, name)
+			}
+		}
+	}
+	for i := 0; i < *seeds; i++ {
+		opts.Seeds = append(opts.Seeds, *seedBase+uint64(i))
+	}
+	if !*quiet {
+		opts.Logf = log.Printf
+	}
+
+	start := time.Now()
+	res, err := sweep.Run(opts)
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	if !*quiet {
+		log.Printf("grid complete in %s", time.Since(start).Round(time.Millisecond))
+	}
+	report.WriteSweep(os.Stdout, res)
+
+	if baseline, ok := res.Baseline(); ok {
+		worstName, worst := "", 0.0
+		for _, s := range res.Scenarios {
+			if s.Name == baseline.Name {
+				continue
+			}
+			if d := baseline.Recall - s.Recall; d > worst {
+				worst, worstName = d, s.Name
+			}
+		}
+		if worstName != "" {
+			fmt.Printf("largest recall degradation vs paper-baseline: %s (-%.3f)\n", worstName, worst)
+		}
+	}
+
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+		if !*quiet {
+			log.Printf("grid result written to %s", *jsonOut)
+		}
+	}
+}

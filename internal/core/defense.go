@@ -1,11 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/lockstep"
-	"repro/internal/randx"
 )
 
 // LockstepResult is the Section 5.2 defense evaluation: the paper proposes
@@ -20,54 +18,19 @@ type LockstepResult struct {
 }
 
 // buildLockstep mixes the incentivized install log with organic decoy
-// traffic and runs the lockstep detector.
+// traffic (World.DetectionEvents, the shared ground-truth path the
+// scenario sweep also scores against) and runs the lockstep detector.
 func (s *Study) buildLockstep() LockstepResult {
-	events := make([]lockstep.Event, 0, len(s.World.InstallLog))
-	truth := map[string]bool{}
-	for _, rec := range s.World.InstallLog {
-		events = append(events, lockstep.Event{Device: rec.Device, App: rec.App, Day: rec.Day})
-	}
-	for _, pool := range s.World.Pools {
-		for _, w := range pool {
-			truth[w.ID] = true
-		}
-	}
-	// Organic decoys: independent devices installing catalog apps on
-	// random days — the background the detector must not flag. (Google
-	// would have the full organic stream; a deterministic sample
-	// suffices to measure precision.)
-	r := randx.Derive(s.World.Cfg.Seed, "lockstep-decoys")
-	catalog := append(append([]string(nil), s.World.Baseline...), s.World.Background...)
-	window := s.World.Cfg.Window
-	nDecoys := len(truth)
-	for i := 0; i < nDecoys; i++ {
-		dev := fmt.Sprintf("organic-%05d", i)
-		n := r.IntBetween(3, 12)
-		for j := 0; j < n; j++ {
-			events = append(events, lockstep.Event{
-				Device: dev,
-				App:    catalog[r.IntN(len(catalog))],
-				Day:    window.Start.AddDays(r.IntN(window.Days())),
-			})
-		}
-	}
-
+	events, truth := s.World.DetectionEvents()
 	groups := lockstep.Detect(events, lockstep.DefaultConfig())
 	flagged := 0
 	for _, g := range groups {
 		flagged += len(g.Devices)
 	}
-	// Only workers that actually appear in the log can be recalled.
-	active := map[string]bool{}
-	for _, rec := range s.World.InstallLog {
-		if truth[rec.Device] {
-			active[rec.Device] = true
-		}
-	}
 	return LockstepResult{
 		Groups:         len(groups),
 		FlaggedDevices: flagged,
-		Eval:           lockstep.Evaluate(groups, active),
+		Eval:           lockstep.Evaluate(groups, truth),
 	}
 }
 

@@ -106,6 +106,15 @@ func (p *Platform) GrossCostPerInstall(userPayout float64) float64 {
 	return userPayout / ((1 - p.FeeFraction) * (1 - p.AffiliateFraction))
 }
 
+// DailyPace is the platform's delivery cap per campaign per day, derived
+// from its hourly install pacing. The day engine hands it to each unit's
+// adversary strategy as the hard ceiling on a day's quota: strategies may
+// pace below it (slow-drip) or save demand up to it (burst), but the
+// platform's infrastructure bounds what any single day can deliver.
+func (p *Platform) DailyPace() int {
+	return int(p.PacePerHour * 24)
+}
+
 // RegisterDeveloper opens a developer account, enforcing the platform's
 // review process.
 func (p *Platform) RegisterDeveloper(id string, docs Documentation) error {

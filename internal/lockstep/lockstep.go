@@ -71,16 +71,17 @@ func Detect(events []Event, cfg Config) []Group {
 
 // Evaluation scores detected groups against ground-truth labels.
 type Evaluation struct {
-	TruePositives  int // flagged devices that are incentivized workers
-	FalsePositives int // flagged organic devices
-	FalseNegatives int // unflagged workers
-	Precision      float64
-	Recall         float64
+	TruePositives  int     `json:"tp"` // flagged devices that are incentivized workers
+	FalsePositives int     `json:"fp"` // flagged organic devices
+	FalseNegatives int     `json:"fn"` // unflagged workers
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+	F1             float64 `json:"f1"`
 }
 
 func (e Evaluation) String() string {
-	return fmt.Sprintf("precision=%.3f recall=%.3f (tp=%d fp=%d fn=%d)",
-		e.Precision, e.Recall, e.TruePositives, e.FalsePositives, e.FalseNegatives)
+	return fmt.Sprintf("precision=%.3f recall=%.3f f1=%.3f (tp=%d fp=%d fn=%d)",
+		e.Precision, e.Recall, e.F1, e.TruePositives, e.FalsePositives, e.FalseNegatives)
 }
 
 // Evaluate compares flagged devices with a ground-truth worker set.
@@ -109,6 +110,9 @@ func Evaluate(groups []Group, workers map[string]bool) Evaluation {
 	}
 	if e.TruePositives+e.FalseNegatives > 0 {
 		e.Recall = float64(e.TruePositives) / float64(e.TruePositives+e.FalseNegatives)
+	}
+	if e.Precision+e.Recall > 0 {
+		e.F1 = 2 * e.Precision * e.Recall / (e.Precision + e.Recall)
 	}
 	return e
 }

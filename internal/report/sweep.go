@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sweep"
+)
+
+// WriteSweep renders a scenario×seed sweep as a text table: one row per
+// scenario with mean detector performance across seeds, plus the recall
+// delta against paper-baseline when the grid includes it — the number
+// that answers "which adversary degrades the proposed defense".
+func WriteSweep(w io.Writer, r *sweep.Result) {
+	fmt.Fprintln(w, "=== Scenario sweep: lockstep detector vs adaptive adversaries (Section 5.2) ===")
+	base := "tiny"
+	if r.Base != "" {
+		base = r.Base
+	}
+	fmt.Fprintf(w, "base world=%s seeds=%v cells=%d\n", base, r.Seeds, countCells(r))
+
+	baseline, hasBaseline := r.Baseline()
+	t := NewTable("Scenario", "Incent installs", "Truth devs", "Groups", "Flagged",
+		"Precision", "Recall", "F1", "ΔRecall vs baseline")
+	for _, s := range r.Scenarios {
+		var incent int64
+		var truth, groups, flagged int
+		for _, c := range s.Cells {
+			incent += c.Stats.IncentivizedInstalls
+			truth += c.Truth
+			groups += c.Groups
+			flagged += c.Flagged
+		}
+		n := int64(len(s.Cells))
+		delta := "-"
+		if hasBaseline && s.Name != baseline.Name {
+			delta = fmt.Sprintf("%+.3f", s.Recall-baseline.Recall)
+		}
+		t.Row(s.Name, incent/n, truth/int(n), groups/int(n), flagged/int(n),
+			fmt.Sprintf("%.3f", s.Precision),
+			fmt.Sprintf("%.3f", s.Recall),
+			fmt.Sprintf("%.3f", s.F1),
+			delta)
+	}
+	t.WriteTo(w)
+	fmt.Fprintln(w)
+}
+
+func countCells(r *sweep.Result) int {
+	n := 0
+	for _, s := range r.Scenarios {
+		n += len(s.Cells)
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpecJSONRoundTrip asserts the canonical-encoding property sweeps
+// and config files rely on: for any JSON a Spec accepts, encode→decode→
+// encode is byte-identical — the first marshal is already the canonical
+// form, so specs never drift through tooling round trips.
+func FuzzSpecJSONRoundTrip(f *testing.F) {
+	for _, s := range Builtins() {
+		raw, err := s.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"name":"x","world":{"base":"scale","seed":9},"adversary":{"kind":"jitter","jitter_max_days":3},"detector":{"day_bucket":1}}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return // not a spec; nothing to round-trip
+		}
+		first, err := s.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		s2, err := Decode(first)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%s", err, first)
+		}
+		second, err := s2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("encode→decode→encode not byte-identical:\n first: %s\nsecond: %s", first, second)
+		}
+		// The struct must also survive structurally, not just textually.
+		if s != s2 {
+			t.Fatalf("spec changed through round trip: %+v vs %+v", s, s2)
+		}
+	})
+}
+
+// TestBuiltinSpecsCanonical pins every built-in to the round-trip
+// property directly (the fuzz seeds, run as a plain test).
+func TestBuiltinSpecsCanonical(t *testing.T) {
+	for _, s := range Builtins() {
+		raw, err := s.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		var s2 Spec
+		if err := json.Unmarshal(raw, &s2); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if s != s2 {
+			t.Fatalf("%s: not JSON round-trippable: %+v vs %+v", s.Name, s, s2)
+		}
+	}
+}

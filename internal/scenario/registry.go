@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps scenario names to specs. Built-ins cover the paper's
+// observed world plus the adversarial variants of the Section 5.2 open
+// question; callers may Register additional specs (e.g. loaded from
+// files) before running a sweep.
+var (
+	regMu    sync.Mutex
+	registry = map[string]Spec{}
+)
+
+func init() {
+	for _, s := range Builtins() {
+		if err := Register(s); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Builtins returns the built-in scenario specs, baseline first.
+func Builtins() []Spec {
+	return []Spec{
+		{
+			Name:        "paper-baseline",
+			Description: "the observed March–June 2019 ecosystem, bit-identical to DefaultConfig/ScaleConfig worlds",
+		},
+		{
+			Name:        "jitter",
+			Description: "workers stagger install timing: each completion lands after a personal 0–4 day delay",
+			Adversary:   AdversarySpec{Kind: KindJitter, JitterMaxDays: 4},
+		},
+		{
+			Name:        "sybil-split",
+			Description: "each campaign draws from one of four reshuffled pool slices, rotating weekly",
+			Adversary:   AdversarySpec{Kind: KindSybilSplit, SybilGroups: 4, SybilRotateDays: 7},
+		},
+		{
+			Name:        "device-churn",
+			Description: "worker device identities rotate weekly, resetting each identity's install history",
+			Adversary:   AdversarySpec{Kind: KindDeviceChurn, ChurnEveryDays: 7},
+		},
+		{
+			Name:        "slow-drip",
+			Description: "campaigns deliver at a third of the demand rate, stretched across the window",
+			Adversary:   AdversarySpec{Kind: KindSlowDrip, DripFactor: 0.35},
+		},
+		{
+			Name:        "burst",
+			Description: "campaigns deliver accumulated demand in one burst every 8 days",
+			Adversary:   AdversarySpec{Kind: KindBurst, BurstEveryDays: 8},
+		},
+		{
+			Name:        "organic-mimic",
+			Description: "workers fake day-after retention sessions so purchased engagement looks organic",
+			Adversary:   AdversarySpec{Kind: KindOrganicMimic, MimicReturnProb: 0.45, MimicDecay: 0.8},
+		},
+	}
+}
+
+// Register adds a spec to the registry; a duplicate name or an invalid
+// spec is an error.
+func Register(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	registry[s.Name] = s
+	return nil
+}
+
+// Lookup returns the named spec.
+func Lookup(name string) (Spec, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists every registered scenario, "paper-baseline" first and the
+// rest sorted, so sweep grids and test matrices iterate deterministically.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		if name != "paper-baseline" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if _, ok := registry["paper-baseline"]; ok {
+		names = append([]string{"paper-baseline"}, names...)
+	}
+	return names
+}

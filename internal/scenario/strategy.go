@@ -1,0 +1,334 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/binenc"
+	"repro/internal/dates"
+	"repro/internal/randx"
+)
+
+// Strategy shapes one campaign unit's delivery behaviour: how many
+// completions it claims each day, which pool workers fulfil them, what
+// device identity those workers present to the store, and whether they
+// fake post-install retention. The engine instantiates one Strategy per
+// campaign unit (NewStrategy), so implementations may carry per-unit
+// state; they must draw randomness only from the *randx.Rand they are
+// handed (the unit's own stream) or from pure functions of
+// (seed, unit, day) — never from shared state — which is what keeps every
+// scenario bit-identical across worker counts.
+//
+// The baseline strategy consumes the random stream exactly as the
+// pre-scenario engine did, which is what pins `paper-baseline` to the
+// PR-1/PR-2 goldens without regeneration.
+type Strategy interface {
+	// Quota returns how many completions the unit attempts on day, given
+	// the expected daily demand and the platform's daily pace cap. The
+	// engine additionally caps the result by the campaign's remaining
+	// purchased completions.
+	Quota(r *randx.Rand, day dates.Date, uptake float64, pace int) int
+
+	// PickWorker selects the pool index fulfilling one completion.
+	PickWorker(r *randx.Rand, day dates.Date, poolSize int) int
+
+	// DeviceID maps a worker's stable ID to the device identity visible
+	// to the store on this day (device-churn rotates it; everyone else
+	// returns stable unchanged).
+	DeviceID(stable string, day dates.Date) string
+
+	// Retention reports extra faked retention sessions to record on the
+	// advertised app after a day's deliveries (organic-mimic). It is
+	// called only on days the unit delivered at least one completion;
+	// delivered is that day's count. A zero session count means none.
+	Retention(r *randx.Rand, day dates.Date, delivered int) (sessions, secPerSession int64)
+
+	// MarshalState captures the strategy's internal schedule state for
+	// checkpoint/resume; stateless strategies return nil. UnmarshalState
+	// restores a captured state.
+	MarshalState() []byte
+	UnmarshalState(data []byte) error
+}
+
+// NewStrategy builds the per-unit strategy a spec selects. seed is the
+// world seed and unit a stable unit label (the campaign's offer ID);
+// strategies needing schedule randomness beyond the unit's stream derive
+// it purely from (seed, unit, epoch) so resumed runs recompute it
+// identically.
+func NewStrategy(a AdversarySpec, seed uint64, unit string) (Strategy, error) {
+	switch a.Kind {
+	case "", KindBaseline:
+		return baseline{}, nil
+	case KindJitter:
+		max := a.JitterMaxDays
+		if max <= 0 {
+			max = 4
+		}
+		return &jitter{max: max, ring: make([]int, max+1)}, nil
+	case KindSybilSplit:
+		groups := a.SybilGroups
+		if groups <= 1 {
+			groups = 4
+		}
+		rotate := a.SybilRotateDays
+		if rotate <= 0 {
+			rotate = 7
+		}
+		return &sybil{seed: seed, unit: unit, salt: randx.Hash64(unit),
+			groups: groups, rotate: rotate}, nil
+	case KindDeviceChurn:
+		every := a.ChurnEveryDays
+		if every <= 0 {
+			every = 7
+		}
+		return &churn{every: every}, nil
+	case KindSlowDrip:
+		factor := a.DripFactor
+		if factor <= 0 || factor >= 1 {
+			factor = 0.35
+		}
+		return &drip{factor: factor}, nil
+	case KindBurst:
+		every := a.BurstEveryDays
+		if every <= 0 {
+			every = 8
+		}
+		return &burst{every: every, phase: int(randx.Hash64(unit) % uint64(every))}, nil
+	case KindOrganicMimic:
+		prob := a.MimicReturnProb
+		if prob <= 0 || prob > 1 {
+			prob = 0.45
+		}
+		decay := a.MimicDecay
+		if decay <= 0 || decay >= 1 {
+			decay = 0.8
+		}
+		return &mimic{prob: prob, decay: decay}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown adversary kind %q", a.Kind)
+	}
+}
+
+// baseline is the paper's observed behaviour: Poisson demand capped by
+// the platform pace, uniform worker picks, stable device identities, no
+// faked retention. Its draw sequence is exactly the pre-scenario
+// engine's, which the equivalence goldens pin.
+type baseline struct{}
+
+func (baseline) Quota(r *randx.Rand, _ dates.Date, uptake float64, pace int) int {
+	n := r.Poisson(uptake)
+	if n > pace {
+		n = pace
+	}
+	return n
+}
+
+func (baseline) PickWorker(r *randx.Rand, _ dates.Date, poolSize int) int {
+	return r.IntN(poolSize)
+}
+
+func (baseline) DeviceID(stable string, _ dates.Date) string { return stable }
+
+func (baseline) Retention(*randx.Rand, dates.Date, int) (int64, int64) { return 0, 0 }
+
+func (baseline) MarshalState() []byte { return nil }
+
+func (baseline) UnmarshalState(data []byte) error {
+	if len(data) > 0 {
+		return fmt.Errorf("scenario: stateless strategy given %d state bytes", len(data))
+	}
+	return nil
+}
+
+// jitter defers each claimed completion by a personal uniform 0..max day
+// delay, smearing a campaign's installs across detector day buckets. The
+// pending schedule is a day ring owned by the unit.
+type jitter struct {
+	baseline
+	max    int
+	ring   []int // pending completions, ring[head] = next
+	head   int
+	next   dates.Date // the day ring[head] belongs to
+	primed bool
+}
+
+func (j *jitter) Quota(r *randx.Rand, day dates.Date, uptake float64, pace int) int {
+	if !j.primed {
+		j.next, j.primed = day, true
+	}
+	for j.next < day { // gaps outside the campaign window drop their slot
+		j.ring[j.head] = 0
+		j.head = (j.head + 1) % len(j.ring)
+		j.next++
+	}
+	n := r.Poisson(uptake)
+	for i := 0; i < n; i++ {
+		d := r.IntN(j.max + 1)
+		j.ring[(j.head+d)%len(j.ring)]++
+	}
+	q := j.ring[j.head]
+	j.ring[j.head] = 0
+	j.head = (j.head + 1) % len(j.ring)
+	j.next = day + 1
+	if q > pace {
+		q = pace // overflow beyond the platform pace is dropped
+	}
+	return q
+}
+
+func (j *jitter) MarshalState() []byte {
+	var e binenc.Enc
+	e.Bool(j.primed)
+	e.Varint(int64(j.next))
+	e.Uvarint(uint64(len(j.ring)))
+	for i := range j.ring {
+		e.Uvarint(uint64(j.ring[(j.head+i)%len(j.ring)]))
+	}
+	return e.Bytes()
+}
+
+func (j *jitter) UnmarshalState(data []byte) error {
+	dec := binenc.NewDec(data)
+	j.primed = dec.Bool()
+	j.next = dates.Date(dec.Varint())
+	n := int(dec.Uvarint())
+	if dec.Err() == nil && n != len(j.ring) {
+		return fmt.Errorf("scenario: jitter state ring size %d, want %d", n, len(j.ring))
+	}
+	j.head = 0
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		j.ring[i] = int(dec.Uvarint())
+	}
+	if err := dec.Done(); err != nil {
+		return fmt.Errorf("scenario: jitter state: %w", err)
+	}
+	return nil
+}
+
+// sybil partitions the pool into `groups` slices reshuffled every
+// `rotate` days; each campaign draws workers only from its own rotating
+// slice, so any fixed device pair fulfils few campaigns together and
+// rarely accumulates MinCommonApps shared synchronized installs. The
+// per-epoch permutation is a pure function of (seed, unit, epoch, pool),
+// so the cache needs no checkpoint state.
+type sybil struct {
+	baseline
+	seed           uint64
+	unit           string
+	salt           uint64
+	groups, rotate int
+
+	epoch int
+	poolN int
+	perm  []int
+}
+
+func (s *sybil) PickWorker(r *randx.Rand, day dates.Date, poolSize int) int {
+	e := int(day) / s.rotate
+	if s.perm == nil || e != s.epoch || poolSize != s.poolN {
+		pr := randx.Derive(s.seed, "sybil/"+s.unit+"/"+strconv.Itoa(e)+"/"+strconv.Itoa(poolSize))
+		s.perm, s.epoch, s.poolN = pr.Perm(poolSize), e, poolSize
+	}
+	slot := int((s.salt + uint64(e)) % uint64(s.groups))
+	lo, hi := slot*poolSize/s.groups, (slot+1)*poolSize/s.groups
+	if hi-lo < 1 {
+		return r.IntN(poolSize)
+	}
+	return s.perm[lo+r.IntN(hi-lo)]
+}
+
+// churn rotates the device identity each worker presents to the store
+// every `every` days, so no single identity accumulates enough
+// synchronized installs to link.
+type churn struct {
+	baseline
+	every int
+}
+
+func (c *churn) DeviceID(stable string, day dates.Date) string {
+	return stable + "~" + strconv.Itoa(int(day)/c.every)
+}
+
+// drip scales daily demand down, stretching delivery thin across the
+// window (the slow pacing extreme).
+type drip struct {
+	baseline
+	factor float64
+}
+
+func (d *drip) Quota(r *randx.Rand, day dates.Date, uptake float64, pace int) int {
+	return d.baseline.Quota(r, day, uptake*d.factor, pace)
+}
+
+// burst accumulates demand silently and delivers it in one burst every
+// `every` days (staggered per campaign by phase), the fast pacing
+// extreme: whole-pool co-installs land in a single day bucket.
+type burst struct {
+	baseline
+	every  int
+	phase  int
+	latent int
+}
+
+func (b *burst) Quota(r *randx.Rand, day dates.Date, uptake float64, pace int) int {
+	b.latent += r.Poisson(uptake)
+	if int(day)%b.every != b.phase {
+		return 0
+	}
+	q := b.latent
+	if q > pace {
+		q = pace
+	}
+	b.latent -= q
+	return q
+}
+
+func (b *burst) MarshalState() []byte {
+	var e binenc.Enc
+	e.Uvarint(uint64(b.latent))
+	return e.Bytes()
+}
+
+func (b *burst) UnmarshalState(data []byte) error {
+	dec := binenc.NewDec(data)
+	b.latent = int(dec.Uvarint())
+	if err := dec.Done(); err != nil {
+		return fmt.Errorf("scenario: burst state: %w", err)
+	}
+	return nil
+}
+
+// mimic fakes retention: each delivery day the unit also records
+// sessions from a decaying cohort of past installers, so purchased
+// engagement resembles organic day-after usage instead of the
+// install-and-vanish signature the honey app measured.
+type mimic struct {
+	baseline
+	prob  float64
+	decay float64
+	pool  float64 // faked retained cohort, decayed per delivery day
+}
+
+func (m *mimic) Retention(r *randx.Rand, _ dates.Date, delivered int) (int64, int64) {
+	m.pool = m.pool*m.decay + float64(delivered)
+	n := r.Poisson(m.pool * m.prob)
+	if n <= 0 {
+		return 0, 0
+	}
+	return int64(n), int64(60 + r.IntN(180))
+}
+
+func (m *mimic) MarshalState() []byte {
+	var e binenc.Enc
+	e.F64(m.pool)
+	return e.Bytes()
+}
+
+func (m *mimic) UnmarshalState(data []byte) error {
+	dec := binenc.NewDec(data)
+	m.pool = dec.F64()
+	if err := dec.Done(); err != nil {
+		return fmt.Errorf("scenario: mimic state: %w", err)
+	}
+	return nil
+}

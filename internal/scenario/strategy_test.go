@@ -1,0 +1,258 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/randx"
+)
+
+const testPace = 1 << 20
+
+// TestBaselineMatchesLegacyDraws pins the baseline strategy to the exact
+// draw sequence the pre-scenario engine used: Poisson(uptake) then the
+// pace cap for the quota, IntN(pool) for worker picks, identity device
+// IDs, and zero retention without consuming randomness.
+func TestBaselineMatchesLegacyDraws(t *testing.T) {
+	s, err := NewStrategy(AdversarySpec{}, 1, "offer-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randx.Derive(7, "x")
+	b := randx.Derive(7, "x")
+	day := dates.Date(100)
+	for i := 0; i < 50; i++ {
+		want := b.Poisson(3.5)
+		if want > 10 {
+			want = 10
+		}
+		if got := s.Quota(a, day, 3.5, 10); got != want {
+			t.Fatalf("quota draw %d: %d, want %d", i, got, want)
+		}
+		if got, want := s.PickWorker(a, day, 600), b.IntN(600); got != want {
+			t.Fatalf("worker draw %d: %d, want %d", i, got, want)
+		}
+		if rs, _ := s.Retention(a, day, 5); rs != 0 {
+			t.Fatal("baseline faked retention")
+		}
+		if got := s.DeviceID("w-1", day); got != "w-1" {
+			t.Fatalf("baseline rotated device ID to %q", got)
+		}
+		day++
+	}
+	// Retention and DeviceID must not have consumed randomness: streams
+	// still in lockstep.
+	if a.IntN(1<<20) != b.IntN(1<<20) {
+		t.Fatal("baseline strategy consumed extra randomness")
+	}
+	if s.MarshalState() != nil {
+		t.Fatal("baseline is stateful")
+	}
+}
+
+// TestJitterConservesCompletions runs jitter over a window and checks
+// deliveries equal claims minus what is still pending or beyond pace —
+// the smear moves installs across days, it does not invent them.
+func TestJitterConservesCompletions(t *testing.T) {
+	s, err := NewStrategy(AdversarySpec{Kind: KindJitter, JitterMaxDays: 3}, 1, "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.Derive(1, "jitter-test")
+	total := 0
+	for day := dates.Date(0); day < 60; day++ {
+		q := s.Quota(r, day, 4, testPace)
+		if q < 0 {
+			t.Fatalf("negative quota %d", q)
+		}
+		total += q
+	}
+	// With mean 4/day over 60 days and a <=3 day tail, delivered volume
+	// must be close to demand (only the final ring can be pending).
+	if total < 60*4/2 {
+		t.Fatalf("jitter lost completions: delivered %d of ~240", total)
+	}
+}
+
+// TestJitterStateRoundTrip checkpoints the pending ring mid-window and
+// verifies the restored strategy continues the identical schedule.
+func TestJitterStateRoundTrip(t *testing.T) {
+	mk := func() Strategy {
+		s, err := NewStrategy(AdversarySpec{Kind: KindJitter, JitterMaxDays: 4}, 1, "o")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := mk()
+	r1 := randx.Derive(9, "s")
+	for day := dates.Date(0); day < 10; day++ {
+		a.Quota(r1, day, 5, testPace)
+	}
+	state := a.MarshalState()
+	if state == nil {
+		t.Fatal("jitter returned no state")
+	}
+	b := mk()
+	if err := b.UnmarshalState(state); err != nil {
+		t.Fatal(err)
+	}
+	r2state, err := r1.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := randx.Derive(9, "s")
+	if err := r2.UnmarshalState(r2state); err != nil {
+		t.Fatal(err)
+	}
+	for day := dates.Date(10); day < 25; day++ {
+		if qa, qb := a.Quota(r1, day, 5, testPace), b.Quota(r2, day, 5, testPace); qa != qb {
+			t.Fatalf("day %d: restored jitter quota %d, want %d", day, qb, qa)
+		}
+	}
+}
+
+// TestSybilRestrictsAndRotates: picks stay inside one slice of the pool
+// per epoch, and the slice changes across epochs.
+func TestSybilRestrictsAndRotates(t *testing.T) {
+	s, err := NewStrategy(AdversarySpec{Kind: KindSybilSplit, SybilGroups: 4, SybilRotateDays: 7}, 3, "offer-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.Derive(3, "sybil-test")
+	const pool = 400
+	pickSet := func(day dates.Date) map[int]bool {
+		set := map[int]bool{}
+		for i := 0; i < 500; i++ {
+			wi := s.PickWorker(r, day, pool)
+			if wi < 0 || wi >= pool {
+				t.Fatalf("pick %d out of pool", wi)
+			}
+			set[wi] = true
+		}
+		return set
+	}
+	e0 := pickSet(0)
+	if len(e0) > pool/4 {
+		t.Fatalf("epoch 0 drew %d distinct workers, want <= %d (one slice)", len(e0), pool/4)
+	}
+	e1 := pickSet(7)
+	overlap := 0
+	for wi := range e1 {
+		if e0[wi] {
+			overlap++
+		}
+	}
+	// Independent reshuffled slices overlap ~1/4; identical slices would
+	// overlap fully.
+	if overlap == len(e1) {
+		t.Fatal("sybil slice did not rotate across epochs")
+	}
+	// Same epoch, fresh draws: the slice must be stable (pure function of
+	// (seed, unit, epoch, pool)).
+	again := pickSet(3)
+	for wi := range again {
+		if !e0[wi] {
+			t.Fatalf("epoch-0 slice unstable: worker %d appeared late", wi)
+		}
+	}
+}
+
+// TestChurnRotatesIdentities pins the rotation cadence.
+func TestChurnRotatesIdentities(t *testing.T) {
+	s, err := NewStrategy(AdversarySpec{Kind: KindDeviceChurn, ChurnEveryDays: 7}, 1, "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := s.DeviceID("w", 0), s.DeviceID("w", 6); a != b {
+		t.Fatalf("identity rotated inside an epoch: %q vs %q", a, b)
+	}
+	if a, b := s.DeviceID("w", 6), s.DeviceID("w", 7); a == b {
+		t.Fatalf("identity did not rotate across epochs: %q", a)
+	}
+	if a, b := s.DeviceID("w1", 3), s.DeviceID("w2", 3); a == b {
+		t.Fatal("distinct workers share an identity")
+	}
+}
+
+// TestBurstAccumulatesAndCaps: zero on off-days, accumulated demand on
+// burst days, never above pace, nothing lost to the cap.
+func TestBurstAccumulatesAndCaps(t *testing.T) {
+	s, err := NewStrategy(AdversarySpec{Kind: KindBurst, BurstEveryDays: 5}, 1, "offer-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.Derive(4, "burst-test")
+	total, bursts := 0, 0
+	for day := dates.Date(0); day < 50; day++ {
+		q := s.Quota(r, day, 6, 40)
+		if q > 40 {
+			t.Fatalf("burst exceeded pace: %d", q)
+		}
+		if q > 0 {
+			bursts++
+		}
+		total += q
+	}
+	if bursts > 11 {
+		t.Fatalf("burst delivered on %d days, want ~10", bursts)
+	}
+	if total < 100 {
+		t.Fatalf("burst delivered only %d completions", total)
+	}
+}
+
+// TestMimicFadesRetention: sessions on delivery days, decaying with the
+// cohort.
+func TestMimicFadesRetention(t *testing.T) {
+	s, err := NewStrategy(AdversarySpec{Kind: KindOrganicMimic, MimicReturnProb: 0.5, MimicDecay: 0.5}, 1, "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.Derive(5, "mimic-test")
+	first, _ := s.Retention(r, 0, 400)
+	if first == 0 {
+		t.Fatal("mimic faked no retention after 400 deliveries")
+	}
+	var last int64
+	for day := dates.Date(1); day < 12; day++ {
+		last, _ = s.Retention(r, day, 0)
+	}
+	if last >= first {
+		t.Fatalf("mimic retention did not fade: day0=%d day11=%d", first, last)
+	}
+}
+
+// TestNewStrategyRejectsUnknownKind guards the config surface.
+func TestNewStrategyRejectsUnknownKind(t *testing.T) {
+	if _, err := NewStrategy(AdversarySpec{Kind: "quantum"}, 1, "o"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := (Spec{Name: "x", Adversary: AdversarySpec{Kind: "quantum"}}).Validate(); err == nil {
+		t.Fatal("Validate accepted unknown kind")
+	}
+}
+
+// TestRegistry pins the registry surface: built-ins resolvable, baseline
+// first, duplicates rejected.
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 7 {
+		t.Fatalf("only %d scenarios registered", len(names))
+	}
+	if names[0] != "paper-baseline" {
+		t.Fatalf("first scenario is %s, want paper-baseline", names[0])
+	}
+	for _, name := range names {
+		sp, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("registered %s not resolvable", name)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+	}
+	if err := Register(Spec{Name: "paper-baseline"}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/offers"
 	"repro/internal/playstore"
 	"repro/internal/randx"
+	"repro/internal/scenario"
 )
 
 // benchDeliveryFixture hand-assembles the smallest world that can run the
@@ -84,7 +85,12 @@ func benchDeliveryFixture(b *testing.B, typ offers.Type) (*World, *campUnit, dat
 	}
 	w.medAcct = mediator.MediatorAccount(med.Name)
 
+	strat, err := scenario.NewStrategy(w.Cfg.Adversary, w.Cfg.Seed, c.OfferID)
+	if err != nil {
+		b.Fatal(err)
+	}
 	u := &campUnit{
+		strat: strat,
 		c: &PlannedCampaign{
 			IIP: platform.Name, OfferID: c.OfferID, App: pkg, Spec: spec,
 			DailyUptake: 5,

@@ -11,6 +11,7 @@ package sim
 import (
 	"repro/internal/dates"
 	"repro/internal/iip"
+	"repro/internal/scenario"
 )
 
 // Config parameterizes world generation. The defaults are calibrated to
@@ -102,6 +103,13 @@ type Config struct {
 	// random streams are owned per work unit, not per worker — so this is
 	// purely a throughput knob.
 	Workers int
+
+	// Adversary selects the worker-pool behaviour of every campaign unit
+	// (see internal/scenario). The zero value is the baseline strategy,
+	// whose random-draw sequence is bit-identical to the pre-scenario
+	// engine — DefaultConfig/TinyConfig/ScaleConfig worlds reproduce the
+	// PR-1/PR-2 goldens unchanged.
+	Adversary scenario.AdversarySpec
 }
 
 // BasePayout is the per-type average user payout (Table 3).

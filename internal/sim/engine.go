@@ -13,6 +13,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/playstore"
 	"repro/internal/randx"
+	"repro/internal/scenario"
 	"repro/internal/stream"
 )
 
@@ -89,6 +90,7 @@ type organicUnit struct {
 	install float64 // expected organic installs per day
 	dau     float64 // expected daily active users
 	revenue float64 // expected purchase revenue per day (0 = none)
+	pkgRef  uint32  // run-log interned package reference (0 when log off)
 }
 
 // campUnit is one campaign with every per-event lookup hoisted to
@@ -108,6 +110,13 @@ type campUnit struct {
 	noAffAcct string   // fallback when the IIP has no instrumented affiliates
 	paceCap   int
 
+	// strat is the unit's adversary strategy (scenario layer): it decides
+	// the day's quota within paceCap, which pool workers fulfil it, the
+	// device identity each presents to the store, and any faked retention
+	// sessions. The baseline strategy consumes u.r exactly as the
+	// pre-scenario engine did.
+	strat scenario.Strategy
+
 	// Ledger account names interned once per campaign; the delivery hot
 	// path posts four transfers per completion and never rebuilds them.
 	devAcct  string // "dev:<developer>"
@@ -118,18 +127,45 @@ type campUnit struct {
 	// to pool (nil when event logging is disabled). Resolving once at
 	// enableLog keeps the delivery hot path free of per-event map lookups.
 	devRefs []uint32
+
+	// Run-log interned string references, resolved once at enableLog (all
+	// zero when event logging is disabled): the advertised package, the
+	// offer ID, the four settlement accounts, and the per-worker payout
+	// accounts / per-affiliate accounts parallel to poolAccts / affAccts.
+	pkgRef      uint32
+	offerRef    uint32
+	devAcctRef  uint32
+	iipAcctRef  uint32
+	poolAcctRef uint32
+	noAffRef    uint32
+	affRefs     []uint32
+	userRefs    []uint32
 }
 
 // pickAffiliateAccount selects the interned ledger account of the
-// affiliate app credited with a completion. IIPs without instrumented
-// affiliates settle through their (unobserved) own-network account and
-// consume no randomness, exactly like the string-building path it
-// replaces.
-func (u *campUnit) pickAffiliateAccount(r *randx.Rand) string {
+// affiliate app credited with a completion, plus its run-log string
+// reference. IIPs without instrumented affiliates settle through their
+// (unobserved) own-network account and consume no randomness, exactly
+// like the string-building path it replaces.
+func (u *campUnit) pickAffiliateAccount(r *randx.Rand) (string, uint32) {
 	if len(u.affAccts) == 0 {
-		return u.noAffAcct
+		return u.noAffAcct, u.noAffRef
 	}
-	return u.affAccts[r.IntN(len(u.affAccts))]
+	i := r.IntN(len(u.affAccts))
+	var ref uint32
+	if u.affRefs != nil {
+		ref = u.affRefs[i]
+	}
+	return u.affAccts[i], ref
+}
+
+// userRef returns the run-log string reference of the i-th pool worker's
+// payout account (0 when event logging is disabled).
+func (u *campUnit) userRef(i int) uint32 {
+	if u.userRefs == nil {
+		return 0
+	}
+	return u.userRefs[i]
 }
 
 // unitSink collects one campaign unit's side effects for deterministic
@@ -232,26 +268,49 @@ func newEngine(w *World) (*engine, error) {
 func (e *engine) enableLog(w *stream.Writer) {
 	e.log = w
 	e.orgEnc = make([]stream.Encoder, len(e.organic))
+	for i := range e.organic {
+		e.orgEnc[i].SetStringTable(w.StringTable())
+		e.organic[i].pkgRef = e.orgEnc[i].StringRef(e.organic[i].pkg)
+	}
 	e.sinkEnc = make([]stream.Encoder, len(e.sinks))
 	for g := range e.sinks {
 		e.sinkEnc[g].SetDeviceTable(w.DeviceTable())
+		e.sinkEnc[g].SetStringTable(w.StringTable())
 		e.sinks[g].enc = &e.sinkEnc[g]
 	}
-	// Pre-resolve every pool member's device reference once per pool
-	// (pools are shared per IIP, so cache by slice identity via the first
-	// campaign that carries them).
-	refsByIIP := map[string][]uint32{}
+	// Pre-resolve every pool member's device reference and payout-account
+	// string reference once per pool (pools are shared per IIP, so cache
+	// by IIP via the first campaign that carries them), plus each unit's
+	// package, offer, and settlement-account references — the delivery hot
+	// path then performs no map lookups at all.
+	enc := &e.sinkEnc[0]
+	devsByIIP := map[string][]uint32{}
+	usersByIIP := map[string][]uint32{}
 	for _, g := range e.groups {
 		for _, u := range g {
-			refs, ok := refsByIIP[u.c.IIP]
+			devs, ok := devsByIIP[u.c.IIP]
 			if !ok {
-				refs = make([]uint32, len(u.pool))
+				devs = make([]uint32, len(u.pool))
+				users := make([]uint32, len(u.pool))
 				for i, wk := range u.pool {
-					refs[i] = e.sinkEnc[0].DeviceRef(wk.ID)
+					devs[i] = enc.DeviceRef(wk.ID)
+					users[i] = enc.StringRef(u.poolAccts[i])
 				}
-				refsByIIP[u.c.IIP] = refs
+				devsByIIP[u.c.IIP] = devs
+				usersByIIP[u.c.IIP] = users
 			}
-			u.devRefs = refs
+			u.devRefs = devs
+			u.userRefs = usersByIIP[u.c.IIP]
+			u.pkgRef = enc.StringRef(u.c.App)
+			u.offerRef = enc.StringRef(u.c.OfferID)
+			u.devAcctRef = enc.StringRef(u.devAcct)
+			u.iipAcctRef = enc.StringRef(u.iipAcct)
+			u.poolAcctRef = enc.StringRef(u.poolAcct)
+			u.noAffRef = enc.StringRef(u.noAffAcct)
+			u.affRefs = make([]uint32, len(u.affAccts))
+			for i, acct := range u.affAccts {
+				u.affRefs[i] = enc.StringRef(acct)
+			}
 		}
 	}
 }
@@ -288,6 +347,10 @@ func (e *engine) resolveUnit(c *PlannedCampaign, poolAccts map[string][]string) 
 	if noAffAcct == "" {
 		noAffAcct = mediator.AffiliateAccount("uninstrumented." + c.IIP)
 	}
+	strat, err := scenario.NewStrategy(w.Cfg.Adversary, w.Cfg.Seed, c.OfferID)
+	if err != nil {
+		return nil, fmt.Errorf("sim: campaign %s: %w", c.OfferID, err)
+	}
 	return &campUnit{
 		c:         c,
 		r:         randx.Derive(w.Cfg.Seed, "engine/campaign/"+c.OfferID),
@@ -298,7 +361,8 @@ func (e *engine) resolveUnit(c *PlannedCampaign, poolAccts map[string][]string) 
 		poolAccts: poolAccts[c.IIP],
 		affAccts:  affAccts,
 		noAffAcct: noAffAcct,
-		paceCap:   int(platform.PacePerHour * 24),
+		paceCap:   platform.DailyPace(),
+		strat:     strat,
 		devAcct:   mediator.DeveloperAccount(c.Spec.Developer),
 		iipAcct:   mediator.IIPAccount(c.IIP),
 		poolAcct:  mediator.UserAccount("pool-" + c.IIP),
@@ -355,6 +419,14 @@ func (e *engine) checkpoint(day dates.Date, stats RunStats, logOffset int64) (*s
 			if err := add("engine/campaign/"+u.c.OfferID, u.r); err != nil {
 				return nil, err
 			}
+			// Stateful adversary strategies (jitter's pending ring, burst's
+			// latent demand, mimic's retained cohort) checkpoint their
+			// schedule alongside the unit's RNG position; stateless ones
+			// contribute nothing.
+			if state := u.strat.MarshalState(); state != nil {
+				cp.Streams = append(cp.Streams, stream.NamedBlob{
+					Name: "strategy/" + u.c.OfferID, Data: state})
+			}
 		}
 	}
 	cp.Installs = make([]stream.Install, len(w.InstallLog))
@@ -391,6 +463,16 @@ func (e *engine) restoreStreams(cp *stream.Checkpoint) error {
 		for _, u := range g {
 			if err := restore("engine/campaign/"+u.c.OfferID, u.r); err != nil {
 				return err
+			}
+			state, ok := byName["strategy/"+u.c.OfferID]
+			if !ok {
+				if u.strat.MarshalState() != nil {
+					return fmt.Errorf("sim: checkpoint has no strategy state for %s (different adversary?)", u.c.OfferID)
+				}
+				continue
+			}
+			if err := u.strat.UnmarshalState(state); err != nil {
+				return fmt.Errorf("sim: restoring strategy state for %s: %w", u.c.OfferID, err)
 			}
 		}
 	}
@@ -467,7 +549,7 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 		}
 		u.app.Unlock()
 		if e.log != nil && (n > 0 || dau > 0 || usd > 0) {
-			e.orgEnc[i].Organic(u.pkg, n, organicMeanFraud, dau, secPer, usd)
+			e.orgEnc[i].OrganicRef(u.pkgRef, u.pkg, n, organicMeanFraud, dau, secPer, usd)
 		}
 		deltas[i] = organicDelta{installs: n, revenue: usd}
 		return nil

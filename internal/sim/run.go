@@ -177,17 +177,20 @@ var purchaseAmounts = [...]float64{0.99, 1.99, 2.99, 4.99, 9.99}
 // guarantees this unit is the app's only writer during the phase, so the
 // lock provides visibility and whole-shard-reader exclusion, not
 // per-event ordering.
+//
+// Delivery behaviour is the unit's adversary strategy: the day's quota
+// (demand within the platform's pace), the workers fulfilling it, the
+// device identities they present, and any faked retention sessions all
+// come from u.strat, which draws only from u.r — the baseline strategy
+// reproduces the pre-scenario engine draw for draw.
 func (w *World) campaignDay(u *campUnit, day dates.Date, sink *unitSink) error {
 	c := u.c
 	if !c.Spec.Window.Contains(day) {
 		return nil
 	}
-	// Demand-limited delivery, capped by the platform's pacing and
-	// by the campaign's remaining purchased completions.
-	n := u.r.Poisson(c.DailyUptake)
-	if n > u.paceCap {
-		n = u.paceCap
-	}
+	// Demand-limited delivery, capped by the platform's pacing (inside
+	// the strategy) and by the campaign's remaining purchased completions.
+	n := u.strat.Quota(u.r, day, c.DailyUptake, u.paceCap)
 	if remaining := u.offer.Remaining(); n > remaining {
 		n = remaining
 	}
@@ -200,6 +203,7 @@ func (w *World) campaignDay(u *campUnit, day dates.Date, sink *unitSink) error {
 	if full > fullFidelityPerDay {
 		full = fullFidelityPerDay
 	}
+	delivered := 0
 	for i := 0; i < full; i++ {
 		done, err := w.deliverOne(u, day, sink)
 		if err != nil {
@@ -210,13 +214,26 @@ func (w *World) campaignDay(u *campUnit, day dates.Date, sink *unitSink) error {
 			break
 		}
 		sink.delivered++
+		delivered++
 	}
 	if bulk := n - full; bulk > 0 && full == fullFidelityPerDay {
-		delivered, err := w.deliverBatch(u, day, bulk, sink)
+		settled, err := w.deliverBatch(u, day, bulk, sink)
 		if err != nil {
 			return err
 		}
-		sink.delivered += int64(delivered)
+		sink.delivered += int64(settled)
+		delivered += settled
+	}
+	// Retention-faking sessions (organic-mimic): recorded on the
+	// advertised app under the same shard lock, after the day's
+	// deliveries. The baseline strategy reports none and draws nothing.
+	if delivered > 0 {
+		if rs, rsec := u.strat.Retention(u.r, day, delivered); rs > 0 {
+			u.app.RecordSessionBatchLocked(day, rs, rsec)
+			if sink.enc != nil {
+				sink.enc.SessionRef(u.pkgRef, c.App, rs, rsec)
+			}
+		}
 	}
 	return nil
 }
@@ -230,10 +247,12 @@ func (w *World) deliverBatch(u *campUnit, day dates.Date, n int, sink *unitSink)
 	if err != nil || settled == 0 {
 		return 0, err
 	}
-	// Mean fraud score of the pool approximates the batch's devices.
+	// Mean fraud score of the pool approximates the batch's devices,
+	// sampled through the strategy so sub-pool partitions (sybil-split)
+	// are reflected in what the install filter sees.
 	meanFraud := 0.0
 	for i := 0; i < 16; i++ {
-		meanFraud += u.pool[u.r.IntN(len(u.pool))].FraudScore()
+		meanFraud += u.pool[u.strat.PickWorker(u.r, day, len(u.pool))].FraudScore()
 	}
 	meanFraud = meanFraud/16 + c.Botness
 	u.app.RecordInstallBatchLocked(day, int64(settled), playstore.SourceReferral, meanFraud)
@@ -242,14 +261,19 @@ func (w *World) deliverBatch(u *campUnit, day dates.Date, n int, sink *unitSink)
 		sink.refs = sink.refs[:0]
 	}
 	for i := 0; i < settled; i++ {
-		wi := u.r.IntN(len(u.pool))
-		sink.log = append(sink.log, InstallRecord{Device: u.pool[wi].ID, App: c.App, Day: day})
+		wi := u.strat.PickWorker(u.r, day, len(u.pool))
+		devID := u.strat.DeviceID(u.pool[wi].ID, day)
+		sink.log = append(sink.log, InstallRecord{Device: devID, App: c.App, Day: day})
 		if sink.enc != nil {
-			sink.refs = append(sink.refs, u.devRefs[wi])
+			ref := uint32(0)
+			if devID == u.pool[wi].ID {
+				ref = u.devRefs[wi]
+			}
+			sink.refs = append(sink.refs, ref)
 		}
 	}
 	if sink.enc != nil {
-		sink.enc.InstallBatchRef(c.App, meanFraud, settled, func(i int) (uint32, string) {
+		sink.enc.InstallBatchRef(u.pkgRef, c.App, meanFraud, settled, func(i int) (uint32, string) {
 			return sink.refs[i], sink.log[logBase+i].Device
 		})
 	}
@@ -257,21 +281,21 @@ func (w *World) deliverBatch(u *campUnit, day dates.Date, n int, sink *unitSink)
 	if seconds > 0 {
 		u.app.RecordSessionBatchLocked(day, int64(settled), seconds)
 		if sink.enc != nil {
-			sink.enc.Session(c.App, int64(settled), seconds)
+			sink.enc.SessionRef(u.pkgRef, c.App, int64(settled), seconds)
 		}
 	}
 	if purchase > 0 {
 		usd := purchase * float64(settled)
 		u.app.RecordPurchaseLocked(playstore.Purchase{Day: day, USD: usd})
 		if sink.enc != nil {
-			sink.enc.Purchase(c.App, usd)
+			sink.enc.PurchaseRef(u.pkgRef, c.App, usd)
 		}
 	}
 	// The offer's completion requirement was validated when the unit's
 	// click session was resolved; the certified count merges through the
 	// sink at the day barrier.
 	sink.certified += int64(settled)
-	aff := u.pickAffiliateAccount(u.r)
+	aff, affRef := u.pickAffiliateAccount(u.r)
 	fee := w.Mediator.FeePerUser * float64(settled)
 	if err := sink.txs.Post(u.devAcct, u.iipAcct, disb.Gross, "offer completions (batch)"); err != nil {
 		return 0, err
@@ -286,8 +310,11 @@ func (w *World) deliverBatch(u *campUnit, day dates.Date, n int, sink *unitSink)
 		return 0, err
 	}
 	if sink.enc != nil {
-		sink.enc.CertifyBatch(c.OfferID, int64(settled))
-		sink.enc.Settle(c.OfferID, int64(settled), true,
+		sink.enc.CertifyBatchRef(u.offerRef, c.OfferID, int64(settled))
+		sink.enc.SettleRef(stream.SettleRefs{
+			Offer: u.offerRef, Dev: u.devAcctRef, IIP: u.iipAcctRef,
+			Aff: affRef, User: u.poolAcctRef,
+		}, c.OfferID, int64(settled), true,
 			disb.Gross, disb.AffiliateCut, disb.UserPayout,
 			u.devAcct, u.iipAcct, aff, u.poolAcct)
 	}
@@ -317,11 +344,19 @@ func engagementFor(r *randx.Rand, t offers.Type) (seconds int64, purchaseUSD flo
 // owned by this unit's goroutine, so no per-event lock is taken anywhere.
 func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, error) {
 	c := u.c
-	wi := u.r.IntN(len(u.pool))
+	wi := u.strat.PickWorker(u.r, day, len(u.pool))
 	worker := u.pool[wi]
-	click := u.session.TrackClick(worker.ID, day)
+	// The device identity presented to the mediator and the store is the
+	// strategy's (device-churn rotates it); payment still reaches the
+	// stable worker's account.
+	devID := u.strat.DeviceID(worker.ID, day)
+	devRef := uint32(0)
+	if sink.enc != nil && devID == worker.ID {
+		devRef = u.devRefs[wi]
+	}
+	click := u.session.TrackClick(devID, day)
 	if sink.enc != nil {
-		sink.enc.ClickRef(c.OfferID, u.devRefs[wi], worker.ID)
+		sink.enc.ClickRef(u.offerRef, c.OfferID, devRef, devID)
 	}
 
 	// The install lands on the store regardless of engagement quality;
@@ -332,9 +367,9 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 		Source:     playstore.SourceReferral,
 		FraudScore: fraud,
 	})
-	sink.log = append(sink.log, InstallRecord{Device: worker.ID, App: c.App, Day: day})
+	sink.log = append(sink.log, InstallRecord{Device: devID, App: c.App, Day: day})
 	if sink.enc != nil {
-		sink.enc.InstallRef(c.App, u.devRefs[wi], worker.ID, fraud)
+		sink.enc.InstallRef(u.pkgRef, c.App, devRef, devID, fraud)
 	}
 
 	// In-app behaviour. For no-activity offers on sloppy platforms the
@@ -350,7 +385,7 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 			sink.certified++
 		}
 		if sink.enc != nil {
-			sink.enc.Postback(c.OfferID, uint8(mediator.EventOpen), ok)
+			sink.enc.PostbackRef(u.offerRef, c.OfferID, uint8(mediator.EventOpen), ok)
 		}
 		seconds := int64(30 + u.r.IntN(60))
 		switch c.Spec.Type {
@@ -364,7 +399,7 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 				sink.certified++
 			}
 			if sink.enc != nil {
-				sink.enc.Postback(c.OfferID, uint8(mediator.EventUsage), ok)
+				sink.enc.PostbackRef(u.offerRef, c.OfferID, uint8(mediator.EventUsage), ok)
 			}
 		case offers.Registration:
 			seconds = int64(120 + u.r.IntN(240))
@@ -376,14 +411,14 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 				sink.certified++
 			}
 			if sink.enc != nil {
-				sink.enc.Postback(c.OfferID, uint8(mediator.EventRegister), ok)
+				sink.enc.PostbackRef(u.offerRef, c.OfferID, uint8(mediator.EventRegister), ok)
 			}
 		case offers.Purchase:
 			seconds = int64(180 + u.r.IntN(600))
 			amount := purchaseAmounts[u.r.IntN(len(purchaseAmounts))]
 			u.app.RecordPurchaseLocked(playstore.Purchase{Day: day, USD: amount})
 			if sink.enc != nil {
-				sink.enc.Purchase(c.App, amount)
+				sink.enc.PurchaseRef(u.pkgRef, c.App, amount)
 			}
 			ok, err := u.session.Postback(click, mediator.EventPurchase)
 			if err != nil {
@@ -393,12 +428,12 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 				sink.certified++
 			}
 			if sink.enc != nil {
-				sink.enc.Postback(c.OfferID, uint8(mediator.EventPurchase), ok)
+				sink.enc.PostbackRef(u.offerRef, c.OfferID, uint8(mediator.EventPurchase), ok)
 			}
 		}
 		u.app.RecordSessionLocked(playstore.Session{Day: day, Seconds: seconds})
 		if sink.enc != nil {
-			sink.enc.Session(c.App, 1, seconds)
+			sink.enc.SessionRef(u.pkgRef, c.App, 1, seconds)
 		}
 	}
 
@@ -414,7 +449,7 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 			sink.certified++
 		}
 		if sink.enc != nil {
-			sink.enc.Postback(c.OfferID, uint8(mediator.EventOpen), ok)
+			sink.enc.PostbackRef(u.offerRef, c.OfferID, uint8(mediator.EventOpen), ok)
 		}
 	}
 
@@ -424,7 +459,7 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 		// Target reached or balance exhausted: stop delivering.
 		return false, nil
 	}
-	aff := u.pickAffiliateAccount(u.r)
+	aff, affRef := u.pickAffiliateAccount(u.r)
 	if err := sink.txs.Post(u.devAcct, u.iipAcct, disb.Gross, "offer completion"); err != nil {
 		return false, err
 	}
@@ -438,7 +473,10 @@ func (w *World) deliverOne(u *campUnit, day dates.Date, sink *unitSink) (bool, e
 		return false, err
 	}
 	if sink.enc != nil {
-		sink.enc.Settle(c.OfferID, 1, false,
+		sink.enc.SettleRef(stream.SettleRefs{
+			Offer: u.offerRef, Dev: u.devAcctRef, IIP: u.iipAcctRef,
+			Aff: affRef, User: u.userRef(wi),
+		}, c.OfferID, 1, false,
 			disb.Gross, disb.AffiliateCut, disb.UserPayout,
 			u.devAcct, u.iipAcct, aff, u.poolAccts[wi])
 	}

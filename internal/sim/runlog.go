@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/mediator"
 	"repro/internal/playstore"
 	"repro/internal/stream"
 )
@@ -29,6 +30,7 @@ func (w *World) NewRunLog(out io.Writer) (*stream.Writer, error) {
 		Ledger:   w.Ledger.EncodeSnapshot(),
 		Mediator: w.Mediator.EncodeSnapshot(),
 		Devices:  w.RunLogDevices(),
+		Strings:  w.RunLogStrings(),
 	}
 	return stream.NewWriter(out, h, base)
 }
@@ -57,12 +59,56 @@ func (w *World) RunLogDevices() []string {
 	return out
 }
 
+// RunLogStrings returns the run log's interned string table: every
+// catalog package (the store's canonical order), every offer ID and
+// developer account (campaign launch order), and the per-IIP and
+// per-worker ledger account names — all the strings event frames repeat
+// millions of times. Like the device table, it is reconstructed
+// deterministically from the world build, so a resumed run resolves the
+// exact references the original log's base frame carries.
+func (w *World) RunLogStrings() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, pkg := range w.Store.Packages() {
+		add(pkg)
+	}
+	for _, c := range w.Campaigns {
+		add(c.OfferID)
+		add(mediator.DeveloperAccount(c.Spec.Developer))
+	}
+	names := make([]string, 0, len(w.Pools))
+	for name := range w.Pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		add(mediator.IIPAccount(name))
+		for _, acct := range w.affAcctByIIP[name] {
+			add(acct)
+		}
+		if acct := w.noAffAcctByIIP[name]; acct != "" {
+			add(acct)
+		}
+		add(mediator.UserAccount("pool-" + name))
+		for _, wk := range w.Pools[name] {
+			add(mediator.UserAccount(wk.ID))
+		}
+	}
+	return out
+}
+
 // ResumeRunLog continues the event log of a checkpointed run: out must be
 // the original log file truncated to cp.LogOffset and positioned at its
 // end. The appended frames are byte-identical to what the uninterrupted
 // run would have written.
 func (w *World) ResumeRunLog(out io.Writer, cp *stream.Checkpoint) *stream.Writer {
-	return stream.ResumeWriter(out, cp.LogOffset, w.RunLogDevices())
+	return stream.ResumeWriter(out, cp.LogOffset, w.RunLogDevices(), w.RunLogStrings())
 }
 
 // ValidateResume checks that a restored checkpoint is consistent with

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// ConfigForSpec materializes a scenario spec into a runnable Config: the
+// named base config, the world-shape overrides, and the adversary
+// strategy every campaign unit will consult. The detector knobs ride the
+// spec itself (scenario.DetectorSpec.Config); they configure evaluation,
+// not the world.
+func ConfigForSpec(sp scenario.Spec) (Config, error) {
+	if err := sp.Validate(); err != nil {
+		return Config{}, err
+	}
+	var cfg Config
+	switch sp.World.Base {
+	case "", scenario.BaseTiny:
+		cfg = TinyConfig()
+	case scenario.BaseDefault:
+		cfg = DefaultConfig()
+	case scenario.BaseScale:
+		cfg = ScaleConfig()
+	default:
+		return Config{}, fmt.Errorf("sim: unknown scenario base world %q", sp.World.Base)
+	}
+	if sp.World.Seed != 0 {
+		cfg.Seed = sp.World.Seed
+	}
+	if sp.World.WindowDays > 0 {
+		cfg.Window.End = cfg.Window.Start.AddDays(sp.World.WindowDays - 1)
+	}
+	if sp.World.BaselineApps > 0 {
+		cfg.BaselineApps = sp.World.BaselineApps
+	}
+	if sp.World.BackgroundApps > 0 {
+		cfg.BackgroundApps = sp.World.BackgroundApps
+	}
+	if sp.World.WorkerPoolSize > 0 {
+		cfg.WorkerPoolSize = sp.World.WorkerPoolSize
+	}
+	if sp.World.ChartSize > 0 {
+		cfg.ChartSize = sp.World.ChartSize
+	}
+	cfg.Adversary = sp.Adversary
+	return cfg, nil
+}

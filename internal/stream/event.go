@@ -35,7 +35,10 @@ import (
 const Magic = "IIRLOG1\n"
 
 // Version is the current run-log format version, written into the header.
-const Version = 1
+// Version 2 added the interned string table (offer IDs, ledger account
+// names, and catalog packages ride the base frame once and appear in
+// event frames as 1-3 byte references).
+const Version = 2
 
 // maxFramePayload bounds a single frame (the base snapshot of a large
 // world is the biggest frame written in practice).
@@ -132,20 +135,35 @@ type Header struct {
 // reference these by index — one or two bytes instead of a copied string
 // for the millions of repeated references a large run produces — with an
 // inline-string fallback for devices outside the table.
+//
+// Strings is the general interned string table, carrying the run's
+// repeated non-device strings: catalog packages, offer IDs, and ledger
+// account names. Every pkg/offer/account field of an event frame is a
+// reference into it, with the same inline fallback as devices.
 type Base struct {
 	Store    []byte
 	Ledger   []byte
 	Mediator []byte
 	Devices  []string
+	Strings  []string
 }
 
 // DeviceTable builds the string→ref lookup for Devices. Encoders writing
 // into the same log share one table.
 func (b Base) DeviceTable() map[string]uint32 {
-	tab := make(map[string]uint32, len(b.Devices))
-	for i, d := range b.Devices {
-		if _, ok := tab[d]; !ok {
-			tab[d] = uint32(i)
+	return refTable(b.Devices)
+}
+
+// StringTable builds the string→ref lookup for Strings.
+func (b Base) StringTable() map[string]uint32 {
+	return refTable(b.Strings)
+}
+
+func refTable(list []string) map[string]uint32 {
+	tab := make(map[string]uint32, len(list))
+	for i, s := range list {
+		if _, ok := tab[s]; !ok {
+			tab[s] = uint32(i)
 		}
 	}
 	return tab
@@ -197,22 +215,59 @@ type Event struct {
 // Encoder appends complete frames to an in-memory buffer. Each engine work
 // unit owns one, so frames can be produced concurrently and concatenated
 // in canonical order at the day barrier. The zero value is ready to use
-// (devices are then always written inline; SetDeviceTable enables the
-// interned references).
+// (devices and strings are then always written inline; SetDeviceTable /
+// SetStringTable enable the interned references).
 type Encoder struct {
-	enc binenc.Enc
-	tab map[string]uint32
+	enc  binenc.Enc
+	tab  map[string]uint32
+	stab map[string]uint32
 }
 
 // SetDeviceTable installs the shared device-ref table (Base.DeviceTable).
 // The table must match the Devices list in the log's base frame.
 func (e *Encoder) SetDeviceTable(tab map[string]uint32) { e.tab = tab }
 
+// SetStringTable installs the shared string-ref table (Base.StringTable).
+// The table must match the Strings list in the log's base frame.
+func (e *Encoder) SetStringTable(tab map[string]uint32) { e.stab = tab }
+
 // dev writes a device reference: table index + 1, or 0 followed by the
 // inline string for devices outside the table.
 func (e *Encoder) dev(s string) {
 	if id, ok := e.tab[s]; ok {
 		e.enc.Uvarint(uint64(id) + 1)
+		return
+	}
+	e.enc.Uvarint(0)
+	e.enc.Str(s)
+}
+
+// istr writes an interned-string reference (same wire scheme as dev, but
+// against the general string table).
+func (e *Encoder) istr(s string) {
+	if id, ok := e.stab[s]; ok {
+		e.enc.Uvarint(uint64(id) + 1)
+		return
+	}
+	e.enc.Uvarint(0)
+	e.enc.Str(s)
+}
+
+// StringRef pre-resolves a string to its wire reference (table index + 1,
+// or 0 = encode inline). Hot callers resolve once at construction and use
+// the *Ref encoder variants, skipping the map lookup per event.
+func (e *Encoder) StringRef(s string) uint32 {
+	if id, ok := e.stab[s]; ok {
+		return id + 1
+	}
+	return 0
+}
+
+// istrPre writes a pre-resolved string reference (ref 0 falls back to the
+// inline string). Byte-identical to istr(s) under the same table.
+func (e *Encoder) istrPre(ref uint32, s string) {
+	if ref != 0 {
+		e.enc.Uvarint(uint64(ref))
 		return
 	}
 	e.enc.Uvarint(0)
@@ -287,6 +342,10 @@ func (e *Encoder) Base(b Base) {
 	for _, d := range b.Devices {
 		e.enc.Str(d)
 	}
+	e.enc.Uvarint(uint64(len(b.Strings)))
+	for _, v := range b.Strings {
+		e.enc.Str(v)
+	}
 	e.end(s)
 }
 
@@ -301,8 +360,13 @@ func (e *Encoder) DayStart(day dates.Date) {
 // installs (at meanFraud), dau sessions of secPer seconds, and usd of
 // purchase revenue (0 = none recorded).
 func (e *Encoder) Organic(pkg string, installs int64, meanFraud float64, dau, secPer int64, usd float64) {
+	e.OrganicRef(e.StringRef(pkg), pkg, installs, meanFraud, dau, secPer, usd)
+}
+
+// OrganicRef is Organic with a pre-resolved package reference.
+func (e *Encoder) OrganicRef(pkgRef uint32, pkg string, installs int64, meanFraud float64, dau, secPer int64, usd float64) {
 	s := e.begin(KindOrganic)
-	e.enc.Str(pkg)
+	e.istrPre(pkgRef, pkg)
 	e.enc.Uvarint(uint64(installs))
 	e.enc.F64(meanFraud)
 	e.enc.Uvarint(uint64(dau))
@@ -313,34 +377,27 @@ func (e *Encoder) Organic(pkg string, installs int64, meanFraud float64, dau, se
 
 // Click appends a tracked offer-wall click.
 func (e *Encoder) Click(offer, worker string) {
-	s := e.begin(KindClick)
-	e.enc.Str(offer)
-	e.dev(worker)
-	e.end(s)
+	e.ClickRef(e.StringRef(offer), offer, e.DeviceRef(worker), worker)
 }
 
-// ClickRef is Click with a pre-resolved device reference.
-func (e *Encoder) ClickRef(offer string, ref uint32, worker string) {
+// ClickRef is Click with pre-resolved offer and device references.
+func (e *Encoder) ClickRef(offerRef uint32, offer string, devRef uint32, worker string) {
 	s := e.begin(KindClick)
-	e.enc.Str(offer)
-	e.devPre(ref, worker)
+	e.istrPre(offerRef, offer)
+	e.devPre(devRef, worker)
 	e.end(s)
 }
 
 // Install appends one full-fidelity incentivized install.
 func (e *Encoder) Install(pkg, device string, fraud float64) {
-	s := e.begin(KindInstall)
-	e.enc.Str(pkg)
-	e.dev(device)
-	e.enc.F64(fraud)
-	e.end(s)
+	e.InstallRef(e.StringRef(pkg), pkg, e.DeviceRef(device), device, fraud)
 }
 
-// InstallRef is Install with a pre-resolved device reference.
-func (e *Encoder) InstallRef(pkg string, ref uint32, device string, fraud float64) {
+// InstallRef is Install with pre-resolved package and device references.
+func (e *Encoder) InstallRef(pkgRef uint32, pkg string, devRef uint32, device string, fraud float64) {
 	s := e.begin(KindInstall)
-	e.enc.Str(pkg)
-	e.devPre(ref, device)
+	e.istrPre(pkgRef, pkg)
+	e.devPre(devRef, device)
 	e.enc.F64(fraud)
 	e.end(s)
 }
@@ -350,7 +407,7 @@ func (e *Encoder) InstallRef(pkg string, ref uint32, device string, fraud float6
 // larger structure need not build a throwaway slice).
 func (e *Encoder) InstallBatch(pkg string, meanFraud float64, n int, device func(i int) string) {
 	s := e.begin(KindInstallBatch)
-	e.enc.Str(pkg)
+	e.istr(pkg)
 	e.enc.F64(meanFraud)
 	e.enc.Uvarint(uint64(n))
 	for i := 0; i < n; i++ {
@@ -359,11 +416,11 @@ func (e *Encoder) InstallBatch(pkg string, meanFraud float64, n int, device func
 	e.end(s)
 }
 
-// InstallBatchRef is InstallBatch with pre-resolved device references;
-// device(i) returns the i-th ref plus the fallback string for ref 0.
-func (e *Encoder) InstallBatchRef(pkg string, meanFraud float64, n int, device func(i int) (uint32, string)) {
+// InstallBatchRef is InstallBatch with pre-resolved references; device(i)
+// returns the i-th device ref plus the fallback string for ref 0.
+func (e *Encoder) InstallBatchRef(pkgRef uint32, pkg string, meanFraud float64, n int, device func(i int) (uint32, string)) {
 	s := e.begin(KindInstallBatch)
-	e.enc.Str(pkg)
+	e.istrPre(pkgRef, pkg)
 	e.enc.F64(meanFraud)
 	e.enc.Uvarint(uint64(n))
 	for i := 0; i < n; i++ {
@@ -375,8 +432,13 @@ func (e *Encoder) InstallBatchRef(pkg string, meanFraud float64, n int, device f
 
 // Postback appends an SDK event postback.
 func (e *Encoder) Postback(offer string, event uint8, certified bool) {
+	e.PostbackRef(e.StringRef(offer), offer, event, certified)
+}
+
+// PostbackRef is Postback with a pre-resolved offer reference.
+func (e *Encoder) PostbackRef(offerRef uint32, offer string, event uint8, certified bool) {
 	s := e.begin(KindPostback)
-	e.enc.Str(offer)
+	e.istrPre(offerRef, offer)
 	e.enc.U8(event)
 	e.enc.Bool(certified)
 	e.end(s)
@@ -384,16 +446,26 @@ func (e *Encoder) Postback(offer string, event uint8, certified bool) {
 
 // CertifyBatch appends a bulk certification.
 func (e *Encoder) CertifyBatch(offer string, n int64) {
+	e.CertifyBatchRef(e.StringRef(offer), offer, n)
+}
+
+// CertifyBatchRef is CertifyBatch with a pre-resolved offer reference.
+func (e *Encoder) CertifyBatchRef(offerRef uint32, offer string, n int64) {
 	s := e.begin(KindCertifyBatch)
-	e.enc.Str(offer)
+	e.istrPre(offerRef, offer)
 	e.enc.Uvarint(uint64(n))
 	e.end(s)
 }
 
 // Session appends n recorded sessions of secPer seconds each.
 func (e *Encoder) Session(pkg string, n, secPer int64) {
+	e.SessionRef(e.StringRef(pkg), pkg, n, secPer)
+}
+
+// SessionRef is Session with a pre-resolved package reference.
+func (e *Encoder) SessionRef(pkgRef uint32, pkg string, n, secPer int64) {
 	s := e.begin(KindSession)
-	e.enc.Str(pkg)
+	e.istrPre(pkgRef, pkg)
 	e.enc.Uvarint(uint64(n))
 	e.enc.Uvarint(uint64(secPer))
 	e.end(s)
@@ -401,8 +473,13 @@ func (e *Encoder) Session(pkg string, n, secPer int64) {
 
 // Purchase appends in-app purchase revenue.
 func (e *Encoder) Purchase(pkg string, usd float64) {
+	e.PurchaseRef(e.StringRef(pkg), pkg, usd)
+}
+
+// PurchaseRef is Purchase with a pre-resolved package reference.
+func (e *Encoder) PurchaseRef(pkgRef uint32, pkg string, usd float64) {
 	s := e.begin(KindPurchase)
-	e.enc.Str(pkg)
+	e.istrPre(pkgRef, pkg)
 	e.enc.F64(usd)
 	e.end(s)
 }
@@ -412,36 +489,52 @@ func (e *Encoder) Purchase(pkg string, usd float64) {
 // reconstructs the exact transfer sequence from these fields plus the
 // header's mediator identity.
 func (e *Encoder) Settle(offer string, n int64, batch bool, gross, affCut, userPayout float64, devAcct, iipAcct, affAcct, userAcct string) {
+	e.SettleRef(SettleRefs{
+		Offer: e.StringRef(offer), Dev: e.StringRef(devAcct),
+		IIP: e.StringRef(iipAcct), Aff: e.StringRef(affAcct), User: e.StringRef(userAcct),
+	}, offer, n, batch, gross, affCut, userPayout, devAcct, iipAcct, affAcct, userAcct)
+}
+
+// SettleRefs carries the pre-resolved string references of a settlement's
+// offer and four ledger accounts.
+type SettleRefs struct {
+	Offer, Dev, IIP, Aff, User uint32
+}
+
+// SettleRef is Settle with pre-resolved references.
+func (e *Encoder) SettleRef(refs SettleRefs, offer string, n int64, batch bool, gross, affCut, userPayout float64, devAcct, iipAcct, affAcct, userAcct string) {
 	s := e.begin(KindSettle)
-	e.enc.Str(offer)
+	e.istrPre(refs.Offer, offer)
 	e.enc.Uvarint(uint64(n))
 	e.enc.Bool(batch)
 	e.enc.F64(gross)
 	e.enc.F64(affCut)
 	e.enc.F64(userPayout)
-	e.enc.Str(devAcct)
-	e.enc.Str(iipAcct)
-	e.enc.Str(affAcct)
-	e.enc.Str(userAcct)
+	e.istrPre(refs.Dev, devAcct)
+	e.istrPre(refs.IIP, iipAcct)
+	e.istrPre(refs.Aff, affAcct)
+	e.istrPre(refs.User, userAcct)
 	e.end(s)
 }
 
 // Enforce appends a store enforcement action.
 func (e *Encoder) Enforce(pkg string, removed int64) {
 	s := e.begin(KindEnforce)
-	e.enc.Str(pkg)
+	e.istr(pkg)
 	e.enc.Uvarint(uint64(removed))
 	e.end(s)
 }
 
-// Chart appends one chart's computed entries for the current day.
+// Chart appends one chart's computed entries for the current day. The
+// chart name stays inline (three short constants); entry packages are
+// interned.
 func (e *Encoder) Chart(name string, entries []playstore.ChartEntry) {
 	s := e.begin(KindChart)
 	e.enc.Str(name)
 	e.enc.Uvarint(uint64(len(entries)))
 	for _, en := range entries {
 		e.enc.Varint(int64(en.Rank))
-		e.enc.Str(en.Package)
+		e.istr(en.Package)
 		e.enc.F64(en.Score)
 	}
 	e.end(s)
@@ -498,43 +591,53 @@ func (e *Encoder) Event(ev *Event) error {
 
 // decodeDev reads a device reference written by Encoder.dev.
 func decodeDev(dec *binenc.Dec, table []string) string {
+	return decodeRef(dec, table, "device")
+}
+
+// decodeIstr reads an interned-string reference written by Encoder.istr.
+func decodeIstr(dec *binenc.Dec, table []string) string {
+	return decodeRef(dec, table, "string")
+}
+
+func decodeRef(dec *binenc.Dec, table []string, what string) string {
 	n := dec.Uvarint()
 	if n == 0 {
 		return dec.Str()
 	}
 	idx := n - 1
 	if idx >= uint64(len(table)) {
-		dec.Fail(fmt.Errorf("%w: device ref %d beyond table of %d", ErrFrame, idx, len(table)))
+		dec.Fail(fmt.Errorf("%w: %s ref %d beyond table of %d", ErrFrame, what, idx, len(table)))
 		return ""
 	}
 	return table[idx]
 }
 
 // decodePayload fills ev from a frame payload, resolving device refs
-// through table (the log's Base.Devices). The Devices and Entries slices
-// on ev are reused across calls.
-func decodePayload(k Kind, payload []byte, ev *Event, table []string) error {
+// through table (the log's Base.Devices) and interned strings through
+// strings (Base.Strings). The Devices and Entries slices on ev are reused
+// across calls.
+func decodePayload(k Kind, payload []byte, ev *Event, table, strings []string) error {
 	dec := binenc.NewDec(payload)
 	*ev = Event{Kind: k, Devices: ev.Devices[:0], Entries: ev.Entries[:0]}
 	switch k {
 	case KindDayStart:
 		ev.Day = dates.Date(dec.Varint())
 	case KindOrganic:
-		ev.Pkg = dec.Str()
+		ev.Pkg = decodeIstr(dec, strings)
 		ev.N = int64(dec.Uvarint())
 		ev.Fraud = dec.F64()
 		ev.DAU = int64(dec.Uvarint())
 		ev.Seconds = int64(dec.Uvarint())
 		ev.USD = dec.F64()
 	case KindClick:
-		ev.Offer = dec.Str()
+		ev.Offer = decodeIstr(dec, strings)
 		ev.Worker = decodeDev(dec, table)
 	case KindInstall:
-		ev.Pkg = dec.Str()
+		ev.Pkg = decodeIstr(dec, strings)
 		ev.Device = decodeDev(dec, table)
 		ev.Fraud = dec.F64()
 	case KindInstallBatch:
-		ev.Pkg = dec.Str()
+		ev.Pkg = decodeIstr(dec, strings)
 		ev.Fraud = dec.F64()
 		n := dec.Uvarint()
 		if dec.Err() == nil && n > uint64(dec.Remaining()) {
@@ -545,32 +648,32 @@ func decodePayload(k Kind, payload []byte, ev *Event, table []string) error {
 		}
 		ev.N = int64(len(ev.Devices))
 	case KindPostback:
-		ev.Offer = dec.Str()
+		ev.Offer = decodeIstr(dec, strings)
 		ev.PostEvent = dec.U8()
 		ev.Certified = dec.Bool()
 	case KindCertifyBatch:
-		ev.Offer = dec.Str()
+		ev.Offer = decodeIstr(dec, strings)
 		ev.N = int64(dec.Uvarint())
 	case KindSession:
-		ev.Pkg = dec.Str()
+		ev.Pkg = decodeIstr(dec, strings)
 		ev.N = int64(dec.Uvarint())
 		ev.Seconds = int64(dec.Uvarint())
 	case KindPurchase:
-		ev.Pkg = dec.Str()
+		ev.Pkg = decodeIstr(dec, strings)
 		ev.USD = dec.F64()
 	case KindSettle:
-		ev.Offer = dec.Str()
+		ev.Offer = decodeIstr(dec, strings)
 		ev.N = int64(dec.Uvarint())
 		ev.Batch = dec.Bool()
 		ev.Gross = dec.F64()
 		ev.AffCut = dec.F64()
 		ev.UserPayout = dec.F64()
-		ev.DevAcct = dec.Str()
-		ev.IIPAcct = dec.Str()
-		ev.AffAcct = dec.Str()
-		ev.UserAcct = dec.Str()
+		ev.DevAcct = decodeIstr(dec, strings)
+		ev.IIPAcct = decodeIstr(dec, strings)
+		ev.AffAcct = decodeIstr(dec, strings)
+		ev.UserAcct = decodeIstr(dec, strings)
 	case KindEnforce:
-		ev.Pkg = dec.Str()
+		ev.Pkg = decodeIstr(dec, strings)
 		ev.N = int64(dec.Uvarint())
 	case KindChart:
 		ev.Chart = dec.Str()
@@ -581,7 +684,7 @@ func decodePayload(k Kind, payload []byte, ev *Event, table []string) error {
 		for i := uint64(0); i < n && dec.Err() == nil; i++ {
 			ev.Entries = append(ev.Entries, playstore.ChartEntry{
 				Rank:    int(dec.Varint()),
-				Package: dec.Str(),
+				Package: decodeIstr(dec, strings),
 				Score:   dec.F64(),
 			})
 		}
@@ -630,6 +733,13 @@ func decodeBase(payload []byte) (Base, error) {
 	}
 	for i := uint64(0); i < n && dec.Err() == nil; i++ {
 		b.Devices = append(b.Devices, dec.Str())
+	}
+	n = dec.Uvarint()
+	if dec.Err() == nil && n > uint64(dec.Remaining()) {
+		return Base{}, fmt.Errorf("%w: string table of %d entries", ErrFrame, n)
+	}
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		b.Strings = append(b.Strings, dec.Str())
 	}
 	if err := dec.Done(); err != nil {
 		return Base{}, fmt.Errorf("%w: decoding base snapshot: %v", ErrFrame, err)

@@ -21,13 +21,16 @@ func FuzzEventCodecRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, kind uint8, day int64, pkg, device, offer, worker, chart string,
 		n, dau, seconds uint64, postEvent uint8, certified, batch bool,
 		f1, f2, f3, f4, f5 float64, listLen uint64, useTable bool) {
-		// Optionally intern the fuzzed device/worker strings, exercising
-		// the table-ref path; otherwise everything goes inline.
-		var table []string
-		var tab map[string]uint32
+		// Optionally intern the fuzzed device/worker strings and the
+		// pkg/offer/account strings, exercising both table-ref paths;
+		// otherwise everything goes inline.
+		var table, strTable []string
+		var tab, stab map[string]uint32
 		if useTable {
 			table = []string{device, worker, "other-device"}
 			tab = Base{Devices: table}.DeviceTable()
+			strTable = []string{pkg, offer, "other-string"}
+			stab = Base{Strings: strTable}.StringTable()
 		}
 		kinds := []Kind{KindDayStart, KindOrganic, KindClick, KindInstall, KindInstallBatch,
 			KindPostback, KindCertifyBatch, KindSession, KindPurchase, KindSettle,
@@ -71,6 +74,7 @@ func FuzzEventCodecRoundTrip(f *testing.F) {
 
 		var enc Encoder
 		enc.SetDeviceTable(tab)
+		enc.SetStringTable(stab)
 		if err := enc.Event(&ev); err != nil {
 			t.Fatalf("encode: %v", err)
 		}
@@ -81,11 +85,12 @@ func FuzzEventCodecRoundTrip(f *testing.F) {
 			t.Fatalf("frame not self-delimiting: ok=%v next=%d len=%d err=%v", ok, next, len(first), err)
 		}
 		var got Event
-		if err := decodePayload(k, payload, &got, table); err != nil {
+		if err := decodePayload(k, payload, &got, table, strTable); err != nil {
 			t.Fatalf("decode: %v", err)
 		}
 		var enc2 Encoder
 		enc2.SetDeviceTable(tab)
+		enc2.SetStringTable(stab)
 		if err := enc2.Event(&got); err != nil {
 			t.Fatalf("re-encode: %v", err)
 		}
@@ -111,6 +116,6 @@ func FuzzFrameDecodeRobustness(f *testing.F) {
 		}
 		var ev Event
 		_ = k
-		_ = decodePayload(k, payload, &ev, nil)
+		_ = decodePayload(k, payload, &ev, nil, nil)
 	})
 }

@@ -15,6 +15,7 @@ type Reader struct {
 	hdr     Header
 	base    Base
 	devices []string
+	strings []string
 	scratch []byte
 }
 
@@ -49,6 +50,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, err
 	}
 	lr.devices = lr.base.Devices
+	lr.strings = lr.base.Strings
 	return lr, nil
 }
 
@@ -105,5 +107,5 @@ func (r *Reader) Next(ev *Event) error {
 	if k == KindHeader || k == KindBase {
 		return fmt.Errorf("%w: duplicate %s frame", ErrFrame, k)
 	}
-	return decodePayload(k, payload, ev, r.devices)
+	return decodePayload(k, payload, ev, r.devices, r.strings)
 }

@@ -57,7 +57,7 @@ func TestEventCodecRoundTrip(t *testing.T) {
 			t.Fatalf("%s: frame length %d, want %d", want.Kind, next, len(first))
 		}
 		var got Event
-		if err := decodePayload(k, payload, &got, nil); err != nil {
+		if err := decodePayload(k, payload, &got, nil, nil); err != nil {
 			t.Fatalf("%s: decode: %v", want.Kind, err)
 		}
 
@@ -201,7 +201,7 @@ func TestResumeWriterContinuesByteStream(t *testing.T) {
 	}
 
 	var rest bytes.Buffer
-	rw := ResumeWriter(&rest, mid, nil)
+	rw := ResumeWriter(&rest, mid, nil, nil)
 	if rw.Offset() != mid {
 		t.Fatalf("resume offset %d, want %d", rw.Offset(), mid)
 	}

@@ -20,6 +20,7 @@ type Tail struct {
 	hdr     Header
 	base    Base
 	devices []string
+	strings []string
 	scratch []byte
 }
 
@@ -127,6 +128,7 @@ func (t *Tail) start() error {
 	}
 	t.hdr, t.base = hdr, base
 	t.devices = base.Devices
+	t.strings = base.Strings
 	t.off = next
 	t.started = true
 	return nil
@@ -145,7 +147,7 @@ func (t *Tail) Next(ev *Event) (bool, error) {
 	if k == KindHeader || k == KindBase {
 		return false, fmt.Errorf("%w: duplicate %s frame", ErrFrame, k)
 	}
-	if err := decodePayload(k, payload, ev, t.devices); err != nil {
+	if err := decodePayload(k, payload, ev, t.devices, t.strings); err != nil {
 		return false, err
 	}
 	t.off = next

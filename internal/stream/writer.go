@@ -15,16 +15,18 @@ import (
 // what checkpoints record so a resumed run knows where to truncate and
 // continue the file.
 type Writer struct {
-	w   io.Writer
-	off int64
-	enc Encoder // scratch for single-event writes
-	tab map[string]uint32
+	w    io.Writer
+	off  int64
+	enc  Encoder // scratch for single-event writes
+	tab  map[string]uint32
+	stab map[string]uint32
 }
 
 // NewWriter opens a fresh run log on w: magic, header frame, base frame.
 func NewWriter(w io.Writer, h Header, base Base) (*Writer, error) {
-	lw := &Writer{w: w, tab: base.DeviceTable()}
+	lw := &Writer{w: w, tab: base.DeviceTable(), stab: base.StringTable()}
 	lw.enc.SetDeviceTable(lw.tab)
+	lw.enc.SetStringTable(lw.stab)
 	if err := lw.writeRaw([]byte(Magic)); err != nil {
 		return nil, err
 	}
@@ -40,17 +42,23 @@ func NewWriter(w io.Writer, h Header, base Base) (*Writer, error) {
 // already on disk (the caller truncates the file to the checkpoint's
 // LogOffset and seeks to the end). No preamble is written; subsequent
 // frames continue the byte stream exactly where the checkpointed run
-// stopped. devices must be the same device table the original log's base
-// frame carries, or device refs in the appended frames would not resolve.
-func ResumeWriter(w io.Writer, offset int64, devices []string) *Writer {
-	lw := &Writer{w: w, off: offset, tab: Base{Devices: devices}.DeviceTable()}
+// stopped. devices and strings must be the same tables the original log's
+// base frame carries, or refs in the appended frames would not resolve.
+func ResumeWriter(w io.Writer, offset int64, devices, strings []string) *Writer {
+	base := Base{Devices: devices, Strings: strings}
+	lw := &Writer{w: w, off: offset, tab: base.DeviceTable(), stab: base.StringTable()}
 	lw.enc.SetDeviceTable(lw.tab)
+	lw.enc.SetStringTable(lw.stab)
 	return lw
 }
 
 // DeviceTable returns the writer's device-ref table; engine encoders
 // feeding AppendFrames share it via Encoder.SetDeviceTable.
 func (w *Writer) DeviceTable() map[string]uint32 { return w.tab }
+
+// StringTable returns the writer's string-ref table; engine encoders
+// feeding AppendFrames share it via Encoder.SetStringTable.
+func (w *Writer) StringTable() map[string]uint32 { return w.stab }
 
 // Offset returns the total log bytes written so far.
 func (w *Writer) Offset() int64 { return w.off }

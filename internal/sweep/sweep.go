@@ -1,0 +1,284 @@
+// Package sweep runs a scenario×seed grid of full simulations in
+// parallel and scores the Section 5.2 lockstep detector against each
+// world's recorded ground truth. It is the measurement harness for the
+// paper's open question — does install-time lockstep detection survive
+// adversaries that adapt? — executed as: one isolated world per grid
+// cell, the event-sourced run log tapped online (the detector ingests
+// installs day by day through stream.Tail, exactly as an out-of-process
+// analytics job would), and precision/recall/F1 per adversary at the end.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/conc"
+	"repro/internal/dates"
+	"repro/internal/lockstep"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// Options selects the grid.
+type Options struct {
+	// Base overrides every spec's base world ("" keeps each spec's own;
+	// registered built-ins default to the tiny world).
+	Base string
+	// Scenarios are the registry names to run; empty = every registered
+	// scenario.
+	Scenarios []string
+	// Seeds are the world seeds per scenario; empty = the base config's
+	// calibrated seed.
+	Seeds []uint64
+	// Workers bounds how many grid cells run concurrently (0 =
+	// GOMAXPROCS). Each cell runs its own world with Workers=1, so the
+	// grid parallelizes across cells, not within them.
+	Workers int
+	// Logf, when set, receives per-cell progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Cell is one (scenario, seed) grid result.
+type Cell struct {
+	Scenario string              `json:"scenario"`
+	Seed     uint64              `json:"seed"`
+	Stats    sim.RunStats        `json:"stats"`
+	Truth    int                 `json:"truth_devices"`
+	Groups   int                 `json:"groups"`
+	Flagged  int                 `json:"flagged_devices"`
+	Eval     lockstep.Evaluation `json:"eval"`
+}
+
+// Summary aggregates one scenario's cells (means across seeds).
+type Summary struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Cells       []Cell  `json:"cells"`
+	Precision   float64 `json:"mean_precision"`
+	Recall      float64 `json:"mean_recall"`
+	F1          float64 `json:"mean_f1"`
+}
+
+// Result is the full grid outcome.
+type Result struct {
+	Base      string    `json:"base"`
+	Seeds     []uint64  `json:"seeds"`
+	Scenarios []Summary `json:"scenarios"`
+}
+
+// Baseline returns the paper-baseline summary when the grid includes it.
+func (r *Result) Baseline() (Summary, bool) {
+	for _, s := range r.Scenarios {
+		if s.Name == "paper-baseline" {
+			return s, true
+		}
+	}
+	return Summary{}, false
+}
+
+// Run executes the grid. Every cell is deterministic in (scenario, seed);
+// cells run concurrently via the same bounded fan-out primitive the day
+// engine uses, and the assembled result orders scenarios as requested and
+// cells by seed, so the report is identical for any Workers setting.
+func Run(o Options) (*Result, error) {
+	requested := o.Scenarios
+	if len(requested) == 0 {
+		requested = scenario.Names()
+	}
+	// Dedupe while keeping first-request order: a repeated name would
+	// both re-run its cells and corrupt the mean aggregation below.
+	var names []string
+	var specs []scenario.Spec
+	seen := map[string]bool{}
+	for _, name := range requested {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		sp, ok := scenario.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown scenario %q", name)
+		}
+		if o.Base != "" {
+			sp.World.Base = o.Base
+		}
+		names = append(names, name)
+		specs = append(specs, sp)
+	}
+	seeds := o.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{0} // 0 = the base config's calibrated seed
+	}
+
+	type cellJob struct {
+		spec scenario.Spec
+		seed uint64
+	}
+	var jobs []cellJob
+	for _, sp := range specs {
+		for _, seed := range seeds {
+			jobs = append(jobs, cellJob{sp, seed})
+		}
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cells := make([]Cell, len(jobs))
+	errs := make([]error, len(jobs))
+	var logMu sync.Mutex
+	conc.ForN(workers, len(jobs), func(i int) {
+		cell, err := runCell(jobs[i].spec, jobs[i].seed)
+		cells[i], errs[i] = cell, err
+		if o.Logf != nil {
+			logMu.Lock()
+			if err != nil {
+				o.Logf("cell %s/seed=%d failed: %v", jobs[i].spec.Name, cell.Seed, err)
+			} else {
+				o.Logf("cell %s/seed=%d: %s", cell.Scenario, cell.Seed, cell.Eval)
+			}
+			logMu.Unlock()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Base: o.Base}
+	for _, c := range cells[:min(len(cells), len(seeds))] {
+		res.Seeds = append(res.Seeds, c.Seed)
+	}
+	byName := map[string]*Summary{}
+	for i, c := range cells {
+		s := byName[c.Scenario]
+		if s == nil {
+			s = &Summary{Name: c.Scenario, Description: jobs[i].spec.Description}
+			byName[c.Scenario] = s
+		}
+		s.Cells = append(s.Cells, c)
+	}
+	for _, name := range names {
+		s := byName[name]
+		if s == nil {
+			continue
+		}
+		sort.Slice(s.Cells, func(i, j int) bool { return s.Cells[i].Seed < s.Cells[j].Seed })
+		for _, c := range s.Cells {
+			s.Precision += c.Eval.Precision
+			s.Recall += c.Eval.Recall
+			s.F1 += c.Eval.F1
+		}
+		n := float64(len(s.Cells))
+		s.Precision /= n
+		s.Recall /= n
+		s.F1 /= n
+		res.Scenarios = append(res.Scenarios, *s)
+	}
+	return res, nil
+}
+
+// runCell builds one isolated world, runs it with the event log tapped
+// online into an incremental detector, then scores groups against the
+// world's ground truth plus organic decoys.
+func runCell(sp scenario.Spec, seed uint64) (Cell, error) {
+	cfg, err := sim.ConfigForSpec(sp)
+	if err != nil {
+		return Cell{}, err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	cfg.Workers = 1 // the grid parallelizes across cells
+	cell := Cell{Scenario: sp.Name, Seed: cfg.Seed}
+
+	w, err := sim.NewWorld(cfg)
+	if err != nil {
+		return cell, fmt.Errorf("sweep: building %s/seed=%d: %w", sp.Name, cfg.Seed, err)
+	}
+	// The run log drains into an in-memory buffer a Tail follows at each
+	// day barrier — the same online wiring examples/monitoring uses
+	// against a file, minus the disk.
+	var buf memLog
+	runLog, err := w.NewRunLog(&buf)
+	if err != nil {
+		return cell, err
+	}
+	det := lockstep.NewDetector(sp.Detector.Config())
+	tail := stream.NewTail(&buf)
+	var (
+		ev     stream.Event
+		curDay dates.Date
+	)
+	drain := func() error {
+		for {
+			ok, err := tail.Next(&ev)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			switch ev.Kind {
+			case stream.KindDayStart:
+				curDay = ev.Day
+			case stream.KindInstall:
+				det.Ingest(ev.Device, ev.Pkg, curDay)
+			case stream.KindInstallBatch:
+				for _, dev := range ev.Devices {
+					det.Ingest(dev, ev.Pkg, curDay)
+				}
+			}
+		}
+	}
+	stats, err := w.RunOpts(sim.RunOptions{
+		Log:  runLog,
+		Hook: func(dates.Date) error { return drain() },
+	})
+	if err != nil {
+		return cell, fmt.Errorf("sweep: running %s/seed=%d: %w", sp.Name, cfg.Seed, err)
+	}
+	cell.Stats = stats
+
+	// Organic decoy background, then score against ground truth.
+	for _, dev := range w.DecoyEvents() {
+		det.Ingest(dev.Device, dev.App, dev.Day)
+	}
+	truth := w.TruthLabels()
+	groups := det.Groups()
+	cell.Truth = len(truth)
+	cell.Groups = len(groups)
+	for _, g := range groups {
+		cell.Flagged += len(g.Devices)
+	}
+	cell.Eval = lockstep.Evaluate(groups, truth)
+	return cell, nil
+}
+
+// memLog is the in-memory run log a cell writes and tails: Write appends,
+// ReadAt addresses absolute offsets. The writer (run loop) and reader
+// (day-barrier hook) share one goroutine, so no locking is needed.
+type memLog struct {
+	buf []byte
+}
+
+func (m *memLog) Write(p []byte) (int, error) {
+	m.buf = append(m.buf, p...)
+	return len(p), nil
+}
+
+func (m *memLog) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}

@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// registerMicro registers a shrunken-world variant of the named built-in
+// so grid tests stay fast: a 20-day window over the tiny catalog.
+func microName(t *testing.T, base string) string {
+	t.Helper()
+	name := "micro-" + base
+	if _, ok := scenario.Lookup(name); ok {
+		return name
+	}
+	sp, ok := scenario.Lookup(base)
+	if !ok {
+		t.Fatalf("built-in %s missing", base)
+	}
+	sp.Name = name
+	sp.World.WindowDays = 20
+	if err := scenario.Register(sp); err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+// TestSweepEvasionDegradesRecall is the acceptance check for the
+// scenario layer: running the grid, at least one evasion scenario must
+// measurably degrade detector recall against the recorded ground truth
+// relative to paper-baseline — the empirical answer to the Section 5.2
+// open question.
+func TestSweepEvasionDegradesRecall(t *testing.T) {
+	names := []string{
+		microName(t, "paper-baseline"),
+		microName(t, "sybil-split"),
+		microName(t, "device-churn"),
+	}
+	res, err := Run(Options{Scenarios: names, Seeds: []uint64{20190301}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 3 {
+		t.Fatalf("grid returned %d scenarios, want 3", len(res.Scenarios))
+	}
+	baseline := res.Scenarios[0]
+	if baseline.Recall <= 0 {
+		t.Fatalf("baseline recall is %v; evaluation is vacuous", baseline.Recall)
+	}
+	degraded := false
+	for _, s := range res.Scenarios[1:] {
+		if s.Recall < baseline.Recall-0.05 {
+			degraded = true
+		}
+		if len(s.Cells) != 1 || s.Cells[0].Stats.IncentivizedInstalls == 0 {
+			t.Fatalf("scenario %s delivered nothing", s.Name)
+		}
+	}
+	if !degraded {
+		t.Fatalf("no evasion scenario degraded recall vs baseline %.3f: %+v",
+			baseline.Recall, res.Scenarios[1:])
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers: the grid result must not depend on
+// how many cells ran concurrently.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	names := []string{microName(t, "paper-baseline"), microName(t, "jitter")}
+	opts := Options{Scenarios: names, Seeds: []uint64{20190301, 20190401}}
+	opts.Workers = 1
+	serial, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	pooled, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Scenarios) != len(pooled.Scenarios) {
+		t.Fatal("scenario counts differ")
+	}
+	for i := range serial.Scenarios {
+		a, b := serial.Scenarios[i], pooled.Scenarios[i]
+		if a.Name != b.Name || a.Precision != b.Precision || a.Recall != b.Recall || a.F1 != b.F1 {
+			t.Fatalf("grid diverges across workers: %+v vs %+v", a, b)
+		}
+		for j := range a.Cells {
+			if a.Cells[j] != b.Cells[j] {
+				t.Fatalf("cell %d diverges: %+v vs %+v", j, a.Cells[j], b.Cells[j])
+			}
+		}
+	}
+}
+
+// TestSweepUnknownScenario surfaces bad grid requests.
+func TestSweepUnknownScenario(t *testing.T) {
+	if _, err := Run(Options{Scenarios: []string{"no-such"}}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestSweepDeduplicatesScenarios: a repeated name must not re-run cells
+// or corrupt the mean aggregation (metrics can never exceed 1.0).
+func TestSweepDeduplicatesScenarios(t *testing.T) {
+	name := microName(t, "paper-baseline")
+	res, err := Run(Options{Scenarios: []string{name, name}, Seeds: []uint64{20190301}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 1 {
+		t.Fatalf("duplicate request produced %d summaries, want 1", len(res.Scenarios))
+	}
+	s := res.Scenarios[0]
+	if len(s.Cells) != 1 {
+		t.Fatalf("duplicate request produced %d cells, want 1", len(s.Cells))
+	}
+	if s.Precision > 1 || s.Recall > 1 || s.F1 > 1 {
+		t.Fatalf("aggregation out of range: %+v", s)
+	}
+}

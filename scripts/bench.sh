@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Record the PR's key benchmarks into BENCH_PR4.json so the performance
+# Record the PR's key benchmarks into BENCH_PR5.json so the performance
 # trajectory is versioned alongside the code.
 #
 # Usage:
@@ -8,37 +8,32 @@
 #
 # Heavy end-to-end engine benchmarks run at -benchtime=1x (each iteration
 # replays a full simulated window); microbenchmarks get longer benchtimes
-# so ns/op is stable. Everything runs with -count=3 -benchmem.
+# so ns/op is stable. Everything runs with -count=3 -benchmem. Each
+# recorded run carries its environment (go version, GOMAXPROCS, CPU
+# model) so the BENCH_*.json trajectory across PRs stays interpretable.
 #
 # Notes on before/after coverage:
-#   - BenchmarkSimRunEvents (E6 log-write overhead) only exists on the PR
-#     tree; the "before" baseline for it is BenchmarkSimRunScale/workers=1
-#     (events=off is the same run).
-#   - BenchmarkLockstepIngest benchmarks Detect, which exists on both
-#     trees; to record "before", copy internal/lockstep/bench_test.go
-#     onto the parent tree first (the fixture only uses Detect + synth).
+#   - BenchmarkSimRunEvents (E6/E7 log-write overhead) exists on both
+#     trees; PR 5's interning of offer IDs, account names, and packages
+#     into the run log's string table is measured by its events=on line.
 #   - The E5 suites (DeliverOne/Postback/LedgerPost) date from PR 3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-after}"
-out="${BENCH_OUT:-BENCH_PR4.json}"
+out="${BENCH_OUT:-BENCH_PR5.json}"
 
 suites=(
+  '.:BenchmarkSimRunEvents:1x'
   '.:BenchmarkSimRunScale/workers=1$:1x'
   '.:BenchmarkStoreRecordParallel$:20000x'
   './internal/playstore:BenchmarkStepDayScale$:20x'
   './internal/playstore:BenchmarkAppWindow:5000x'
   './internal/playstore:BenchmarkChartRank:20000x'
   './internal/lockstep:BenchmarkLockstepIngest$:5x'
+  './internal/sim:BenchmarkDeliverOne$:20000x'
+  './internal/mediator:BenchmarkPostback$:100000x'
+  './internal/mediator:BenchmarkLedgerPost$:100000x'
 )
-if [ "$label" != "before" ]; then
-  suites+=(
-    '.:BenchmarkSimRunEvents:1x'
-    './internal/sim:BenchmarkDeliverOne$:20000x'
-    './internal/mediator:BenchmarkPostback$:100000x'
-    './internal/mediator:BenchmarkLedgerPost$:100000x'
-  )
-fi
 
 go run ./cmd/benchjson -label "$label" -out "$out" -count 3 "${suites[@]}"
