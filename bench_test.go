@@ -9,6 +9,7 @@ package repro
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/stream"
 )
 
 var (
@@ -380,6 +382,75 @@ func benchSimRunEvents(b *testing.B, events bool) {
 func BenchmarkSimRunEvents(b *testing.B) {
 	b.Run("events=off", func(b *testing.B) { benchSimRunEvents(b, false) })
 	b.Run("events=on", func(b *testing.B) { benchSimRunEvents(b, true) })
+}
+
+// seekBench lazily builds a segmented ~20x-world run log in memory (about
+// a dozen 4MiB segments), shared by the seek benchmark's sub-benchmarks.
+var seekBench struct {
+	once sync.Once
+	log  []byte
+	err  error
+}
+
+func seekBenchLog(b *testing.B) []byte {
+	b.Helper()
+	seekBench.once.Do(func() {
+		cfg := sim.ScaleConfig()
+		cfg.Workers = 1
+		w, err := sim.NewWorld(cfg)
+		if err != nil {
+			seekBench.err = err
+			return
+		}
+		var buf bytes.Buffer
+		runLog, err := w.NewRunLog(&buf)
+		if err != nil {
+			seekBench.err = err
+			return
+		}
+		runLog.SetSegmentBytes(4 << 20)
+		if _, err := w.RunOpts(sim.RunOptions{Log: runLog}); err != nil {
+			seekBench.err = err
+			return
+		}
+		seekBench.log = buf.Bytes()
+	})
+	if seekBench.err != nil {
+		b.Fatal(seekBench.err)
+	}
+	return seekBench.log
+}
+
+// BenchmarkRunLogSeek times rebuilding the state at the last day of a
+// month-scale segmented log two ways: a full verifying replay of every
+// event, and ScanIndex + ReplayDay, which restores the last segment's
+// embedded checkpoint and replays only that segment (DESIGN.md E8). The
+// ratio is the seek speedup the v3 format buys; it grows linearly with
+// the number of segments in the log.
+func BenchmarkRunLogSeek(b *testing.B) {
+	data := seekBenchLog(b)
+	idx, err := stream.ScanIndex(bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	last, ok := idx.LastDay()
+	if !ok || len(idx.Segments) < 2 {
+		b.Fatalf("bench log unusable: lastDay=%v segments=%d", ok, len(idx.Segments))
+	}
+	b.Run("mode=full-replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stream.Replay(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=seek-last-day", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stream.ReplayDay(bytes.NewReader(data), last); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkStoreRecordParallel hammers the sharded write path from all

@@ -17,6 +17,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -46,6 +47,51 @@ type Run struct {
 	CPUModel   string   `json:"cpu_model,omitempty"`
 	Count      int      `json:"count"`
 	Results    []Result `json:"results"`
+	// Derived metrics computed from the samples above when the run
+	// recorded the benchmarks they need (medians across -count samples):
+	//   events_on_off_overhead_pct  (SimRunEvents on vs off, the E6/E8
+	//                                <5% events-on target)
+	//   seek_vs_full_replay_speedup (RunLogSeek full-replay / seek)
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// medianNs returns the median ns/op of the results whose name starts
+// with prefix (the go test -N GOMAXPROCS suffix varies by machine), or 0
+// when none match.
+func medianNs(results []Result, prefix string) float64 {
+	var xs []float64
+	for _, r := range results {
+		if r.Name == prefix || strings.HasPrefix(r.Name, prefix+"-") {
+			xs = append(xs, r.NsPerOp)
+		}
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if n := len(xs); n%2 == 1 {
+		return xs[n/2]
+	} else {
+		return (xs[n/2-1] + xs[n/2]) / 2
+	}
+}
+
+// derive recomputes a run's derived metrics from its samples.
+func derive(run *Run) {
+	d := map[string]float64{}
+	off := medianNs(run.Results, "BenchmarkSimRunEvents/events=off")
+	on := medianNs(run.Results, "BenchmarkSimRunEvents/events=on")
+	if off > 0 && on > 0 {
+		d["events_on_off_overhead_pct"] = 100 * (on - off) / off
+	}
+	full := medianNs(run.Results, "BenchmarkRunLogSeek/mode=full-replay")
+	seek := medianNs(run.Results, "BenchmarkRunLogSeek/mode=seek-last-day")
+	if full > 0 && seek > 0 {
+		d["seek_vs_full_replay_speedup"] = full / seek
+	}
+	if len(d) > 0 {
+		run.Derived = d
+	}
 }
 
 // cpuModel best-effort identifies the CPU this run executed on: the
@@ -126,6 +172,9 @@ func main() {
 		file.Runs = map[string]*Run{}
 	}
 	file.Runs[*label] = run
+	for _, r := range file.Runs {
+		derive(r)
+	}
 
 	raw, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {

@@ -40,6 +40,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	dumpOffers := flag.String("dump-offers", "", "write the milked offer dataset to this CSV file (the paper's shared-data analogue)")
 	events := flag.String("events", "", "stream the event-sourced run log to this file (inspect with cmd/runlog)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "event-log segment rotation threshold in bytes (0 = 64MiB default; ignored on resume)")
 	checkpoint := flag.String("checkpoint", "", "write a resumable day-boundary checkpoint to this file")
 	checkpointEvery := flag.Int("checkpoint-every", 7, "days between checkpoints (each checkpoint re-encodes full run state; see DESIGN.md E6)")
 	resume := flag.String("resume", "", "resume a killed run from this checkpoint (same seed/size flags required)")
@@ -64,6 +65,7 @@ func main() {
 		MilkEveryDays:   *milkEvery,
 		SkipHoney:       *skipHoney,
 		EventLogPath:    *events,
+		SegmentBytes:    *segmentBytes,
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,
 		ResumePath:      *resume,

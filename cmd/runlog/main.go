@@ -1,16 +1,24 @@
 // Command runlog inspects event-sourced run logs written by the simulator
-// (incentstudy -events, sim.RunOptions.Log; format in DESIGN.md E6).
+// (incentstudy -events, sim.RunOptions.Log; format in DESIGN.md E6/E8).
 //
 // Usage:
 //
-//	runlog cat [-v] [-kind K] run.log     print events (one line each)
-//	runlog stats run.log                  frame counts, sizes, run totals
-//	runlog verify run.log                 full replay with verification
+//	runlog cat [-v] [-kind K] run.log       print events (one line each)
+//	runlog stats run.log                    per-kind byte histogram, run totals
+//	runlog verify run.log                   full replay with verification
+//	runlog seek -day D run.log              rebuild state at day D (O(segment))
+//	runlog compact [-o OUT] [-segment-bytes N] run.log
+//	                                        rewrite as batched+segmented v3
 //
 // verify rebuilds the entire world state from the log alone — every store
 // metric, chart, enforcement action, and ledger balance — and fails if
 // any logged chart snapshot, enforcement action, or day-end stat line
 // disagrees with the recomputation, or if any frame CRC is wrong.
+//
+// seek does the same rebuild for one day, but restores from the nearest
+// segment checkpoint and replays only that segment's events — the fast
+// path month-scale logs exist for. -day accepts a date (as printed by
+// cat/stats) or "last".
 package main
 
 import (
@@ -19,9 +27,10 @@ import (
 	"io"
 	"log"
 	"os"
-	"sort"
 	"text/tabwriter"
+	"time"
 
+	"repro/internal/dates"
 	"repro/internal/stream"
 )
 
@@ -39,13 +48,17 @@ func main() {
 		stats(args)
 	case "verify":
 		verify(args)
+	case "seek":
+		seek(args)
+	case "compact":
+		compact(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: runlog {cat [-v] [-kind K] | stats | verify} run.log")
+	fmt.Fprintln(os.Stderr, `usage: runlog {cat [-v] [-kind K] | stats | verify | seek -day D | compact [-o OUT] [-segment-bytes N]} run.log`)
 	os.Exit(2)
 }
 
@@ -144,7 +157,6 @@ func stats(args []string) {
 	f, r := open(args[0])
 	defer f.Close()
 
-	counts := map[stream.Kind]int{}
 	var ev stream.Event
 	var days int
 	var last stream.Event
@@ -161,7 +173,6 @@ func stats(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		counts[ev.Kind]++
 		if ev.Kind == stream.KindDayEnd {
 			days++
 			last = ev
@@ -174,21 +185,38 @@ func stats(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("run log %s: %d bytes, seed=%d, window %s..%s\n", args[0], fi.Size(), h.Seed, h.WindowStart, h.WindowEnd)
+	fmt.Printf("run log %s: %d bytes, v%d, seed=%d, window %s..%s\n", args[0], fi.Size(), h.Version, h.Seed, h.WindowStart, h.WindowEnd)
 	base := r.Base()
 	fmt.Printf("base snapshot: store=%d ledger=%d mediator=%d bytes\n", len(base.Store), len(base.Ledger), len(base.Mediator))
 	fmt.Printf("interned tables: %d devices, %d strings (packages/offers/accounts)\n", len(base.Devices), len(base.Strings))
 
-	kinds := make([]stream.Kind, 0, len(counts))
-	for k := range counts {
-		kinds = append(kinds, k)
+	rows, scanned, err := stream.Histogram(f)
+	if err != nil {
+		log.Fatalf("histogram: %v", err)
 	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	for _, k := range kinds {
-		fmt.Fprintf(tw, "  %s\t%d\n", k, counts[k])
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "  kind\tframes\trecords\tpayload\tframing\tcrc\ttotal\t")
+	var tot stream.KindStats
+	for _, s := range rows {
+		fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			s.Kind, s.Frames, s.Records, s.PayloadBytes, s.FramingBytes, s.CRCBytes,
+			s.PayloadBytes+s.FramingBytes+s.CRCBytes)
+		tot.Frames += s.Frames
+		tot.Records += s.Records
+		tot.PayloadBytes += s.PayloadBytes
+		tot.FramingBytes += s.FramingBytes
+		tot.CRCBytes += s.CRCBytes
 	}
+	fmt.Fprintf(tw, "  total\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+		tot.Frames, tot.Records, tot.PayloadBytes, tot.FramingBytes, tot.CRCBytes,
+		tot.PayloadBytes+tot.FramingBytes+tot.CRCBytes)
 	tw.Flush()
+	fmt.Printf("%d bytes in complete frames (framing+crc = %.2f%% of scanned)\n",
+		scanned, 100*float64(tot.FramingBytes+tot.CRCBytes)/float64(scanned))
+
+	if idx, err := stream.ScanIndex(f); err == nil {
+		fmt.Printf("%d segment(s), %d day-start offsets indexed\n", len(idx.Segments), len(idx.Days))
+	}
 	fmt.Printf("%d complete days\n", days)
 	if days > 0 {
 		fmt.Printf("through %s: organic=%d incentivized=%d certified=%d revenue=$%.2f\n",
@@ -217,7 +245,93 @@ func verify(args []string) {
 	}
 	fmt.Printf("OK: %d days verified (every frame CRC, %d chart snapshots, enforcement actions, day-end stats)\n",
 		res.Stats.Days, res.Stats.Days*3)
+	printState(res)
+}
+
+func printState(res *stream.ReplayResult) {
 	fmt.Printf("replayed state: organic=%d incentivized=%d certified=%d revenue=$%.2f installs=%d apps=%d ledger-sum=%.6f\n",
 		res.Stats.OrganicInstalls, res.Stats.IncentivizedInstalls, res.Stats.CertifiedCompletions,
 		res.Stats.RevenueUSD, len(res.Installs), res.Store.NumApps(), res.Ledger.Sum())
+}
+
+func seek(args []string) {
+	fs := flag.NewFlagSet("seek", flag.ExitOnError)
+	dayArg := fs.String("day", "last", `day to rebuild state at: a date as printed by cat, or "last"`)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	idx, err := stream.ScanIndex(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var day dates.Date
+	if *dayArg == "last" {
+		last, ok := idx.LastDay()
+		if !ok {
+			log.Fatal("log has no days")
+		}
+		day = last
+	} else {
+		t, err := time.Parse("2006-01-02", *dayArg)
+		if err != nil {
+			log.Fatalf("-day: want YYYY-MM-DD or \"last\": %v", err)
+		}
+		day = dates.FromTime(t)
+	}
+	seg := idx.Segments[idx.Segment(day)]
+	res, err := stream.ReplayDay(f, day)
+	if err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+	fmt.Printf("OK: state at end of %s (day %d of the run), restored from segment %d at %s, %d day(s) of events replayed\n",
+		day, res.Stats.Days, seg.Ordinal, seg.FirstDay, day.DaysSince(seg.FirstDay)+1)
+	fmt.Printf("segment directory: %d segment(s), %d days indexed, log ends at byte %d (torn=%v)\n",
+		len(idx.Segments), len(idx.Days), idx.End, idx.Torn)
+	printState(res)
+}
+
+func compact(args []string) {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default: INPUT.compact)")
+	segBytes := fs.Int64("segment-bytes", 0, "segment rotation threshold in bytes (0 = default 64MiB)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	in := fs.Arg(0)
+	outPath := *out
+	if outPath == "" {
+		outPath = in + ".compact"
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	o, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := stream.Compact(f, o, *segBytes)
+	if err != nil {
+		o.Close()
+		os.Remove(outPath)
+		log.Fatalf("FAIL: %v", err)
+	}
+	if err := o.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d days -> %s: %d bytes (was %d, %.2f%%), %d segment frame(s)\n",
+		in, st.Days, outPath, st.OutBytes, fi.Size(), 100*float64(st.OutBytes)/float64(fi.Size()), st.Segments)
 }

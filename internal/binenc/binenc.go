@@ -41,6 +41,25 @@ func (e *Enc) Len() int { return len(e.buf) }
 // Reset empties the encoder, keeping its capacity.
 func (e *Enc) Reset() { e.buf = e.buf[:0] }
 
+// Grow reserves capacity for at least n more bytes without changing the
+// length, so a known-size burst of appends never reallocates.
+func (e *Enc) Grow(n int) {
+	if cap(e.buf)-len(e.buf) >= n {
+		return
+	}
+	grown := make([]byte, len(e.buf), len(e.buf)+n)
+	copy(grown, e.buf)
+	e.buf = grown
+}
+
+// Pad appends n zero bytes; frame writers use it to open a gap that a
+// backpatch (e.g. a shifted varint length) then fills.
+func (e *Enc) Pad(n int) {
+	for i := 0; i < n; i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
 // U8 appends one byte.
 func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
 

@@ -43,6 +43,14 @@ type Options struct {
 	// checkpoint's offset and appended, leaving bytes identical to an
 	// uninterrupted run.
 	EventLogPath string
+	// SegmentBytes, when > 0, sets the event log's segment-rotation
+	// threshold (stream.Writer.SetSegmentBytes): a segment index frame
+	// with an embedded checkpoint is written at the first day boundary
+	// after each SegmentBytes bytes, making the log seekable with
+	// `runlog seek` / stream.ReplayDay at O(segment) cost. Ignored on
+	// resume — the checkpoint carries the original run's segmentation
+	// state, which must govern for the appended bytes to stay identical.
+	SegmentBytes int64
 	// CheckpointPath, when set, atomically (re)writes a day-boundary
 	// checkpoint there every CheckpointEvery days (<= 0: every day).
 	CheckpointPath  string
@@ -270,6 +278,9 @@ func (s *Study) openRunLog(resume *stream.Checkpoint) (*stream.Writer, func(), e
 		if err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("core: opening event log: %w", err)
+		}
+		if s.Opts.SegmentBytes > 0 {
+			log.SetSegmentBytes(s.Opts.SegmentBytes)
 		}
 		return log, func() { bw.Flush(); f.Close() }, nil
 	}

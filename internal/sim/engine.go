@@ -76,9 +76,10 @@ type engine struct {
 	// during the parallel phases; the barrier concatenates the buffers in
 	// canonical unit order, so the log bytes are bit-identical for any
 	// worker count (the same argument as the ledger flush).
-	log     *stream.Writer
-	orgEnc  []stream.Encoder
-	sinkEnc []stream.Encoder
+	log       *stream.Writer
+	orgEnc    []stream.Encoder
+	sinkEnc   []stream.Encoder
+	batchBufs [][]byte // barrier scratch: non-empty unit buffers for EventBatch
 }
 
 // organicUnit is one phase-1 work unit: an app with its random stream,
@@ -270,14 +271,19 @@ func (e *engine) enableLog(w *stream.Writer) {
 	e.orgEnc = make([]stream.Encoder, len(e.organic))
 	for i := range e.organic {
 		e.orgEnc[i].SetStringTable(w.StringTable())
+		e.orgEnc[i].SetRecordMode(true)
+		e.orgEnc[i].Grow(48) // one organic record per day
 		e.organic[i].pkgRef = e.orgEnc[i].StringRef(e.organic[i].pkg)
 	}
 	e.sinkEnc = make([]stream.Encoder, len(e.sinks))
 	for g := range e.sinks {
 		e.sinkEnc[g].SetDeviceTable(w.DeviceTable())
 		e.sinkEnc[g].SetStringTable(w.StringTable())
+		e.sinkEnc[g].SetRecordMode(true)
+		e.sinkEnc[g].Grow(4 << 10)
 		e.sinks[g].enc = &e.sinkEnc[g]
 	}
+	e.batchBufs = make([][]byte, 0, len(e.orgEnc)+len(e.sinkEnc))
 	// Pre-resolve every pool member's device reference and payout-account
 	// string reference once per pool (pools are shared per IIP, so cache
 	// by IIP via the first campaign that carries them), plus each unit's
@@ -630,22 +636,25 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 		if err := e.log.DayStart(day); err != nil {
 			return err
 		}
+		bufs := e.batchBufs[:0]
 		for i := range e.orgEnc {
-			if e.orgEnc[i].Len() == 0 {
-				continue
+			if e.orgEnc[i].Len() > 0 {
+				bufs = append(bufs, e.orgEnc[i].Bytes())
 			}
-			if err := e.log.AppendFrames(e.orgEnc[i].Bytes()); err != nil {
-				return err
+		}
+		for g := range e.sinkEnc {
+			if e.sinkEnc[g].Len() > 0 {
+				bufs = append(bufs, e.sinkEnc[g].Bytes())
 			}
+		}
+		e.batchBufs = bufs
+		if err := e.log.EventBatch(bufs...); err != nil {
+			return err
+		}
+		for i := range e.orgEnc {
 			e.orgEnc[i].Reset()
 		}
 		for g := range e.sinkEnc {
-			if e.sinkEnc[g].Len() == 0 {
-				continue
-			}
-			if err := e.log.AppendFrames(e.sinkEnc[g].Bytes()); err != nil {
-				return err
-			}
 			e.sinkEnc[g].Reset()
 		}
 	}

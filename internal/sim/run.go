@@ -113,6 +113,20 @@ func (w *World) RunOpts(o RunOptions) (RunStats, error) {
 			if err := w.logDayBarrier(o.Log, day, &stats); err != nil {
 				return stats, err
 			}
+			// Segment rotation: once the current segment exceeds the
+			// writer's threshold, open the next one with an embedded
+			// reduced checkpoint so seeks restore here instead of
+			// replaying from the base snapshot. The decision depends only
+			// on deterministic byte offsets, so segment frames land at
+			// identical offsets for any worker count and across resume.
+			if day < w.Cfg.Window.End && o.Log.ShouldRotate() {
+				if err := o.Log.StartSegment(day.AddDays(1), w.segmentCheckpoint(day, &stats).Encode()); err != nil {
+					return stats, err
+				}
+				if err := o.Log.Flush(); err != nil {
+					return stats, err
+				}
+			}
 		}
 		if o.Hook != nil {
 			if err := o.Hook(day); err != nil {
@@ -127,6 +141,9 @@ func (w *World) RunOpts(o RunOptions) (RunStats, error) {
 			cp, err := eng.checkpoint(day, stats, off)
 			if err != nil {
 				return stats, err
+			}
+			if o.Log != nil {
+				o.Log.RecordSegmentState(cp)
 			}
 			if err := o.Checkpoint(cp); err != nil {
 				return stats, fmt.Errorf("sim: checkpoint on %s: %w", day, err)
@@ -156,6 +173,25 @@ func (w *World) logDayBarrier(log *stream.Writer, day dates.Date, stats *RunStat
 		return err
 	}
 	return log.Flush()
+}
+
+// segmentCheckpoint builds the reduced checkpoint embedded in a segment
+// index frame: store and ledger snapshots plus cumulative stats at the
+// end of day. Unlike a full resume checkpoint it omits the mediator and
+// platform blobs, the RNG streams, and the install log — a seeking
+// replay needs none of them (the certified count rides as a scalar, and
+// charts/enforcement recompute from the store snapshot).
+func (w *World) segmentCheckpoint(day dates.Date, stats *RunStats) *stream.Checkpoint {
+	return &stream.Checkpoint{
+		Day:                  day,
+		Days:                 int64(stats.Days),
+		OrganicInstalls:      stats.OrganicInstalls,
+		IncentivizedInstalls: stats.IncentivizedInstalls,
+		CertifiedCompletions: stats.CertifiedCompletions,
+		RevenueUSD:           stats.RevenueUSD,
+		Store:                w.Store.EncodeSnapshot(),
+		Ledger:               w.Ledger.EncodeSnapshot(),
+	}
 }
 
 // fullFidelityPerDay bounds how many of a campaign's daily completions run

@@ -105,10 +105,13 @@ func (w *World) RunLogStrings() []string {
 
 // ResumeRunLog continues the event log of a checkpointed run: out must be
 // the original log file truncated to cp.LogOffset and positioned at its
-// end. The appended frames are byte-identical to what the uninterrupted
-// run would have written.
+// end. The checkpointed segmentation state is reinstated so segment
+// rotations re-trigger at the original offsets, keeping the appended
+// frames byte-identical to what the uninterrupted run would have written.
 func (w *World) ResumeRunLog(out io.Writer, cp *stream.Checkpoint) *stream.Writer {
-	return stream.ResumeWriter(out, cp.LogOffset, w.RunLogDevices(), w.RunLogStrings())
+	lw := stream.ResumeWriter(out, cp.LogOffset, w.RunLogDevices(), w.RunLogStrings())
+	lw.RestoreSegmentState(cp)
+	return lw
 }
 
 // ValidateResume checks that a restored checkpoint is consistent with

@@ -14,8 +14,11 @@ import (
 // CheckpointMagic opens every checkpoint file.
 const CheckpointMagic = "IIRCKPT1"
 
-// checkpointVersion guards the checkpoint wire format.
-const checkpointVersion = 1
+// checkpointVersion guards the checkpoint wire format. Version 2 added
+// the run-log segmentation state (SegBytes/SegStart/SegOrdinal), which a
+// resumed writer needs to re-trigger segment rotations at the exact
+// offsets of the uninterrupted run.
+const checkpointVersion = 2
 
 // ErrBadCheckpoint rejects corrupt checkpoint bytes.
 var ErrBadCheckpoint = errors.New("stream: bad checkpoint")
@@ -50,6 +53,11 @@ type Checkpoint struct {
 	RevenueUSD           float64
 	LogOffset            int64
 
+	// Run-log segmentation state (see Writer.RecordSegmentState).
+	SegBytes   int64
+	SegStart   int64
+	SegOrdinal int64
+
 	Store    []byte
 	Ledger   []byte
 	Mediator []byte
@@ -74,6 +82,9 @@ func (c *Checkpoint) Encode() []byte {
 	body.Varint(c.CertifiedCompletions)
 	body.F64(c.RevenueUSD)
 	body.Varint(c.LogOffset)
+	body.Varint(c.SegBytes)
+	body.Varint(c.SegStart)
+	body.Varint(c.SegOrdinal)
 	body.Blob(c.Store)
 	body.Blob(c.Ledger)
 	body.Blob(c.Mediator)
@@ -144,6 +155,9 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		CertifiedCompletions: bd.Varint(),
 		RevenueUSD:           bd.F64(),
 		LogOffset:            bd.Varint(),
+		SegBytes:             bd.Varint(),
+		SegStart:             bd.Varint(),
+		SegOrdinal:           bd.Varint(),
 		Store:                bd.Blob(),
 		Ledger:               bd.Blob(),
 		Mediator:             bd.Blob(),

@@ -22,6 +22,7 @@
 package stream
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -37,8 +38,15 @@ const Magic = "IIRLOG1\n"
 // Version is the current run-log format version, written into the header.
 // Version 2 added the interned string table (offer IDs, ledger account
 // names, and catalog packages ride the base frame once and appear in
-// event frames as 1-3 byte references).
-const Version = 2
+// event frames as 1-3 byte references). Version 3 added event-batch
+// frames (a whole day's unit events length-prefixed inside one CRC'd
+// frame) and segment index frames (periodic embedded checkpoints that
+// make seeking O(segment)); readers accept both 2 and 3.
+const Version = 3
+
+// minReadVersion is the oldest header version readers still accept.
+// Version-2 logs simply contain no batch or segment frames.
+const minReadVersion = 2
 
 // maxFramePayload bounds a single frame (the base snapshot of a large
 // world is the biggest frame written in practice).
@@ -74,6 +82,8 @@ const (
 	KindEnforce      Kind = 13 // store enforcement action during StepDay
 	KindChart        Kind = 14 // one chart's entries as computed for the day
 	KindDayEnd       Kind = 15 // day barrier: cumulative run stats
+	KindEventBatch   Kind = 16 // v3: a day's unit events as length-prefixed records, one CRC
+	KindSegment      Kind = 17 // v3: segment index frame with an embedded checkpoint
 )
 
 func (k Kind) String() string {
@@ -108,6 +118,10 @@ func (k Kind) String() string {
 		return "chart"
 	case KindDayEnd:
 		return "day-end"
+	case KindEventBatch:
+		return "event-batch"
+	case KindSegment:
+		return "segment"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -217,11 +231,21 @@ type Event struct {
 // in canonical order at the day barrier. The zero value is ready to use
 // (devices and strings are then always written inline; SetDeviceTable /
 // SetStringTable enable the interned references).
+//
+// In record mode (SetRecordMode) the encoder emits batch sub-records —
+// [kind, uvarint length, payload] with no per-record CRC — instead of
+// full frames; the buffers then go through Writer.EventBatch, which
+// frames and checksums a whole day's records at once.
 type Encoder struct {
-	enc  binenc.Enc
-	tab  map[string]uint32
-	stab map[string]uint32
+	enc     binenc.Enc
+	tab     map[string]uint32
+	stab    map[string]uint32
+	records bool
 }
+
+// SetRecordMode switches the encoder between frame output (false, the
+// default) and batch sub-record output (true). Switch only while empty.
+func (e *Encoder) SetRecordMode(on bool) { e.records = on }
 
 // SetDeviceTable installs the shared device-ref table (Base.DeviceTable).
 // The table must match the Devices list in the log's base frame.
@@ -304,20 +328,45 @@ func (e *Encoder) Len() int { return e.enc.Len() }
 // Reset empties the encoder, keeping its capacity.
 func (e *Encoder) Reset() { e.enc.Reset() }
 
-// begin opens a frame: kind byte plus a length placeholder. It returns the
-// payload start offset for end.
+// Grow reserves capacity for at least n more bytes, so hot-path appends
+// never reallocate mid-day.
+func (e *Encoder) Grow(n int) { e.enc.Grow(n) }
+
+// begin opens a frame (kind byte plus a u32 length placeholder) or, in
+// record mode, a sub-record (kind byte plus a 1-byte length slot for the
+// common short payload). It returns the payload start offset for end.
 func (e *Encoder) begin(k Kind) int {
 	e.enc.U8(uint8(k))
-	e.enc.U32(0)
+	if e.records {
+		e.enc.U8(0)
+	} else {
+		e.enc.U32(0)
+	}
 	return e.enc.Len()
 }
 
-// end backpatches the payload length and appends the payload CRC.
+// end backpatches the payload length and, in frame mode, appends the
+// payload CRC. Record mode writes a canonical uvarint length instead: the
+// reserved byte covers payloads under 128 bytes; longer payloads (rare —
+// big install batches) shift right to make room for the multi-byte form.
 func (e *Encoder) end(start int) {
 	buf := e.enc.Bytes()
-	payload := buf[start:]
-	binenc.PutU32(buf[start-4:start], uint32(len(payload)))
-	e.enc.U32(crc32.Checksum(payload, castagnoli))
+	n := len(buf) - start
+	if e.records {
+		if n < 0x80 {
+			buf[start-1] = byte(n)
+			return
+		}
+		var v [binary.MaxVarintLen64]byte
+		ln := binary.PutUvarint(v[:], uint64(n))
+		e.enc.Pad(ln - 1)
+		buf = e.enc.Bytes()
+		copy(buf[start-1+ln:], buf[start:start+n])
+		copy(buf[start-1:], v[:ln])
+		return
+	}
+	binenc.PutU32(buf[start-4:start], uint32(n))
+	e.enc.U32(crc32.Checksum(buf[start:], castagnoli))
 }
 
 // Header appends the header frame.
@@ -589,6 +638,67 @@ func (e *Encoder) Event(ev *Event) error {
 	return nil
 }
 
+// Segment is a v3 segment index frame: it opens a bounded region of the
+// log at a day boundary. Ordinal counts segments from 1 (the region
+// before the first index frame is the implicit segment 0), FirstDay is
+// the first day whose frames follow, and Checkpoint is an encoded
+// reduced checkpoint (store + ledger snapshots and cumulative stats at
+// the end of FirstDay-1) that seeds a seeking replay — so rebuilding
+// state at any day costs one segment of events, not the whole log.
+type Segment struct {
+	Ordinal    int64
+	FirstDay   dates.Date
+	Checkpoint []byte
+}
+
+// Segment appends a segment index frame (frame mode only).
+func (e *Encoder) Segment(s Segment) {
+	st := e.begin(KindSegment)
+	e.enc.Uvarint(uint64(s.Ordinal))
+	e.enc.Varint(int64(s.FirstDay))
+	e.enc.Blob(s.Checkpoint)
+	e.end(st)
+}
+
+// decodeSegment parses a KindSegment payload.
+func decodeSegment(payload []byte) (Segment, error) {
+	dec := binenc.NewDec(payload)
+	s := Segment{
+		Ordinal:  int64(dec.Uvarint()),
+		FirstDay: dates.Date(dec.Varint()),
+	}
+	s.Checkpoint = dec.Blob()
+	if err := dec.Done(); err != nil {
+		return Segment{}, fmt.Errorf("%w: decoding segment frame: %v", ErrFrame, err)
+	}
+	return s, nil
+}
+
+// isBatchableKind reports whether k may appear as a sub-record inside an
+// event-batch frame (any event kind; structural frames may not nest).
+func isBatchableKind(k Kind) bool {
+	return k >= KindDayStart && k <= KindDayEnd
+}
+
+// parseRecord reads the batch sub-record starting at buf[off]:
+// [kind, uvarint payload length, payload]. The containing frame's CRC
+// already vouches for the bytes; this only validates structure.
+func parseRecord(buf []byte, off int) (k Kind, payload []byte, next int, err error) {
+	k = Kind(buf[off])
+	n, ln := binary.Uvarint(buf[off+1:])
+	if ln <= 0 || n > maxFramePayload {
+		return 0, nil, 0, fmt.Errorf("%w: bad batch record length", ErrFrame)
+	}
+	p0 := off + 1 + ln
+	if uint64(len(buf)-p0) < n {
+		return 0, nil, 0, fmt.Errorf("%w: batch record of %d bytes overruns frame", ErrFrame, n)
+	}
+	if !isBatchableKind(k) {
+		return 0, nil, 0, fmt.Errorf("%w: %s record inside event batch", ErrFrame, k)
+	}
+	return k, buf[p0 : p0+int(n)], p0 + int(n), nil
+}
+
 // decodeDev reads a device reference written by Encoder.dev.
 func decodeDev(dec *binenc.Dec, table []string) string {
 	return decodeRef(dec, table, "device")
@@ -717,7 +827,7 @@ func decodeHeader(payload []byte) (Header, error) {
 	if err := dec.Done(); err != nil {
 		return Header{}, fmt.Errorf("%w: decoding header: %v", ErrFrame, err)
 	}
-	if h.Version != Version {
+	if h.Version < minReadVersion || h.Version > Version {
 		return Header{}, fmt.Errorf("stream: unsupported run-log version %d", h.Version)
 	}
 	return h, nil

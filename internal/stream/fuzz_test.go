@@ -119,3 +119,148 @@ func FuzzFrameDecodeRobustness(f *testing.F) {
 		_ = decodePayload(k, payload, &ev, nil, nil)
 	})
 }
+
+// FuzzBatchRecordRoundTrip asserts the canonical-codec property on the v3
+// record encoding: record-mode encode → parseRecord → decodePayload →
+// record-mode re-encode is byte-identical, for short records and for
+// payloads past the 128-byte uvarint-length boundary (which exercises the
+// payload-shift path in Encoder.end).
+func FuzzBatchRecordRoundTrip(f *testing.F) {
+	f.Add(int64(3), "com.pkg", "dev-1", 0.25, uint64(2))
+	f.Add(int64(0), "", "", math.NaN(), uint64(0))
+	f.Add(int64(-5), "com.very.long.package.name.for.padding", "device-with-a-long-name", 1e300, uint64(40))
+	f.Fuzz(func(t *testing.T, day int64, pkg, device string, fraud float64, listLen uint64) {
+		ev := Event{Kind: KindInstallBatch, Day: dates.Date(day), Pkg: pkg, Fraud: fraud}
+		for i := uint64(0); i < listLen%64; i++ {
+			ev.Devices = append(ev.Devices, device)
+		}
+		ev.N = int64(len(ev.Devices))
+
+		var enc Encoder
+		enc.SetRecordMode(true)
+		if err := enc.Event(&ev); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		// A short record after a potentially long one checks that the
+		// shift in Encoder.end did not corrupt the running buffer.
+		enc.Install(pkg, device, fraud)
+		first := append([]byte(nil), enc.Bytes()...)
+
+		var off int
+		var evs []Event
+		for off < len(first) {
+			k, payload, next, err := parseRecord(first, off)
+			if err != nil {
+				t.Fatalf("parseRecord at %d: %v", off, err)
+			}
+			var got Event
+			if err := decodePayload(k, payload, &got, nil, nil); err != nil {
+				t.Fatalf("decode %s: %v", k, err)
+			}
+			evs = append(evs, got)
+			off = next
+		}
+		if len(evs) != 2 {
+			t.Fatalf("parsed %d records, want 2", len(evs))
+		}
+		var enc2 Encoder
+		enc2.SetRecordMode(true)
+		for i := range evs {
+			if err := enc2.Event(&evs[i]); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if !bytes.Equal(enc2.Bytes(), first) {
+			t.Fatalf("record encode→decode→encode not byte-identical\n first: %x\nsecond: %x", first, enc2.Bytes())
+		}
+	})
+}
+
+// FuzzSegmentCodecRoundTrip asserts the canonical-codec property on v3
+// segment index frames, and that truncated or corrupted segment frames
+// are rejected rather than misread.
+func FuzzSegmentCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(1), int64(12), []byte("checkpoint-blob"))
+	f.Add(uint64(0), int64(0), []byte{})
+	f.Add(uint64(1)<<40, int64(-3), bytes.Repeat([]byte{0xAB}, 300))
+	f.Fuzz(func(t *testing.T, ordinal uint64, firstDay int64, cp []byte) {
+		seg := Segment{Ordinal: int64(ordinal), FirstDay: dates.Date(firstDay), Checkpoint: cp}
+		var enc Encoder
+		enc.Segment(seg)
+		first := append([]byte(nil), enc.Bytes()...)
+
+		k, payload, next, ok, err := (&Tail{r: bytes.NewReader(first)}).peekFrame(0)
+		if err != nil || !ok || k != KindSegment || next != int64(len(first)) {
+			t.Fatalf("segment frame not self-delimiting: k=%s ok=%v next=%d len=%d err=%v", k, ok, next, len(first), err)
+		}
+		got, err := decodeSegment(payload)
+		if err != nil {
+			t.Fatalf("decodeSegment: %v", err)
+		}
+		var enc2 Encoder
+		enc2.Segment(got)
+		if !bytes.Equal(enc2.Bytes(), first) {
+			t.Fatalf("segment encode→decode→encode not byte-identical\n first: %x\nsecond: %x", first, enc2.Bytes())
+		}
+
+		// Every truncation must read as incomplete, never as a frame.
+		for _, cut := range []int{1, len(first) / 2, len(first) - 1} {
+			if cut >= len(first) {
+				continue
+			}
+			_, _, _, ok, err := (&Tail{r: bytes.NewReader(first[:cut])}).peekFrame(0)
+			if ok && err == nil {
+				t.Fatalf("truncated segment frame (cut=%d) parsed as complete", cut)
+			}
+		}
+		// A corrupted payload byte must fail the CRC.
+		if len(payload) > 0 {
+			bad := append([]byte(nil), first...)
+			bad[5] ^= 0x40 // first payload byte (after kind + u32 length)
+			if _, _, _, _, err := (&Tail{r: bytes.NewReader(bad)}).peekFrame(0); err == nil {
+				t.Fatal("corrupted segment frame passed CRC")
+			}
+		}
+	})
+}
+
+// FuzzLogStreamRobustness appends arbitrary bytes after a valid preamble
+// and drives every consumer — Reader, Tail, ScanIndex — to exhaustion.
+// None may panic; errors and clean stops are both acceptable.
+func FuzzLogStreamRobustness(f *testing.F) {
+	var pre bytes.Buffer
+	if _, err := NewWriter(&pre, testHeader(), testBase()); err != nil {
+		f.Fatal(err)
+	}
+	var enc Encoder
+	enc.SetRecordMode(true)
+	enc.DayStart(2)
+	enc.Install("com.x", "d1", 0.5)
+	f.Add(pre.Bytes(), []byte{})
+	f.Add(pre.Bytes(), enc.Bytes())
+	f.Add(pre.Bytes(), []byte{byte(KindEventBatch), 4, 0, 0, 0, 1, 2, 3, 4})
+	f.Add(pre.Bytes(), []byte{byte(KindSegment), 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, preamble, rest []byte) {
+		data := append(append([]byte(nil), preamble...), rest...)
+		if r, err := NewReader(bytes.NewReader(data)); err == nil {
+			var ev Event
+			for r.Next(&ev) == nil {
+			}
+		}
+		tail := NewTail(bytes.NewReader(data))
+		var ev Event
+		for {
+			ok, err := tail.Next(&ev)
+			if err != nil || !ok {
+				break
+			}
+		}
+		if idx, err := ScanIndex(bytes.NewReader(data)); err == nil {
+			for _, d := range idx.Days {
+				_ = idx.Segment(d.Day)
+			}
+			_, _ = idx.LastDay()
+		}
+		_, _, _ = Histogram(bytes.NewReader(data))
+	})
+}

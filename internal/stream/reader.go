@@ -9,7 +9,10 @@ import (
 )
 
 // Reader iterates a complete run log from an io.Reader, verifying every
-// frame's CRC. Use Tail for logs still being written.
+// frame's CRC. Event-batch frames are unpacked transparently (each Next
+// yields one sub-record) and segment index frames are skipped, so
+// consumers see the same event sequence for v2 and v3 logs. Use Tail for
+// logs still being written.
 type Reader struct {
 	br      *bufio.Reader
 	hdr     Header
@@ -17,6 +20,12 @@ type Reader struct {
 	devices []string
 	strings []string
 	scratch []byte
+
+	// Cursor into the current event-batch frame's payload (aliasing
+	// scratch; fully consumed before the next readFrame overwrites it).
+	batch    []byte
+	batchOff int
+	inBatch  bool
 }
 
 // NewReader opens a run log: it consumes the magic, the header frame, and
@@ -52,6 +61,16 @@ func NewReader(r io.Reader) (*Reader, error) {
 	lr.devices = lr.base.Devices
 	lr.strings = lr.base.Strings
 	return lr, nil
+}
+
+// newSectionReader wraps a reader positioned at a frame boundary mid-log
+// (no preamble expected) with the log's already-decoded header and
+// tables; seeking replays use it to consume a single segment.
+func newSectionReader(r io.Reader, hdr Header, base Base) *Reader {
+	return &Reader{
+		br: bufio.NewReaderSize(r, 1<<16), hdr: hdr, base: base,
+		devices: base.Devices, strings: base.Strings,
+	}
 }
 
 // Header returns the run parameters.
@@ -100,12 +119,33 @@ func unexpectedEOF(err error) error {
 // Next decodes the next event into ev. It returns io.EOF at a clean end of
 // log and io.ErrUnexpectedEOF when the log stops mid-frame (a killed run).
 func (r *Reader) Next(ev *Event) error {
-	k, payload, err := r.readFrame()
-	if err != nil {
-		return err
+	for {
+		if r.inBatch {
+			if r.batchOff < len(r.batch) {
+				k, payload, next, err := parseRecord(r.batch, r.batchOff)
+				if err != nil {
+					return err
+				}
+				r.batchOff = next
+				return decodePayload(k, payload, ev, r.devices, r.strings)
+			}
+			r.inBatch = false
+		}
+		k, payload, err := r.readFrame()
+		if err != nil {
+			return err
+		}
+		switch k {
+		case KindHeader, KindBase:
+			return fmt.Errorf("%w: duplicate %s frame", ErrFrame, k)
+		case KindSegment:
+			if _, err := decodeSegment(payload); err != nil {
+				return err
+			}
+		case KindEventBatch:
+			r.batch, r.batchOff, r.inBatch = payload, 0, true
+		default:
+			return decodePayload(k, payload, ev, r.devices, r.strings)
+		}
 	}
-	if k == KindHeader || k == KindBase {
-		return fmt.Errorf("%w: duplicate %s frame", ErrFrame, k)
-	}
-	return decodePayload(k, payload, ev, r.devices, r.strings)
 }

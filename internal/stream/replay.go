@@ -58,7 +58,16 @@ func Replay(r io.Reader) (*ReplayResult, error) {
 }
 
 func replayFrames(lr *Reader) (*ReplayResult, error) {
-	base := lr.Base()
+	st, err := baseReplayState(lr.Header(), lr.Base())
+	if err != nil {
+		return nil, err
+	}
+	return replayLoop(lr, st, 0, false)
+}
+
+// baseReplayState builds the replay starting point from the run-start
+// base snapshot.
+func baseReplayState(hdr Header, base Base) (*replayState, error) {
 	store, err := playstore.DecodeSnapshot(base.Store)
 	if err != nil {
 		return nil, fmt.Errorf("stream: replay base store: %w", err)
@@ -69,22 +78,64 @@ func replayFrames(lr *Reader) (*ReplayResult, error) {
 	}
 	// The mediator snapshot contributes the pre-run certified count (the
 	// day-end stat lines report the mediator's absolute total).
-	med := mediator.New(lr.Header().MediatorName)
+	med := mediator.New(hdr.MediatorName)
 	if err := med.RestoreSnapshot(base.Mediator); err != nil {
 		return nil, fmt.Errorf("stream: replay base mediator: %w", err)
 	}
-
-	res := &ReplayResult{Header: lr.Header(), Store: store, Ledger: ledger}
-	st := replayState{
-		hdr:       lr.Header(),
+	res := &ReplayResult{Header: hdr, Store: store, Ledger: ledger}
+	return &replayState{
+		hdr:       hdr,
 		res:       res,
 		certified: int64(med.Certified()),
-		medAcct:   mediator.MediatorAccount(lr.Header().MediatorName),
+		medAcct:   mediator.MediatorAccount(hdr.MediatorName),
+	}, nil
+}
+
+// segmentReplayState builds the replay starting point from a segment's
+// embedded reduced checkpoint: store and ledger snapshots plus the
+// cumulative stats at the end of the previous segment. The mediator's
+// absolute certified count rides the checkpoint as a scalar, so the full
+// mediator snapshot is not needed.
+func segmentReplayState(hdr Header, cpBytes []byte) (*replayState, error) {
+	cp, err := DecodeCheckpoint(cpBytes)
+	if err != nil {
+		return nil, fmt.Errorf("stream: segment checkpoint: %w", err)
 	}
+	store, err := playstore.DecodeSnapshot(cp.Store)
+	if err != nil {
+		return nil, fmt.Errorf("stream: segment checkpoint store: %w", err)
+	}
+	ledger := mediator.NewLedger()
+	if err := ledger.RestoreSnapshot(cp.Ledger); err != nil {
+		return nil, fmt.Errorf("stream: segment checkpoint ledger: %w", err)
+	}
+	res := &ReplayResult{Header: hdr, Store: store, Ledger: ledger}
+	res.Stats = ReplayStats{
+		Days:                 int(cp.Days),
+		OrganicInstalls:      cp.OrganicInstalls,
+		IncentivizedInstalls: cp.IncentivizedInstalls,
+		CertifiedCompletions: cp.CertifiedCompletions,
+		RevenueUSD:           cp.RevenueUSD,
+	}
+	return &replayState{
+		hdr:       hdr,
+		res:       res,
+		certified: cp.CertifiedCompletions,
+		medAcct:   mediator.MediatorAccount(hdr.MediatorName),
+	}, nil
+}
+
+// replayLoop applies events from lr until the log ends or, with haveUntil,
+// until the day-end frame of until has been applied and verified.
+func replayLoop(lr *Reader, st *replayState, until dates.Date, haveUntil bool) (*ReplayResult, error) {
+	res := st.res
 	var ev Event
 	for {
 		if err := lr.Next(&ev); err != nil {
 			if err == io.EOF {
+				if haveUntil {
+					return res, fmt.Errorf("stream: day %s not in log", until)
+				}
 				return res, nil
 			}
 			if err == io.ErrUnexpectedEOF {
@@ -95,7 +146,43 @@ func replayFrames(lr *Reader) (*ReplayResult, error) {
 		if err := st.apply(&ev); err != nil {
 			return nil, err
 		}
+		if haveUntil && ev.Kind == KindDayEnd && ev.Day == until {
+			return res, nil
+		}
 	}
+}
+
+// ReplayDay rebuilds the run's state through the end of day without
+// replaying the whole log: it scans the seek directory (ScanIndex),
+// restores from the latest segment checkpoint at or before the day, and
+// applies — with full verification — only that segment's events. The
+// result's Installs list covers only the replayed tail (the embedded
+// checkpoints deliberately omit the device-resolved install log; use
+// Replay when the complete list matters); Stats and every store/ledger
+// float are bit-exact.
+func ReplayDay(r io.ReaderAt, day dates.Date) (*ReplayResult, error) {
+	idx, err := ScanIndex(r)
+	if err != nil {
+		return nil, err
+	}
+	return replayDayIndexed(r, idx, day)
+}
+
+func replayDayIndexed(r io.ReaderAt, idx *LogIndex, day dates.Date) (*ReplayResult, error) {
+	seg := idx.Segments[idx.Segment(day)]
+	var st *replayState
+	var err error
+	if seg.Checkpoint == nil {
+		st, err = baseReplayState(idx.Header, idx.Base)
+	} else {
+		st, err = segmentReplayState(idx.Header, seg.Checkpoint)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sec := io.NewSectionReader(r, seg.DataOff, idx.End-seg.DataOff)
+	lr := newSectionReader(sec, idx.Header, idx.Base)
+	return replayLoop(lr, st, day, true)
 }
 
 // replayState tracks the in-flight day while frames are applied.

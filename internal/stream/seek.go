@@ -1,0 +1,258 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dates"
+)
+
+// SegmentInfo describes one segment discovered by ScanIndex. The implicit
+// first segment (everything before the first index frame) has Ordinal 0
+// and a nil Checkpoint: replaying it starts from the base snapshot.
+type SegmentInfo struct {
+	Ordinal    int64
+	FirstDay   dates.Date
+	FrameOff   int64  // offset of the segment index frame (preamble end for segment 0)
+	DataOff    int64  // offset of the first frame after the index frame
+	Checkpoint []byte // encoded reduced checkpoint; nil for segment 0
+}
+
+// DayInfo locates one day's frames: the offset of its day-start frame and
+// the segment it falls in (an index into LogIndex.Segments).
+type DayInfo struct {
+	Day     dates.Date
+	Offset  int64
+	Segment int
+}
+
+// LogIndex is the seek directory of a run log, built by one forward
+// header-hop scan: segment boundaries with their embedded checkpoints,
+// plus the day-start offset of every day. Batching keeps the frame count
+// near a dozen per day, so the scan reads a few hundred bytes per
+// simulated day regardless of event volume.
+type LogIndex struct {
+	Header   Header
+	Base     Base
+	Segments []SegmentInfo
+	Days     []DayInfo
+	End      int64 // offset after the last complete frame
+	Torn     bool  // the log ends mid-frame (killed run)
+}
+
+// Segment returns the index of the last segment whose FirstDay is at or
+// before day — the segment a seek to that day restores from.
+func (x *LogIndex) Segment(day dates.Date) int {
+	seg := 0
+	for i := 1; i < len(x.Segments); i++ {
+		if x.Segments[i].FirstDay <= day {
+			seg = i
+		}
+	}
+	return seg
+}
+
+// Day returns the day entry for day, or false when the log has none.
+func (x *LogIndex) Day(day dates.Date) (DayInfo, bool) {
+	for _, d := range x.Days {
+		if d.Day == day {
+			return d, true
+		}
+	}
+	return DayInfo{}, false
+}
+
+// LastDay returns the most recent day the log started, or false for a
+// log with no days yet.
+func (x *LogIndex) LastDay() (dates.Date, bool) {
+	if len(x.Days) == 0 {
+		return 0, false
+	}
+	return x.Days[len(x.Days)-1].Day, true
+}
+
+// ScanIndex builds the seek directory of a run log. Only frame headers
+// are read for the bulk of the log; day-start and segment index frames
+// (both tiny) are read in full, CRC-verified. The scan stops cleanly at
+// a torn trailing frame (killed run), marking the index Torn.
+func ScanIndex(r io.ReaderAt) (*LogIndex, error) {
+	t := NewTail(r)
+	if err := t.start(); err != nil {
+		return nil, err
+	}
+	if !t.started {
+		return nil, fmt.Errorf("%w: log preamble incomplete", ErrFrame)
+	}
+	idx := &LogIndex{
+		Header:   t.hdr,
+		Base:     t.base,
+		Segments: []SegmentInfo{{FrameOff: t.off, DataOff: t.off, FirstDay: t.hdr.WindowStart}},
+	}
+	off := t.off
+	var hdr [5]byte
+	var crc [4]byte
+	for {
+		ok, err := t.readAt(hdr[:1], off)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			idx.End = off
+			return idx, nil
+		}
+		if ok, err = t.readAt(hdr[:], off); !ok || err != nil {
+			idx.End, idx.Torn = off, true
+			return idx, err
+		}
+		k := Kind(hdr[0])
+		n := binary.LittleEndian.Uint32(hdr[1:])
+		if n > maxFramePayload {
+			return nil, fmt.Errorf("%w: payload of %d bytes", ErrFrame, n)
+		}
+		next := off + 5 + int64(n) + 4
+		switch k {
+		case KindDayStart, KindSegment:
+			kk, payload, pnext, ok, err := t.peekFrame(off)
+			if !ok || err != nil {
+				idx.End, idx.Torn = off, true
+				return idx, err
+			}
+			_ = pnext
+			if kk == KindDayStart {
+				var ev Event
+				if err := decodePayload(kk, payload, &ev, nil, nil); err != nil {
+					return nil, err
+				}
+				idx.Days = append(idx.Days, DayInfo{Day: ev.Day, Offset: off, Segment: len(idx.Segments) - 1})
+			} else {
+				seg, err := decodeSegment(payload)
+				if err != nil {
+					return nil, err
+				}
+				idx.Segments = append(idx.Segments, SegmentInfo{
+					Ordinal: seg.Ordinal, FirstDay: seg.FirstDay,
+					FrameOff: off, DataOff: next, Checkpoint: seg.Checkpoint,
+				})
+			}
+		default:
+			// Confirm the frame is complete by probing its CRC trailer; the
+			// payload bytes before it are then necessarily present too.
+			if ok, err = t.readAt(crc[:], next-4); !ok || err != nil {
+				idx.End, idx.Torn = off, true
+				return idx, err
+			}
+		}
+		off = next
+	}
+}
+
+// SeekToDay positions the tail at the day-start frame of day, so the
+// next events delivered are that day's. It returns false when the log
+// does not (yet) contain the day. The scan costs one header-hop pass; a
+// long-lived tail that knows where it wants to resume should prefer this
+// over re-reading history event by event.
+func (t *Tail) SeekToDay(day dates.Date) (bool, error) {
+	if err := t.start(); err != nil || !t.started {
+		return false, err
+	}
+	idx, err := ScanIndex(t.r)
+	if err != nil {
+		return false, err
+	}
+	d, ok := idx.Day(day)
+	if !ok {
+		return false, nil
+	}
+	t.off = d.Offset
+	t.inBatch = false
+	t.batch, t.batchOff = nil, 0
+	return true, nil
+}
+
+// KindStats aggregates the byte cost of one kind in a log: standalone
+// frames and batch sub-records of that kind, with payload, framing
+// (frame headers and record length prefixes), and CRC bytes separated —
+// exactly the split the E8 overhead argument is about.
+type KindStats struct {
+	Kind         Kind
+	Frames       int64
+	Records      int64
+	PayloadBytes int64
+	FramingBytes int64
+	CRCBytes     int64
+}
+
+// Histogram scans a complete log and returns per-kind byte/count rows in
+// kind order, plus the total byte size scanned. Event-batch frames
+// attribute their sub-records' payload and length-prefix bytes to the
+// sub-record kinds; the batch frame's own header and CRC stay on the
+// event-batch row.
+func Histogram(r io.ReaderAt) ([]KindStats, int64, error) {
+	t := NewTail(r)
+	if err := t.start(); err != nil {
+		return nil, 0, err
+	}
+	if !t.started {
+		return nil, 0, fmt.Errorf("%w: log preamble incomplete", ErrFrame)
+	}
+	byKind := map[Kind]*KindStats{}
+	row := func(k Kind) *KindStats {
+		s := byKind[k]
+		if s == nil {
+			s = &KindStats{Kind: k}
+			byKind[k] = s
+		}
+		return s
+	}
+	// The preamble frames (header, base) sit before t.off; re-walk them.
+	off := int64(len(Magic))
+	for off < t.off {
+		k, payload, next, ok, err := t.peekFrame(off)
+		if !ok || err != nil {
+			return nil, 0, err
+		}
+		s := row(k)
+		s.Frames++
+		s.PayloadBytes += int64(len(payload))
+		s.FramingBytes += 5
+		s.CRCBytes += 4
+		off = next
+	}
+	for {
+		k, payload, next, ok, err := t.peekFrame(off)
+		if err != nil || !ok {
+			return sortedRows(byKind), off, err
+		}
+		s := row(k)
+		s.Frames++
+		s.FramingBytes += 5
+		s.CRCBytes += 4
+		if k == KindEventBatch {
+			for ro := 0; ro < len(payload); {
+				rk, rp, rnext, err := parseRecord(payload, ro)
+				if err != nil {
+					return nil, 0, err
+				}
+				rs := row(rk)
+				rs.Records++
+				rs.PayloadBytes += int64(len(rp))
+				rs.FramingBytes += int64(rnext-ro) - int64(len(rp))
+				ro = rnext
+			}
+		} else {
+			s.PayloadBytes += int64(len(payload))
+		}
+		off = next
+	}
+}
+
+func sortedRows(byKind map[Kind]*KindStats) []KindStats {
+	out := make([]KindStats, 0, len(byKind))
+	for k := Kind(0); k <= KindSegment; k++ {
+		if s := byKind[k]; s != nil {
+			out = append(out, *s)
+		}
+	}
+	return out
+}

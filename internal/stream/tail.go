@@ -22,6 +22,13 @@ type Tail struct {
 	devices []string
 	strings []string
 	scratch []byte
+
+	// Cursor into the current event-batch frame's payload (aliasing
+	// scratch). The whole batch frame is CRC-verified before the first
+	// sub-record is delivered, so a tail never yields a torn record.
+	batch    []byte
+	batchOff int
+	inBatch  bool
 }
 
 // NewTail opens a tail over r. The preamble (magic, header, base snapshot)
@@ -31,7 +38,10 @@ func NewTail(r io.ReaderAt) *Tail {
 	return &Tail{r: r}
 }
 
-// Offset returns the byte offset of the next unread frame.
+// Offset returns the byte offset of the next unread frame. While an
+// event-batch frame is being unpacked it points past that frame (the
+// batch was verified whole); at day barriers — where online consumers
+// read it — the batch is fully drained and the offset is exact.
 func (t *Tail) Offset() int64 { return t.off }
 
 // Header returns the run parameters once the preamble is readable.
@@ -136,20 +146,49 @@ func (t *Tail) start() error {
 
 // Next decodes the next complete event into ev, returning false when no
 // complete frame is available yet (retry after the writer flushes more).
+// Event-batch frames are verified whole before their first sub-record is
+// delivered and then unpacked one event per call; segment index frames
+// are skipped.
 func (t *Tail) Next(ev *Event) (bool, error) {
 	if err := t.start(); err != nil || !t.started {
 		return false, err
 	}
-	k, payload, next, ok, err := t.peekFrame(t.off)
-	if !ok || err != nil {
-		return false, err
+	for {
+		if t.inBatch {
+			if t.batchOff < len(t.batch) {
+				k, payload, next, err := parseRecord(t.batch, t.batchOff)
+				if err != nil {
+					return false, err
+				}
+				t.batchOff = next
+				if err := decodePayload(k, payload, ev, t.devices, t.strings); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+			t.inBatch = false
+		}
+		k, payload, next, ok, err := t.peekFrame(t.off)
+		if !ok || err != nil {
+			return false, err
+		}
+		switch k {
+		case KindHeader, KindBase:
+			return false, fmt.Errorf("%w: duplicate %s frame", ErrFrame, k)
+		case KindSegment:
+			if _, err := decodeSegment(payload); err != nil {
+				return false, err
+			}
+			t.off = next
+		case KindEventBatch:
+			t.batch, t.batchOff, t.inBatch = payload, 0, true
+			t.off = next
+		default:
+			if err := decodePayload(k, payload, ev, t.devices, t.strings); err != nil {
+				return false, err
+			}
+			t.off = next
+			return true, nil
+		}
 	}
-	if k == KindHeader || k == KindBase {
-		return false, fmt.Errorf("%w: duplicate %s frame", ErrFrame, k)
-	}
-	if err := decodePayload(k, payload, ev, t.devices, t.strings); err != nil {
-		return false, err
-	}
-	t.off = next
-	return true, nil
 }

@@ -1,12 +1,20 @@
 package stream
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/dates"
 	"repro/internal/playstore"
 )
+
+// DefaultSegmentBytes is the segment-rotation threshold a fresh writer
+// starts with: once a segment's frames exceed it, the run loop opens a
+// new segment (index frame + embedded checkpoint) at the next day
+// boundary. Small logs never reach it and stay single-segment.
+const DefaultSegmentBytes = 64 << 20
 
 // Writer appends a run log to an io.Writer. It is not safe for concurrent
 // use: the engine writes only at day barriers, on one goroutine.
@@ -20,11 +28,18 @@ type Writer struct {
 	enc  Encoder // scratch for single-event writes
 	tab  map[string]uint32
 	stab map[string]uint32
+
+	// Segmentation state. Rotation decisions depend only on these byte
+	// offsets, which are deterministic, so segment frames land at the
+	// same offsets for any worker count and across kill/resume.
+	segBytes   int64 // rotation threshold; <= 0 disables rotation
+	segStart   int64 // offset where the current segment's frames begin
+	segOrdinal int64 // 0 = implicit first segment (replay from base)
 }
 
 // NewWriter opens a fresh run log on w: magic, header frame, base frame.
 func NewWriter(w io.Writer, h Header, base Base) (*Writer, error) {
-	lw := &Writer{w: w, tab: base.DeviceTable(), stab: base.StringTable()}
+	lw := &Writer{w: w, tab: base.DeviceTable(), stab: base.StringTable(), segBytes: DefaultSegmentBytes}
 	lw.enc.SetDeviceTable(lw.tab)
 	lw.enc.SetStringTable(lw.stab)
 	if err := lw.writeRaw([]byte(Magic)); err != nil {
@@ -35,6 +50,7 @@ func NewWriter(w io.Writer, h Header, base Base) (*Writer, error) {
 	if err := lw.flushScratch(); err != nil {
 		return nil, err
 	}
+	lw.segStart = lw.off
 	return lw, nil
 }
 
@@ -46,10 +62,50 @@ func NewWriter(w io.Writer, h Header, base Base) (*Writer, error) {
 // base frame carries, or refs in the appended frames would not resolve.
 func ResumeWriter(w io.Writer, offset int64, devices, strings []string) *Writer {
 	base := Base{Devices: devices, Strings: strings}
-	lw := &Writer{w: w, off: offset, tab: base.DeviceTable(), stab: base.StringTable()}
+	lw := &Writer{w: w, off: offset, tab: base.DeviceTable(), stab: base.StringTable(), segBytes: DefaultSegmentBytes}
 	lw.enc.SetDeviceTable(lw.tab)
 	lw.enc.SetStringTable(lw.stab)
 	return lw
+}
+
+// SetSegmentBytes overrides the segment-rotation threshold (<= 0 disables
+// rotation). A resumed run must use the original run's value — restored
+// via RestoreSegmentState — or rotation offsets, and therefore log bytes,
+// would differ from the uninterrupted run.
+func (w *Writer) SetSegmentBytes(n int64) { w.segBytes = n }
+
+// RecordSegmentState copies the writer's segmentation state into a
+// checkpoint, so a resumed writer re-triggers rotations at the exact
+// offsets the uninterrupted run would have used.
+func (w *Writer) RecordSegmentState(cp *Checkpoint) {
+	cp.SegBytes, cp.SegStart, cp.SegOrdinal = w.segBytes, w.segStart, w.segOrdinal
+}
+
+// RestoreSegmentState reinstates checkpointed segmentation state on a
+// resumed writer (the counterpart of RecordSegmentState).
+func (w *Writer) RestoreSegmentState(cp *Checkpoint) {
+	w.segBytes, w.segStart, w.segOrdinal = cp.SegBytes, cp.SegStart, cp.SegOrdinal
+}
+
+// ShouldRotate reports whether the current segment has exceeded the
+// rotation threshold; the run loop checks it at each day barrier and
+// calls StartSegment for the following day when it fires.
+func (w *Writer) ShouldRotate() bool {
+	return w.segBytes > 0 && w.off-w.segStart >= w.segBytes
+}
+
+// StartSegment writes a segment index frame: the next segment's first
+// day plus an encoded reduced checkpoint (store/ledger snapshots and
+// cumulative stats as of the end of the previous day) that lets a
+// seeking replay start here instead of at the base snapshot.
+func (w *Writer) StartSegment(firstDay dates.Date, checkpoint []byte) error {
+	w.enc.Segment(Segment{Ordinal: w.segOrdinal + 1, FirstDay: firstDay, Checkpoint: checkpoint})
+	if err := w.flushScratch(); err != nil {
+		return err
+	}
+	w.segOrdinal++
+	w.segStart = w.off
+	return nil
 }
 
 // DeviceTable returns the writer's device-ref table; engine encoders
@@ -82,6 +138,61 @@ func (w *Writer) flushScratch() error {
 // verbatim.
 func (w *Writer) AppendFrames(frames []byte) error {
 	return w.writeRaw(frames)
+}
+
+// EventBatch frames a day's worth of record-mode encoder buffers (see
+// Encoder.SetRecordMode) as one event-batch frame: the records stream
+// out in the given order and the CRC is computed incrementally over the
+// concatenation, so hashing and framing are paid once per day instead of
+// once per event. Empty buffers are skipped; a call with no bytes writes
+// nothing. Batches beyond the frame-size bound split at buffer
+// boundaries (a single buffer must fit one frame).
+func (w *Writer) EventBatch(bufs ...[]byte) error {
+	for start := 0; start < len(bufs); {
+		end := start
+		var n int64
+		for end < len(bufs) {
+			bl := int64(len(bufs[end]))
+			if bl > maxFramePayload {
+				return fmt.Errorf("%w: single unit buffer of %d bytes", ErrFrame, bl)
+			}
+			if n+bl > maxFramePayload {
+				break
+			}
+			n += bl
+			end++
+		}
+		if err := w.writeBatchFrame(bufs[start:end], n); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+func (w *Writer) writeBatchFrame(bufs [][]byte, total int64) error {
+	if total == 0 {
+		return nil
+	}
+	var hdr [5]byte
+	hdr[0] = byte(KindEventBatch)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(total))
+	if err := w.writeRaw(hdr[:]); err != nil {
+		return err
+	}
+	var crc uint32
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		crc = crc32.Update(crc, castagnoli, b)
+		if err := w.writeRaw(b); err != nil {
+			return err
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return w.writeRaw(tail[:])
 }
 
 // DayStart writes a day-start marker.

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Record the PR's key benchmarks into BENCH_PR5.json so the performance
+# Record the PR's key benchmarks into BENCH_PR6.json so the performance
 # trajectory is versioned alongside the code.
 #
 # Usage:
@@ -11,17 +11,25 @@
 # so ns/op is stable. Everything runs with -count=3 -benchmem. Each
 # recorded run carries its environment (go version, GOMAXPROCS, CPU
 # model) so the BENCH_*.json trajectory across PRs stays interpretable.
+# BENCH_COUNT overrides -count (default 3) — this host's within-label
+# noise is ±20% on the heavy 1x suites, so the derived metrics want more
+# samples when the machine allows it.
 #
 # Notes on before/after coverage:
-#   - BenchmarkSimRunEvents (E6/E7 log-write overhead) exists on both
-#     trees; PR 5's interning of offer IDs, account names, and packages
-#     into the run log's string table is measured by its events=on line.
+#   - BenchmarkSimRunEvents (E6/E8 log-write overhead) exists on both
+#     trees; PR 6's batched frames (one CRC per day-batch instead of one
+#     per event frame) are measured by its events=on line. benchjson
+#     derives events_on_off_overhead_pct from the recorded medians.
+#   - BenchmarkRunLogSeek (E8 segmented seek vs full replay) is new in
+#     PR 6 and only exists on the after tree; bench.sh skips suites whose
+#     pattern matches nothing so the before run still completes.
 #   - The E5 suites (DeliverOne/Postback/LedgerPost) date from PR 3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-after}"
-out="${BENCH_OUT:-BENCH_PR5.json}"
+out="${BENCH_OUT:-BENCH_PR6.json}"
+count="${BENCH_COUNT:-3}"
 
 suites=(
   '.:BenchmarkSimRunEvents:1x'
@@ -35,5 +43,11 @@ suites=(
   './internal/mediator:BenchmarkPostback$:100000x'
   './internal/mediator:BenchmarkLedgerPost$:100000x'
 )
+# Seek benchmark exists only on trees with the segmented v3 format.
+# (grep must drain the whole stream: with pipefail, `grep -q` exiting at
+# first match can SIGPIPE `go test -list` and silently drop the suite.)
+if go test -list 'BenchmarkRunLogSeek$' . | grep BenchmarkRunLogSeek > /dev/null; then
+  suites+=('.:BenchmarkRunLogSeek:1x')
+fi
 
-go run ./cmd/benchjson -label "$label" -out "$out" -count 3 "${suites[@]}"
+go run ./cmd/benchjson -label "$label" -out "$out" -count "$count" "${suites[@]}"
