@@ -7,6 +7,7 @@
 //
 //	incentstudy [-seed N] [-tiny] [-scale] [-workers N] [-milk-every D] [-skip-honey] [-quiet]
 //	            [-events run.log] [-checkpoint run.ckpt] [-checkpoint-every N] [-resume run.ckpt]
+//	            [-fault-write P[:SEED]]
 //
 // With -events the run streams its event-sourced log (installs, clicks,
 // postbacks, settlements, enforcement, chart snapshots) to a file that
@@ -18,13 +19,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/offers"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -44,6 +49,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "write a resumable day-boundary checkpoint to this file")
 	checkpointEvery := flag.Int("checkpoint-every", 7, "days between checkpoints (each checkpoint re-encodes full run state; see DESIGN.md E6)")
 	resume := flag.String("resume", "", "resume a killed run from this checkpoint (same seed/size flags required)")
+	faultWrite := flag.String("fault-write", "", "inject torn writes into the event log (chaos testing): probability[:seed]; the run dies with exit code 3 when one fires")
 	flag.Parse()
 
 	if *tiny && *scale {
@@ -75,10 +81,25 @@ func main() {
 			log.Printf(format, args...)
 		}
 	}
+	if *faultWrite != "" {
+		prob, fseed, err := parseFaultWrite(*faultWrite)
+		if err != nil {
+			log.Fatalf("incentstudy: %v", err)
+		}
+		inj := fault.New(fault.Config{Seed: fseed, WriteErrorProb: prob, TornWrites: true})
+		opts.WrapEventLog = inj.Writer
+	}
 
 	start := time.Now()
 	study, err := core.Run(cfg, opts)
 	if err != nil {
+		if errors.Is(err, fault.ErrInjected) {
+			// The injected fault is this run's simulated crash: exit with
+			// the crash code so chaos restart loops recognize it, leaving
+			// the torn log + checkpoint for the -resume successor.
+			log.Printf("incentstudy: injected fault: %v", err)
+			os.Exit(fault.CrashExitCode)
+		}
 		log.Fatalf("incentstudy: %v", err)
 	}
 	defer study.Close()
@@ -105,4 +126,20 @@ func main() {
 			log.Printf("offer dataset written to %s", *dumpOffers)
 		}
 	}
+}
+
+// parseFaultWrite parses "probability[:seed]".
+func parseFaultWrite(s string) (prob float64, seed uint64, err error) {
+	probStr, seedStr, hasSeed := strings.Cut(s, ":")
+	prob, err = strconv.ParseFloat(probStr, 64)
+	if err != nil || prob < 0 || prob > 1 {
+		return 0, 0, fmt.Errorf("-fault-write %q: want probability in [0,1]", s)
+	}
+	if hasSeed {
+		seed, err = strconv.ParseUint(seedStr, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("-fault-write %q: bad seed", s)
+		}
+	}
+	return prob, seed, nil
 }

@@ -9,6 +9,8 @@
 //	runlog seek -day D run.log              rebuild state at day D (O(segment))
 //	runlog compact [-o OUT] [-segment-bytes N] run.log
 //	                                        rewrite as batched+segmented v3
+//	runlog recover [-dry-run] run.log       salvage a torn/corrupt log by
+//	                                        truncating to the last valid day
 //
 // verify rebuilds the entire world state from the log alone — every store
 // metric, chart, enforcement action, and ledger balance — and fails if
@@ -52,13 +54,15 @@ func main() {
 		seek(args)
 	case "compact":
 		compact(args)
+	case "recover":
+		recoverLog(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: runlog {cat [-v] [-kind K] | stats | verify | seek -day D | compact [-o OUT] [-segment-bytes N]} run.log`)
+	fmt.Fprintln(os.Stderr, `usage: runlog {cat [-v] [-kind K] | stats | verify | seek -day D | compact [-o OUT] [-segment-bytes N] | recover [-dry-run]} run.log`)
 	os.Exit(2)
 }
 
@@ -241,6 +245,21 @@ func verify(args []string) {
 		if res != nil {
 			fmt.Printf("replayed %d complete days before the failure\n", res.Stats.Days)
 		}
+		// Locate the first undecodable frame so a chaos-test failure is
+		// diagnosable from the output alone.
+		if fi, serr := f.Stat(); serr == nil {
+			if info, serr := stream.ScanValid(f, fi.Size()); serr == nil {
+				switch {
+				case info.Corruption != nil:
+					fmt.Printf("first corrupt frame: kind=%s at byte %d (%v); valid prefix ends at byte %d (%d days)\n",
+						info.Corruption.Kind, info.Corruption.Offset, info.Corruption.Err, info.ValidEnd, info.Days)
+				case info.ValidEnd < info.Size:
+					fmt.Printf("log ends mid-frame at byte %d of %d (torn tail, not corruption); valid prefix ends at byte %d (%d days)\n",
+						info.ScannedEnd, info.Size, info.ValidEnd, info.Days)
+				}
+				fmt.Println(`salvage with "runlog recover"`)
+			}
+		}
 		log.Fatalf("FAIL: %v", err)
 	}
 	fmt.Printf("OK: %d days verified (every frame CRC, %d chart snapshots, enforcement actions, day-end stats)\n",
@@ -334,4 +353,50 @@ func compact(args []string) {
 	}
 	fmt.Printf("%s: %d days -> %s: %d bytes (was %d, %.2f%%), %d segment frame(s)\n",
 		in, st.Days, outPath, st.OutBytes, fi.Size(), 100*float64(st.OutBytes)/float64(fi.Size()), st.Segments)
+}
+
+func recoverLog(args []string) {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	dry := fs.Bool("dry-run", false, "report the salvage point without truncating the file")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	var info stream.RecoverInfo
+	if *dry {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		fi, err := f.Stat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err = stream.ScanValid(f, fi.Size())
+		if err != nil {
+			log.Fatalf("FAIL: %v", err)
+		}
+	} else {
+		var err error
+		info, err = stream.Recover(path)
+		if err != nil {
+			log.Fatalf("FAIL: %v", err)
+		}
+	}
+	if info.Corruption != nil {
+		fmt.Printf("first corrupt frame: kind=%s at byte %d (%v)\n",
+			info.Corruption.Kind, info.Corruption.Offset, info.Corruption.Err)
+	}
+	verb := "salvaged"
+	if *dry {
+		verb = "would salvage"
+	}
+	if info.Dropped() == 0 {
+		fmt.Printf("%s: intact, %d complete days in %d bytes, nothing to drop\n", path, info.Days, info.Size)
+		return
+	}
+	fmt.Printf("%s: %s %d complete days (through %s), truncating %d -> %d bytes (drops %d)\n",
+		path, verb, info.Days, info.LastDay, info.Size, info.ValidEnd, info.Dropped())
 }

@@ -1,24 +1,36 @@
-// Command sweep runs a scenario×seed grid of full simulations in
-// parallel and reports lockstep-detector precision/recall/F1 per
-// adversary scenario against each world's recorded ground truth — the
-// executable form of the paper's Section 5.2 open question.
+// Command sweep runs a scenario×seed grid of full simulations and
+// reports lockstep-detector precision/recall/F1 per adversary scenario
+// against each world's recorded ground truth — the executable form of
+// the paper's Section 5.2 open question.
 //
 // Usage:
 //
 //	sweep [-base tiny|default|scale] [-scenarios a,b,c] [-seeds N] [-seed-base S]
 //	      [-workers N] [-json FILE] [-list] [-quiet]
+//	sweep -serve ADDR [-addr-file FILE] [-lease D] [-max-attempts N] [grid flags]
 //
-// Every cell builds an isolated world (Workers=1) and taps its
-// event-sourced run log online into the incremental detector; cells run
-// concurrently up to -workers. Output is a text table on stdout plus,
-// with -json, the full machine-readable grid.
+// In the default mode every cell builds an isolated world (Workers=1)
+// and taps its event-sourced run log online into the incremental
+// detector; cells run concurrently up to -workers in this process.
+//
+// With -serve the process becomes the coordinator of a distributed
+// sweep: it listens on ADDR, hands grid cells to sweepworker processes
+// under time-bounded leases (reissuing cells whose worker crashes or
+// hangs), cross-checks duplicate completions by result digest, and exits
+// once the grid drains — producing stdout and -json output
+// byte-identical to the in-process mode, because every cell is
+// deterministic in (scenario, seed) and assembly is a pure function of
+// the cell results.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -37,6 +49,10 @@ func main() {
 	jsonOut := flag.String("json", "", "write the machine-readable grid result to this file")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress")
+	serve := flag.String("serve", "", "coordinate a distributed sweep on this address (e.g. 127.0.0.1:0) instead of running in-process")
+	addrFile := flag.String("addr-file", "", "with -serve: write the bound address to this file once listening")
+	lease := flag.Duration("lease", 30*time.Second, "with -serve: worker lease duration")
+	maxAttempts := flag.Int("max-attempts", 5, "with -serve: lease grants per cell before the grid fails")
 	flag.Parse()
 
 	if *list {
@@ -63,13 +79,57 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := sweep.Run(opts)
+	var res *sweep.Result
+	var err error
+	if *serve != "" {
+		res, err = coordinate(opts, *serve, *addrFile, *lease, *maxAttempts)
+	} else {
+		res, err = sweep.Run(opts)
+	}
 	if err != nil {
 		log.Fatalf("sweep: %v", err)
 	}
 	if !*quiet {
 		log.Printf("grid complete in %s", time.Since(start).Round(time.Millisecond))
 	}
+	emit(res, *jsonOut, *quiet)
+}
+
+// coordinate runs the grid as a distributed-sweep coordinator: listen,
+// publish the bound address, serve the work queue until the grid drains.
+func coordinate(opts sweep.Options, addr, addrFile string, lease time.Duration, maxAttempts int) (*sweep.Result, error) {
+	co, err := sweep.NewCoordinator(opts, sweep.QueueConfig{Lease: lease, MaxAttempts: maxAttempts})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	bound := ln.Addr().String()
+	log.Printf("coordinating distributed sweep on %s (%+v)", bound, co.Progress())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	srv := &http.Server{Handler: co.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	res, err := co.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	p := co.Progress()
+	log.Printf("grid drained: %d cells, %d lease grants, %d expiries, %d duplicates (%d salvaged)",
+		p.Done, p.Attempts, p.Expiries, p.Duplicates, p.Salvaged)
+	return res, nil
+}
+
+// emit writes the human table, the degradation line, and the optional
+// JSON file — identically for the in-process and distributed paths.
+func emit(res *sweep.Result, jsonOut string, quiet bool) {
 	report.WriteSweep(os.Stdout, res)
 
 	if baseline, ok := res.Baseline(); ok {
@@ -87,16 +147,16 @@ func main() {
 		}
 	}
 
-	if *jsonOut != "" {
+	if jsonOut != "" {
 		raw, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			log.Fatalf("sweep: %v", err)
 		}
-		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(jsonOut, append(raw, '\n'), 0o644); err != nil {
 			log.Fatalf("sweep: %v", err)
 		}
-		if !*quiet {
-			log.Printf("grid result written to %s", *jsonOut)
+		if !quiet {
+			log.Printf("grid result written to %s", jsonOut)
 		}
 	}
 }

@@ -1,0 +1,129 @@
+// Command sweepworker is one worker process of a distributed sweep: it
+// leases grid cells from a sweep -serve coordinator, runs each cell's
+// full simulation with the run log and day-boundary checkpoints spooled
+// to disk, heartbeats at every day barrier, and reports completions.
+//
+// Usage:
+//
+//	sweepworker -coordinator URL [-name N] [-spool DIR] [-checkpoint-every D]
+//	            [-crash point=N,...] [-fault-write P[:SEED]] [-quiet]
+//
+// A killed worker loses nothing durable: its lease expires, the
+// coordinator reissues the cell, and the successor worker (pointed at
+// the same -spool) salvages the torn run log, restores the last
+// checkpoint, and resumes the cell instead of restarting it. Exit code
+// 0 means the grid drained; fault.CrashExitCode (3) means a planned
+// -crash point fired (chaos harnesses loop on it); anything else is a
+// real failure.
+//
+// -crash arms deterministic process kills at named execution points
+// ("worker-lease", "cell-day", "cell-complete" — e.g. -crash
+// cell-day=29 dies at the 29th day boundary this process executes); the
+// FAULT_CRASH environment variable is an alternative spelling.
+// -fault-write injects seeded write failures with torn prefixes into the
+// spooled run log, exercising stream.Recover on the next incarnation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/sweep"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "", "coordinator base URL (e.g. http://127.0.0.1:7077) or ADDR[:PORT]")
+	name := flag.String("name", fmt.Sprintf("pid%d", os.Getpid()), "worker name for log lines")
+	spool := flag.String("spool", "", "directory for per-cell run logs and checkpoints (default: a temp dir, losing crash-resume across restarts)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "days between spooled checkpoints (<=1 = every day)")
+	crash := flag.String("crash", "", "comma-separated crash plan point=N (points: worker-lease, cell-day, cell-complete)")
+	faultWrite := flag.String("fault-write", "", "inject write faults into spooled logs: probability[:seed]")
+	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("sweepworker: ")
+
+	if *coordinator == "" {
+		log.Fatal("-coordinator is required")
+	}
+	base := *coordinator
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	if *crash != "" {
+		plan, err := fault.ParseCrashPlan(*crash)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fault.Crash = plan
+	} else if err := fault.ArmCrashFromEnv(); err != nil {
+		log.Fatal(err)
+	}
+
+	var injector *fault.Injector
+	if *faultWrite != "" {
+		prob, seed, err := parseFaultWrite(*faultWrite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		injector = fault.New(fault.Config{Seed: seed, WriteErrorProb: prob, TornWrites: true})
+	}
+
+	spoolDir := *spool
+	if spoolDir == "" {
+		dir, err := os.MkdirTemp("", "sweepworker-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		spoolDir = dir
+	} else if err := os.MkdirAll(spoolDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	wk := &sweep.Worker{
+		Client: &sweep.Client{BaseURL: base},
+		Name:   *name,
+		Runner: sweep.CellRunner{
+			SpoolDir:        spoolDir,
+			CheckpointEvery: *checkpointEvery,
+			Fault:           injector,
+		},
+	}
+	if !*quiet {
+		wk.Logf = log.Printf
+	}
+	if err := wk.Run(context.Background()); err != nil {
+		if sweep.IsInjected(err) {
+			// An injected fault is this process's planned death: exit with
+			// the crash code so harness restart loops treat it like a kill.
+			log.Printf("injected fault: %v", err)
+			os.Exit(fault.CrashExitCode)
+		}
+		log.Fatal(err)
+	}
+}
+
+// parseFaultWrite parses "probability[:seed]".
+func parseFaultWrite(s string) (prob float64, seed uint64, err error) {
+	probStr, seedStr, hasSeed := strings.Cut(s, ":")
+	prob, err = strconv.ParseFloat(probStr, 64)
+	if err != nil || prob < 0 || prob > 1 {
+		return 0, 0, fmt.Errorf("-fault-write %q: want probability in [0,1]", s)
+	}
+	if hasSeed {
+		seed, err = strconv.ParseUint(seedStr, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("-fault-write %q: bad seed", s)
+		}
+	}
+	return prob, seed, nil
+}

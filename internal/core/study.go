@@ -66,6 +66,11 @@ type Options struct {
 	// shorter observation window — replay the event log when the full
 	// stream is needed.
 	ResumePath string
+	// WrapEventLog, when non-nil, wraps the event log's file writer below
+	// the buffering layer — the hook the chaos harness uses to inject
+	// torn writes (fault.Injector.Writer) at the same depth a real crash
+	// mid-write would tear the file.
+	WrapEventLog func(io.Writer) io.Writer
 }
 
 func (o *Options) log(format string, args ...any) {
@@ -179,18 +184,29 @@ func Run(cfg sim.Config, opts Options) (*Study, error) {
 
 	// The run log opens after any pre-run activity (honey campaigns) so
 	// the base snapshot matches the state the day loop starts from.
+	var flushLog func() error
 	if opts.EventLogPath != "" {
-		log, closeLog, err := s.openRunLog(runOpts.Resume)
+		log, flush, closeLog, err := s.openRunLog(runOpts.Resume)
 		if err != nil {
 			s.Close()
 			return nil, err
 		}
 		defer closeLog()
 		runOpts.Log = log
+		flushLog = flush
 	}
 	if opts.CheckpointPath != "" {
 		runOpts.CheckpointEvery = opts.CheckpointEvery
 		runOpts.Checkpoint = func(cp *stream.Checkpoint) error {
+			// Durability order: the log bytes the checkpoint's offset
+			// points at must be on disk before the checkpoint exists, or a
+			// hard crash between buffer flushes leaves a checkpoint no
+			// successor can resume from.
+			if flushLog != nil {
+				if err := flushLog(); err != nil {
+					return err
+				}
+			}
 			return stream.WriteCheckpointFile(opts.CheckpointPath, cp)
 		}
 	}
@@ -265,59 +281,68 @@ func RunHoneyOnly(cfg sim.Config) (*Study, error) {
 
 // openRunLog opens the event log file: created fresh for a new run, or —
 // when resuming — truncated to the checkpoint's offset and appended so
-// the resulting bytes are identical to an uninterrupted run's log.
-func (s *Study) openRunLog(resume *stream.Checkpoint) (*stream.Writer, func(), error) {
+// the resulting bytes are identical to an uninterrupted run's log. The
+// returned flush pushes the buffered bytes to disk (the checkpoint
+// callback calls it so checkpoints never reference unwritten bytes).
+func (s *Study) openRunLog(resume *stream.Checkpoint) (log *stream.Writer, flush func() error, closeLog func(), err error) {
 	path := s.Opts.EventLogPath
 	if resume == nil {
 		f, err := os.Create(path)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: creating event log: %w", err)
+			return nil, nil, nil, fmt.Errorf("core: creating event log: %w", err)
 		}
-		bw := bufio.NewWriterSize(f, 1<<20)
+		bw := bufio.NewWriterSize(s.wrapEventLog(f), 1<<20)
 		log, err := s.World.NewRunLog(bw)
 		if err != nil {
 			f.Close()
-			return nil, nil, fmt.Errorf("core: opening event log: %w", err)
+			return nil, nil, nil, fmt.Errorf("core: opening event log: %w", err)
 		}
 		if s.Opts.SegmentBytes > 0 {
 			log.SetSegmentBytes(s.Opts.SegmentBytes)
 		}
-		return log, func() { bw.Flush(); f.Close() }, nil
+		return log, bw.Flush, func() { bw.Flush(); f.Close() }, nil
 	}
 	if resume.LogOffset == 0 {
-		return nil, nil, fmt.Errorf("core: checkpoint was taken without an event log; start a fresh log instead of resuming %s", path)
+		return nil, nil, nil, fmt.Errorf("core: checkpoint was taken without an event log; start a fresh log instead of resuming %s", path)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: opening event log for resume: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: opening event log for resume: %w", err)
 	}
 	if fi, err := f.Stat(); err != nil || fi.Size() < resume.LogOffset {
 		f.Close()
-		return nil, nil, fmt.Errorf("core: event log shorter than checkpoint offset %d (err=%v)", resume.LogOffset, err)
+		return nil, nil, nil, fmt.Errorf("core: event log shorter than checkpoint offset %d (err=%v)", resume.LogOffset, err)
 	}
 	// Refuse to truncate a file that is not this run's log: the prefix
 	// must carry a readable header whose seed and window match the world.
 	hdr, ok, err := stream.NewTail(f).Header()
 	if err != nil || !ok {
 		f.Close()
-		return nil, nil, fmt.Errorf("core: %s is not a run log for this world (header unreadable: %v)", path, err)
+		return nil, nil, nil, fmt.Errorf("core: %s is not a run log for this world (header unreadable: %v)", path, err)
 	}
 	if hdr.Seed != s.World.Cfg.Seed || hdr.WindowStart != s.World.Cfg.Window.Start || hdr.WindowEnd != s.World.Cfg.Window.End {
 		f.Close()
-		return nil, nil, fmt.Errorf("core: %s belongs to a different run (seed %d window %s..%s, want seed %d window %s..%s)",
+		return nil, nil, nil, fmt.Errorf("core: %s belongs to a different run (seed %d window %s..%s, want seed %d window %s..%s)",
 			path, hdr.Seed, hdr.WindowStart, hdr.WindowEnd,
 			s.World.Cfg.Seed, s.World.Cfg.Window.Start, s.World.Cfg.Window.End)
 	}
 	if err := f.Truncate(resume.LogOffset); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("core: truncating event log at checkpoint: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: truncating event log at checkpoint: %w", err)
 	}
 	if _, err := f.Seek(resume.LogOffset, io.SeekStart); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("core: seeking event log: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: seeking event log: %w", err)
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	return s.World.ResumeRunLog(bw, resume), func() { bw.Flush(); f.Close() }, nil
+	bw := bufio.NewWriterSize(s.wrapEventLog(f), 1<<20)
+	return s.World.ResumeRunLog(bw, resume), bw.Flush, func() { bw.Flush(); f.Close() }, nil
+}
+
+func (s *Study) wrapEventLog(w io.Writer) io.Writer {
+	if s.Opts.WrapEventLog == nil {
+		return w
+	}
+	return s.Opts.WrapEventLog(w)
 }
 
 // startInfrastructure brings up the store facade, the per-IIP offer-wall

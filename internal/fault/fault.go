@@ -1,0 +1,188 @@
+// Package fault is the injectable failure layer the chaos tests drive:
+// deterministic, seed-reproducible wrappers that make an io.Writer tear
+// mid-buffer, an io.Reader error, or an http.RoundTripper drop and delay
+// requests — plus process-level crash points a worker binary plants on
+// its own execution path. The repo's determinism contract makes failure
+// cheap to test: every work item is idempotent and content-verifiable, so
+// the only interesting question is whether the recovery machinery
+// (lease reissue, checkpoint resume, torn-tail salvage) restores the
+// exact bytes a fault-free run would have produced. This package supplies
+// the faults; internal/sweep and internal/stream supply the recovery.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/randx"
+)
+
+// ErrInjected marks every failure this package manufactures, so callers
+// can tell chaos from genuine I/O errors (errors.Is). A worker treating
+// ErrInjected as a simulated crash abandons its lease instead of
+// reporting a failure — exactly what a killed process would do.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Config selects which faults an Injector produces and how often. All
+// probabilities are per-operation; zero values inject nothing, so an
+// empty Config is a transparent pass-through.
+type Config struct {
+	// Seed drives the injector's own randx stream: the same seed over the
+	// same operation sequence reproduces the same faults.
+	Seed uint64
+
+	// WriteErrorProb is the per-Write probability of failing the call.
+	// With TornWrites, a random prefix of the buffer reaches the
+	// underlying writer first — the partial frame a crash mid-write
+	// leaves on disk.
+	WriteErrorProb float64
+	TornWrites     bool
+
+	// ReadErrorProb is the per-Read probability of failing the call.
+	ReadErrorProb float64
+
+	// RequestErrorProb is the per-request probability that the wrapped
+	// RoundTripper fails (connection reset / partition).
+	RequestErrorProb float64
+
+	// LatencyProb delays an operation by up to MaxLatency before it runs
+	// (slow disk, slow network). Applies to writes and requests.
+	LatencyProb float64
+	MaxLatency  time.Duration
+}
+
+// Injector manufactures faults deterministically from its seed. It is
+// safe for concurrent use; concurrency makes the draw order (and thus
+// which operation a fault lands on) scheduling-dependent, but every
+// single-goroutine pipeline — e.g. one cell's run-log writes — sees a
+// reproducible fault sequence.
+type Injector struct {
+	mu  sync.Mutex
+	r   *randx.Rand
+	cfg Config
+
+	injected int64 // faults fired so far
+}
+
+// New returns an injector for cfg. A nil *Injector is valid everywhere
+// and injects nothing.
+func New(cfg Config) *Injector {
+	return &Injector{r: randx.New(cfg.Seed), cfg: cfg}
+}
+
+// Injected reports how many faults have fired, letting tests assert the
+// chaos actually happened.
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// draw runs one fault decision under the lock: whether prob fires, and a
+// latency to sleep (0 = none). The latency is returned rather than slept
+// under the lock so concurrent users do not serialize on a slow fault.
+func (in *Injector) draw(prob float64) (fire bool, delay time.Duration, frac float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.LatencyProb > 0 && in.r.Bool(in.cfg.LatencyProb) {
+		delay = time.Duration(in.r.Float64() * float64(in.cfg.MaxLatency))
+	}
+	if prob > 0 && in.r.Bool(prob) {
+		fire = true
+		frac = in.r.Float64()
+		in.injected++
+	}
+	return fire, delay, frac
+}
+
+// Writer wraps w with write-fault injection. When the injector is nil or
+// injects no write faults, w is returned unwrapped.
+func (in *Injector) Writer(w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	return &faultWriter{in: in, w: w}
+}
+
+type faultWriter struct {
+	in *Injector
+	w  io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	fire, delay, frac := fw.in.draw(fw.in.cfg.WriteErrorProb)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !fire {
+		return fw.w.Write(p)
+	}
+	n := 0
+	if fw.in.cfg.TornWrites && len(p) > 0 {
+		// A crash mid-write persists a prefix of the buffer: the torn
+		// tail stream.Recover exists to salvage.
+		n, _ = fw.w.Write(p[:int(frac*float64(len(p)))])
+	}
+	return n, fmt.Errorf("write of %d bytes torn at %d: %w", len(p), n, ErrInjected)
+}
+
+// Reader wraps r with read-fault injection.
+func (in *Injector) Reader(r io.Reader) io.Reader {
+	if in == nil {
+		return r
+	}
+	return &faultReader{in: in, r: r}
+}
+
+type faultReader struct {
+	in *Injector
+	r  io.Reader
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	fire, delay, _ := fr.in.draw(fr.in.cfg.ReadErrorProb)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fire {
+		return 0, fmt.Errorf("read of %d bytes: %w", len(p), ErrInjected)
+	}
+	return fr.r.Read(p)
+}
+
+// RoundTripper wraps rt with request-fault injection: dropped requests
+// (the injected error surfaces as a transport failure the sweep client
+// retries with backoff) and added latency. A nil rt wraps
+// http.DefaultTransport.
+func (in *Injector) RoundTripper(rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	if in == nil {
+		return rt
+	}
+	return &faultTransport{in: in, rt: rt}
+}
+
+type faultTransport struct {
+	in *Injector
+	rt http.RoundTripper
+}
+
+func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	fire, delay, _ := ft.in.draw(ft.in.cfg.RequestErrorProb)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fire {
+		return nil, fmt.Errorf("%s %s dropped: %w", req.Method, req.URL.Path, ErrInjected)
+	}
+	return ft.rt.RoundTrip(req)
+}

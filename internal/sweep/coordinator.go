@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Coordinator owns one distributed grid run: it expands the scenario×seed
+// grid into idempotent cells, serves them to workers over the HTTP
+// work-queue protocol, reissues expired leases, and assembles the
+// completed cells into the same Result the in-process Run produces —
+// byte-for-byte, because assembly is a pure function of the
+// deterministic cell results.
+type Coordinator struct {
+	g    *grid
+	q    *Queue
+	logf func(format string, args ...any)
+}
+
+// NewCoordinator validates the grid and builds the work queue.
+func NewCoordinator(o Options, qc QueueConfig) (*Coordinator, error) {
+	g, err := expandGrid(o)
+	if err != nil {
+		return nil, err
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Coordinator{g: g, q: NewQueue(g.jobs, qc), logf: logf}, nil
+}
+
+// Queue exposes the underlying work queue (tests drive it directly).
+func (co *Coordinator) Queue() *Queue { return co.q }
+
+// Handler returns the coordinator's HTTP surface.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", co.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", co.handleHeartbeat)
+	mux.HandleFunc("POST /v1/complete", co.handleComplete)
+	mux.HandleFunc("POST /v1/fail", co.handleFail)
+	mux.HandleFunc("GET /v1/status", co.handleStatus)
+	mux.HandleFunc("GET /v1/result", co.handleResult)
+	return mux
+}
+
+// Run waits for the grid to drain, expiring dead workers' leases on a
+// janitor timer, and assembles the final result. Cancelling ctx aborts
+// the wait.
+func (co *Coordinator) Run(ctx context.Context) (*Result, error) {
+	janitor := co.q.cfg.Lease / 4
+	if janitor < 10*time.Millisecond {
+		janitor = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(janitor)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+			if n := co.q.ExpireLeases(time.Now()); n > 0 {
+				co.logf("reissued %d expired lease(s)", n)
+			}
+		case <-co.q.Finished():
+			cells, err := co.q.Cells()
+			if err != nil {
+				return nil, err
+			}
+			return co.g.assemble(cells), nil
+		}
+	}
+}
+
+// Progress snapshots the queue counters.
+func (co *Coordinator) Progress() Progress { return co.q.Progress() }
+
+// CellInfos exposes the per-cell execution accounting (chaos tests
+// assert resume-not-restart through it).
+func (co *Coordinator) CellInfos() []CellRunInfo { return co.q.CellInfos() }
+
+func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var in struct{}
+	if !decode(w, r, &in) {
+		return
+	}
+	claim, retry, done := co.q.Lease(time.Now())
+	if claim != nil {
+		co.logf("lease cell %d (%s/seed=%d) attempt %d", claim.Index, claim.Scenario, claim.Seed, claim.Attempt)
+	}
+	writeJSON(w, leaseResponse{Claim: claim, RetryMS: retry.Milliseconds(), Done: done})
+}
+
+func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var in heartbeatRequest
+	if !decode(w, r, &in) {
+		return
+	}
+	writeOutcome(w, co.q.Heartbeat(in.Index, in.LeaseID, time.Now()))
+}
+
+func (co *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var in completeRequest
+	if !decode(w, r, &in) {
+		return
+	}
+	err := co.q.Complete(in.Index, in.LeaseID, in.Cell, in.Info, time.Now())
+	if err == nil {
+		co.logf("cell %d (%s/seed=%d) complete: %s", in.Index, in.Cell.Scenario, in.Cell.Seed, in.Cell.Eval)
+	}
+	writeOutcome(w, err)
+}
+
+func (co *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var in failRequest
+	if !decode(w, r, &in) {
+		return
+	}
+	co.logf("cell %d failed (transient=%v): %s", in.Index, in.Transient, in.Error)
+	writeOutcome(w, co.q.Fail(in.Index, in.LeaseID, in.Error, in.Transient, time.Now()))
+}
+
+func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, co.q.Progress())
+}
+
+func (co *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-co.q.Finished():
+	default:
+		http.Error(w, "grid not finished", http.StatusServiceUnavailable)
+		return
+	}
+	cells, err := co.q.Cells()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, co.g.assemble(cells))
+}
+
+// decode reads a JSON request body; on failure it writes 400 and
+// returns false.
+func decode(w http.ResponseWriter, r *http.Request, in any) bool {
+	if err := json.NewDecoder(r.Body).Decode(in); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// writeOutcome maps queue sentinels onto the protocol's status codes.
+func writeOutcome(w http.ResponseWriter, err error) {
+	switch {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, ErrLeaseLost):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, ErrDigestMismatch):
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,30 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// CellDigest is the canonical content digest of a cell result: SHA-256
+// over its JSON encoding. Go's encoding/json emits struct fields in
+// declaration order and renders float64 with the shortest representation
+// that round-trips exactly, so the encoding — and therefore the digest —
+// is a pure function of the cell's values, stable across processes and
+// across an unmarshal/marshal cycle.
+//
+// The digest is what makes duplicate completions cheap to adjudicate in
+// the distributed sweep: the simulation is deterministic in (scenario,
+// seed), so two honest workers completing the same cell MUST digest
+// identically, and a mismatch can only mean a corrupted result, divergent
+// binaries, or a misbehaving worker — all conditions to fail loudly on,
+// never to merge silently.
+func CellDigest(c *Cell) string {
+	raw, err := json.Marshal(c)
+	if err != nil {
+		// Cell is plain data (ints, floats, strings); Marshal cannot fail.
+		panic("sweep: cell digest: " + err.Error())
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,222 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/fault"
+)
+
+// startCoordinator serves a coordinator over real HTTP and drains it on a
+// background goroutine; the returned wait collects the final result.
+func startCoordinator(t *testing.T, opts Options, qc QueueConfig) (*Coordinator, string, func() (*Result, error)) {
+	t.Helper()
+	co, err := NewCoordinator(opts, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(co.Handler())
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := co.Run(ctx)
+		ch <- outcome{res, err}
+	}()
+	return co, srv.URL, func() (*Result, error) {
+		o := <-ch
+		return o.res, o.err
+	}
+}
+
+func marshalResult(t *testing.T, res *Result) []byte {
+	t.Helper()
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDistributedMatchesInProcess is the distributed sweep's acceptance
+// bar: two worker processes (in-process Worker loops over real HTTP,
+// spooled cell runs) must produce a Result byte-identical to the plain
+// in-process Run of the same grid — the determinism contract, end to end
+// through the lease protocol, the spooled run log, and pure assembly.
+func TestDistributedMatchesInProcess(t *testing.T) {
+	names := []string{microName(t, "paper-baseline"), microName(t, "jitter")}
+	opts := Options{Scenarios: names, Seeds: []uint64{20190301, 20190401}}
+
+	ref, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co, url, wait := startCoordinator(t, opts, QueueConfig{Lease: 30 * time.Second})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wk := &Worker{
+				Client:  &Client{BaseURL: url},
+				Name:    fmt.Sprintf("w%d", i),
+				Runner:  CellRunner{SpoolDir: t.TempDir()},
+				PollMax: 20 * time.Millisecond,
+			}
+			if err := wk.Run(context.Background()); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := marshalResult(t, res), marshalResult(t, ref); !bytes.Equal(got, want) {
+		t.Errorf("distributed result diverges from in-process run:\n--- distributed ---\n%s\n--- in-process ---\n%s", got, want)
+	}
+	p := co.Progress()
+	if p.Done != 4 || p.Mismatches != 0 {
+		t.Errorf("progress = %+v", p)
+	}
+}
+
+// TestDistributedSweepChaos runs the full grid under injected failure —
+// workers killed mid-cell at day barriers, torn run-log writes, dropped
+// protocol requests — restarting a fresh worker incarnation over the same
+// spool after each death, and asserts the recovery machinery restores the
+// exact bytes: the aggregate equals the fault-free in-process run, and
+// the per-cell day accounting proves killed cells were resumed from their
+// checkpoints, not restarted.
+func TestDistributedSweepChaos(t *testing.T) {
+	names := []string{microName(t, "paper-baseline"), microName(t, "sybil-split")}
+	opts := Options{Scenarios: names, Seeds: []uint64{20190301, 20190401}}
+	const windowDays = 20 // micro scenarios simulate a 20-day window
+
+	clean, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The lease must comfortably exceed the gap between lease grant and
+	// the first day-barrier heartbeat (world build + possible resume
+	// re-ingest), or live workers expire and the grid livelocks.
+	leaseFor := 3 * time.Second
+	co, url, wait := startCoordinator(t, opts, QueueConfig{
+		Lease:       leaseFor,
+		MaxAttempts: 12,
+		RetryBase:   10 * time.Millisecond,
+		RetryCap:    50 * time.Millisecond,
+		Seed:        1,
+	})
+
+	// Every incarnation shares one spool: a successor finds its
+	// predecessor's torn log and checkpoints exactly as a restarted
+	// process on the same host would.
+	spool := t.TempDir()
+	kills := 4 // planned mid-cell deaths at day barriers
+	torn := 3  // incarnations whose log writes may tear (each dies at most once either way)
+	const maxIncarnations = 60
+	incarnations := 0
+	for i := 0; ; i++ {
+		if i >= maxIncarnations {
+			t.Fatalf("grid not drained after %d worker incarnations: %+v", i, co.Progress())
+		}
+		incarnations++
+
+		// The first few incarnations may die of a torn log write before
+		// their day-barrier kill fires; the probability is per Write call,
+		// so it must stay tiny or nothing ever reaches a checkpoint. Later
+		// incarnations run clean so the grid always drains.
+		var injector *fault.Injector
+		if torn > 0 {
+			torn--
+			injector = fault.New(fault.Config{Seed: uint64(i + 1), WriteErrorProb: 0.0005, TornWrites: true})
+		}
+		httpFaults := fault.New(fault.Config{Seed: uint64(100 + i), RequestErrorProb: 0.05})
+
+		days := 0
+		wk := &Worker{
+			Client: &Client{
+				BaseURL:   url,
+				HTTP:      &http.Client{Transport: httpFaults.RoundTripper(nil)},
+				RetryBase: 2 * time.Millisecond,
+			},
+			Name: fmt.Sprintf("inc%d", i),
+			Runner: CellRunner{
+				SpoolDir:        spool,
+				CheckpointEvery: 1,
+				Fault:           injector,
+				PerDay: func(dates.Date) error {
+					if days++; kills > 0 && days == 8 {
+						kills--
+						return fmt.Errorf("chaos: killed at day barrier %d: %w", days, fault.ErrInjected)
+					}
+					return nil
+				},
+			},
+			PollMax: 25 * time.Millisecond,
+		}
+
+		err := wk.Run(context.Background())
+		if err == nil {
+			break // grid drained (or poisoned — wait() distinguishes)
+		}
+		if !IsInjected(err) {
+			t.Fatalf("incarnation %d died of a non-injected error: %v", i, err)
+		}
+		// The dead incarnation's lease would take a full lease interval to
+		// time out; fast-forward the clock for the expiry check only (no
+		// other worker is alive, so no live lease can be swept up).
+		co.Queue().ExpireLeases(time.Now().Add(leaseFor + time.Second))
+	}
+
+	res, err := wait()
+	if err != nil {
+		t.Fatalf("grid failed under chaos: %v", err)
+	}
+	if got, want := marshalResult(t, res), marshalResult(t, clean); !bytes.Equal(got, want) {
+		t.Errorf("chaos result diverges from fault-free run:\n--- chaos ---\n%s\n--- clean ---\n%s", got, want)
+	}
+
+	// Day accounting: for every cell the checkpointed prefix plus the days
+	// the finishing incarnation actually simulated must cover the window
+	// exactly — a restarted (rather than resumed) cell would double-count.
+	resumed := 0
+	for i, info := range co.CellInfos() {
+		if info.ResumedAfterDays+info.DaysExecuted != windowDays {
+			t.Errorf("cell %d day accounting broken: resumed_after=%d + executed=%d != %d",
+				i, info.ResumedAfterDays, info.DaysExecuted, windowDays)
+		}
+		if info.Resumed && info.ResumedAfterDays > 0 {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Errorf("no cell was checkpoint-resumed (infos=%+v, incarnations=%d)", co.CellInfos(), incarnations)
+	}
+	p := co.Progress()
+	if p.Done != 4 || p.Mismatches != 0 {
+		t.Errorf("progress = %+v", p)
+	}
+	if p.Expiries == 0 {
+		t.Errorf("no lease ever expired under chaos: %+v", p)
+	}
+	t.Logf("chaos drained: %d incarnations, progress=%+v", incarnations, p)
+}

@@ -1,0 +1,413 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/randx"
+)
+
+// Queue errors surfaced to workers (mapped to HTTP statuses by the
+// transport).
+var (
+	// ErrLeaseLost means the lease being renewed or completed was
+	// reissued to another worker (expiry) or never existed. The worker
+	// abandons the cell; whoever holds the live lease finishes it.
+	ErrLeaseLost = errors.New("sweep: lease lost")
+	// ErrDigestMismatch means two completions of the same cell disagree —
+	// impossible for honest deterministic workers, so the whole grid
+	// fails loudly rather than pick a winner.
+	ErrDigestMismatch = errors.New("sweep: duplicate completion digest mismatch")
+)
+
+// QueueConfig tunes the work queue's failure handling.
+type QueueConfig struct {
+	// Lease bounds how long a worker may hold a cell without renewing;
+	// an expired lease is reissued (default 30s).
+	Lease time.Duration
+	// MaxAttempts bounds lease grants per cell before the grid fails
+	// (default 5). Expiries and transient failures both consume attempts.
+	MaxAttempts int
+	// RetryBase/RetryCap shape the capped exponential backoff applied
+	// after a transient cell failure (defaults 250ms / 10s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Seed drives the backoff jitter stream (deterministic for tests).
+	Seed uint64
+}
+
+func (qc QueueConfig) withDefaults() QueueConfig {
+	if qc.Lease <= 0 {
+		qc.Lease = 30 * time.Second
+	}
+	if qc.MaxAttempts <= 0 {
+		qc.MaxAttempts = 5
+	}
+	if qc.RetryBase <= 0 {
+		qc.RetryBase = 250 * time.Millisecond
+	}
+	if qc.RetryCap <= 0 {
+		qc.RetryCap = 10 * time.Second
+	}
+	return qc
+}
+
+// CellClaim is one leased work item: enough for a worker in another
+// process to reconstruct the cell (registry lookup + base override) and
+// to identify itself on every subsequent call.
+type CellClaim struct {
+	Index    int    `json:"index"`
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	Base     string `json:"base,omitempty"`
+	LeaseID  string `json:"lease_id"`
+	LeaseMS  int64  `json:"lease_ms"`
+	Attempt  int    `json:"attempt"`
+}
+
+// Progress is a point-in-time queue snapshot.
+type Progress struct {
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Leased  int `json:"leased"`
+	Pending int `json:"pending"`
+	// Attempts counts lease grants; Expiries, reissues after lease
+	// timeout; Duplicates, completions for already-done cells; Salvaged,
+	// completions accepted from expired leases (the work was valid —
+	// determinism — even though the lease was lost); Mismatches,
+	// digest-diverging duplicates (fatal).
+	Attempts   int `json:"attempts"`
+	Expiries   int `json:"expiries"`
+	Duplicates int `json:"duplicates"`
+	Salvaged   int `json:"salvaged"`
+	Mismatches int `json:"mismatches"`
+}
+
+type cellState int
+
+const (
+	statePending cellState = iota
+	stateLeased
+	stateDone
+)
+
+// slot is one cell's queue entry.
+type slot struct {
+	job       gridJob
+	state     cellState
+	leaseID   string
+	deadline  time.Time
+	attempts  int
+	notBefore time.Time // backoff gate for the next lease
+	cell      Cell
+	digest    string
+	info      CellRunInfo
+}
+
+// Queue is the coordinator's work-queue state machine: cells move
+// pending → leased → done, with expired leases reissued and transient
+// failures retried under capped exponential backoff with jitter. All
+// methods take the current time explicitly, so every transition —
+// including expiry — is deterministic under test.
+//
+// Completions are accepted even from expired leases: the determinism
+// contract makes any honest execution of a cell valid, so late work is
+// salvage, not garbage. Duplicate completions must digest identically;
+// a mismatch poisons the queue (Err) because it can only mean divergent
+// or corrupted workers.
+type Queue struct {
+	mu       sync.Mutex
+	cfg      QueueConfig
+	slots    []slot
+	r        *randx.Rand
+	leaseSeq int
+	done     int
+	err      error
+	finished chan struct{}
+	closed   bool
+	prog     Progress
+}
+
+// NewQueue builds a queue over the grid's job list.
+func NewQueue(jobs []gridJob, cfg QueueConfig) *Queue {
+	q := &Queue{
+		cfg:      cfg.withDefaults(),
+		slots:    make([]slot, len(jobs)),
+		r:        randx.New(cfg.Seed ^ 0x51eea5e5),
+		finished: make(chan struct{}),
+	}
+	for i, j := range jobs {
+		q.slots[i].job = j
+	}
+	q.prog.Total = len(jobs)
+	if len(jobs) == 0 {
+		q.closeLocked()
+	}
+	return q
+}
+
+// closeLocked closes the finished channel exactly once.
+func (q *Queue) closeLocked() {
+	if !q.closed {
+		q.closed = true
+		close(q.finished)
+	}
+}
+
+// Lease hands out the lowest-indexed available cell. Exactly one of the
+// return values is meaningful: a claim, done=true (all cells completed,
+// shut down), or a retry hint (nothing available right now — backoff
+// gates or outstanding leases).
+func (q *Queue) Lease(now time.Time) (claim *CellClaim, retry time.Duration, done bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done == len(q.slots) || q.err != nil {
+		return nil, 0, true
+	}
+	q.expireLocked(now)
+	var soonest time.Time
+	for i := range q.slots {
+		s := &q.slots[i]
+		if s.state != statePending {
+			continue
+		}
+		if s.notBefore.After(now) {
+			if soonest.IsZero() || s.notBefore.Before(soonest) {
+				soonest = s.notBefore
+			}
+			continue
+		}
+		s.state = stateLeased
+		s.attempts++
+		q.leaseSeq++
+		s.leaseID = fmt.Sprintf("lease-%d-%d", i, q.leaseSeq)
+		s.deadline = now.Add(q.cfg.Lease)
+		q.prog.Attempts++
+		return &CellClaim{
+			Index:    i,
+			Scenario: s.job.spec.Name,
+			Seed:     s.job.seed,
+			Base:     s.job.spec.World.Base,
+			LeaseID:  s.leaseID,
+			LeaseMS:  q.cfg.Lease.Milliseconds(),
+			Attempt:  s.attempts,
+		}, 0, false
+	}
+	// Nothing leasable: either backoff gates (wake at the soonest) or
+	// every remaining cell is out on lease (poll at a fraction of the
+	// lease so an expiry is picked up promptly).
+	retry = q.cfg.Lease / 4
+	if !soonest.IsZero() {
+		if d := soonest.Sub(now); d < retry {
+			retry = d
+		}
+	}
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	return nil, retry, false
+}
+
+// Heartbeat renews a live lease; ErrLeaseLost tells the worker its cell
+// has been reissued (or finished) and it should abandon the run.
+func (q *Queue) Heartbeat(index int, leaseID string, now time.Time) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.checkIndex(index); err != nil {
+		return err
+	}
+	q.expireLocked(now)
+	s := &q.slots[index]
+	if s.state != stateLeased || s.leaseID != leaseID {
+		return ErrLeaseLost
+	}
+	s.deadline = now.Add(q.cfg.Lease)
+	return nil
+}
+
+// Complete records a finished cell. First completion wins; duplicates —
+// from reissues racing a slow-but-alive worker — are cross-checked by
+// digest and dropped when identical, fatal when not. A completion whose
+// lease expired is still accepted (salvage): determinism makes the
+// result exactly as valid as the live lease holder's will be.
+func (q *Queue) Complete(index int, leaseID string, cell Cell, info CellRunInfo, now time.Time) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.checkIndex(index); err != nil {
+		return err
+	}
+	s := &q.slots[index]
+	digest := CellDigest(&cell)
+	if s.state == stateDone {
+		q.prog.Duplicates++
+		if digest != s.digest {
+			q.prog.Mismatches++
+			q.failLocked(fmt.Errorf("%w: cell %d (%s/seed=%d): %s vs %s",
+				ErrDigestMismatch, index, s.job.spec.Name, cell.Seed, s.digest, digest))
+			return ErrDigestMismatch
+		}
+		return nil
+	}
+	if s.state != stateLeased || s.leaseID != leaseID {
+		q.prog.Salvaged++
+	}
+	s.state = stateDone
+	s.cell, s.digest, s.info = cell, digest, info
+	s.leaseID = ""
+	q.done++
+	q.prog.Done = q.done
+	if q.done == len(q.slots) {
+		q.closeLocked()
+	}
+	return nil
+}
+
+// Fail reports a cell failure. Transient failures re-queue the cell
+// under capped exponential backoff with jitter until MaxAttempts lease
+// grants are exhausted; permanent failures (and exhaustion) poison the
+// whole grid — a deterministic cell that cannot run will not run better
+// elsewhere.
+func (q *Queue) Fail(index int, leaseID, msg string, transient bool, now time.Time) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.checkIndex(index); err != nil {
+		return err
+	}
+	s := &q.slots[index]
+	if s.state != stateLeased || s.leaseID != leaseID {
+		return ErrLeaseLost
+	}
+	name := s.job.spec.Name
+	if !transient {
+		q.failLocked(fmt.Errorf("sweep: cell %d (%s/seed=%d) failed permanently: %s", index, name, s.job.seed, msg))
+		return nil
+	}
+	if s.attempts >= q.cfg.MaxAttempts {
+		q.failLocked(fmt.Errorf("sweep: cell %d (%s/seed=%d) failed after %d attempts: %s",
+			index, name, s.job.seed, s.attempts, msg))
+		return nil
+	}
+	s.state = statePending
+	s.leaseID = ""
+	s.notBefore = now.Add(q.backoffLocked(s.attempts))
+	return nil
+}
+
+// ExpireLeases reissues cells whose lease deadline has passed; the
+// coordinator's janitor calls it on a timer. Returns how many expired.
+func (q *Queue) ExpireLeases(now time.Time) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expireLocked(now)
+}
+
+func (q *Queue) expireLocked(now time.Time) int {
+	n := 0
+	for i := range q.slots {
+		s := &q.slots[i]
+		if s.state != stateLeased || s.deadline.After(now) {
+			continue
+		}
+		q.prog.Expiries++
+		n++
+		if s.attempts >= q.cfg.MaxAttempts {
+			q.failLocked(fmt.Errorf("sweep: cell %d (%s/seed=%d) lease expired on final attempt %d",
+				i, s.job.spec.Name, s.job.seed, s.attempts))
+			return n
+		}
+		// Reissue immediately: the previous holder is presumed dead, and
+		// its checkpointed spool lets the successor resume, not restart.
+		s.state = statePending
+		s.leaseID = ""
+		s.notBefore = time.Time{}
+	}
+	return n
+}
+
+// backoffLocked returns the jittered capped-exponential delay after the
+// given attempt count (1-based).
+func (q *Queue) backoffLocked(attempt int) time.Duration {
+	d := q.cfg.RetryBase
+	for i := 1; i < attempt && d < q.cfg.RetryCap; i++ {
+		d *= 2
+	}
+	if d > q.cfg.RetryCap {
+		d = q.cfg.RetryCap
+	}
+	// Full jitter on the upper half: [d/2, d).
+	return d/2 + time.Duration(q.r.Float64()*float64(d/2))
+}
+
+func (q *Queue) failLocked(err error) {
+	if q.err != nil {
+		return
+	}
+	q.err = err
+	q.closeLocked()
+}
+
+func (q *Queue) checkIndex(index int) error {
+	if index < 0 || index >= len(q.slots) {
+		return fmt.Errorf("sweep: cell index %d out of range (%d cells)", index, len(q.slots))
+	}
+	return nil
+}
+
+// Finished is closed when every cell is done or the queue is poisoned.
+func (q *Queue) Finished() <-chan struct{} { return q.finished }
+
+// Err returns the poisoning error, if any.
+func (q *Queue) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Cells returns the completed results in job order; an error if the
+// queue failed or is not finished.
+func (q *Queue) Cells() ([]Cell, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil {
+		return nil, q.err
+	}
+	if q.done != len(q.slots) {
+		return nil, fmt.Errorf("sweep: grid incomplete: %d of %d cells done", q.done, len(q.slots))
+	}
+	cells := make([]Cell, len(q.slots))
+	for i := range q.slots {
+		cells[i] = q.slots[i].cell
+	}
+	return cells, nil
+}
+
+// CellInfos returns the per-cell execution accounting (valid once
+// finished; zero values for cells that never completed).
+func (q *Queue) CellInfos() []CellRunInfo {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	infos := make([]CellRunInfo, len(q.slots))
+	for i := range q.slots {
+		infos[i] = q.slots[i].info
+	}
+	return infos
+}
+
+// Progress returns a snapshot of queue counters.
+func (q *Queue) Progress() Progress {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p := q.prog
+	p.Leased, p.Pending = 0, 0
+	for i := range q.slots {
+		switch q.slots[i].state {
+		case stateLeased:
+			p.Leased++
+		case statePending:
+			p.Pending++
+		}
+	}
+	return p
+}

@@ -1,0 +1,209 @@
+package sweep
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func testQueueJobs(n int) []gridJob {
+	jobs := make([]gridJob, n)
+	for i := range jobs {
+		jobs[i] = gridJob{spec: scenario.Spec{Name: "s"}, seed: uint64(i + 1)}
+	}
+	return jobs
+}
+
+func testCell(seed uint64, recall float64) Cell {
+	c := Cell{Scenario: "s", Seed: seed, Truth: 10, Groups: 2, Flagged: 8}
+	c.Eval.Recall = recall
+	return c
+}
+
+// TestQueueLeaseExpiryReissueDigest is the lease lifecycle table: a
+// worker leases a cell, goes silent past the lease deadline, the cell is
+// reissued, and then BOTH workers complete it — the late completion is
+// salvaged when it matches the winner by digest, and poisons the grid
+// when it does not.
+func TestQueueLeaseExpiryReissueDigest(t *testing.T) {
+	cases := []struct {
+		name       string
+		lateRecall float64 // late duplicate's recall (first completion used 0.5)
+		wantErr    bool
+	}{
+		{"duplicate matches digest", 0.5, false},
+		{"duplicate diverges", 0.75, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := QueueConfig{Lease: time.Second, MaxAttempts: 5}
+			q := NewQueue(testQueueJobs(1), cfg)
+			t0 := time.Unix(1_000_000, 0)
+
+			claim1, _, done := q.Lease(t0)
+			if done || claim1 == nil {
+				t.Fatalf("first lease: claim=%v done=%v", claim1, done)
+			}
+			if claim1.Index != 0 || claim1.Attempt != 1 {
+				t.Fatalf("first claim = %+v", claim1)
+			}
+
+			// Worker goes silent; the deadline passes; the janitor expires it.
+			t1 := t0.Add(cfg.Lease + time.Millisecond)
+			if n := q.ExpireLeases(t1); n != 1 {
+				t.Fatalf("expired %d leases, want 1", n)
+			}
+			if err := q.Heartbeat(0, claim1.LeaseID, t1); !errors.Is(err, ErrLeaseLost) {
+				t.Fatalf("stale heartbeat: %v, want ErrLeaseLost", err)
+			}
+
+			// Reissue: same cell, new lease, attempt count advanced.
+			claim2, _, done := q.Lease(t1)
+			if done || claim2 == nil || claim2.Index != 0 {
+				t.Fatalf("reissue: claim=%+v done=%v", claim2, done)
+			}
+			if claim2.Attempt != 2 || claim2.LeaseID == claim1.LeaseID {
+				t.Fatalf("reissue = %+v (old lease %s)", claim2, claim1.LeaseID)
+			}
+			if err := q.Heartbeat(0, claim2.LeaseID, t1); err != nil {
+				t.Fatalf("live heartbeat: %v", err)
+			}
+
+			// The live holder completes first.
+			if err := q.Complete(0, claim2.LeaseID, testCell(1, 0.5), CellRunInfo{}, t1); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-q.Finished():
+			default:
+				t.Fatal("queue not finished after sole cell completed")
+			}
+
+			// The presumed-dead worker finishes late and reports too.
+			err := q.Complete(0, claim1.LeaseID, testCell(1, tc.lateRecall), CellRunInfo{}, t1.Add(time.Second))
+			p := q.Progress()
+			if p.Duplicates != 1 || p.Expiries != 1 || p.Attempts != 2 {
+				t.Fatalf("counters = %+v", p)
+			}
+			if tc.wantErr {
+				if !errors.Is(err, ErrDigestMismatch) {
+					t.Fatalf("diverging duplicate: %v, want ErrDigestMismatch", err)
+				}
+				if qerr := q.Err(); !errors.Is(qerr, ErrDigestMismatch) {
+					t.Fatalf("queue not poisoned: %v", qerr)
+				}
+				if _, err := q.Cells(); err == nil {
+					t.Fatal("poisoned queue handed out cells")
+				}
+				if p.Mismatches != 1 {
+					t.Fatalf("mismatches = %d, want 1", p.Mismatches)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("matching duplicate rejected: %v", err)
+			}
+			if q.Err() != nil {
+				t.Fatalf("queue poisoned by matching duplicate: %v", q.Err())
+			}
+			cells, err := q.Cells()
+			if err != nil || len(cells) != 1 || cells[0].Eval.Recall != 0.5 {
+				t.Fatalf("cells = %+v, %v", cells, err)
+			}
+		})
+	}
+}
+
+// TestQueueSalvagedCompletion: a completion arriving after lease expiry
+// but before the reissued lease finishes is accepted — determinism makes
+// late work exactly as valid — and counted as salvage.
+func TestQueueSalvagedCompletion(t *testing.T) {
+	cfg := QueueConfig{Lease: time.Second}
+	q := NewQueue(testQueueJobs(1), cfg)
+	t0 := time.Unix(1_000_000, 0)
+	claim, _, _ := q.Lease(t0)
+	t1 := t0.Add(2 * time.Second)
+	q.ExpireLeases(t1)
+	if err := q.Complete(0, claim.LeaseID, testCell(1, 0.5), CellRunInfo{}, t1); err != nil {
+		t.Fatalf("salvaged completion rejected: %v", err)
+	}
+	p := q.Progress()
+	if p.Salvaged != 1 || p.Done != 1 {
+		t.Fatalf("counters = %+v", p)
+	}
+	// The reissued holder never gets the cell back: lease says done.
+	if _, _, done := q.Lease(t1); !done {
+		t.Fatal("queue not done after salvaged completion")
+	}
+}
+
+// TestQueueTransientBackoff: a transient failure re-queues the cell
+// behind a jittered backoff gate, and the gate actually holds.
+func TestQueueTransientBackoff(t *testing.T) {
+	cfg := QueueConfig{Lease: time.Second, RetryBase: 100 * time.Millisecond, RetryCap: time.Second, MaxAttempts: 5}
+	q := NewQueue(testQueueJobs(1), cfg)
+	t0 := time.Unix(1_000_000, 0)
+	claim, _, _ := q.Lease(t0)
+	if err := q.Fail(0, claim.LeaseID, "disk on fire", true, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately after: gated. The retry hint points at the gate.
+	c2, retry, done := q.Lease(t0)
+	if c2 != nil || done {
+		t.Fatalf("leased through backoff gate: %+v done=%v", c2, done)
+	}
+	if retry <= 0 || retry > cfg.RetryBase {
+		t.Fatalf("retry hint %v, want (0, %v]", retry, cfg.RetryBase)
+	}
+	// After the base interval the jittered gate ([base/2, base)) is open.
+	c3, _, _ := q.Lease(t0.Add(cfg.RetryBase))
+	if c3 == nil || c3.Attempt != 2 {
+		t.Fatalf("post-backoff claim = %+v", c3)
+	}
+}
+
+// TestQueueAttemptsExhausted: transient failures stop being retried at
+// MaxAttempts and poison the grid instead.
+func TestQueueAttemptsExhausted(t *testing.T) {
+	cfg := QueueConfig{Lease: time.Second, RetryBase: time.Millisecond, MaxAttempts: 2}
+	q := NewQueue(testQueueJobs(1), cfg)
+	now := time.Unix(1_000_000, 0)
+	grants := 0
+	for {
+		claim, retry, done := q.Lease(now)
+		if done {
+			break
+		}
+		if claim == nil {
+			now = now.Add(retry)
+			continue
+		}
+		if grants++; grants > cfg.MaxAttempts {
+			t.Fatalf("lease granted beyond MaxAttempts: %+v", claim)
+		}
+		if err := q.Fail(claim.Index, claim.LeaseID, "still broken", true, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Err(); err == nil {
+		t.Fatal("exhausted queue reports no error")
+	}
+}
+
+// TestQueuePermanentFailure poisons immediately.
+func TestQueuePermanentFailure(t *testing.T) {
+	q := NewQueue(testQueueJobs(2), QueueConfig{})
+	t0 := time.Unix(1_000_000, 0)
+	claim, _, _ := q.Lease(t0)
+	if err := q.Fail(claim.Index, claim.LeaseID, "unknown scenario", false, t0); err != nil {
+		t.Fatal(err)
+	}
+	if q.Err() == nil {
+		t.Fatal("permanent failure did not poison the queue")
+	}
+	if _, _, done := q.Lease(t0); !done {
+		t.Fatal("poisoned queue still leasing")
+	}
+}

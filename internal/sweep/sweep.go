@@ -1,26 +1,34 @@
-// Package sweep runs a scenario×seed grid of full simulations in
-// parallel and scores the Section 5.2 lockstep detector against each
-// world's recorded ground truth. It is the measurement harness for the
-// paper's open question — does install-time lockstep detection survive
-// adversaries that adapt? — executed as: one isolated world per grid
-// cell, the event-sourced run log tapped online (the detector ingests
-// installs day by day through stream.Tail, exactly as an out-of-process
-// analytics job would), and precision/recall/F1 per adversary at the end.
+// Package sweep runs a scenario×seed grid of full simulations and scores
+// the Section 5.2 lockstep detector against each world's recorded ground
+// truth. It is the measurement harness for the paper's open question —
+// does install-time lockstep detection survive adversaries that adapt? —
+// executed as: one isolated world per grid cell, the event-sourced run
+// log tapped online (the detector ingests installs day by day through
+// stream.Tail, exactly as an out-of-process analytics job would), and
+// precision/recall/F1 per adversary at the end.
+//
+// The grid runs in two shapes with byte-identical results:
+//
+//   - In-process (Run): cells fan out across goroutines via conc.ForN.
+//   - Distributed (Coordinator + Worker over the HTTP work-queue in
+//     transport.go): cells are handed out under time-bounded leases,
+//     crashed workers' cells are reissued and resumed from their spooled
+//     checkpoints, and duplicate completions are cross-checked by content
+//     digest. Every cell is deterministic in (scenario, seed), which is
+//     what makes the distribution trivial to verify: any honest execution
+//     of a cell yields the same bytes.
 package sweep
 
 import (
 	"fmt"
-	"io"
 	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/conc"
-	"repro/internal/dates"
 	"repro/internal/lockstep"
 	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/stream"
 )
 
 // Options selects the grid.
@@ -80,18 +88,35 @@ func (r *Result) Baseline() (Summary, bool) {
 	return Summary{}, false
 }
 
-// Run executes the grid. Every cell is deterministic in (scenario, seed);
-// cells run concurrently via the same bounded fan-out primitive the day
-// engine uses, and the assembled result orders scenarios as requested and
-// cells by seed, so the report is identical for any Workers setting.
-func Run(o Options) (*Result, error) {
+// gridJob is one cell's work order: the resolved spec plus the requested
+// seed (0 = the base config's calibrated seed).
+type gridJob struct {
+	spec scenario.Spec
+	seed uint64
+}
+
+// grid is an expanded, validated work list: what both the in-process
+// runner and the coordinator hand out, and what assembles cells back into
+// a Result. Job order is (scenario request order) × (seed order), so a
+// job index is a stable cell identity across processes.
+type grid struct {
+	base  string
+	names []string
+	descs map[string]string
+	seeds []uint64
+	jobs  []gridJob
+}
+
+// expandGrid resolves Options into the deduplicated scenario×seed job
+// list.
+func expandGrid(o Options) (*grid, error) {
 	requested := o.Scenarios
 	if len(requested) == 0 {
 		requested = scenario.Names()
 	}
+	g := &grid{base: o.Base, descs: map[string]string{}}
 	// Dedupe while keeping first-request order: a repeated name would
-	// both re-run its cells and corrupt the mean aggregation below.
-	var names []string
+	// both re-run its cells and corrupt the mean aggregation.
 	var specs []scenario.Spec
 	seen := map[string]bool{}
 	for _, name := range requested {
@@ -106,64 +131,42 @@ func Run(o Options) (*Result, error) {
 		if o.Base != "" {
 			sp.World.Base = o.Base
 		}
-		names = append(names, name)
+		g.names = append(g.names, name)
+		g.descs[name] = sp.Description
 		specs = append(specs, sp)
 	}
-	seeds := o.Seeds
-	if len(seeds) == 0 {
-		seeds = []uint64{0} // 0 = the base config's calibrated seed
+	g.seeds = o.Seeds
+	if len(g.seeds) == 0 {
+		g.seeds = []uint64{0} // 0 = the base config's calibrated seed
 	}
-
-	type cellJob struct {
-		spec scenario.Spec
-		seed uint64
-	}
-	var jobs []cellJob
 	for _, sp := range specs {
-		for _, seed := range seeds {
-			jobs = append(jobs, cellJob{sp, seed})
+		for _, seed := range g.seeds {
+			g.jobs = append(g.jobs, gridJob{sp, seed})
 		}
 	}
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	cells := make([]Cell, len(jobs))
-	errs := make([]error, len(jobs))
-	var logMu sync.Mutex
-	conc.ForN(workers, len(jobs), func(i int) {
-		cell, err := runCell(jobs[i].spec, jobs[i].seed)
-		cells[i], errs[i] = cell, err
-		if o.Logf != nil {
-			logMu.Lock()
-			if err != nil {
-				o.Logf("cell %s/seed=%d failed: %v", jobs[i].spec.Name, cell.Seed, err)
-			} else {
-				o.Logf("cell %s/seed=%d: %s", cell.Scenario, cell.Seed, cell.Eval)
-			}
-			logMu.Unlock()
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
+	return g, nil
+}
 
-	res := &Result{Base: o.Base}
-	for _, c := range cells[:min(len(cells), len(seeds))] {
+// assemble folds completed cells (in job order) into the final Result:
+// scenarios ordered as requested, cells ordered by seed, means across
+// seeds. The output is a pure function of the cells, so any execution —
+// in-process, distributed, resumed after crashes — assembles the same
+// bytes.
+func (g *grid) assemble(cells []Cell) *Result {
+	res := &Result{Base: g.base}
+	for _, c := range cells[:min(len(cells), len(g.seeds))] {
 		res.Seeds = append(res.Seeds, c.Seed)
 	}
 	byName := map[string]*Summary{}
-	for i, c := range cells {
+	for _, c := range cells {
 		s := byName[c.Scenario]
 		if s == nil {
-			s = &Summary{Name: c.Scenario, Description: jobs[i].spec.Description}
+			s = &Summary{Name: c.Scenario, Description: g.descs[c.Scenario]}
 			byName[c.Scenario] = s
 		}
 		s.Cells = append(s.Cells, c)
 	}
-	for _, name := range names {
+	for _, name := range g.names {
 		s := byName[name]
 		if s == nil {
 			continue
@@ -180,105 +183,44 @@ func Run(o Options) (*Result, error) {
 		s.F1 /= n
 		res.Scenarios = append(res.Scenarios, *s)
 	}
-	return res, nil
+	return res
 }
 
-// runCell builds one isolated world, runs it with the event log tapped
-// online into an incremental detector, then scores groups against the
-// world's ground truth plus organic decoys.
-func runCell(sp scenario.Spec, seed uint64) (Cell, error) {
-	cfg, err := sim.ConfigForSpec(sp)
+// Run executes the grid in-process. Every cell is deterministic in
+// (scenario, seed); cells run concurrently via the same bounded fan-out
+// primitive the day engine uses, and the assembled result orders
+// scenarios as requested and cells by seed, so the report is identical
+// for any Workers setting.
+func Run(o Options) (*Result, error) {
+	g, err := expandGrid(o)
 	if err != nil {
-		return Cell{}, err
+		return nil, err
 	}
-	if seed != 0 {
-		cfg.Seed = seed
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	cfg.Workers = 1 // the grid parallelizes across cells
-	cell := Cell{Scenario: sp.Name, Seed: cfg.Seed}
-
-	w, err := sim.NewWorld(cfg)
-	if err != nil {
-		return cell, fmt.Errorf("sweep: building %s/seed=%d: %w", sp.Name, cfg.Seed, err)
-	}
-	// The run log drains into an in-memory buffer a Tail follows at each
-	// day barrier — the same online wiring examples/monitoring uses
-	// against a file, minus the disk.
-	var buf memLog
-	runLog, err := w.NewRunLog(&buf)
-	if err != nil {
-		return cell, err
-	}
-	det := lockstep.NewDetector(sp.Detector.Config())
-	tail := stream.NewTail(&buf)
-	var (
-		ev     stream.Event
-		curDay dates.Date
-	)
-	drain := func() error {
-		for {
-			ok, err := tail.Next(&ev)
+	var runner CellRunner // zero value: in-memory, no spool
+	cells := make([]Cell, len(g.jobs))
+	errs := make([]error, len(g.jobs))
+	var logMu sync.Mutex
+	conc.ForN(workers, len(g.jobs), func(i int) {
+		cell, _, err := runner.Run(g.jobs[i].spec, g.jobs[i].seed)
+		cells[i], errs[i] = cell, err
+		if o.Logf != nil {
+			logMu.Lock()
 			if err != nil {
-				return err
+				o.Logf("cell %s/seed=%d failed: %v", g.jobs[i].spec.Name, cell.Seed, err)
+			} else {
+				o.Logf("cell %s/seed=%d: %s", cell.Scenario, cell.Seed, cell.Eval)
 			}
-			if !ok {
-				return nil
-			}
-			switch ev.Kind {
-			case stream.KindDayStart:
-				curDay = ev.Day
-			case stream.KindInstall:
-				det.Ingest(ev.Device, ev.Pkg, curDay)
-			case stream.KindInstallBatch:
-				for _, dev := range ev.Devices {
-					det.Ingest(dev, ev.Pkg, curDay)
-				}
-			}
+			logMu.Unlock()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	stats, err := w.RunOpts(sim.RunOptions{
-		Log:  runLog,
-		Hook: func(dates.Date) error { return drain() },
-	})
-	if err != nil {
-		return cell, fmt.Errorf("sweep: running %s/seed=%d: %w", sp.Name, cfg.Seed, err)
-	}
-	cell.Stats = stats
-
-	// Organic decoy background, then score against ground truth.
-	for _, dev := range w.DecoyEvents() {
-		det.Ingest(dev.Device, dev.App, dev.Day)
-	}
-	truth := w.TruthLabels()
-	groups := det.Groups()
-	cell.Truth = len(truth)
-	cell.Groups = len(groups)
-	for _, g := range groups {
-		cell.Flagged += len(g.Devices)
-	}
-	cell.Eval = lockstep.Evaluate(groups, truth)
-	return cell, nil
-}
-
-// memLog is the in-memory run log a cell writes and tails: Write appends,
-// ReadAt addresses absolute offsets. The writer (run loop) and reader
-// (day-barrier hook) share one goroutine, so no locking is needed.
-type memLog struct {
-	buf []byte
-}
-
-func (m *memLog) Write(p []byte) (int, error) {
-	m.buf = append(m.buf, p...)
-	return len(p), nil
-}
-
-func (m *memLog) ReadAt(p []byte, off int64) (int, error) {
-	if off >= int64(len(m.buf)) {
-		return 0, io.EOF
-	}
-	n := copy(p, m.buf[off:])
-	if n < len(p) {
-		return n, io.EOF
-	}
-	return n, nil
+	return g.assemble(cells), nil
 }

@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/fault"
+	"repro/internal/scenario"
+)
+
+// errAbandonCell aborts a running cell from its day hook when the lease
+// is lost: the run stops, nothing is reported, and whoever holds the
+// live lease finishes the cell (resuming from this worker's spooled
+// checkpoint if they share the spool).
+var errAbandonCell = errors.New("sweep: lease lost mid-cell, abandoning")
+
+// Worker is one work-queue consumer: it leases cells, runs them through
+// its CellRunner (spooled, so its own death is survivable), heartbeats
+// at every day barrier, and reports completions. Crash points
+// (fault.Crash) fire inside the loop at the same places a real kill
+// would land.
+type Worker struct {
+	Client *Client
+	// Name tags log lines (and nothing else: cell identity comes from
+	// the claim, results are content-addressed).
+	Name   string
+	Runner CellRunner
+	// PollMax caps the idle wait between lease attempts when the
+	// coordinator has nothing available (0 = 500ms).
+	PollMax time.Duration
+	Logf    func(format string, args ...any)
+}
+
+func (wk *Worker) logf(format string, args ...any) {
+	if wk.Logf != nil {
+		wk.Logf("worker %s: "+format, append([]any{wk.Name}, args...)...)
+	}
+}
+
+// Run consumes cells until the grid is finished (nil), the context is
+// cancelled, or a non-survivable error occurs. An injected fault
+// (fault.ErrInjected) is returned as-is: it models this process dying
+// mid-cell, and the chaos harness responds by starting a fresh worker —
+// exactly what a supervisor would do with a crashed process.
+func (wk *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		claim, retry, done, err := wk.Client.Lease()
+		if err != nil {
+			return fmt.Errorf("sweep: leasing work: %w", err)
+		}
+		if done {
+			wk.logf("grid finished")
+			return nil
+		}
+		if claim == nil {
+			if retry <= 0 {
+				retry = 100 * time.Millisecond
+			}
+			if max := wk.pollMax(); retry > max {
+				retry = max
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(retry):
+			}
+			continue
+		}
+		fault.Crash.Hit("worker-lease")
+		if err := wk.runClaim(ctx, claim); err != nil {
+			return err
+		}
+	}
+}
+
+func (wk *Worker) pollMax() time.Duration {
+	if wk.PollMax > 0 {
+		return wk.PollMax
+	}
+	return 500 * time.Millisecond
+}
+
+// runClaim executes one leased cell end to end. Only non-survivable
+// errors propagate; cell-level failures are reported to the coordinator
+// and the loop continues.
+func (wk *Worker) runClaim(ctx context.Context, claim *CellClaim) error {
+	wk.logf("cell %d (%s/seed=%d) attempt %d", claim.Index, claim.Scenario, claim.Seed, claim.Attempt)
+	sp, ok := scenario.Lookup(claim.Scenario)
+	if !ok {
+		// Not transient: a registry miss means divergent binaries, and no
+		// amount of retrying here or elsewhere fixes that.
+		return wk.report(wk.Client.Fail(claim.Index, claim.LeaseID,
+			fmt.Sprintf("unknown scenario %q (worker registry divergent?)", claim.Scenario), false))
+	}
+	if claim.Base != "" {
+		sp.World.Base = claim.Base
+	}
+
+	runner := wk.Runner // copy: PerDay is per-claim
+	base := runner.PerDay
+	runner.PerDay = func(day dates.Date) error {
+		fault.Crash.Hit("cell-day")
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := wk.Client.Heartbeat(claim.Index, claim.LeaseID); err != nil {
+			if errors.Is(err, ErrLeaseLost) {
+				return errAbandonCell
+			}
+			return err
+		}
+		if base != nil {
+			return base(day)
+		}
+		return nil
+	}
+
+	cell, info, err := runner.Run(sp, claim.Seed)
+	switch {
+	case err == nil:
+		fault.Crash.Hit("cell-complete")
+		wk.logf("cell %d done (resumed=%v days=%d): %s", claim.Index, info.Resumed, info.DaysExecuted, cell.Eval)
+		return wk.report(wk.Client.Complete(claim.Index, claim.LeaseID, cell, info))
+	case errors.Is(err, errAbandonCell):
+		wk.logf("cell %d lease lost, abandoning", claim.Index)
+		return nil
+	case errors.Is(err, fault.ErrInjected):
+		// Simulated crash: die like the process we are pretending to be.
+		// The spooled checkpoint survives for our successor.
+		return fmt.Errorf("sweep: cell %d: %w", claim.Index, err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return err
+	default:
+		wk.logf("cell %d failed: %v", claim.Index, err)
+		return wk.report(wk.Client.Fail(claim.Index, claim.LeaseID, err.Error(), true))
+	}
+}
+
+// report filters the coordinator's responses to cell reports: a lost
+// lease is fine (someone else owns the cell now), anything else is
+// fatal to this worker.
+func (wk *Worker) report(err error) error {
+	if err == nil || errors.Is(err, ErrLeaseLost) {
+		return nil
+	}
+	return err
+}
