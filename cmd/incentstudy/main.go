@@ -19,13 +19,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -90,8 +93,15 @@ func main() {
 		opts.WrapEventLog = inj.Writer
 	}
 
+	// SIGINT/SIGTERM stop the run at its next day barrier with the event
+	// log flushed and (when -checkpoint is set) a final checkpoint
+	// written: the interrupted run resumes with -resume like a crashed
+	// one, minus the torn-tail salvage.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	study, err := core.Run(cfg, opts)
+	study, err := core.RunCtx(ctx, cfg, opts)
 	if err != nil {
 		if errors.Is(err, fault.ErrInjected) {
 			// The injected fault is this run's simulated crash: exit with
@@ -99,6 +109,13 @@ func main() {
 			// the torn log + checkpoint for the -resume successor.
 			log.Printf("incentstudy: injected fault: %v", err)
 			os.Exit(fault.CrashExitCode)
+		}
+		if errors.Is(err, context.Canceled) {
+			log.Printf("incentstudy: interrupted: %v", err)
+			if *checkpoint != "" {
+				log.Printf("incentstudy: resume with -resume %s (same seed/size flags)", *checkpoint)
+			}
+			return
 		}
 		log.Fatalf("incentstudy: %v", err)
 	}

@@ -7,7 +7,7 @@
 //
 //	sweep [-base tiny|default|scale] [-scenarios a,b,c] [-seeds N] [-seed-base S]
 //	      [-workers N] [-json FILE] [-list] [-quiet]
-//	sweep -serve ADDR [-addr-file FILE] [-lease D] [-max-attempts N] [grid flags]
+//	sweep -serve ADDR [-addr-file FILE] [-journal FILE] [-lease D] [-max-attempts N] [grid flags]
 //
 // In the default mode every cell builds an isolated world (Workers=1)
 // and taps its event-sourced run log online into the incremental
@@ -21,18 +21,30 @@
 // byte-identical to the in-process mode, because every cell is
 // deterministic in (scenario, seed) and assembly is a pure function of
 // the cell results.
+//
+// With -journal the coordinator's queue is write-ahead journaled to the
+// named file: if the file already holds a journal for the same grid, the
+// coordinator replays it on startup — re-adopting completed cells by
+// digest and honoring still-live leases — and continues the sweep where
+// its predecessor died. SIGINT/SIGTERM trigger a graceful drain: no new
+// leases go out, in-flight workers finish or release their cells, the
+// drain is journaled, and the process exits 0 (a successor resumes from
+// the journal).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/report"
@@ -51,6 +63,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress")
 	serve := flag.String("serve", "", "coordinate a distributed sweep on this address (e.g. 127.0.0.1:0) instead of running in-process")
 	addrFile := flag.String("addr-file", "", "with -serve: write the bound address to this file once listening")
+	journal := flag.String("journal", "", "with -serve: write-ahead journal the work queue to this file (restart resumes the sweep)")
 	lease := flag.Duration("lease", 30*time.Second, "with -serve: worker lease duration")
 	maxAttempts := flag.Int("max-attempts", 5, "with -serve: lease grants per cell before the grid fails")
 	flag.Parse()
@@ -78,13 +91,25 @@ func main() {
 		opts.Logf = log.Printf
 	}
 
+	// SIGINT/SIGTERM cancel the run context: the in-process grid stops
+	// every cell at its next day barrier; the coordinator drains.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	var res *sweep.Result
 	var err error
 	if *serve != "" {
-		res, err = coordinate(opts, *serve, *addrFile, *lease, *maxAttempts)
+		res, err = coordinate(ctx, opts, *serve, *addrFile, *journal, *lease, *maxAttempts)
+		if errors.Is(err, sweep.ErrDrained) {
+			// A drained coordinator is a clean stop, not a failure: state is
+			// journaled, a successor resumes the sweep. Exit 0 so service
+			// managers treat the SIGTERM as honored.
+			log.Printf("%v", err)
+			return
+		}
 	} else {
-		res, err = sweep.Run(opts)
+		res, err = sweep.RunCtx(ctx, opts)
 	}
 	if err != nil {
 		log.Fatalf("sweep: %v", err)
@@ -96,11 +121,23 @@ func main() {
 }
 
 // coordinate runs the grid as a distributed-sweep coordinator: listen,
-// publish the bound address, serve the work queue until the grid drains.
-func coordinate(opts sweep.Options, addr, addrFile string, lease time.Duration, maxAttempts int) (*sweep.Result, error) {
+// publish the bound address, serve the work queue until the grid
+// finishes — or, when ctx is cancelled (SIGTERM), until the in-flight
+// leases settle and the drain is journaled (ErrDrained).
+func coordinate(ctx context.Context, opts sweep.Options, addr, addrFile, journal string, lease time.Duration, maxAttempts int) (*sweep.Result, error) {
 	co, err := sweep.NewCoordinator(opts, sweep.QueueConfig{Lease: lease, MaxAttempts: maxAttempts})
 	if err != nil {
 		return nil, err
+	}
+	if journal != "" {
+		adopted, err := co.OpenJournal(journal, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer co.Close()
+		if adopted > 0 {
+			log.Printf("journal %s: adopted %d completed cell(s) from previous incarnation", journal, adopted)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -116,14 +153,19 @@ func coordinate(opts sweep.Options, addr, addrFile string, lease time.Duration, 
 	}
 	srv := &http.Server{Handler: co.Handler()}
 	go srv.Serve(ln)
-	defer srv.Close()
-	res, err := co.Run(context.Background())
+	res, err := co.Run(ctx)
+	// In-flight worker requests (final heartbeats, completions racing the
+	// drain) finish before the listener closes; the short bound only caps
+	// how long a stuck connection can hold up exit.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
 	if err != nil {
 		return nil, err
 	}
 	p := co.Progress()
-	log.Printf("grid drained: %d cells, %d lease grants, %d expiries, %d duplicates (%d salvaged)",
-		p.Done, p.Attempts, p.Expiries, p.Duplicates, p.Salvaged)
+	log.Printf("grid drained: %d cells, %d lease grants, %d expiries, %d duplicates (%d salvaged, %d adopted, %d fenced)",
+		p.Done, p.Attempts, p.Expiries, p.Duplicates, p.Salvaged, p.Adopted, p.Fenced)
 	return res, nil
 }
 

@@ -11,10 +11,16 @@
 // A killed worker loses nothing durable: its lease expires, the
 // coordinator reissues the cell, and the successor worker (pointed at
 // the same -spool) salvages the torn run log, restores the last
-// checkpoint, and resumes the cell instead of restarting it. Exit code
-// 0 means the grid drained; fault.CrashExitCode (3) means a planned
-// -crash point fired (chaos harnesses loop on it); anything else is a
-// real failure.
+// checkpoint, and resumes the cell instead of restarting it.
+//
+// SIGINT/SIGTERM stop the worker gracefully: a cell in flight finishes
+// its current day, checkpoints its spool, and releases its lease with a
+// transient failure so the coordinator reissues it immediately — the
+// successor RESUMES from the checkpoint rather than waiting out the
+// lease and restarting. Exit code 0 means the grid drained or the
+// worker was gracefully stopped; fault.CrashExitCode (3) means a
+// planned -crash point fired (chaos harnesses loop on it); anything
+// else is a real failure.
 //
 // -crash arms deterministic process kills at named execution points
 // ("worker-lease", "cell-day", "cell-complete" — e.g. -crash
@@ -26,12 +32,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/fault"
 	"repro/internal/sweep"
@@ -101,12 +110,20 @@ func main() {
 	if !*quiet {
 		wk.Logf = log.Printf
 	}
-	if err := wk.Run(context.Background()); err != nil {
-		if sweep.IsInjected(err) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := wk.Run(ctx); err != nil {
+		switch {
+		case sweep.IsInjected(err):
 			// An injected fault is this process's planned death: exit with
 			// the crash code so harness restart loops treat it like a kill.
 			log.Printf("injected fault: %v", err)
 			os.Exit(fault.CrashExitCode)
+		case errors.Is(err, context.Canceled):
+			// Graceful stop: the in-flight cell checkpointed at its day
+			// barrier and its lease was released for a successor to resume.
+			log.Printf("stopped gracefully: %v", err)
+			return
 		}
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -134,6 +135,15 @@ type DatasetSummary struct {
 
 // Run executes the full study against a fresh world built from cfg.
 func Run(cfg sim.Config, opts Options) (*Study, error) {
+	return RunCtx(context.Background(), cfg, opts)
+}
+
+// RunCtx is Run with cancellation: cancelling ctx stops the day loop at
+// the next day barrier — after the day's log frames are flushed and,
+// when checkpointing is configured, with a final checkpoint written — so
+// an interrupted study is resumable via ResumePath exactly like a
+// crashed one, minus the salvage. The returned error wraps ctx's error.
+func RunCtx(ctx context.Context, cfg sim.Config, opts Options) (*Study, error) {
 	if opts.MilkEveryDays <= 0 {
 		opts.MilkEveryDays = 4
 	}
@@ -144,7 +154,7 @@ func Run(cfg sim.Config, opts Options) (*Study, error) {
 	}
 	s := &Study{World: world, Opts: opts}
 
-	runOpts := sim.RunOptions{}
+	runOpts := sim.RunOptions{Context: ctx}
 	if opts.ResumePath != "" {
 		cp, err := stream.ReadCheckpointFile(opts.ResumePath)
 		if err != nil {
@@ -406,4 +416,22 @@ func (s *Study) Close() {
 	for _, srv := range s.servers {
 		srv.Close()
 	}
+}
+
+// Shutdown is the graceful counterpart of Close: in-flight requests
+// against the study's HTTP surfaces finish (bounded by ctx) before the
+// listeners close. Use it when a milker or crawler pass may still be
+// mid-request — a hard Close there surfaces spurious connection errors
+// for work that was about to succeed.
+func (s *Study) Shutdown(ctx context.Context) error {
+	if s.Milker != nil {
+		s.Milker.Close()
+	}
+	var first error
+	for _, srv := range s.servers {
+		if err := srv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

@@ -27,6 +27,12 @@ import (
 // reporting a failure — exactly what a killed process would do.
 var ErrInjected = errors.New("fault: injected failure")
 
+// ErrDiskFull is the injected ENOSPC: the disk budget ran out mid-write.
+// It deliberately does NOT wrap ErrInjected — a full disk is an
+// environment failure the caller should surface as a transient cell
+// failure (retry on another host), not a simulated process death.
+var ErrDiskFull = errors.New("fault: injected disk full (ENOSPC)")
+
 // Config selects which faults an Injector produces and how often. All
 // probabilities are per-operation; zero values inject nothing, so an
 // empty Config is a transparent pass-through.
@@ -53,6 +59,13 @@ type Config struct {
 	// (slow disk, slow network). Applies to writes and requests.
 	LatencyProb float64
 	MaxLatency  time.Duration
+
+	// DiskBudget caps the total bytes all of this injector's wrapped
+	// writers may write before every further Write fails with ErrDiskFull
+	// (0 = unlimited). Like a real ENOSPC, the write that crosses the
+	// budget persists a prefix — whatever fit — and fails, so recovery
+	// code faces a half-written tail, not a clean boundary.
+	DiskBudget int64
 }
 
 // Injector manufactures faults deterministically from its seed. It is
@@ -66,6 +79,7 @@ type Injector struct {
 	cfg Config
 
 	injected int64 // faults fired so far
+	written  int64 // bytes written against DiskBudget
 }
 
 // New returns an injector for cfg. A nil *Injector is valid everywhere
@@ -121,6 +135,15 @@ func (fw *faultWriter) Write(p []byte) (int, error) {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
+	if allow, short := fw.in.budget(len(p)); short {
+		// ENOSPC: persist the prefix that fit, then fail — and keep
+		// failing on every later write, like a genuinely full disk.
+		n := 0
+		if allow > 0 {
+			n, _ = fw.w.Write(p[:allow])
+		}
+		return n, fmt.Errorf("write of %d bytes stopped at %d: %w", len(p), n, ErrDiskFull)
+	}
 	if !fire {
 		return fw.w.Write(p)
 	}
@@ -131,6 +154,28 @@ func (fw *faultWriter) Write(p []byte) (int, error) {
 		n, _ = fw.w.Write(p[:int(frac*float64(len(p)))])
 	}
 	return n, fmt.Errorf("write of %d bytes torn at %d: %w", len(p), n, ErrInjected)
+}
+
+// budget charges n bytes against the disk budget: allow is how many of
+// them may still be written, short reports that the budget ran out (the
+// ENOSPC fires). With no budget configured every write is allowed.
+func (in *Injector) budget(n int) (allow int, short bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.DiskBudget <= 0 {
+		return n, false
+	}
+	remaining := in.cfg.DiskBudget - in.written
+	if remaining >= int64(n) {
+		in.written += int64(n)
+		return n, false
+	}
+	if remaining < 0 {
+		remaining = 0
+	}
+	in.written = in.cfg.DiskBudget
+	in.injected++
+	return int(remaining), true
 }
 
 // Reader wraps r with read-fault injection.

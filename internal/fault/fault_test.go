@@ -55,6 +55,51 @@ func TestWriterTornWrites(t *testing.T) {
 	}
 }
 
+// TestWriterDiskBudget: the ENOSPC injector persists exactly the prefix
+// that fit the budget, fails that write and every later one with
+// ErrDiskFull — and the error must NOT read as an injected crash
+// (ErrInjected), because a full disk is an environment failure the
+// caller retries elsewhere, not a planned process death.
+func TestWriterDiskBudget(t *testing.T) {
+	in := New(Config{DiskBudget: 25})
+	var buf bytes.Buffer
+	w := in.Writer(&buf)
+
+	if n, err := w.Write([]byte("0123456789")); n != 10 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write([]byte("0123456789")); n != 10 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	// 5 bytes remain: the 10-byte write persists a 5-byte prefix and fails.
+	n, err := w.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("over budget: n=%d err=%v, want 5-byte prefix + ErrDiskFull", n, err)
+	}
+	if errors.Is(err, ErrInjected) {
+		t.Fatal("ErrDiskFull must not wrap ErrInjected: ENOSPC is not a simulated crash")
+	}
+	if buf.Len() != 25 {
+		t.Fatalf("persisted %d bytes, want the full 25-byte budget", buf.Len())
+	}
+	// The disk stays full: later writes persist nothing.
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("post-ENOSPC write: n=%d err=%v", n, err)
+	}
+	if buf.Len() != 25 {
+		t.Fatalf("post-ENOSPC write leaked %d byte(s) past the budget", buf.Len()-25)
+	}
+	// One budget is shared across all of the injector's writers, like
+	// spool files sharing one filesystem.
+	var other bytes.Buffer
+	if n, err := in.Writer(&other).Write([]byte("y")); n != 0 || !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("sibling writer after ENOSPC: n=%d err=%v", n, err)
+	}
+	if in.Injected() == 0 {
+		t.Fatal("budget exhaustion not counted by Injected()")
+	}
+}
+
 // TestNilInjectorPassThrough: a nil injector must wrap nothing.
 func TestNilInjectorPassThrough(t *testing.T) {
 	var in *Injector

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dates"
@@ -62,6 +63,16 @@ type RunOptions struct {
 	// event log is byte-identical to what the uninterrupted run would
 	// have written.
 	Resume *stream.Checkpoint
+
+	// Context, when non-nil, makes the run cancellable. Cancellation is
+	// observed only at day barriers — after the day's frames are flushed
+	// and the hook has run — so a cancelled run never stops mid-write:
+	// the log ends at a day boundary, and when Checkpoint is set a final
+	// checkpoint for the completed day is written (even off the
+	// CheckpointEvery cadence) before the run returns an error wrapping
+	// context.Canceled. A successor resumes from that checkpoint and
+	// produces the exact bytes the uninterrupted run would have.
+	Context context.Context
 }
 
 // RunOpts runs the day engine with the given options.
@@ -133,7 +144,12 @@ func (w *World) RunOpts(o RunOptions) (RunStats, error) {
 				return stats, fmt.Errorf("sim: hook on %s: %w", day, err)
 			}
 		}
-		if o.Checkpoint != nil && (day.DaysSince(w.Cfg.Window.Start)+1)%every == 0 {
+		canceled := o.Context != nil && o.Context.Err() != nil
+		due := o.Checkpoint != nil && (day.DaysSince(w.Cfg.Window.Start)+1)%every == 0
+		// A cancelled run checkpoints the day it just completed even off
+		// the cadence: the whole point of stopping at the barrier is that
+		// a successor can resume from here.
+		if due || (canceled && o.Checkpoint != nil && day < w.Cfg.Window.End) {
 			var off int64
 			if o.Log != nil {
 				off = o.Log.Offset()
@@ -148,6 +164,10 @@ func (w *World) RunOpts(o RunOptions) (RunStats, error) {
 			if err := o.Checkpoint(cp); err != nil {
 				return stats, fmt.Errorf("sim: checkpoint on %s: %w", day, err)
 			}
+		}
+		if canceled && day < w.Cfg.Window.End {
+			return stats, fmt.Errorf("sim: run canceled at day barrier %s (%d days done): %w",
+				day, stats.Days, o.Context.Err())
 		}
 	}
 	return stats, nil

@@ -25,6 +25,7 @@ const DefaultSegmentBytes = 64 << 20
 type Writer struct {
 	w    io.Writer
 	off  int64
+	err  error   // sticky: first write failure; all later writes refuse
 	enc  Encoder // scratch for single-event writes
 	tab  map[string]uint32
 	stab map[string]uint32
@@ -119,11 +120,23 @@ func (w *Writer) StringTable() map[string]uint32 { return w.stab }
 // Offset returns the total log bytes written so far.
 func (w *Writer) Offset() int64 { return w.off }
 
+// Err returns the writer's sticky failure, if any. After the first
+// failed write — a torn write, a full disk — the log's tail is suspect,
+// so the writer refuses every subsequent write with the same error
+// rather than appending more frames after the damage. The on-disk
+// prefix up to the last flushed day barrier stays exactly as valid as
+// it was; Recover salvages the tail.
+func (w *Writer) Err() error { return w.err }
+
 func (w *Writer) writeRaw(b []byte) error {
+	if w.err != nil {
+		return w.err
+	}
 	n, err := w.w.Write(b)
 	w.off += int64(n)
 	if err != nil {
-		return fmt.Errorf("stream: writing run log: %w", err)
+		w.err = fmt.Errorf("stream: writing run log: %w", err)
+		return w.err
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -55,8 +56,10 @@ type CellRunner struct {
 // Run executes one cell. The returned Cell is identical for any runner
 // configuration — in-memory, spooled, killed-and-resumed — because the
 // simulation is deterministic in (scenario, seed) and checkpoint resume
-// is byte-exact.
-func (cr *CellRunner) Run(sp scenario.Spec, seed uint64) (Cell, CellRunInfo, error) {
+// is byte-exact. Cancelling ctx stops the run at the next day barrier
+// with the spool checkpointed (errors.Is(err, ctx.Err())); a successor
+// resumes the cell, it does not restart it.
+func (cr *CellRunner) Run(ctx context.Context, sp scenario.Spec, seed uint64) (Cell, CellRunInfo, error) {
 	cfg, err := sim.ConfigForSpec(sp)
 	if err != nil {
 		return Cell{}, CellRunInfo{}, err
@@ -67,17 +70,17 @@ func (cr *CellRunner) Run(sp scenario.Spec, seed uint64) (Cell, CellRunInfo, err
 	cfg.Workers = 1 // the grid parallelizes across cells
 	cell := Cell{Scenario: sp.Name, Seed: cfg.Seed}
 	if cr.SpoolDir == "" {
-		info, err := cr.runMem(&cell, sp, cfg)
+		info, err := cr.runMem(ctx, &cell, sp, cfg)
 		return cell, info, err
 	}
-	info, err := cr.runSpooled(&cell, sp, cfg)
+	info, err := cr.runSpooled(ctx, &cell, sp, cfg)
 	return cell, info, err
 }
 
 // runMem is the in-memory path: the run log drains into a buffer a Tail
 // follows at each day barrier — the same online wiring examples/
 // monitoring uses against a file, minus the disk.
-func (cr *CellRunner) runMem(cell *Cell, sp scenario.Spec, cfg sim.Config) (CellRunInfo, error) {
+func (cr *CellRunner) runMem(ctx context.Context, cell *Cell, sp scenario.Spec, cfg sim.Config) (CellRunInfo, error) {
 	var info CellRunInfo
 	w, err := sim.NewWorld(cfg)
 	if err != nil {
@@ -90,8 +93,9 @@ func (cr *CellRunner) runMem(cell *Cell, sp scenario.Spec, cfg sim.Config) (Cell
 	}
 	tap := newDetectorTap(sp, &buf)
 	stats, err := w.RunOpts(sim.RunOptions{
-		Log:  runLog,
-		Hook: cr.dayHook(tap),
+		Context: ctx,
+		Log:     runLog,
+		Hook:    cr.dayHook(tap),
 	})
 	if err != nil {
 		return info, fmt.Errorf("sweep: running %s/seed=%d: %w", sp.Name, cfg.Seed, err)
@@ -108,7 +112,7 @@ func (cr *CellRunner) runMem(cell *Cell, sp scenario.Spec, cfg sim.Config) (Cell
 // checkpoint, re-ingests the detector from the salvaged prefix, and
 // continues the simulation — producing the same bytes the uninterrupted
 // run would have.
-func (cr *CellRunner) runSpooled(cell *Cell, sp scenario.Spec, cfg sim.Config) (CellRunInfo, error) {
+func (cr *CellRunner) runSpooled(ctx context.Context, cell *Cell, sp scenario.Spec, cfg sim.Config) (CellRunInfo, error) {
 	var info CellRunInfo
 	logPath, ckptPath := cr.spoolPaths(sp.Name, cfg.Seed)
 	w, err := sim.NewWorld(cfg)
@@ -152,6 +156,7 @@ func (cr *CellRunner) runSpooled(cell *Cell, sp scenario.Spec, cfg sim.Config) (
 	}
 
 	opts := sim.RunOptions{
+		Context:         ctx,
 		Log:             runLog,
 		Hook:            cr.dayHook(tap),
 		Resume:          cp,

@@ -5,9 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 )
+
+// ErrDrained reports that Run stopped because its context was cancelled
+// and every in-flight lease settled: the sweep is suspended, not failed.
+// With a journal attached, a successor coordinator resumes it exactly
+// where the drain left off.
+var ErrDrained = errors.New("sweep: coordinator drained")
 
 // Coordinator owns one distributed grid run: it expands the scenario×seed
 // grid into idempotent cells, serves them to workers over the HTTP
@@ -16,9 +23,10 @@ import (
 // byte-for-byte, because assembly is a pure function of the
 // deterministic cell results.
 type Coordinator struct {
-	g    *grid
-	q    *Queue
-	logf func(format string, args ...any)
+	g       *grid
+	q       *Queue
+	journal *Journal
+	logf    func(format string, args ...any)
 }
 
 // NewCoordinator validates the grid and builds the work queue.
@@ -37,6 +45,36 @@ func NewCoordinator(o Options, qc QueueConfig) (*Coordinator, error) {
 // Queue exposes the underlying work queue (tests drive it directly).
 func (co *Coordinator) Queue() *Queue { return co.q }
 
+// OpenJournal makes the coordinator durable: queue transitions are
+// write-ahead journaled to path, and if path already holds a journal for
+// this grid (matched by content digest over the expanded job list), its
+// valid prefix is replayed first — done cells re-adopted, live leases
+// kept, torn tail truncated. Returns how many done cells were adopted.
+// wrap, when non-nil, wraps the journal's writes (fault injection).
+// Must be called before the coordinator starts serving.
+func (co *Coordinator) OpenJournal(path string, wrap func(w io.Writer) io.Writer) (adopted int, err error) {
+	j, rep, err := openJournal(path, gridDigest(co.g.jobs), len(co.g.jobs), wrap)
+	if err != nil {
+		return 0, err
+	}
+	if rep != nil {
+		if err := co.q.restore(rep); err != nil {
+			j.Close()
+			return 0, err
+		}
+		if dropped := rep.Size - rep.ValidEnd; dropped > 0 {
+			co.logf("journal: truncated %d-byte torn tail", dropped)
+		}
+		p := co.q.Progress()
+		adopted = p.Adopted
+		co.logf("journal: replayed %d record(s): %d/%d done adopted, %d leased, %d pending",
+			len(rep.Records), p.Done, p.Total, p.Leased, p.Pending)
+	}
+	co.journal = j
+	co.q.attachJournal(j)
+	return adopted, nil
+}
+
 // Handler returns the coordinator's HTTP surface.
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -49,9 +87,12 @@ func (co *Coordinator) Handler() http.Handler {
 	return mux
 }
 
-// Run waits for the grid to drain, expiring dead workers' leases on a
-// janitor timer, and assembles the final result. Cancelling ctx aborts
-// the wait.
+// Run waits for the grid to finish, expiring dead workers' leases on a
+// janitor timer, and assembles the final result. Cancelling ctx starts a
+// graceful drain instead of aborting: no new leases go out, in-flight
+// workers keep heartbeating and finish (or release) their cells, and once
+// nothing is leased Run journals the drain marker and returns ErrDrained.
+// If the grid completes while draining, the result is returned normally.
 func (co *Coordinator) Run(ctx context.Context) (*Result, error) {
 	janitor := co.q.cfg.Lease / 4
 	if janitor < 10*time.Millisecond {
@@ -59,13 +100,24 @@ func (co *Coordinator) Run(ctx context.Context) (*Result, error) {
 	}
 	tick := time.NewTicker(janitor)
 	defer tick.Stop()
+	cancel := ctx.Done()
+	draining := false
 	for {
 		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		case <-cancel:
+			cancel = nil // fire once; keep ticking while the drain settles
+			draining = true
+			co.q.Drain()
+			co.logf("draining: no new leases; waiting for %d in-flight cell(s)", co.q.Progress().Leased)
 		case <-tick.C:
 			if n := co.q.ExpireLeases(time.Now()); n > 0 {
 				co.logf("reissued %d expired lease(s)", n)
+			}
+			if draining && co.q.Progress().Leased == 0 {
+				if err := co.q.RecordDrain(); err != nil {
+					return nil, err
+				}
+				return nil, fmt.Errorf("%w: %v", ErrDrained, context.Cause(ctx))
 			}
 		case <-co.q.Finished():
 			cells, err := co.q.Cells()
@@ -76,6 +128,9 @@ func (co *Coordinator) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 }
+
+// Close releases the coordinator's journal file handle, if any.
+func (co *Coordinator) Close() error { return co.journal.Close() }
 
 // Progress snapshots the queue counters.
 func (co *Coordinator) Progress() Progress { return co.q.Progress() }

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -219,4 +222,253 @@ func TestDistributedSweepChaos(t *testing.T) {
 		t.Errorf("no lease ever expired under chaos: %+v", p)
 	}
 	t.Logf("chaos drained: %d incarnations, progress=%+v", incarnations, p)
+}
+
+// TestCoordinatorCrashRestartChaos is the tentpole's acceptance bar: the
+// COORDINATOR dies mid-sweep — after one cell completed, with another
+// in flight, and with its journal's final record torn by the crash — and
+// a successor coordinator restores the grid from the journal and drains
+// it with fresh workers to an aggregate byte-identical to the fault-free
+// in-process run. The completed cell is adopted from the journal without
+// re-execution, and the in-flight cell resumes from its spooled
+// checkpoint once the dead worker's journaled lease expires.
+func TestCoordinatorCrashRestartChaos(t *testing.T) {
+	names := []string{microName(t, "paper-baseline"), microName(t, "sybil-split")}
+	opts := Options{Scenarios: names, Seeds: []uint64{20190301}}
+	const windowDays = 20
+
+	clean, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+	spool := t.TempDir() // shared by every worker incarnation, like one host
+	leaseFor := 3 * time.Second
+	qc := QueueConfig{Lease: leaseFor, MaxAttempts: 12, RetryBase: 10 * time.Millisecond, Seed: 1}
+
+	// Incarnation #1 of the coordinator. Its Run loop never starts — the
+	// Handler alone serves the queue, which is exactly the state a crash
+	// leaves: no janitor, no assembler, just whatever reached the journal.
+	co1, err := NewCoordinator(opts, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co1.OpenJournal(journal, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(co1.Handler())
+
+	// One worker completes the first cell, then dies at day barrier 5 of
+	// the second — leaving cell 0 journaled done and cell 1 leased with a
+	// day-5 checkpoint in the spool.
+	days := 0
+	wk1 := &Worker{
+		Client: &Client{BaseURL: srv1.URL},
+		Name:   "pre-crash",
+		Runner: CellRunner{
+			SpoolDir:        spool,
+			CheckpointEvery: 1,
+			PerDay: func(dates.Date) error {
+				if days++; days == windowDays+5 {
+					return fmt.Errorf("chaos: killed at day barrier: %w", fault.ErrInjected)
+				}
+				return nil
+			},
+		},
+		PollMax: 20 * time.Millisecond,
+	}
+	if err := wk1.Run(context.Background()); !IsInjected(err) {
+		t.Fatalf("pre-crash worker: %v, want injected death", err)
+	}
+	if p := co1.Progress(); p.Done != 1 || p.Leased != 1 {
+		t.Fatalf("pre-crash progress = %+v, want 1 done + 1 leased", p)
+	}
+
+	// Crash the coordinator: listener gone, journal file abandoned — and
+	// tear the crash-interrupted tail off its final record (the in-flight
+	// cell's last heartbeat), as a mid-append power cut would.
+	srv1.Close()
+	co1.Close()
+	fi, err := os.Stat(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(journal, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation #2 adopts the journal: the done cell comes back without
+	// re-running, the dead worker's lease is honored until the janitor
+	// expires it on the journaled deadline.
+	co2, err := NewCoordinator(opts, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted, err := co2.OpenJournal(journal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co2.Close()
+	if adopted != 1 {
+		t.Fatalf("successor adopted %d cell(s), want 1", adopted)
+	}
+	if p := co2.Progress(); p.Done != 1 || p.Leased != 1 {
+		t.Fatalf("restored progress = %+v, want 1 done + 1 leased", p)
+	}
+	// No live worker holds the restored lease; fast-forward its expiry so
+	// the test doesn't idle out the wall-clock lease interval.
+	co2.Queue().ExpireLeases(time.Now().Add(leaseFor + time.Second))
+
+	srv2 := httptest.NewServer(co2.Handler())
+	t.Cleanup(srv2.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	done := make(chan struct{})
+	var res *Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = co2.Run(ctx)
+	}()
+
+	wk2 := &Worker{
+		Client:  &Client{BaseURL: srv2.URL},
+		Name:    "post-crash",
+		Runner:  CellRunner{SpoolDir: spool, CheckpointEvery: 1},
+		PollMax: 20 * time.Millisecond,
+	}
+	if err := wk2.Run(context.Background()); err != nil {
+		t.Fatalf("post-crash worker: %v", err)
+	}
+	<-done
+	if runErr != nil {
+		t.Fatalf("successor coordinator: %v", runErr)
+	}
+
+	if got, want := marshalResult(t, res), marshalResult(t, clean); !bytes.Equal(got, want) {
+		t.Errorf("post-restart result diverges from fault-free run:\n--- restarted ---\n%s\n--- clean ---\n%s", got, want)
+	}
+	// Day accounting across the coordinator crash: the adopted cell ran
+	// once in full; the killed cell's successor resumed its checkpoint.
+	infos := co2.CellInfos()
+	resumed := 0
+	for i, info := range infos {
+		if info.ResumedAfterDays+info.DaysExecuted != windowDays {
+			t.Errorf("cell %d day accounting broken: resumed_after=%d + executed=%d != %d",
+				i, info.ResumedAfterDays, info.DaysExecuted, windowDays)
+		}
+		if info.Resumed && info.ResumedAfterDays > 0 {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Errorf("killed cell was restarted, not resumed (infos=%+v)", infos)
+	}
+	if p := co2.Progress(); p.Done != 2 || p.Mismatches != 0 {
+		t.Errorf("final progress = %+v", p)
+	}
+
+	// The journal now records the drained grid: a THIRD incarnation
+	// adopts everything and has nothing to run.
+	co3, err := NewCoordinator(opts, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted3, err := co3.OpenJournal(journal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co3.Close()
+	if adopted3 != 2 {
+		t.Errorf("third incarnation adopted %d cell(s), want 2", adopted3)
+	}
+	res3, err := co3.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshalResult(t, res3); !bytes.Equal(got, marshalResult(t, clean)) {
+		t.Errorf("journal-only result diverges from fault-free run")
+	}
+}
+
+// TestWorkerGracefulDrain: cancelling a worker's context mid-cell (the
+// SIGTERM path) releases its lease with a transient failure after a
+// forced day-barrier checkpoint, so a successor resumes the cell
+// IMMEDIATELY — no lease expiry — and finishes it to the clean result.
+// The day accounting is the proof of graceful handoff the issue demands:
+// resumed_after_days + days_executed == window.
+func TestWorkerGracefulDrain(t *testing.T) {
+	names := []string{microName(t, "paper-baseline")}
+	opts := Options{Scenarios: names, Seeds: []uint64{20190301}}
+	const windowDays = 20
+	const drainAt = 5
+
+	clean, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co, url, wait := startCoordinator(t, opts, QueueConfig{
+		Lease: 30 * time.Second, RetryBase: time.Millisecond, MaxAttempts: 5,
+	})
+	spool := t.TempDir()
+
+	// Worker #1 receives its "SIGTERM" (context cancellation) at day
+	// barrier 5. CheckpointEvery far beyond the window proves the
+	// checkpoint the successor resumes from is the cancellation's forced
+	// one, not a cadence write.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	days := 0
+	wk1 := &Worker{
+		Client: &Client{BaseURL: url},
+		Name:   "draining",
+		Runner: CellRunner{
+			SpoolDir:        spool,
+			CheckpointEvery: windowDays * 10,
+			PerDay: func(dates.Date) error {
+				if days++; days == drainAt {
+					cancel()
+				}
+				return nil
+			},
+		},
+		PollMax: 20 * time.Millisecond,
+	}
+	if err := wk1.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("drained worker returned %v, want context.Canceled", err)
+	}
+
+	// The graceful release already re-queued the cell: no lease is held
+	// and no expiry was needed.
+	if p := co.Progress(); p.Leased != 0 || p.Expiries != 0 || p.Done != 0 {
+		t.Fatalf("post-drain progress = %+v, want released lease with no expiry", p)
+	}
+
+	wk2 := &Worker{
+		Client:  &Client{BaseURL: url},
+		Name:    "successor",
+		Runner:  CellRunner{SpoolDir: spool, CheckpointEvery: windowDays * 10},
+		PollMax: 20 * time.Millisecond,
+	}
+	if err := wk2.Run(context.Background()); err != nil {
+		t.Fatalf("successor worker: %v", err)
+	}
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := marshalResult(t, res), marshalResult(t, clean); !bytes.Equal(got, want) {
+		t.Errorf("drain+resume result diverges from clean run:\n--- drained ---\n%s\n--- clean ---\n%s", got, want)
+	}
+	info := co.CellInfos()[0]
+	if !info.Resumed || info.ResumedAfterDays != drainAt || info.DaysExecuted != windowDays-drainAt {
+		t.Errorf("successor info = %+v, want resume after day %d (resumed_after+executed must equal %d)",
+			info, drainAt, windowDays)
+	}
+	if p := co.Progress(); p.Expiries != 0 {
+		t.Errorf("graceful drain needed a lease expiry: %+v", p)
+	}
 }

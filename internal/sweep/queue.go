@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -83,6 +84,12 @@ type Progress struct {
 	Duplicates int `json:"duplicates"`
 	Salvaged   int `json:"salvaged"`
 	Mismatches int `json:"mismatches"`
+	// Adopted counts done cells restored from a replayed journal rather
+	// than completed by a worker this incarnation; Fenced, completions and
+	// heartbeats rejected because their lease token was superseded by a
+	// live re-lease (zombie workers).
+	Adopted int `json:"adopted"`
+	Fenced  int `json:"fenced"`
 }
 
 type cellState int
@@ -127,6 +134,8 @@ type Queue struct {
 	err      error
 	finished chan struct{}
 	closed   bool
+	draining bool
+	journal  *Journal
 	prog     Progress
 }
 
@@ -163,7 +172,7 @@ func (q *Queue) closeLocked() {
 func (q *Queue) Lease(now time.Time) (claim *CellClaim, retry time.Duration, done bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.done == len(q.slots) || q.err != nil {
+	if q.done == len(q.slots) || q.err != nil || q.draining {
 		return nil, 0, true
 	}
 	q.expireLocked(now)
@@ -179,11 +188,24 @@ func (q *Queue) Lease(now time.Time) (claim *CellClaim, retry time.Duration, don
 			}
 			continue
 		}
+		// Write-ahead: the lease record hits the journal before the grant
+		// takes effect in memory, so a restarted coordinator can never
+		// know LESS than the worker it handed the lease to. A journal
+		// failure poisons the grid — handing out leases the journal
+		// cannot remember would make restart lie.
+		attempt := s.attempts + 1
+		seq := q.leaseSeq + 1
+		leaseID := fmt.Sprintf("lease-%d-%d", i, seq)
+		deadline := now.Add(q.cfg.Lease)
+		if err := q.journal.lease(i, seq, attempt, leaseID, deadline); err != nil {
+			q.failLocked(err)
+			return nil, 0, true
+		}
 		s.state = stateLeased
-		s.attempts++
-		q.leaseSeq++
-		s.leaseID = fmt.Sprintf("lease-%d-%d", i, q.leaseSeq)
-		s.deadline = now.Add(q.cfg.Lease)
+		s.attempts = attempt
+		q.leaseSeq = seq
+		s.leaseID = leaseID
+		s.deadline = deadline
 		q.prog.Attempts++
 		return &CellClaim{
 			Index:    i,
@@ -221,17 +243,32 @@ func (q *Queue) Heartbeat(index int, leaseID string, now time.Time) error {
 	q.expireLocked(now)
 	s := &q.slots[index]
 	if s.state != stateLeased || s.leaseID != leaseID {
+		if s.state == stateLeased {
+			q.prog.Fenced++ // a live successor holds the lease; zombie fenced off
+		}
 		return ErrLeaseLost
 	}
-	s.deadline = now.Add(q.cfg.Lease)
+	deadline := now.Add(q.cfg.Lease)
+	// Journaled without fsync: a lost heartbeat record only makes a
+	// replayed deadline conservative (earlier), which at worst reissues a
+	// lease — harmless under the determinism contract.
+	if err := q.journal.heartbeat(index, leaseID, deadline); err != nil {
+		q.failLocked(err)
+		return err
+	}
+	s.deadline = deadline
 	return nil
 }
 
 // Complete records a finished cell. First completion wins; duplicates —
 // from reissues racing a slow-but-alive worker — are cross-checked by
 // digest and dropped when identical, fatal when not. A completion whose
-// lease expired is still accepted (salvage): determinism makes the
-// result exactly as valid as the live lease holder's will be.
+// lease expired while the cell is still pending is accepted (salvage):
+// determinism makes the result exactly as valid as any future holder's.
+// But a completion whose lease was superseded by a LIVE re-lease is
+// fenced off with ErrLeaseLost — the successor holds the authoritative
+// lease, and letting the zombie clobber the slot would let a worker the
+// coordinator declared dead keep mutating state it no longer owns.
 func (q *Queue) Complete(index int, leaseID string, cell Cell, info CellRunInfo, now time.Time) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -250,8 +287,19 @@ func (q *Queue) Complete(index int, leaseID string, cell Cell, info CellRunInfo,
 		}
 		return nil
 	}
-	if s.state != stateLeased || s.leaseID != leaseID {
+	if s.state == stateLeased && s.leaseID != leaseID {
+		q.prog.Fenced++
+		return ErrLeaseLost
+	}
+	if s.state != stateLeased {
 		q.prog.Salvaged++
+	}
+	// Write-ahead with fsync: a completion acknowledged to the worker must
+	// survive a coordinator crash, or restart would re-run a cell whose
+	// worker already deleted its spool.
+	if err := q.journal.complete(index, leaseID, digest, &cell, &info); err != nil {
+		q.failLocked(err)
+		return err
 	}
 	s.state = stateDone
 	s.cell, s.digest, s.info = cell, digest, info
@@ -289,9 +337,16 @@ func (q *Queue) Fail(index int, leaseID, msg string, transient bool, now time.Ti
 			index, name, s.job.seed, s.attempts, msg))
 		return nil
 	}
+	// The jittered backoff gate is journaled as an absolute time, so
+	// replay restores it without re-drawing the jitter stream.
+	notBefore := now.Add(q.backoffLocked(s.attempts))
+	if err := q.journal.fail(index, leaseID, notBefore, msg); err != nil {
+		q.failLocked(err)
+		return err
+	}
 	s.state = statePending
 	s.leaseID = ""
-	s.notBefore = now.Add(q.backoffLocked(s.attempts))
+	s.notBefore = notBefore
 	return nil
 }
 
@@ -345,12 +400,150 @@ func (q *Queue) failLocked(err error) {
 		return
 	}
 	q.err = err
+	// Best-effort: if the journal itself is what failed, its sticky error
+	// makes this append a no-op — the torn tail is the poison marker then.
+	_ = q.journal.poison(err.Error())
 	q.closeLocked()
+}
+
+// Drain stops handing out new leases: Lease reports done to idle workers
+// while in-flight leases keep heartbeating and completing. The
+// coordinator's shutdown path drains, waits for Leased to reach zero,
+// journals the drain, and exits; the journal lets a successor pick the
+// sweep back up exactly where the drain left it.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.draining = true
+}
+
+// RecordDrain journals the drain marker with the current in-flight count
+// (informational: a clean shutdown is distinguishable from a crash when
+// reading the journal back).
+func (q *Queue) RecordDrain() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	leased := 0
+	for i := range q.slots {
+		if q.slots[i].state == stateLeased {
+			leased++
+		}
+	}
+	return q.journal.drain(leased)
 }
 
 func (q *Queue) checkIndex(index int) error {
 	if index < 0 || index >= len(q.slots) {
 		return fmt.Errorf("sweep: cell index %d out of range (%d cells)", index, len(q.slots))
+	}
+	return nil
+}
+
+// attachJournal starts write-ahead journaling of every subsequent state
+// transition. Called after restore, so replayed records are not
+// re-appended.
+func (q *Queue) attachJournal(j *Journal) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.journal = j
+}
+
+// restore applies a replayed journal to a freshly built queue, rebuilding
+// the state machine a crashed coordinator held: done cells are re-adopted
+// (their payloads re-verified against the journaled digest — the journal
+// proves WHAT was computed, the digest proves it correctly), leased cells
+// stay leased under their journaled tokens and absolute deadlines so live
+// workers' heartbeats keep landing, backoff gates are reinstated, and a
+// journaled poison poisons the restored queue too. Records that cannot
+// apply to any honest history (out-of-range index, payload contradicting
+// its digest) reject the journal with ErrBadJournal; records that are
+// merely stale against the replayed state (a heartbeat for a superseded
+// lease) are skipped, exactly as the live queue would have refused them.
+func (q *Queue) restore(rep *journalReplay) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if rep.Total != len(q.slots) {
+		return fmt.Errorf("%w: %d cells journaled, queue has %d", ErrBadJournal, rep.Total, len(q.slots))
+	}
+	for _, rec := range rep.Records {
+		switch rec.kind {
+		case jGrid, jDrain:
+			// Identity is checked by the opener; drain is informational.
+		case jLease:
+			if err := q.checkIndex(rec.index); err != nil {
+				return fmt.Errorf("%w: lease: %v", ErrBadJournal, err)
+			}
+			s := &q.slots[rec.index]
+			if s.state == stateDone {
+				continue
+			}
+			s.state = stateLeased
+			s.leaseID = rec.leaseID
+			s.deadline = time.UnixMilli(rec.deadlineMS)
+			s.attempts = rec.attempt
+			s.notBefore = time.Time{}
+			if rec.seq > q.leaseSeq {
+				q.leaseSeq = rec.seq
+			}
+			q.prog.Attempts++
+		case jHeartbeat:
+			if err := q.checkIndex(rec.index); err != nil {
+				return fmt.Errorf("%w: heartbeat: %v", ErrBadJournal, err)
+			}
+			s := &q.slots[rec.index]
+			if s.state == stateLeased && s.leaseID == rec.leaseID {
+				s.deadline = time.UnixMilli(rec.deadlineMS)
+			}
+		case jComplete:
+			if err := q.checkIndex(rec.index); err != nil {
+				return fmt.Errorf("%w: complete: %v", ErrBadJournal, err)
+			}
+			s := &q.slots[rec.index]
+			if s.state == stateDone {
+				q.prog.Duplicates++
+				if rec.cellDigest != s.digest {
+					q.prog.Mismatches++
+					q.failLocked(fmt.Errorf("%w: journaled duplicate for cell %d: %s vs %s",
+						ErrDigestMismatch, rec.index, s.digest, rec.cellDigest))
+				}
+				continue
+			}
+			var cell Cell
+			var info CellRunInfo
+			if err := json.Unmarshal(rec.cellJSON, &cell); err != nil {
+				return fmt.Errorf("%w: cell %d payload: %v", ErrBadJournal, rec.index, err)
+			}
+			if err := json.Unmarshal(rec.infoJSON, &info); err != nil {
+				return fmt.Errorf("%w: cell %d run info: %v", ErrBadJournal, rec.index, err)
+			}
+			if got := CellDigest(&cell); got != rec.cellDigest {
+				return fmt.Errorf("%w: cell %d payload digests %s, journal claims %s",
+					ErrBadJournal, rec.index, got, rec.cellDigest)
+			}
+			s.state = stateDone
+			s.cell, s.digest, s.info = cell, rec.cellDigest, info
+			s.leaseID = ""
+			q.done++
+			q.prog.Done = q.done
+			q.prog.Adopted++
+			if q.done == len(q.slots) {
+				q.closeLocked()
+			}
+		case jFail:
+			if err := q.checkIndex(rec.index); err != nil {
+				return fmt.Errorf("%w: fail: %v", ErrBadJournal, err)
+			}
+			s := &q.slots[rec.index]
+			if s.state == stateLeased && s.leaseID == rec.leaseID {
+				s.state = statePending
+				s.leaseID = ""
+				s.notBefore = time.UnixMilli(rec.notBeforeMS)
+			}
+		case jPoison:
+			q.failLocked(fmt.Errorf("sweep: grid poisoned (journaled): %s", rec.msg))
+		default:
+			return fmt.Errorf("%w: unknown record kind %d", ErrBadJournal, uint8(rec.kind))
+		}
 	}
 	return nil
 }

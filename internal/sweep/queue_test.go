@@ -192,6 +192,97 @@ func TestQueueAttemptsExhausted(t *testing.T) {
 	}
 }
 
+// TestQueueZombieFencing: once a cell has been re-leased to a live
+// successor, the previous incarnation's lease token is dead — heartbeats
+// can no longer extend the cell and completions can no longer clobber
+// it. Salvage (completing a cell whose lease expired but was NOT
+// re-leased) stays accepted: there is no live owner to protect.
+func TestQueueZombieFencing(t *testing.T) {
+	cases := []struct {
+		name     string
+		release  bool // grant the cell to a successor before the zombie acts
+		act      string
+		wantErr  error
+		wantDone int
+	}{
+		{"stale heartbeat after re-lease", true, "heartbeat", ErrLeaseLost, 0},
+		{"stale completion after re-lease", true, "complete", ErrLeaseLost, 0},
+		{"stale fail after re-lease", true, "fail", ErrLeaseLost, 0},
+		{"expired completion without re-lease is salvage", false, "complete", nil, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := QueueConfig{Lease: time.Second, MaxAttempts: 5}
+			q := NewQueue(testQueueJobs(1), cfg)
+			t0 := time.Unix(1_000_000, 0)
+			zombie, _, _ := q.Lease(t0)
+			t1 := t0.Add(cfg.Lease + time.Millisecond)
+			q.ExpireLeases(t1)
+			var successor *CellClaim
+			if tc.release {
+				successor, _, _ = q.Lease(t1)
+				if successor == nil || successor.LeaseID == zombie.LeaseID {
+					t.Fatalf("re-lease = %+v (zombie held %s)", successor, zombie.LeaseID)
+				}
+			}
+			var err error
+			switch tc.act {
+			case "heartbeat":
+				err = q.Heartbeat(0, zombie.LeaseID, t1)
+			case "complete":
+				err = q.Complete(0, zombie.LeaseID, testCell(1, 0.5), CellRunInfo{}, t1)
+			case "fail":
+				err = q.Fail(0, zombie.LeaseID, "zombie report", true, t1)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("%s with stale token: err=%v, want %v", tc.act, err, tc.wantErr)
+			}
+			p := q.Progress()
+			if p.Done != tc.wantDone {
+				t.Fatalf("done = %d, want %d (progress %+v)", p.Done, tc.wantDone, p)
+			}
+			if tc.release {
+				if p.Fenced == 0 && tc.act != "fail" {
+					t.Fatalf("fencing not counted: %+v", p)
+				}
+				// The successor's lease must be untouched: its heartbeat
+				// still lands and its completion still wins.
+				if err := q.Heartbeat(0, successor.LeaseID, t1); err != nil {
+					t.Fatalf("successor heartbeat broken after zombie: %v", err)
+				}
+				if err := q.Complete(0, successor.LeaseID, testCell(1, 0.5), CellRunInfo{}, t1); err != nil {
+					t.Fatalf("successor completion broken after zombie: %v", err)
+				}
+			}
+			if q.Err() != nil {
+				t.Fatalf("zombie poisoned the queue: %v", q.Err())
+			}
+		})
+	}
+}
+
+// TestQueueDrain: a draining queue tells idle workers the grid is done
+// while in-flight leases keep working — heartbeat, completion — so a
+// graceful coordinator shutdown never strands a worker mid-cell.
+func TestQueueDrain(t *testing.T) {
+	q := NewQueue(testQueueJobs(2), QueueConfig{Lease: time.Second})
+	t0 := time.Unix(1_000_000, 0)
+	claim, _, _ := q.Lease(t0)
+	q.Drain()
+	if c, _, done := q.Lease(t0); c != nil || !done {
+		t.Fatalf("draining queue leased: claim=%+v done=%v", c, done)
+	}
+	if err := q.Heartbeat(0, claim.LeaseID, t0); err != nil {
+		t.Fatalf("in-flight heartbeat during drain: %v", err)
+	}
+	if err := q.Complete(0, claim.LeaseID, testCell(1, 0.5), CellRunInfo{}, t0); err != nil {
+		t.Fatalf("in-flight completion during drain: %v", err)
+	}
+	if p := q.Progress(); p.Done != 1 || p.Leased != 0 {
+		t.Fatalf("progress after drained completion = %+v", p)
+	}
+}
+
 // TestQueuePermanentFailure poisons immediately.
 func TestQueuePermanentFailure(t *testing.T) {
 	q := NewQueue(testQueueJobs(2), QueueConfig{})

@@ -20,6 +20,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -192,6 +193,12 @@ func (g *grid) assemble(cells []Cell) *Result {
 // scenarios as requested and cells by seed, so the report is identical
 // for any Workers setting.
 func Run(o Options) (*Result, error) {
+	return RunCtx(context.Background(), o)
+}
+
+// RunCtx is Run with cancellation: a cancelled ctx stops every in-flight
+// cell at its next day barrier and returns the cancellation error.
+func RunCtx(ctx context.Context, o Options) (*Result, error) {
 	g, err := expandGrid(o)
 	if err != nil {
 		return nil, err
@@ -205,7 +212,7 @@ func Run(o Options) (*Result, error) {
 	errs := make([]error, len(g.jobs))
 	var logMu sync.Mutex
 	conc.ForN(workers, len(g.jobs), func(i int) {
-		cell, _, err := runner.Run(g.jobs[i].spec, g.jobs[i].seed)
+		cell, _, err := runner.Run(ctx, g.jobs[i].spec, g.jobs[i].seed)
 		cells[i], errs[i] = cell, err
 		if o.Logf != nil {
 			logMu.Lock()

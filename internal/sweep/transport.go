@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -96,8 +97,9 @@ func (c *Client) backoff(attempt int) time.Duration {
 }
 
 // post sends one JSON request, retrying transport failures. A non-nil
-// out receives the decoded 200 body.
-func (c *Client) post(path string, in, out any) error {
+// out receives the decoded 200 body. Cancelling ctx aborts the request
+// in flight and the backoff waits between retries.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -109,10 +111,22 @@ func (c *Client) post(path string, in, out any) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries(); attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.backoff(attempt - 1))
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("sweep: %s: %w (last transport error: %v)", path, ctx.Err(), lastErr)
+			case <-time.After(c.backoff(attempt - 1)):
+			}
 		}
-		resp, err := httpc.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := httpc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("sweep: %s: %w", path, ctx.Err())
+			}
 			lastErr = err // connection-level: retry
 			continue
 		}
@@ -146,25 +160,25 @@ func (c *Client) post(path string, in, out any) error {
 
 // Lease asks for work: a claim, done=true (grid finished), or a retry
 // delay when nothing is available yet.
-func (c *Client) Lease() (claim *CellClaim, retry time.Duration, done bool, err error) {
+func (c *Client) Lease(ctx context.Context) (claim *CellClaim, retry time.Duration, done bool, err error) {
 	var resp leaseResponse
-	if err := c.post("/v1/lease", struct{}{}, &resp); err != nil {
+	if err := c.post(ctx, "/v1/lease", struct{}{}, &resp); err != nil {
 		return nil, 0, false, err
 	}
 	return resp.Claim, time.Duration(resp.RetryMS) * time.Millisecond, resp.Done, nil
 }
 
 // Heartbeat renews the lease on a running cell.
-func (c *Client) Heartbeat(index int, leaseID string) error {
-	return c.post("/v1/heartbeat", heartbeatRequest{Index: index, LeaseID: leaseID}, nil)
+func (c *Client) Heartbeat(ctx context.Context, index int, leaseID string) error {
+	return c.post(ctx, "/v1/heartbeat", heartbeatRequest{Index: index, LeaseID: leaseID}, nil)
 }
 
 // Complete reports a finished cell.
-func (c *Client) Complete(index int, leaseID string, cell Cell, info CellRunInfo) error {
-	return c.post("/v1/complete", completeRequest{Index: index, LeaseID: leaseID, Cell: cell, Info: info}, nil)
+func (c *Client) Complete(ctx context.Context, index int, leaseID string, cell Cell, info CellRunInfo) error {
+	return c.post(ctx, "/v1/complete", completeRequest{Index: index, LeaseID: leaseID, Cell: cell, Info: info}, nil)
 }
 
 // Fail reports a cell failure (transient = retry elsewhere).
-func (c *Client) Fail(index int, leaseID, msg string, transient bool) error {
-	return c.post("/v1/fail", failRequest{Index: index, LeaseID: leaseID, Error: msg, Transient: transient}, nil)
+func (c *Client) Fail(ctx context.Context, index int, leaseID, msg string, transient bool) error {
+	return c.post(ctx, "/v1/fail", failRequest{Index: index, LeaseID: leaseID, Error: msg, Transient: transient}, nil)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/dates"
@@ -45,13 +46,25 @@ func (wk *Worker) logf(format string, args ...any) {
 // (fault.ErrInjected) is returned as-is: it models this process dying
 // mid-cell, and the chaos harness responds by starting a fresh worker —
 // exactly what a supervisor would do with a crashed process.
+//
+// Cancellation is a graceful drain, not a kill: a cell in flight finishes
+// its current day, checkpoints its spool, releases its lease with a
+// transient failure (so a successor RESUMES the cell from that
+// checkpoint), and Run returns ctx's error. A panic inside a cell is
+// isolated the same way — reported to the coordinator as a transient
+// failure and the worker moves on — because a deterministic panic would
+// poison the grid via MaxAttempts anyway, while a flaky one (resource
+// exhaustion) deserves its retry.
 func (wk *Worker) Run(ctx context.Context) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		claim, retry, done, err := wk.Client.Lease()
+		claim, retry, done, err := wk.Client.Lease(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return fmt.Errorf("sweep: leasing work: %w", err)
 		}
 		if done {
@@ -95,21 +108,26 @@ func (wk *Worker) runClaim(ctx context.Context, claim *CellClaim) error {
 	if !ok {
 		// Not transient: a registry miss means divergent binaries, and no
 		// amount of retrying here or elsewhere fixes that.
-		return wk.report(wk.Client.Fail(claim.Index, claim.LeaseID,
+		return wk.report(wk.Client.Fail(ctx, claim.Index, claim.LeaseID,
 			fmt.Sprintf("unknown scenario %q (worker registry divergent?)", claim.Scenario), false))
 	}
 	if claim.Base != "" {
 		sp.World.Base = claim.Base
 	}
 
+	// Lease traffic for a cell already in flight must survive the drain:
+	// the final heartbeat and the lease-releasing Fail happen AFTER ctx is
+	// cancelled (that is the whole point of a graceful stop), so they ride
+	// a context that inherits ctx's values but not its cancellation.
+	// Cancellation itself is observed by the simulation at its day
+	// barrier, which checkpoints before unwinding.
+	releaseCtx := context.WithoutCancel(ctx)
+
 	runner := wk.Runner // copy: PerDay is per-claim
 	base := runner.PerDay
 	runner.PerDay = func(day dates.Date) error {
 		fault.Crash.Hit("cell-day")
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if err := wk.Client.Heartbeat(claim.Index, claim.LeaseID); err != nil {
+		if err := wk.Client.Heartbeat(releaseCtx, claim.Index, claim.LeaseID); err != nil {
 			if errors.Is(err, ErrLeaseLost) {
 				return errAbandonCell
 			}
@@ -121,12 +139,12 @@ func (wk *Worker) runClaim(ctx context.Context, claim *CellClaim) error {
 		return nil
 	}
 
-	cell, info, err := runner.Run(sp, claim.Seed)
+	cell, info, err := wk.runCell(ctx, &runner, sp, claim.Seed)
 	switch {
 	case err == nil:
 		fault.Crash.Hit("cell-complete")
 		wk.logf("cell %d done (resumed=%v days=%d): %s", claim.Index, info.Resumed, info.DaysExecuted, cell.Eval)
-		return wk.report(wk.Client.Complete(claim.Index, claim.LeaseID, cell, info))
+		return wk.report(wk.Client.Complete(releaseCtx, claim.Index, claim.LeaseID, cell, info))
 	case errors.Is(err, errAbandonCell):
 		wk.logf("cell %d lease lost, abandoning", claim.Index)
 		return nil
@@ -135,11 +153,34 @@ func (wk *Worker) runClaim(ctx context.Context, claim *CellClaim) error {
 		// The spooled checkpoint survives for our successor.
 		return fmt.Errorf("sweep: cell %d: %w", claim.Index, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Graceful drain: the run stopped at a day barrier with the spool
+		// checkpointed. Release the lease as a transient failure so the
+		// coordinator re-queues the cell immediately — our successor
+		// resumes from the checkpoint instead of waiting out the lease.
+		wk.logf("cell %d draining after %d day(s): releasing lease", claim.Index, info.DaysExecuted)
+		if rerr := wk.report(wk.Client.Fail(releaseCtx, claim.Index, claim.LeaseID,
+			fmt.Sprintf("worker draining: %v", err), true)); rerr != nil {
+			wk.logf("cell %d lease release failed: %v", claim.Index, rerr)
+		}
 		return err
 	default:
 		wk.logf("cell %d failed: %v", claim.Index, err)
-		return wk.report(wk.Client.Fail(claim.Index, claim.LeaseID, err.Error(), true))
+		return wk.report(wk.Client.Fail(releaseCtx, claim.Index, claim.LeaseID, err.Error(), true))
 	}
+}
+
+// runCell runs one cell with panic isolation: a panic inside the
+// simulation surfaces as an ordinary error (with the stack attached for
+// the coordinator's log), which runClaim reports as a transient failure —
+// one bad cell execution must not take down the worker, let alone lose
+// the lease to a timeout.
+func (wk *Worker) runCell(ctx context.Context, runner *CellRunner, sp scenario.Spec, seed uint64) (cell Cell, info CellRunInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: cell panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return runner.Run(ctx, sp, seed)
 }
 
 // report filters the coordinator's responses to cell reports: a lost
