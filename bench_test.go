@@ -21,6 +21,7 @@ import (
 	"repro/internal/iip"
 	"repro/internal/lockstep"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/offers"
 	"repro/internal/playstore"
 	"repro/internal/randx"
@@ -382,6 +383,40 @@ func benchSimRunEvents(b *testing.B, events bool) {
 func BenchmarkSimRunEvents(b *testing.B) {
 	b.Run("events=off", func(b *testing.B) { benchSimRunEvents(b, false) })
 	b.Run("events=on", func(b *testing.B) { benchSimRunEvents(b, true) })
+}
+
+// benchSimRunMetrics replays the ~20x world with and without the full
+// observability surface attached (DESIGN.md E11): registry, every
+// engine/run-loop histogram, and the run-phase tracer ring. Metrics take
+// their timestamps only at day-phase boundaries (~8 time.Now calls per
+// simulated day), so the metrics=on line must stay within 1% of
+// metrics=off — benchjson derives metrics_on_off_overhead_pct from the
+// recorded medians, and the E11 acceptance bar pins it below 1.
+func benchSimRunMetrics(b *testing.B, metrics bool) {
+	cfg := sim.ScaleConfig()
+	cfg.Workers = 1
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := cfg
+		c.Seed += uint64(i)
+		w, err := sim.NewWorld(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts sim.RunOptions
+		if metrics {
+			opts.Metrics = sim.NewMetrics(obs.NewRegistry(), obs.NewTracer(obs.DefaultTraceCap))
+		}
+		b.StartTimer()
+		if _, err := w.RunOpts(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimRunMetrics(b *testing.B) {
+	b.Run("metrics=off", func(b *testing.B) { benchSimRunMetrics(b, false) })
+	b.Run("metrics=on", func(b *testing.B) { benchSimRunMetrics(b, true) })
 }
 
 // seekBench lazily builds a segmented ~20x-world run log in memory (about

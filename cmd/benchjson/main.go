@@ -3,10 +3,13 @@
 // as "before" or "after". scripts/bench.sh drives it to maintain the
 // per-PR performance trajectory files (BENCH_PR2.json, ...).
 //
-// Each positional argument is a suite spec "dir:benchRegexp:benchtime",
-// e.g. "./internal/playstore:BenchmarkStepDayScale|BenchmarkAppWindow:200x".
-// Every suite runs with -run=NONE -benchmem and the configured -count, and
-// all parsed result lines are appended under the label.
+// Each positional argument is a suite spec
+// "dir:benchRegexp:benchtime[:countN]", e.g.
+// "./internal/playstore:BenchmarkStepDayScale|BenchmarkAppWindow:200x".
+// Every suite runs with -run=NONE -benchmem and the configured -count
+// (the optional ":countN" suffix overrides -count for that one suite —
+// used when a derived metric needs more samples than the heavy suites
+// can afford), and all parsed result lines are appended under the label.
 package main
 
 import (
@@ -52,6 +55,8 @@ type Run struct {
 	//   events_on_off_overhead_pct  (SimRunEvents on vs off, the E6/E8
 	//                                <5% events-on target)
 	//   seek_vs_full_replay_speedup (RunLogSeek full-replay / seek)
+	//   metrics_on_off_overhead_pct (SimRunMetrics on vs off, the E11
+	//                                <1% observability target)
 	Derived map[string]float64 `json:"derived,omitempty"`
 }
 
@@ -76,6 +81,25 @@ func medianNs(results []Result, prefix string) float64 {
 	}
 }
 
+// minNs returns the minimum ns/op of the results whose name starts with
+// prefix, or 0 when none match. On a shared/virtualized host the
+// per-sample noise (CPU steal, frequency drift) is strictly additive —
+// it can only slow a sample down, never speed it up — so the minimum is
+// the lowest-noise estimator of a benchmark's true cost, which matters
+// when the effect being measured (the <1% E11 overhead target) is far
+// smaller than this host's ±20% sample spread.
+func minNs(results []Result, prefix string) float64 {
+	best := 0.0
+	for _, r := range results {
+		if r.Name == prefix || strings.HasPrefix(r.Name, prefix+"-") {
+			if best == 0 || r.NsPerOp < best {
+				best = r.NsPerOp
+			}
+		}
+	}
+	return best
+}
+
 // derive recomputes a run's derived metrics from its samples.
 func derive(run *Run) {
 	d := map[string]float64{}
@@ -83,6 +107,15 @@ func derive(run *Run) {
 	on := medianNs(run.Results, "BenchmarkSimRunEvents/events=on")
 	if off > 0 && on > 0 {
 		d["events_on_off_overhead_pct"] = 100 * (on - off) / off
+	}
+	// Min-based, not median: the E11 target (<1%) sits far below this
+	// host's sample noise, and the additive-noise argument on minNs makes
+	// the minimum the right estimator for it. The pre-existing median
+	// metrics above keep their definition for cross-PR comparability.
+	mOff := minNs(run.Results, "BenchmarkSimRunMetrics/metrics=off")
+	mOn := minNs(run.Results, "BenchmarkSimRunMetrics/metrics=on")
+	if mOff > 0 && mOn > 0 {
+		d["metrics_on_off_overhead_pct"] = 100 * (mOn - mOff) / mOff
 	}
 	full := medianNs(run.Results, "BenchmarkRunLogSeek/mode=full-replay")
 	seek := medianNs(run.Results, "BenchmarkRunLogSeek/mode=seek-last-day")
@@ -144,13 +177,22 @@ func main() {
 		Count:      *count,
 	}
 	for _, spec := range flag.Args() {
-		parts := strings.SplitN(spec, ":", 3)
-		if len(parts) != 3 {
-			fmt.Fprintf(os.Stderr, "benchjson: bad suite spec %q (want dir:benchRegexp:benchtime)\n", spec)
+		parts := strings.SplitN(spec, ":", 4)
+		if len(parts) < 3 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad suite spec %q (want dir:benchRegexp:benchtime[:countN])\n", spec)
 			os.Exit(2)
 		}
 		dir, pattern, benchtime := parts[0], parts[1], parts[2]
-		results, err := runSuite(dir, pattern, benchtime, *count)
+		suiteCount := *count
+		if len(parts) == 4 {
+			n, err := strconv.Atoi(strings.TrimPrefix(parts[3], "count"))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad suite spec %q (count suffix must be countN)\n", spec)
+				os.Exit(2)
+			}
+			suiteCount = n
+		}
+		results, err := runSuite(dir, pattern, benchtime, suiteCount)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: suite %q: %v\n", spec, err)
 			os.Exit(1)

@@ -7,7 +7,16 @@
 //
 //	incentstudy [-seed N] [-tiny] [-scale] [-workers N] [-milk-every D] [-skip-honey] [-quiet]
 //	            [-events run.log] [-checkpoint run.ckpt] [-checkpoint-every N] [-resume run.ckpt]
-//	            [-fault-write P[:SEED]]
+//	            [-fault-write P[:SEED]] [-log-level L] [-log-format text|json]
+//	            [-metrics-addr ADDR] [-pprof] [-trace-out FILE]
+//
+// With -metrics-addr the run serves GET /metrics (Prometheus text),
+// /debug/vars (JSON snapshot), and /debug/trace (run-phase spans) while
+// it executes; -pprof additionally mounts net/http/pprof. -trace-out
+// writes the final run-phase trace (one line per recorded span) to a
+// file at exit. Observation is provably off the deterministic path:
+// results, the run log, and checkpoints are bit-identical with these
+// flags on or off (see DESIGN.md E11).
 //
 // With -events the run streams its event-sourced log (installs, clicks,
 // postbacks, settlements, enforcement, chart snapshots) to a file that
@@ -33,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/offers"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -53,7 +63,19 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 7, "days between checkpoints (each checkpoint re-encodes full run state; see DESIGN.md E6)")
 	resume := flag.String("resume", "", "resume a killed run from this checkpoint (same seed/size flags required)")
 	faultWrite := flag.String("fault-write", "", "inject torn writes into the event log (chaos testing): probability[:seed]; the run dies with exit code 3 when one fires")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/trace on this address while the run executes (e.g. 127.0.0.1:0)")
+	pprofOn := flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
+	traceOut := flag.String("trace-out", "", "write the final run-phase trace to this file at exit")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, lerr := logFlags.Logger(os.Stderr)
+	if lerr != nil {
+		log.Fatalf("incentstudy: %v", lerr)
+	}
+	if *quiet {
+		logger = obs.Discard()
+	}
 
 	if *tiny && *scale {
 		log.Fatal("incentstudy: -tiny and -scale are mutually exclusive")
@@ -79,11 +101,17 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		ResumePath:      *resume,
 	}
+	// The study's progress callback stays printf-style (core predates
+	// structured logging) but lands in the leveled logger, so -log-format
+	// json yields machine-readable progress records.
 	if !*quiet {
 		opts.Logf = func(format string, args ...any) {
-			log.Printf(format, args...)
+			logger.Info(fmt.Sprintf(format, args...))
 		}
 	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.DefaultTraceCap)
+	opts.Obs, opts.Trace = reg, tr
 	if *faultWrite != "" {
 		prob, fseed, err := parseFaultWrite(*faultWrite)
 		if err != nil {
@@ -91,6 +119,14 @@ func main() {
 		}
 		inj := fault.New(fault.Config{Seed: fseed, WriteErrorProb: prob, TornWrites: true})
 		opts.WrapEventLog = inj.Writer
+	}
+	if *metricsAddr != "" {
+		bound, shutdown, err := obs.Serve(*metricsAddr, reg, tr, *pprofOn)
+		if err != nil {
+			log.Fatalf("incentstudy: %v", err)
+		}
+		defer shutdown(context.Background())
+		logger.Info("metrics listening", "addr", bound)
 	}
 
 	// SIGINT/SIGTERM stop the run at its next day barrier with the event
@@ -120,11 +156,22 @@ func main() {
 		log.Fatalf("incentstudy: %v", err)
 	}
 	defer study.Close()
-	if !*quiet {
-		log.Printf("study complete in %s (%d organic installs, %d incentivized installs)",
-			time.Since(start).Round(time.Millisecond),
-			study.Results.RunStats.OrganicInstalls,
-			study.Results.RunStats.IncentivizedInstalls)
+	logger.Info("study complete",
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+		"organic_installs", study.Results.RunStats.OrganicInstalls,
+		"incentivized_installs", study.Results.RunStats.IncentivizedInstalls)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("incentstudy: %v", err)
+		}
+		if err := tr.Dump(f); err != nil {
+			log.Fatalf("incentstudy: writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("incentstudy: writing trace: %v", err)
+		}
+		logger.Info("run-phase trace written", "path", *traceOut, "spans", len(tr.Spans()), "recorded", tr.Total())
 	}
 	report.WriteAll(os.Stdout, &study.Results)
 	fmt.Printf("ledger conservation: sum = %.6f (0 means no money created or destroyed)\n",
@@ -139,9 +186,7 @@ func main() {
 		if err := offers.WriteCSV(f, study.Milker.Offers()); err != nil {
 			log.Fatalf("incentstudy: dumping offers: %v", err)
 		}
-		if !*quiet {
-			log.Printf("offer dataset written to %s", *dumpOffers)
-		}
+		logger.Info("offer dataset written", "path", *dumpOffers)
 	}
 }
 

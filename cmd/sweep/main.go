@@ -7,7 +7,14 @@
 //
 //	sweep [-base tiny|default|scale] [-scenarios a,b,c] [-seeds N] [-seed-base S]
 //	      [-workers N] [-json FILE] [-list] [-quiet]
-//	sweep -serve ADDR [-addr-file FILE] [-journal FILE] [-lease D] [-max-attempts N] [grid flags]
+//	      [-log-level L] [-log-format text|json]
+//	sweep -serve ADDR [-addr-file FILE] [-journal FILE] [-lease D] [-max-attempts N]
+//	      [-pprof] [grid flags]
+//
+// A serving coordinator exposes its observability surface on the same
+// address workers dial: GET /metrics (Prometheus text), /debug/vars
+// (JSON snapshot), /v1/status (queue progress), and — with -pprof —
+// /debug/pprof/.
 //
 // In the default mode every cell builds an isolated world (Workers=1)
 // and taps its event-sourced run log online into the incremental
@@ -39,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -66,7 +75,17 @@ func main() {
 	journal := flag.String("journal", "", "with -serve: write-ahead journal the work queue to this file (restart resumes the sweep)")
 	lease := flag.Duration("lease", 30*time.Second, "with -serve: worker lease duration")
 	maxAttempts := flag.Int("max-attempts", 5, "with -serve: lease grants per cell before the grid fails")
+	pprofOn := flag.Bool("pprof", false, "with -serve: also mount net/http/pprof under /debug/pprof/")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, lerr := logFlags.Logger(os.Stderr)
+	if lerr != nil {
+		log.Fatalf("sweep: %v", lerr)
+	}
+	if *quiet {
+		logger = obs.Discard()
+	}
 
 	if *list {
 		for _, name := range scenario.Names() {
@@ -87,9 +106,7 @@ func main() {
 	for i := 0; i < *seeds; i++ {
 		opts.Seeds = append(opts.Seeds, *seedBase+uint64(i))
 	}
-	if !*quiet {
-		opts.Logf = log.Printf
-	}
+	opts.Log = logger
 
 	// SIGINT/SIGTERM cancel the run context: the in-process grid stops
 	// every cell at its next day barrier; the coordinator drains.
@@ -100,12 +117,12 @@ func main() {
 	var res *sweep.Result
 	var err error
 	if *serve != "" {
-		res, err = coordinate(ctx, opts, *serve, *addrFile, *journal, *lease, *maxAttempts)
+		res, err = coordinate(ctx, opts, *serve, *addrFile, *journal, *lease, *maxAttempts, logger, *pprofOn)
 		if errors.Is(err, sweep.ErrDrained) {
 			// A drained coordinator is a clean stop, not a failure: state is
 			// journaled, a successor resumes the sweep. Exit 0 so service
 			// managers treat the SIGTERM as honored.
-			log.Printf("%v", err)
+			logger.Info("drained", "error", err)
 			return
 		}
 	} else {
@@ -114,21 +131,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("sweep: %v", err)
 	}
-	if !*quiet {
-		log.Printf("grid complete in %s", time.Since(start).Round(time.Millisecond))
-	}
-	emit(res, *jsonOut, *quiet)
+	logger.Info("grid complete", "elapsed", time.Since(start).Round(time.Millisecond).String())
+	emit(res, *jsonOut, logger)
 }
 
 // coordinate runs the grid as a distributed-sweep coordinator: listen,
 // publish the bound address, serve the work queue until the grid
 // finishes — or, when ctx is cancelled (SIGTERM), until the in-flight
-// leases settle and the drain is journaled (ErrDrained).
-func coordinate(ctx context.Context, opts sweep.Options, addr, addrFile, journal string, lease time.Duration, maxAttempts int) (*sweep.Result, error) {
+// leases settle and the drain is journaled (ErrDrained). The control
+// endpoints share the listener with the observability surface:
+// /metrics, /debug/vars, /debug/trace (and /debug/pprof/ with -pprof)
+// ride the same address workers dial.
+func coordinate(ctx context.Context, opts sweep.Options, addr, addrFile, journal string, lease time.Duration, maxAttempts int, logger *slog.Logger, pprofOn bool) (*sweep.Result, error) {
 	co, err := sweep.NewCoordinator(opts, sweep.QueueConfig{Lease: lease, MaxAttempts: maxAttempts})
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
+	co.RegisterMetrics(reg)
 	if journal != "" {
 		adopted, err := co.OpenJournal(journal, nil)
 		if err != nil {
@@ -136,7 +156,7 @@ func coordinate(ctx context.Context, opts sweep.Options, addr, addrFile, journal
 		}
 		defer co.Close()
 		if adopted > 0 {
-			log.Printf("journal %s: adopted %d completed cell(s) from previous incarnation", journal, adopted)
+			logger.Info("journal replay adopted completed cells", "journal", journal, "adopted", adopted)
 		}
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -145,13 +165,18 @@ func coordinate(ctx context.Context, opts sweep.Options, addr, addrFile, journal
 	}
 	defer ln.Close()
 	bound := ln.Addr().String()
-	log.Printf("coordinating distributed sweep on %s (%+v)", bound, co.Progress())
+	p0 := co.Progress()
+	logger.Info("coordinating distributed sweep", "addr", bound,
+		"total", p0.Total, "done", p0.Done, "pending", p0.Pending)
 	if addrFile != "" {
 		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			return nil, err
 		}
 	}
-	srv := &http.Server{Handler: co.Handler()}
+	mux := http.NewServeMux()
+	obs.Mount(mux, reg, nil, pprofOn)
+	mux.Handle("/", co.Handler())
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	res, err := co.Run(ctx)
 	// In-flight worker requests (final heartbeats, completions racing the
@@ -164,14 +189,15 @@ func coordinate(ctx context.Context, opts sweep.Options, addr, addrFile, journal
 		return nil, err
 	}
 	p := co.Progress()
-	log.Printf("grid drained: %d cells, %d lease grants, %d expiries, %d duplicates (%d salvaged, %d adopted, %d fenced)",
-		p.Done, p.Attempts, p.Expiries, p.Duplicates, p.Salvaged, p.Adopted, p.Fenced)
+	logger.Info("grid drained", "cells", p.Done, "lease_grants", p.Attempts,
+		"expiries", p.Expiries, "duplicates", p.Duplicates, "salvaged", p.Salvaged,
+		"adopted", p.Adopted, "fenced", p.Fenced)
 	return res, nil
 }
 
 // emit writes the human table, the degradation line, and the optional
 // JSON file — identically for the in-process and distributed paths.
-func emit(res *sweep.Result, jsonOut string, quiet bool) {
+func emit(res *sweep.Result, jsonOut string, logger *slog.Logger) {
 	report.WriteSweep(os.Stdout, res)
 
 	if baseline, ok := res.Baseline(); ok {
@@ -197,8 +223,6 @@ func emit(res *sweep.Result, jsonOut string, quiet bool) {
 		if err := os.WriteFile(jsonOut, append(raw, '\n'), 0o644); err != nil {
 			log.Fatalf("sweep: %v", err)
 		}
-		if !quiet {
-			log.Printf("grid result written to %s", jsonOut)
-		}
+		logger.Info("grid result written", "path", jsonOut)
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	sweepworker -coordinator URL [-name N] [-spool DIR] [-checkpoint-every D]
 //	            [-crash point=N,...] [-fault-write P[:SEED]] [-quiet]
+//	            [-log-level L] [-log-format text|json] [-metrics-addr ADDR] [-pprof]
 //
 // A killed worker loses nothing durable: its lease expires, the
 // coordinator reissues the cell, and the successor worker (pointed at
@@ -43,6 +44,7 @@ import (
 	"syscall"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -54,9 +56,21 @@ func main() {
 	crash := flag.String("crash", "", "comma-separated crash plan point=N (points: worker-lease, cell-day, cell-complete)")
 	faultWrite := flag.String("fault-write", "", "inject write faults into spooled logs: probability[:seed]")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/trace on this address (e.g. 127.0.0.1:0)")
+	pprofOn := flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("sweepworker: ")
+
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *quiet {
+		logger = obs.Discard()
+	}
+	logger = logger.With("worker", *name)
 
 	if *coordinator == "" {
 		log.Fatal("-coordinator is required")
@@ -98,17 +112,26 @@ func main() {
 		log.Fatal(err)
 	}
 
+	reg := obs.NewRegistry()
+	wm := sweep.NewWorkerMetrics(reg)
 	wk := &sweep.Worker{
-		Client: &sweep.Client{BaseURL: base},
+		Client: &sweep.Client{BaseURL: base, RetryCounter: wm.Retries},
 		Name:   *name,
 		Runner: sweep.CellRunner{
 			SpoolDir:        spoolDir,
 			CheckpointEvery: *checkpointEvery,
 			Fault:           injector,
 		},
+		Log:     logger,
+		Metrics: wm,
 	}
-	if !*quiet {
-		wk.Logf = log.Printf
+	if *metricsAddr != "" {
+		bound, shutdown, err := obs.Serve(*metricsAddr, reg, nil, *pprofOn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown(context.Background())
+		logger.Info("metrics listening", "addr", bound)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -117,12 +140,12 @@ func main() {
 		case sweep.IsInjected(err):
 			// An injected fault is this process's planned death: exit with
 			// the crash code so harness restart loops treat it like a kill.
-			log.Printf("injected fault: %v", err)
+			logger.Warn("injected fault", "error", err)
 			os.Exit(fault.CrashExitCode)
 		case errors.Is(err, context.Canceled):
 			// Graceful stop: the in-flight cell checkpointed at its day
 			// barrier and its lease was released for a successor to resume.
-			log.Printf("stopped gracefully: %v", err)
+			logger.Info("stopped gracefully", "error", err)
 			return
 		}
 		log.Fatal(err)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/dates"
 	"repro/internal/iip"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/playapi"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -72,6 +73,14 @@ type Options struct {
 	// torn writes (fault.Injector.Writer) at the same depth a real crash
 	// mid-write would tear the file.
 	WrapEventLog func(io.Writer) io.Writer
+
+	// Obs, when non-nil, receives the run's metrics: day-engine phase
+	// timings and event counts (sim_*) plus run-log writer throughput
+	// (runlog_*). Trace, when non-nil, records per-day phase spans.
+	// Both are pure observation — results, log bytes, and checkpoints are
+	// bit-identical with or without them (DESIGN.md E11).
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 }
 
 func (o *Options) log(format string, args ...any) {
@@ -154,7 +163,7 @@ func RunCtx(ctx context.Context, cfg sim.Config, opts Options) (*Study, error) {
 	}
 	s := &Study{World: world, Opts: opts}
 
-	runOpts := sim.RunOptions{Context: ctx}
+	runOpts := sim.RunOptions{Context: ctx, Metrics: sim.NewMetrics(opts.Obs, opts.Trace)}
 	if opts.ResumePath != "" {
 		cp, err := stream.ReadCheckpointFile(opts.ResumePath)
 		if err != nil {
@@ -310,6 +319,7 @@ func (s *Study) openRunLog(resume *stream.Checkpoint) (log *stream.Writer, flush
 		if s.Opts.SegmentBytes > 0 {
 			log.SetSegmentBytes(s.Opts.SegmentBytes)
 		}
+		log.SetMetrics(stream.NewWriterMetrics(s.Opts.Obs))
 		return log, bw.Flush, func() { bw.Flush(); f.Close() }, nil
 	}
 	if resume.LogOffset == 0 {
@@ -345,7 +355,9 @@ func (s *Study) openRunLog(resume *stream.Checkpoint) (log *stream.Writer, flush
 		return nil, nil, nil, fmt.Errorf("core: seeking event log: %w", err)
 	}
 	bw := bufio.NewWriterSize(s.wrapEventLog(f), 1<<20)
-	return s.World.ResumeRunLog(bw, resume), bw.Flush, func() { bw.Flush(); f.Close() }, nil
+	log = s.World.ResumeRunLog(bw, resume)
+	log.SetMetrics(stream.NewWriterMetrics(s.Opts.Obs))
+	return log, bw.Flush, func() { bw.Flush(); f.Close() }, nil
 }
 
 func (s *Study) wrapEventLog(w io.Writer) io.Writer {

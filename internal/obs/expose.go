@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// fmtFloat renders a metric value the way Prometheus text exposition
+// expects: shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "gauge"
+}
+
+// spliceLabel inserts an extra label into a series name that may already
+// carry a label suffix: name{a="b"} + le="x" → name{a="b",le="x"}.
+func spliceLabel(name, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, grouped by family (one # HELP/# TYPE header per
+// family, series in registration order).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	headered := map[string]bool{}
+	var b strings.Builder
+	for _, m := range metrics {
+		if !headered[m.family] {
+			headered[m.family] = true
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.family, m.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.family, promType(m.kind))
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %s\n", m.name, fmtFloat(m.gauge.Value()))
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(&b, "%s %s\n", m.name, fmtFloat(m.fn()))
+		case kindHistogram:
+			bounds, cum, count, sum := m.hist.snapshot()
+			for i, le := range bounds {
+				fmt.Fprintf(&b, "%s %d\n", spliceLabel(m.name+"_bucket", `le="`+fmtFloat(le)+`"`), cum[i])
+			}
+			fmt.Fprintf(&b, "%s %d\n", spliceLabel(m.name+"_bucket", `le="+Inf"`), cum[len(cum)-1])
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, fmtFloat(sum))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// HistogramSnapshot is the JSON shape of one histogram in Snapshot.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // upper bound → cumulative count
+}
+
+// Snapshot returns every metric as a JSON-marshalable map (the
+// /debug/vars payload): counters and gauges as numbers, histograms as
+// HistogramSnapshot values.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	out := make(map[string]any, len(metrics))
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.counter.Value()
+		case kindGauge:
+			out[m.name] = m.gauge.Value()
+		case kindCounterFunc, kindGaugeFunc:
+			out[m.name] = m.fn()
+		case kindHistogram:
+			bounds, cum, count, sum := m.hist.snapshot()
+			buckets := make(map[string]int64, len(cum))
+			for i, le := range bounds {
+				buckets[fmtFloat(le)] = cum[i]
+			}
+			buckets["+Inf"] = cum[len(cum)-1]
+			out[m.name] = HistogramSnapshot{Count: count, Sum: sum, Buckets: buckets}
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Mount attaches the observability endpoints to an existing mux:
+//
+//	GET /metrics      Prometheus text exposition
+//	GET /debug/vars   JSON metric snapshot
+//	GET /debug/trace  JSON span ring (when a tracer is attached)
+//
+// With pprofOn, net/http/pprof's handlers are mounted explicitly under
+// /debug/pprof/ (opt-in: nothing is registered on the default mux).
+func Mount(mux *http.ServeMux, reg *Registry, tr *Tracer, pprofOn bool) {
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(tr.Spans())
+	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// Handler returns a standalone mux with the Mount endpoints.
+func Handler(reg *Registry, tr *Tracer, pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, reg, tr, pprofOn)
+	return mux
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0") and serves Handler in the
+// background. It returns the bound address and a shutdown func.
+func Serve(addr string, reg *Registry, tr *Tracer, pprofOn bool) (bound string, shutdown func(context.Context) error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, tr, pprofOn), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
+	return ln.Addr().String(), srv.Shutdown, nil
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFlags holds the shared -log-level / -log-format flag values every
+// binary registers (RegisterLogFlags) and resolves into a slog.Logger
+// after flag parsing.
+type LogFlags struct {
+	Level  string
+	Format string
+}
+
+// RegisterLogFlags registers -log-level and -log-format on fs (pass
+// flag.CommandLine in a main) and returns the destination struct.
+func RegisterLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Level, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	fs.StringVar(&lf.Format, "log-format", "text", "log output format: text or json")
+	return lf
+}
+
+// ParseLevel maps a level name onto its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Logger builds the structured logger the flags describe, writing to w.
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLevel(lf.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(lf.Format)) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", lf.Format)
+}
+
+// Discard returns a logger that drops everything — the nil-object for
+// components that require a non-nil *slog.Logger.
+func Discard() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

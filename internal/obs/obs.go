@@ -1,0 +1,200 @@
+// Package obs is the repo's observability substrate: a dependency-free
+// metrics registry (atomic counters, gauges, fixed-bucket histograms,
+// with Prometheus text exposition and a JSON snapshot), structured
+// logging helpers over log/slog, and a bounded-ring run-phase tracer.
+//
+// The package is built for instrumentation that must stay provably off
+// the deterministic path of the simulation: nothing here draws
+// randomness, every metric type is nil-receiver safe (a nil *Counter or
+// *Histogram no-ops, so whole subsystems compile their instrumentation
+// out by carrying nil handles), and every hot-path operation is a single
+// atomic op. Callers instrument at day-barrier granularity — a handful
+// of time.Now calls per simulated day — never per event.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; a nil Counter no-ops, so disabled instrumentation costs one
+// predictable branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are a programming error but not checked:
+// the exposition reports whatever was accumulated).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down, stored as float64 bits in
+// one atomic word. The zero value is ready; nil no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (CAS loop; gauges are low-frequency).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// metric is one registered series. name may carry a Prometheus label
+// suffix (`foo_total{shard="3"}`); family is the name up to the brace,
+// which groups series under one # HELP/# TYPE header.
+type metric struct {
+	name    string
+	family  string
+	help    string
+	kind    metricKind
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// Registry holds named metrics and renders them as Prometheus text or a
+// JSON snapshot. Registration is idempotent by full series name: asking
+// for an already-registered name of the same kind returns the existing
+// metric, so independent subsystems can wire the same counter without
+// coordination. A nil *Registry returns nil metrics from every
+// constructor — the switch that turns a whole binary's instrumentation
+// off.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+// family splits an optional label suffix off a series name.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// register adds m under its name, or returns the existing entry. A kind
+// conflict panics: metric names are compile-time constants, so a clash
+// is a programming error worth failing loudly on.
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[m.name]; ok {
+		if prev.kind != m.kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", m.name))
+		}
+		return prev
+	}
+	m.family = family(m.name)
+	r.metrics = append(r.metrics, m)
+	r.byName[m.name] = m
+	return m
+}
+
+// Counter registers (or returns) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(&metric{name: name, help: help, kind: kindCounter, counter: &Counter{}}).counter
+}
+
+// Gauge registers (or returns) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(&metric{name: name, help: help, kind: kindGauge, gauge: &Gauge{}}).gauge
+}
+
+// CounterFunc registers a counter whose value is computed at scrape time
+// — the zero-hot-path-cost way to expose counts a subsystem already
+// maintains (e.g. the sweep queue's Progress counters).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, help: help, kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram registers (or returns) the named fixed-bucket histogram.
+// buckets are ascending upper bounds (le-inclusive); nil uses
+// DefBuckets. Histogram names must not carry label suffixes (the
+// exposition splices its own le label).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if strings.IndexByte(name, '{') >= 0 {
+		panic(fmt.Sprintf("obs: histogram %q must not carry labels", name))
+	}
+	return r.register(&metric{name: name, help: help, kind: kindHistogram, hist: newHistogram(buckets)}).hist
+}

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+	var tr *Tracer
+	tr.Record("x", "", time.Now(), time.Second)
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer must be empty")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	r.CounterFunc("x", "", nil)
+	r.GaugeFunc("x", "", nil)
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	// Exactly on a bound is le-inclusive: 1 lands in the le="1" bucket.
+	h.Observe(1)
+	// Below the first bound.
+	h.Observe(0.5)
+	// Between bounds.
+	h.Observe(1.5)
+	// Exactly the last bound.
+	h.Observe(5)
+	// Above every bound: +Inf only.
+	h.Observe(100)
+
+	bounds, cum, count, sum := h.snapshot()
+	if want := []float64{1, 2, 5}; len(bounds) != len(want) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// Cumulative: le=1 → {1, 0.5}; le=2 → +{1.5}; le=5 → +{5}; +Inf → +{100}.
+	wantCum := []int64{2, 3, 4, 5}
+	for i, want := range wantCum {
+		if cum[i] != want {
+			t.Fatalf("cum[%d] = %d, want %d (cum=%v)", i, cum[i], want, cum)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if want := 1 + 0.5 + 1.5 + 5 + 100; math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+}
+
+func TestHistogramDefaultBucketsSorted(t *testing.T) {
+	h := newHistogram(nil)
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i-1] >= h.bounds[i] {
+			t.Fatalf("DefBuckets not strictly ascending at %d: %v", i, h.bounds)
+		}
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the same instance")
+	}
+	h1 := r.Histogram("lat_seconds", "", nil)
+	h2 := r.Histogram("lat_seconds", "", []float64{1})
+	if h1 != h2 {
+		t.Fatal("re-registering the same histogram must return the same instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict must panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs processed")
+	c.Add(3)
+	r.Counter(`cells_total{state="done"}`, "cells by state").Add(2)
+	r.Counter(`cells_total{state="pending"}`, "cells by state").Add(7)
+	g := r.Gauge("temp", "temperature")
+	g.Set(1.5)
+	r.GaugeFunc("up", "always one", func() float64 { return 1 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP jobs_total jobs processed\n# TYPE jobs_total counter\njobs_total 3\n",
+		"# HELP cells_total cells by state\n# TYPE cells_total counter\ncells_total{state=\"done\"} 2\ncells_total{state=\"pending\"} 7\n",
+		"temp 1.5\n",
+		"up 1\n",
+		"# TYPE lat_seconds histogram\n",
+		"lat_seconds_bucket{le=\"0.1\"} 1\n",
+		"lat_seconds_bucket{le=\"1\"} 2\n",
+		"lat_seconds_bucket{le=\"+Inf\"} 3\n",
+		"lat_seconds_sum 2.55\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One header per family, even with multiple labeled series.
+	if n := strings.Count(out, "# TYPE cells_total"); n != 1 {
+		t.Fatalf("family header repeated %d times:\n%s", n, out)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(4)
+	r.Gauge("b", "").Set(2.5)
+	h := r.Histogram("c_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got["a_total"]) != "4" {
+		t.Fatalf("a_total = %s", got["a_total"])
+	}
+	if string(got["b"]) != "2.5" {
+		t.Fatalf("b = %s", got["b"])
+	}
+	var hs HistogramSnapshot
+	if err := json.Unmarshal(got["c_seconds"], &hs); err != nil {
+		t.Fatal(err)
+	}
+	if hs.Count != 2 || hs.Buckets["1"] != 1 || hs.Buckets["+Inf"] != 2 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+}
+
+// TestRegistryConcurrency hammers every metric type while exposition
+// runs; run under -race this is the registry's data-race proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(64)
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.WritePrometheus(io.Discard)
+				r.Snapshot()
+				tr.Spans()
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			c := r.Counter("conc_total", "")
+			g := r.Gauge("conc_gauge", "")
+			h := r.Histogram("conc_seconds", "", nil)
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) / 1000)
+				tr.Record("phase", "", time.Now(), time.Microsecond)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	<-scraperDone
+
+	if got := r.Counter("conc_total", "").Value(); got != 8000 {
+		t.Fatalf("conc_total = %d, want 8000", got)
+	}
+	if got := r.Histogram("conc_seconds", "", nil).Count(); got != 8000 {
+		t.Fatalf("conc_seconds count = %d, want 8000", got)
+	}
+	if tr.Total() != 8000 || len(tr.Spans()) != 64 {
+		t.Fatalf("tracer total=%d retained=%d", tr.Total(), len(tr.Spans()))
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	base := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		tr.Record("p", string(rune('a'+i)), base.Add(time.Duration(i)), time.Duration(i))
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(spans))
+	}
+	// Oldest-first: records c, d, e survive.
+	for i, want := range []string{"c", "d", "e"} {
+		if spans[i].Label != want {
+			t.Fatalf("spans[%d].Label = %q, want %q", i, spans[i].Label, want)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.Total())
+	}
+	var b bytes.Buffer
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != 3 {
+		t.Fatalf("dump has %d lines:\n%s", lines, b.String())
+	}
+}
+
+func TestLogFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	lf := RegisterLogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	lg, err := lf.Logger(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "k", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(b.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%s)", err, b.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != float64(7) || rec["level"] != "DEBUG" {
+		t.Fatalf("record = %v", rec)
+	}
+
+	lf.Level = "verbose"
+	if _, err := lf.Logger(io.Discard); err == nil {
+		t.Fatal("bad level must error")
+	}
+	lf.Level = "warn"
+	lf.Format = "xml"
+	if _, err := lf.Logger(io.Discard); err == nil {
+		t.Fatal("bad format must error")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Add(9)
+	tr := NewTracer(8)
+	tr.Record("day", "2019-03-01", time.Now(), time.Millisecond)
+	srv := httptest.NewServer(Handler(r, tr, true))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "hits_total 9") {
+		t.Fatalf("/metrics:\n%s", body)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["hits_total"] != float64(9) {
+		t.Fatalf("/debug/vars = %v", vars)
+	}
+	var spans []Span
+	if err := json.Unmarshal([]byte(get("/debug/trace")), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "day" {
+		t.Fatalf("/debug/trace = %v", spans)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one recorded run phase: a named interval with an optional
+// label (the engine records the simulated day here).
+type Span struct {
+	Name  string        `json:"name"`
+	Label string        `json:"label,omitempty"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Tracer records spans into a bounded ring: the last capacity spans are
+// kept, older ones overwritten. Recording is one short mutex hold (the
+// engine records ~7 spans per simulated day, so contention is nil); a
+// nil Tracer no-ops. Dump the ring on exit or serve it live via
+// /debug/trace.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total int64
+}
+
+// DefaultTraceCap bounds the ring when callers have no opinion: enough
+// for ~500 simulated days of per-day phase spans.
+const DefaultTraceCap = 4096
+
+// NewTracer returns a tracer keeping the last capacity spans
+// (capacity <= 0 uses DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// Record appends one span.
+func (t *Tracer) Record(name, label string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	sp := Span{Name: name, Label: label, Start: start, Dur: d}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.next] = sp
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many spans were ever recorded (including ones the
+// ring has since overwritten).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump writes the retained spans as text, oldest first — the exit-time
+// trace report.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, sp := range t.Spans() {
+		label := sp.Label
+		if label != "" {
+			label = " " + label
+		}
+		if _, err := fmt.Fprintf(w, "%s %s%s %s\n",
+			sp.Start.Format(time.RFC3339Nano), sp.Name, label, sp.Dur); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/conc"
 	"repro/internal/dates"
@@ -80,6 +81,12 @@ type engine struct {
 	orgEnc    []stream.Encoder
 	sinkEnc   []stream.Encoder
 	batchBufs [][]byte // barrier scratch: non-empty unit buffers for EventBatch
+
+	// obs, when non-nil, times the day phases and counts emitted events.
+	// It is written only at phase barriers (a handful of clock reads per
+	// day) and never read by simulation logic, so attaching it cannot
+	// perturb RNG draws, log bytes, or stats.
+	obs *Metrics
 }
 
 // organicUnit is one phase-1 work unit: an app with its random stream,
@@ -512,6 +519,10 @@ func (e *engine) parallelFor(n int, fn func(i int) error) error {
 // and the ordered sink flush.
 func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 	w := e.w
+	var t time.Time
+	if e.obs != nil {
+		t = time.Now()
+	}
 
 	// Phase 1: organic activity, one unit per app. Yesterday's top-free
 	// rank index is fetched once and shared read-only across the fan-out,
@@ -566,6 +577,9 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 	for i := range deltas {
 		stats.OrganicInstalls += deltas[i].installs
 		stats.RevenueUSD += deltas[i].revenue
+	}
+	if e.obs != nil {
+		t = e.obs.phase("organic", day, e.obs.PhaseOrganic, t)
 	}
 
 	// Phase 2: campaign deliveries, one unit per developer group.
@@ -623,6 +637,9 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 	// Session certifications reach the mediator's global count only here,
 	// at the barrier; the count is a plain sum, so merge order is free.
 	w.Mediator.AddCertified(int(certified))
+	if e.obs != nil {
+		t = e.obs.phase("campaign", day, e.obs.PhaseCampaign, t)
+	}
 	if err != nil {
 		return err
 	}
@@ -651,11 +668,29 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 		if err := e.log.EventBatch(bufs...); err != nil {
 			return err
 		}
+		if e.obs != nil {
+			// Events emitted this day: each per-unit encoder's record count,
+			// read before the Resets clear it. The count also feeds the
+			// writer's batch-record metric (the writer never parses its
+			// payloads, so the engine reports it).
+			var nrec int64
+			for i := range e.orgEnc {
+				nrec += int64(e.orgEnc[i].Records())
+			}
+			for g := range e.sinkEnc {
+				nrec += int64(e.sinkEnc[g].Records())
+			}
+			e.obs.Events.Add(nrec)
+			e.log.AddBatchRecords(nrec)
+		}
 		for i := range e.orgEnc {
 			e.orgEnc[i].Reset()
 		}
 		for g := range e.sinkEnc {
 			e.sinkEnc[g].Reset()
+		}
+		if e.obs != nil {
+			e.obs.phase("log-emit", day, e.obs.PhaseLogEmit, t)
 		}
 	}
 	return nil

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/obs"
+)
+
+// Metrics instruments a run at day-barrier granularity: per-day phase
+// timings (organic fan-out, campaign fan-out, store StepDay, log
+// emission, barrier flush), day totals, events emitted, and checkpoint
+// write latency. Everything here is provably off the deterministic
+// path: no field is read by simulation logic, no RNG is drawn, no log
+// byte depends on it — the hooks only read clocks and counters the
+// engine already maintains, a handful of times per simulated day.
+type Metrics struct {
+	// Days counts completed simulated days; DaySeconds is the wall time
+	// per day, barrier to barrier (hooks and checkpoints included).
+	Days       *obs.Counter
+	DaySeconds *obs.Histogram
+
+	// Per-phase wall time within a day.
+	PhaseOrganic  *obs.Histogram // organic fan-out + delta fold
+	PhaseCampaign *obs.Histogram // campaign fan-out + ordered sink merge
+	PhaseLogEmit  *obs.Histogram // day marker + event-batch emission
+	PhaseStepDay  *obs.Histogram // store chart/enforcement step
+	PhaseBarrier  *obs.Histogram // barrier frames (enforce/chart/day-end) + flush
+
+	// Events counts run-log event records emitted (0 when the log is
+	// off; summed from the per-unit encoder counters at the barrier).
+	Events *obs.Counter
+
+	// CheckpointSeconds times the checkpoint path end to end: state
+	// encode, log flush, and the caller's write.
+	CheckpointSeconds *obs.Histogram
+	Checkpoints       *obs.Counter
+
+	// Trace, when non-nil, records every phase as a span labeled with
+	// the simulated day.
+	Trace *obs.Tracer
+}
+
+// NewMetrics registers the engine metrics in reg and attaches tr. Both
+// may be nil; a fully-nil pair returns nil, which RunOptions treats as
+// "instrumentation off".
+func NewMetrics(reg *obs.Registry, tr *obs.Tracer) *Metrics {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	return &Metrics{
+		Days:              reg.Counter("sim_days_total", "completed simulated days"),
+		DaySeconds:        reg.Histogram("sim_day_seconds", "wall time per simulated day, barrier to barrier", nil),
+		PhaseOrganic:      reg.Histogram("sim_phase_organic_seconds", "organic fan-out wall time per day", nil),
+		PhaseCampaign:     reg.Histogram("sim_phase_campaign_seconds", "campaign fan-out + sink merge wall time per day", nil),
+		PhaseLogEmit:      reg.Histogram("sim_phase_log_emit_seconds", "run-log event emission wall time per day", nil),
+		PhaseStepDay:      reg.Histogram("sim_phase_step_day_seconds", "store chart/enforcement step wall time per day", nil),
+		PhaseBarrier:      reg.Histogram("sim_phase_barrier_seconds", "barrier frame + flush wall time per day", nil),
+		Events:            reg.Counter("sim_events_emitted_total", "run-log event records emitted"),
+		CheckpointSeconds: reg.Histogram("sim_checkpoint_seconds", "checkpoint encode+write latency", nil),
+		Checkpoints:       reg.Counter("sim_checkpoints_total", "checkpoints written"),
+		Trace:             tr,
+	}
+}
+
+// phase records one completed phase and returns the end time, which the
+// caller threads into the next phase — one clock read per boundary.
+func (m *Metrics) phase(name string, day dates.Date, h *obs.Histogram, start time.Time) time.Time {
+	end := time.Now()
+	h.Observe(end.Sub(start).Seconds())
+	m.Trace.Record(name, day.String(), start, end.Sub(start))
+	return end
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsObservationOffDeterministicPath is E11's acceptance bar at
+// the engine layer: attaching the full metrics surface (registry +
+// run-phase tracer) must not perturb the simulation in any observable
+// way. An instrumented 5-worker run must produce RunStats and run-log
+// bytes bit-identical to a bare single-worker run — metrics draw no
+// randomness and never feed back into sim logic — while the registry
+// ends up with a self-consistent account of the run it watched.
+func TestMetricsObservationOffDeterministicPath(t *testing.T) {
+	cfg := microConfig()
+	cfg.Workers = 1
+	plainBytes, plainStats, _ := loggedRun(t, cfg, RunOptions{})
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16) // tiny ring: the run overflows it, wrapping must stay safe
+	cfg.Workers = 5
+	instrBytes, instrStats, _ := loggedRun(t, cfg, RunOptions{Metrics: NewMetrics(reg, tr)})
+
+	if plainStats != instrStats {
+		t.Errorf("stats diverge with metrics attached: %+v vs %+v", plainStats, instrStats)
+	}
+	if !bytes.Equal(plainBytes, instrBytes) {
+		for i := range plainBytes {
+			if i >= len(instrBytes) || plainBytes[i] != instrBytes[i] {
+				t.Fatalf("log bytes diverge at offset %d of %d/%d", i, len(plainBytes), len(instrBytes))
+			}
+		}
+		t.Fatalf("log lengths differ: %d vs %d", len(plainBytes), len(instrBytes))
+	}
+
+	// The registry must agree with the run it observed.
+	snap := reg.Snapshot()
+	days := int64(plainStats.Days)
+	if got := snap["sim_days_total"].(int64); got != days {
+		t.Errorf("sim_days_total = %d, want %d", got, days)
+	}
+	for _, h := range []string{"sim_day_seconds", "sim_phase_organic_seconds", "sim_phase_campaign_seconds", "sim_phase_log_emit_seconds", "sim_phase_step_day_seconds", "sim_phase_barrier_seconds"} {
+		if got := snap[h].(obs.HistogramSnapshot).Count; got != days {
+			t.Errorf("%s count = %d, want one observation per day (%d)", h, got, days)
+		}
+	}
+	if got := snap["sim_events_emitted_total"].(int64); got <= 0 {
+		t.Errorf("sim_events_emitted_total = %d, want > 0", got)
+	}
+	// No checkpointing was configured: the checkpoint metrics must say so.
+	if got := snap["sim_checkpoints_total"].(int64); got != 0 {
+		t.Errorf("sim_checkpoints_total = %d, want 0", got)
+	}
+	// The tracer saw every span the run recorded (day + 5 phases per day),
+	// even though its ring only retains the last 16.
+	if got, want := tr.Total(), 6*days; got != want {
+		t.Errorf("tracer recorded %d spans, want %d", got, want)
+	}
+	if got := len(tr.Spans()); got != 16 {
+		t.Errorf("tracer retained %d spans, want its capacity 16", got)
+	}
+}

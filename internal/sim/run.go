@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/dates"
 	"repro/internal/mediator"
@@ -64,6 +65,12 @@ type RunOptions struct {
 	// have written.
 	Resume *stream.Checkpoint
 
+	// Metrics, when non-nil, attaches run instrumentation (NewMetrics):
+	// per-day phase timings, event counts, checkpoint latency, and trace
+	// spans. Observation only — the engine never reads it, so metrics on
+	// vs off produces bit-identical stats, log bytes, and checkpoints.
+	Metrics *Metrics
+
 	// Context, when non-nil, makes the run cancellable. Cancellation is
 	// observed only at day barriers — after the day's frames are flushed
 	// and the hook has run — so a cancelled run never stops mid-write:
@@ -110,15 +117,27 @@ func (w *World) RunOpts(o RunOptions) (RunStats, error) {
 	if o.Log != nil {
 		eng.enableLog(o.Log)
 	}
+	eng.obs = o.Metrics
+	m := o.Metrics
 	every := o.CheckpointEvery
 	if every <= 0 {
 		every = 1
 	}
 	for day := start; day <= w.Cfg.Window.End; day++ {
+		var dayT0, t time.Time
+		if m != nil {
+			dayT0 = time.Now()
+		}
 		if err := eng.stepDay(day, &stats); err != nil {
 			return stats, err
 		}
+		if m != nil {
+			t = time.Now()
+		}
 		w.Store.StepDay(day)
+		if m != nil {
+			t = m.phase("step-day", day, m.PhaseStepDay, t)
+		}
 		stats.Days++
 		if o.Log != nil {
 			if err := w.logDayBarrier(o.Log, day, &stats); err != nil {
@@ -138,6 +157,9 @@ func (w *World) RunOpts(o RunOptions) (RunStats, error) {
 					return stats, err
 				}
 			}
+			if m != nil {
+				m.phase("barrier-flush", day, m.PhaseBarrier, t)
+			}
 		}
 		if o.Hook != nil {
 			if err := o.Hook(day); err != nil {
@@ -150,6 +172,10 @@ func (w *World) RunOpts(o RunOptions) (RunStats, error) {
 		// the cadence: the whole point of stopping at the barrier is that
 		// a successor can resume from here.
 		if due || (canceled && o.Checkpoint != nil && day < w.Cfg.Window.End) {
+			var cpT0 time.Time
+			if m != nil {
+				cpT0 = time.Now()
+			}
 			var off int64
 			if o.Log != nil {
 				off = o.Log.Offset()
@@ -164,6 +190,16 @@ func (w *World) RunOpts(o RunOptions) (RunStats, error) {
 			if err := o.Checkpoint(cp); err != nil {
 				return stats, fmt.Errorf("sim: checkpoint on %s: %w", day, err)
 			}
+			if m != nil {
+				m.Checkpoints.Inc()
+				m.phase("checkpoint", day, m.CheckpointSeconds, cpT0)
+			}
+		}
+		if m != nil {
+			end := time.Now()
+			m.Days.Inc()
+			m.DaySeconds.Observe(end.Sub(dayT0).Seconds())
+			m.Trace.Record("day", day.String(), dayT0, end.Sub(dayT0))
 		}
 		if canceled && day < w.Cfg.Window.End {
 			return stats, fmt.Errorf("sim: run canceled at day barrier %s (%d days done): %w",

@@ -241,6 +241,7 @@ type Encoder struct {
 	tab     map[string]uint32
 	stab    map[string]uint32
 	records bool
+	nrec    int
 }
 
 // SetRecordMode switches the encoder between frame output (false, the
@@ -325,8 +326,16 @@ func (e *Encoder) Bytes() []byte { return e.enc.Bytes() }
 // Len returns the buffered byte count.
 func (e *Encoder) Len() int { return e.enc.Len() }
 
+// Records returns how many frames or sub-records were begun since the
+// last Reset — the engine's per-day "events emitted" count, maintained
+// as one integer increment inside the encoding path that already runs.
+func (e *Encoder) Records() int { return e.nrec }
+
 // Reset empties the encoder, keeping its capacity.
-func (e *Encoder) Reset() { e.enc.Reset() }
+func (e *Encoder) Reset() {
+	e.enc.Reset()
+	e.nrec = 0
+}
 
 // Grow reserves capacity for at least n more bytes, so hot-path appends
 // never reallocate mid-day.
@@ -336,6 +345,7 @@ func (e *Encoder) Grow(n int) { e.enc.Grow(n) }
 // record mode, a sub-record (kind byte plus a 1-byte length slot for the
 // common short payload). It returns the payload start offset for end.
 func (e *Encoder) begin(k Kind) int {
+	e.nrec++
 	e.enc.U8(uint8(k))
 	if e.records {
 		e.enc.U8(0)

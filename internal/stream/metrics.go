@@ -1,0 +1,58 @@
+package stream
+
+import (
+	"repro/internal/obs"
+)
+
+// WriterMetrics instruments a run-log Writer: byte/frame throughput,
+// batch coalescing, and day-barrier flush latency. All fields are
+// nil-safe obs handles, and the hooks fire only on paths that already
+// perform I/O — attaching metrics never changes the bytes written, and
+// a Writer without metrics pays a single nil check per write.
+type WriterMetrics struct {
+	// Bytes counts every byte that reaches the underlying writer,
+	// preamble included (mirrors Writer.Offset growth).
+	Bytes *obs.Counter
+	// FrameWrites counts frame-granularity writes: one per single-frame
+	// record (day markers, charts, enforcement, day-end) plus the
+	// preamble flush.
+	FrameWrites *obs.Counter
+	// BatchFrames counts event-batch frames; BatchBuffers counts the
+	// per-unit encoder buffers coalesced into them. BatchBuffers over
+	// BatchFrames is the day-barrier coalescing ratio.
+	BatchFrames  *obs.Counter
+	BatchBuffers *obs.Counter
+	// BatchRecords counts the event records carried inside batch frames
+	// (reported by the engine via AddBatchRecords; the writer itself
+	// never parses its payloads).
+	BatchRecords *obs.Counter
+	// Flushes counts Flush calls (the day-barrier durability point);
+	// FlushSeconds is their latency.
+	Flushes      *obs.Counter
+	FlushSeconds *obs.Histogram
+}
+
+// NewWriterMetrics registers the run-log writer metrics in reg (nil reg
+// returns nil, which every hook treats as "off").
+func NewWriterMetrics(reg *obs.Registry) *WriterMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &WriterMetrics{
+		Bytes:        reg.Counter("runlog_bytes_total", "run-log bytes written, preamble included"),
+		FrameWrites:  reg.Counter("runlog_frame_writes_total", "single-frame run-log writes (markers, charts, day-end, preamble)"),
+		BatchFrames:  reg.Counter("runlog_batch_frames_total", "event-batch frames written at day barriers"),
+		BatchBuffers: reg.Counter("runlog_batch_buffers_total", "per-unit encoder buffers coalesced into batch frames"),
+		BatchRecords: reg.Counter("runlog_batch_records_total", "event records carried inside batch frames"),
+		Flushes:      reg.Counter("runlog_flushes_total", "run-log flushes (day-barrier durability points)"),
+		FlushSeconds: reg.Histogram("runlog_flush_seconds", "run-log flush latency", nil),
+	}
+}
+
+// AddBatchRecords accrues engine-reported event-record counts (nil-safe).
+func (m *WriterMetrics) AddBatchRecords(n int64) {
+	if m == nil {
+		return
+	}
+	m.BatchRecords.Add(n)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"repro/internal/dates"
 	"repro/internal/playstore"
@@ -36,7 +37,20 @@ type Writer struct {
 	segBytes   int64 // rotation threshold; <= 0 disables rotation
 	segStart   int64 // offset where the current segment's frames begin
 	segOrdinal int64 // 0 = implicit first segment (replay from base)
+
+	// metrics, when non-nil, counts bytes/frames/flushes. Pure
+	// observation: no field of the write path reads it, so attaching
+	// metrics cannot change the log bytes.
+	metrics *WriterMetrics
 }
+
+// SetMetrics attaches throughput/latency instrumentation (nil detaches).
+func (w *Writer) SetMetrics(m *WriterMetrics) { w.metrics = m }
+
+// AddBatchRecords forwards engine-reported event-record counts to the
+// attached metrics (no-op without metrics): the writer never parses its
+// batch payloads, so the record count must come from the encoder side.
+func (w *Writer) AddBatchRecords(n int64) { w.metrics.AddBatchRecords(n) }
 
 // NewWriter opens a fresh run log on w: magic, header frame, base frame.
 func NewWriter(w io.Writer, h Header, base Base) (*Writer, error) {
@@ -134,6 +148,9 @@ func (w *Writer) writeRaw(b []byte) error {
 	}
 	n, err := w.w.Write(b)
 	w.off += int64(n)
+	if w.metrics != nil {
+		w.metrics.Bytes.Add(int64(n))
+	}
 	if err != nil {
 		w.err = fmt.Errorf("stream: writing run log: %w", err)
 		return w.err
@@ -143,6 +160,9 @@ func (w *Writer) writeRaw(b []byte) error {
 
 func (w *Writer) flushScratch() error {
 	err := w.writeRaw(w.enc.Bytes())
+	if w.metrics != nil {
+		w.metrics.FrameWrites.Add(int64(w.enc.Records()))
+	}
 	w.enc.Reset()
 	return err
 }
@@ -194,14 +214,20 @@ func (w *Writer) writeBatchFrame(bufs [][]byte, total int64) error {
 		return err
 	}
 	var crc uint32
+	var coalesced int64
 	for _, b := range bufs {
 		if len(b) == 0 {
 			continue
 		}
+		coalesced++
 		crc = crc32.Update(crc, castagnoli, b)
 		if err := w.writeRaw(b); err != nil {
 			return err
 		}
+	}
+	if w.metrics != nil {
+		w.metrics.BatchFrames.Inc()
+		w.metrics.BatchBuffers.Add(coalesced)
 	}
 	var tail [4]byte
 	binary.LittleEndian.PutUint32(tail[:], crc)
@@ -247,8 +273,16 @@ func (w *Writer) Event(ev *Event) error {
 // consumers observe whole days.
 func (w *Writer) Flush() error {
 	if f, ok := w.w.(interface{ Flush() error }); ok {
+		var t0 time.Time
+		if w.metrics != nil {
+			t0 = time.Now()
+		}
 		if err := f.Flush(); err != nil {
 			return fmt.Errorf("stream: flushing run log: %w", err)
+		}
+		if w.metrics != nil {
+			w.metrics.Flushes.Inc()
+			w.metrics.FlushSeconds.ObserveSince(t0)
 		}
 	}
 	return nil

@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrDrained reports that Run stopped because its context was cancelled
@@ -26,20 +29,24 @@ type Coordinator struct {
 	g       *grid
 	q       *Queue
 	journal *Journal
-	logf    func(format string, args ...any)
+	log     *slog.Logger
+	jm      *JournalMetrics
+	start   time.Time
 }
 
-// NewCoordinator validates the grid and builds the work queue.
+// NewCoordinator validates the grid and builds the work queue. Log
+// lines go to o.Log (structured slog records with cell/lease/attempt
+// fields); nil discards them.
 func NewCoordinator(o Options, qc QueueConfig) (*Coordinator, error) {
 	g, err := expandGrid(o)
 	if err != nil {
 		return nil, err
 	}
-	logf := o.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	log := o.Log
+	if log == nil {
+		log = obs.Discard()
 	}
-	return &Coordinator{g: g, q: NewQueue(g.jobs, qc), logf: logf}, nil
+	return &Coordinator{g: g, q: NewQueue(g.jobs, qc), log: log, start: time.Now()}, nil
 }
 
 // Queue exposes the underlying work queue (tests drive it directly).
@@ -63,14 +70,16 @@ func (co *Coordinator) OpenJournal(path string, wrap func(w io.Writer) io.Writer
 			return 0, err
 		}
 		if dropped := rep.Size - rep.ValidEnd; dropped > 0 {
-			co.logf("journal: truncated %d-byte torn tail", dropped)
+			co.log.Warn("journal: truncated torn tail", "bytes", dropped)
 		}
 		p := co.q.Progress()
 		adopted = p.Adopted
-		co.logf("journal: replayed %d record(s): %d/%d done adopted, %d leased, %d pending",
-			len(rep.Records), p.Done, p.Total, p.Leased, p.Pending)
+		co.log.Info("journal: replayed",
+			"records", len(rep.Records), "adopted", p.Done, "total", p.Total,
+			"leased", p.Leased, "pending", p.Pending)
 	}
 	co.journal = j
+	j.SetMetrics(co.jm)
 	co.q.attachJournal(j)
 	return adopted, nil
 }
@@ -108,10 +117,10 @@ func (co *Coordinator) Run(ctx context.Context) (*Result, error) {
 			cancel = nil // fire once; keep ticking while the drain settles
 			draining = true
 			co.q.Drain()
-			co.logf("draining: no new leases; waiting for %d in-flight cell(s)", co.q.Progress().Leased)
+			co.log.Info("draining: no new leases", "in_flight", co.q.Progress().Leased)
 		case <-tick.C:
 			if n := co.q.ExpireLeases(time.Now()); n > 0 {
-				co.logf("reissued %d expired lease(s)", n)
+				co.log.Warn("reissued expired leases", "count", n)
 			}
 			if draining && co.q.Progress().Leased == 0 {
 				if err := co.q.RecordDrain(); err != nil {
@@ -146,7 +155,8 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	claim, retry, done := co.q.Lease(time.Now())
 	if claim != nil {
-		co.logf("lease cell %d (%s/seed=%d) attempt %d", claim.Index, claim.Scenario, claim.Seed, claim.Attempt)
+		co.log.Info("lease granted", "cell", claim.Index, "scenario", claim.Scenario,
+			"seed", claim.Seed, "attempt", claim.Attempt, "lease", claim.LeaseID)
 	}
 	writeJSON(w, leaseResponse{Claim: claim, RetryMS: retry.Milliseconds(), Done: done})
 }
@@ -166,7 +176,9 @@ func (co *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	err := co.q.Complete(in.Index, in.LeaseID, in.Cell, in.Info, time.Now())
 	if err == nil {
-		co.logf("cell %d (%s/seed=%d) complete: %s", in.Index, in.Cell.Scenario, in.Cell.Seed, in.Cell.Eval)
+		co.log.Info("cell complete", "cell", in.Index, "scenario", in.Cell.Scenario,
+			"seed", in.Cell.Seed, "lease", in.LeaseID, "resumed", in.Info.Resumed,
+			"days", in.Info.DaysExecuted, "eval", in.Cell.Eval.String())
 	}
 	writeOutcome(w, err)
 }
@@ -176,12 +188,28 @@ func (co *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &in) {
 		return
 	}
-	co.logf("cell %d failed (transient=%v): %s", in.Index, in.Transient, in.Error)
+	co.log.Warn("cell failed", "cell", in.Index, "lease", in.LeaseID,
+		"transient", in.Transient, "error", in.Error)
 	writeOutcome(w, co.q.Fail(in.Index, in.LeaseID, in.Error, in.Transient, time.Now()))
 }
 
+// statusResponse enriches GET /v1/status with the per-attempt cell
+// histogram and coordinator uptime. Progress stays embedded (and
+// comparable) — the extras ride alongside, so existing clients that
+// decode into Progress keep working.
+type statusResponse struct {
+	Progress
+	// AttemptCounts[i] = cells that have consumed i lease grants.
+	AttemptCounts []int `json:"attempt_counts"`
+	UptimeMS      int64 `json:"uptime_ms"`
+}
+
 func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, co.q.Progress())
+	writeJSON(w, statusResponse{
+		Progress:      co.q.Progress(),
+		AttemptCounts: co.q.AttemptCounts(),
+		UptimeMS:      time.Since(co.start).Milliseconds(),
+	})
 }
 
 func (co *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {

@@ -263,6 +263,18 @@ type Journal struct {
 	f   *os.File
 	w   io.Writer
 	err error
+	// m, when non-nil, times appends and fsyncs. Observation only: no
+	// journal byte depends on it.
+	m *JournalMetrics
+}
+
+// SetMetrics attaches append/fsync instrumentation (nil detaches;
+// nil-receiver safe, matching the journal-less queue).
+func (j *Journal) SetMetrics(m *JournalMetrics) {
+	if j == nil {
+		return
+	}
+	j.m = m
 }
 
 // openJournal opens the journal at path for a grid with the given digest
@@ -356,14 +368,30 @@ func (j *Journal) append(kind journalKind, payload []byte, sync bool) error {
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
 	frame = append(frame, payload...)
 	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, journalCRC))
+	var t0 time.Time
+	if j.m != nil {
+		t0 = time.Now()
+	}
 	if _, err := j.w.Write(frame); err != nil {
 		j.err = fmt.Errorf("sweep: appending %s journal record: %w", kind, err)
 		return j.err
 	}
+	if j.m != nil {
+		j.m.Appends.Inc()
+		j.m.AppendSeconds.ObserveSince(t0)
+	}
 	if sync {
+		var s0 time.Time
+		if j.m != nil {
+			s0 = time.Now()
+		}
 		if err := j.f.Sync(); err != nil {
 			j.err = fmt.Errorf("sweep: syncing journal: %w", err)
 			return j.err
+		}
+		if j.m != nil {
+			j.m.Syncs.Inc()
+			j.m.SyncSeconds.ObserveSince(s0)
 		}
 	}
 	return nil

@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RegisterMetrics exposes the coordinator's control plane in reg. Every
+// series is a func metric evaluated at scrape time over the queue's
+// Progress snapshot, so the lease/heartbeat/complete hot path pays
+// nothing — the cost of metrics is one mutex-guarded snapshot per
+// scrape, not per transition. Also registers the journal durability
+// metrics and attaches them to an already-open journal.
+func (co *Coordinator) RegisterMetrics(reg *obs.Registry) {
+	if co == nil || reg == nil {
+		return
+	}
+	p := func(f func(Progress) int) func() float64 {
+		return func() float64 { return float64(f(co.q.Progress())) }
+	}
+	reg.GaugeFunc(`sweep_cells{state="done"}`, "grid cells by state", p(func(p Progress) int { return p.Done }))
+	reg.GaugeFunc(`sweep_cells{state="leased"}`, "grid cells by state", p(func(p Progress) int { return p.Leased }))
+	reg.GaugeFunc(`sweep_cells{state="pending"}`, "grid cells by state", p(func(p Progress) int { return p.Pending }))
+	reg.GaugeFunc("sweep_cells_total", "grid size", p(func(p Progress) int { return p.Total }))
+	reg.CounterFunc("sweep_lease_grants_total", "lease grants (attempts)", p(func(p Progress) int { return p.Attempts }))
+	reg.CounterFunc("sweep_leases_expired_total", "leases reissued after deadline", p(func(p Progress) int { return p.Expiries }))
+	reg.CounterFunc("sweep_leases_fenced_total", "zombie completions/heartbeats fenced off", p(func(p Progress) int { return p.Fenced }))
+	reg.CounterFunc("sweep_heartbeats_total", "accepted lease renewals", p(func(p Progress) int { return p.Heartbeats }))
+	reg.CounterFunc("sweep_cells_salvaged_total", "completions accepted from expired leases", p(func(p Progress) int { return p.Salvaged }))
+	reg.CounterFunc("sweep_cells_adopted_total", "done cells restored from the journal", p(func(p Progress) int { return p.Adopted }))
+	reg.CounterFunc("sweep_cells_resumed_total", "completions that resumed from a spooled checkpoint", p(func(p Progress) int { return p.Resumed }))
+	reg.CounterFunc("sweep_duplicate_completions_total", "duplicate completions dropped after digest check", p(func(p Progress) int { return p.Duplicates }))
+	reg.CounterFunc("sweep_failures_transient_total", "cell failures re-queued under backoff", p(func(p Progress) int { return p.TransientFailures }))
+	reg.CounterFunc("sweep_failures_permanent_total", "cell failures that poisoned the grid", p(func(p Progress) int { return p.PermanentFailures }))
+	reg.GaugeFunc("sweep_uptime_seconds", "coordinator uptime", func() float64 {
+		return time.Since(co.start).Seconds()
+	})
+	co.jm = NewJournalMetrics(reg)
+	if co.journal != nil {
+		co.journal.SetMetrics(co.jm)
+	}
+}
+
+// JournalMetrics instruments the coordinator journal's append path:
+// write and fsync latency, separately, because the fsync dominates and
+// only some record kinds pay it.
+type JournalMetrics struct {
+	Appends       *obs.Counter
+	AppendSeconds *obs.Histogram
+	Syncs         *obs.Counter
+	SyncSeconds   *obs.Histogram
+}
+
+// NewJournalMetrics registers the journal metrics in reg (nil reg
+// returns nil, which the journal treats as "off").
+func NewJournalMetrics(reg *obs.Registry) *JournalMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &JournalMetrics{
+		Appends:       reg.Counter("sweep_journal_appends_total", "journal records appended"),
+		AppendSeconds: reg.Histogram("sweep_journal_append_seconds", "journal record write latency (excluding fsync)", nil),
+		Syncs:         reg.Counter("sweep_journal_syncs_total", "journal fsyncs"),
+		SyncSeconds:   reg.Histogram("sweep_journal_sync_seconds", "journal fsync latency", nil),
+	}
+}
+
+// WorkerMetrics instruments one worker process: cells completed split
+// by resumed-vs-fresh, bytes stream.Recover truncated off torn spooled
+// logs, heartbeats sent, transport retries, and wall-clock per cell.
+type WorkerMetrics struct {
+	CellsCompleted *obs.Counter
+	CellsResumed   *obs.Counter
+	CellsFresh     *obs.Counter
+	SalvagedBytes  *obs.Counter
+	Heartbeats     *obs.Counter
+	Retries        *obs.Counter
+	CellSeconds    *obs.Histogram
+}
+
+// NewWorkerMetrics registers the worker metrics in reg (nil reg returns
+// nil; every hook is nil-safe).
+func NewWorkerMetrics(reg *obs.Registry) *WorkerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &WorkerMetrics{
+		CellsCompleted: reg.Counter("worker_cells_completed_total", "cells this worker completed"),
+		CellsResumed:   reg.Counter("worker_cells_resumed_total", "completed cells resumed from a spooled checkpoint"),
+		CellsFresh:     reg.Counter("worker_cells_fresh_total", "completed cells run from scratch"),
+		SalvagedBytes:  reg.Counter("worker_salvaged_bytes_total", "torn-tail bytes stream.Recover dropped from resumed spools"),
+		Heartbeats:     reg.Counter("worker_heartbeats_total", "lease renewals sent"),
+		Retries:        reg.Counter("worker_transport_retries_total", "transport-level request retries"),
+		CellSeconds:    reg.Histogram("worker_cell_seconds", "wall time per completed cell", nil),
+	}
+}

@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDistributedWithMetricsMatchesInProcess extends the distributed
+// sweep's determinism bar to the observability surface: a coordinator
+// with its full metrics registry attached (journal timing included) and
+// workers carrying their own registries must still assemble a Result
+// byte-identical to the bare in-process run — and the scraped metrics
+// must agree with the queue's own accounting.
+func TestDistributedWithMetricsMatchesInProcess(t *testing.T) {
+	names := []string{microName(t, "paper-baseline"), microName(t, "jitter")}
+	opts := Options{Scenarios: names, Seeds: []uint64{20190301, 20190401}}
+
+	ref, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co, url, wait := startCoordinator(t, opts, QueueConfig{Lease: 30 * time.Second})
+	reg := obs.NewRegistry()
+	co.RegisterMetrics(reg)
+
+	workerMetrics := make([]*WorkerMetrics, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wreg := obs.NewRegistry()
+		wm := NewWorkerMetrics(wreg)
+		workerMetrics[i] = wm
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wk := &Worker{
+				Client:  &Client{BaseURL: url, RetryCounter: wm.Retries},
+				Name:    fmt.Sprintf("w%d", i),
+				Runner:  CellRunner{SpoolDir: t.TempDir()},
+				PollMax: 20 * time.Millisecond,
+				Metrics: wm,
+			}
+			if err := wk.Run(context.Background()); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := marshalResult(t, res), marshalResult(t, ref); !bytes.Equal(got, want) {
+		t.Errorf("instrumented distributed result diverges from in-process run:\n--- distributed ---\n%s\n--- in-process ---\n%s", got, want)
+	}
+
+	// The coordinator's scrape must agree with its queue.
+	p := co.Progress()
+	snap := reg.Snapshot()
+	checks := []struct {
+		name string
+		want int
+	}{
+		{`sweep_cells{state="done"}`, p.Done},
+		{`sweep_cells{state="leased"}`, 0},
+		{`sweep_cells{state="pending"}`, 0},
+		{"sweep_cells_total", p.Total},
+		{"sweep_lease_grants_total", p.Attempts},
+		{"sweep_heartbeats_total", p.Heartbeats},
+		{"sweep_leases_expired_total", 0},
+		{"sweep_cells_resumed_total", 0},
+		{"sweep_failures_permanent_total", 0},
+	}
+	for _, c := range checks {
+		if got := int(snap[c.name].(float64)); got != c.want {
+			t.Errorf("%s = %d, want %d (progress %+v)", c.name, got, c.want, p)
+		}
+	}
+	if p.Done != 4 || p.Heartbeats == 0 {
+		t.Errorf("progress = %+v, want 4 done with heartbeats", p)
+	}
+
+	// The two workers together completed the whole grid, fresh.
+	var completed, fresh, heartbeats int64
+	for _, wm := range workerMetrics {
+		completed += wm.CellsCompleted.Value()
+		fresh += wm.CellsFresh.Value()
+		heartbeats += wm.Heartbeats.Value()
+	}
+	if completed != 4 || fresh != 4 {
+		t.Errorf("worker counters: completed=%d fresh=%d, want 4/4", completed, fresh)
+	}
+	if got := int(heartbeats); got != p.Heartbeats {
+		t.Errorf("workers counted %d heartbeats, coordinator accepted %d", heartbeats, p.Heartbeats)
+	}
+}
+
+// TestStatusEndpointEnriched pins the enriched GET /v1/status payload:
+// per-state cell counts, the attempt histogram, the journal-adoption and
+// failure totals, and coordinator uptime all ride the same JSON object.
+func TestStatusEndpointEnriched(t *testing.T) {
+	names := []string{microName(t, "paper-baseline")}
+	opts := Options{Scenarios: names, Seeds: []uint64{20190301, 20190401}}
+
+	_, url, wait := startCoordinator(t, opts, QueueConfig{Lease: 30 * time.Second})
+
+	status := func() statusResponse {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st statusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := status()
+	if st.Total != 2 || st.Pending != 2 || st.Done != 0 {
+		t.Errorf("pre-run status = %+v, want 2 pending", st.Progress)
+	}
+	if len(st.AttemptCounts) == 0 || st.AttemptCounts[0] != 2 {
+		t.Errorf("pre-run attempt_counts = %v, want all cells at 0 attempts", st.AttemptCounts)
+	}
+
+	wk := &Worker{
+		Client:  &Client{BaseURL: url},
+		Name:    "w0",
+		Runner:  CellRunner{SpoolDir: t.TempDir()},
+		PollMax: 20 * time.Millisecond,
+	}
+	if err := wk.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	st = status()
+	if st.Done != 2 || st.Pending != 0 || st.Leased != 0 {
+		t.Errorf("post-run status = %+v, want 2 done", st.Progress)
+	}
+	// Every cell completed on its first lease: two cells at attempt 1.
+	if len(st.AttemptCounts) < 2 || st.AttemptCounts[1] != 2 || st.AttemptCounts[0] != 0 {
+		t.Errorf("post-run attempt_counts = %v, want two cells at 1 attempt", st.AttemptCounts)
+	}
+	if st.Heartbeats == 0 {
+		t.Errorf("status reports no heartbeats after a full grid: %+v", st.Progress)
+	}
+	if st.UptimeMS < 0 {
+		t.Errorf("uptime_ms = %d, want >= 0", st.UptimeMS)
+	}
+
+	// The JSON wire shape is part of the contract: the enrichment fields
+	// must be present by name, not just as zero-valued Go fields.
+	resp, err := http.Get(url + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"attempt_counts", "uptime_ms", "heartbeats", "resumed", "transient_failures", "permanent_failures", "adopted", "fenced", "salvaged"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("status JSON missing %q: %v", key, raw)
+		}
+	}
+}

@@ -90,6 +90,15 @@ type Progress struct {
 	// live re-lease (zombie workers).
 	Adopted int `json:"adopted"`
 	Fenced  int `json:"fenced"`
+	// Heartbeats counts accepted lease renewals; Resumed, completions
+	// whose worker resumed from a spooled checkpoint instead of
+	// restarting; TransientFailures/PermanentFailures split reported cell
+	// failures by whether the cell was re-queued (exhaustion counts as
+	// permanent — it poisons the grid).
+	Heartbeats        int `json:"heartbeats"`
+	Resumed           int `json:"resumed"`
+	TransientFailures int `json:"transient_failures"`
+	PermanentFailures int `json:"permanent_failures"`
 }
 
 type cellState int
@@ -257,6 +266,7 @@ func (q *Queue) Heartbeat(index int, leaseID string, now time.Time) error {
 		return err
 	}
 	s.deadline = deadline
+	q.prog.Heartbeats++
 	return nil
 }
 
@@ -306,6 +316,9 @@ func (q *Queue) Complete(index int, leaseID string, cell Cell, info CellRunInfo,
 	s.leaseID = ""
 	q.done++
 	q.prog.Done = q.done
+	if info.Resumed {
+		q.prog.Resumed++
+	}
 	if q.done == len(q.slots) {
 		q.closeLocked()
 	}
@@ -329,10 +342,12 @@ func (q *Queue) Fail(index int, leaseID, msg string, transient bool, now time.Ti
 	}
 	name := s.job.spec.Name
 	if !transient {
+		q.prog.PermanentFailures++
 		q.failLocked(fmt.Errorf("sweep: cell %d (%s/seed=%d) failed permanently: %s", index, name, s.job.seed, msg))
 		return nil
 	}
 	if s.attempts >= q.cfg.MaxAttempts {
+		q.prog.PermanentFailures++
 		q.failLocked(fmt.Errorf("sweep: cell %d (%s/seed=%d) failed after %d attempts: %s",
 			index, name, s.job.seed, s.attempts, msg))
 		return nil
@@ -347,6 +362,7 @@ func (q *Queue) Fail(index int, leaseID, msg string, transient bool, now time.Ti
 	s.state = statePending
 	s.leaseID = ""
 	s.notBefore = notBefore
+	q.prog.TransientFailures++
 	return nil
 }
 
@@ -526,6 +542,9 @@ func (q *Queue) restore(rep *journalReplay) error {
 			q.done++
 			q.prog.Done = q.done
 			q.prog.Adopted++
+			if info.Resumed {
+				q.prog.Resumed++
+			}
 			if q.done == len(q.slots) {
 				q.closeLocked()
 			}
@@ -586,6 +605,22 @@ func (q *Queue) CellInfos() []CellRunInfo {
 		infos[i] = q.slots[i].info
 	}
 	return infos
+}
+
+// AttemptCounts histograms cells by lease-grant count: index = attempts
+// so far, value = number of cells. Index 0 is cells never yet leased.
+func (q *Queue) AttemptCounts() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	counts := make([]int, q.cfg.MaxAttempts+1)
+	for i := range q.slots {
+		a := q.slots[i].attempts
+		if a >= len(counts) {
+			a = len(counts) - 1
+		}
+		counts[a]++
+	}
+	return counts
 }
 
 // Progress returns a snapshot of queue counters.

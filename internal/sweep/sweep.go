@@ -22,6 +22,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -47,8 +48,13 @@ type Options struct {
 	// GOMAXPROCS). Each cell runs its own world with Workers=1, so the
 	// grid parallelizes across cells, not within them.
 	Workers int
-	// Logf, when set, receives per-cell progress lines.
+	// Logf, when set, receives per-cell progress lines (printf-style;
+	// kept for embedders that predate structured logging).
 	Logf func(format string, args ...any)
+	// Log, when set, receives structured per-cell progress records and
+	// the coordinator's control-plane log. Preferred over Logf when both
+	// are set.
+	Log *slog.Logger
 }
 
 // Cell is one (scenario, seed) grid result.
@@ -214,7 +220,14 @@ func RunCtx(ctx context.Context, o Options) (*Result, error) {
 	conc.ForN(workers, len(g.jobs), func(i int) {
 		cell, _, err := runner.Run(ctx, g.jobs[i].spec, g.jobs[i].seed)
 		cells[i], errs[i] = cell, err
-		if o.Logf != nil {
+		switch {
+		case o.Log != nil:
+			if err != nil {
+				o.Log.Warn("cell failed", "scenario", g.jobs[i].spec.Name, "seed", cell.Seed, "error", err)
+			} else {
+				o.Log.Info("cell done", "scenario", cell.Scenario, "seed", cell.Seed, "eval", cell.Eval.String())
+			}
+		case o.Logf != nil:
 			logMu.Lock()
 			if err != nil {
 				o.Logf("cell %s/seed=%d failed: %v", g.jobs[i].spec.Name, cell.Seed, err)

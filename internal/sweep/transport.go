@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/randx"
 )
 
@@ -68,6 +69,9 @@ type Client struct {
 	RetryBase time.Duration
 	// Jitter, when non-nil, randomizes backoff delays.
 	Jitter *randx.Rand
+	// RetryCounter, when non-nil, counts transport-level retries
+	// (nil-safe obs handle; wire a WorkerMetrics.Retries here).
+	RetryCounter *obs.Counter
 }
 
 func (c *Client) retries() int {
@@ -111,6 +115,7 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries(); attempt++ {
 		if attempt > 0 {
+			c.RetryCounter.Inc()
 			select {
 			case <-ctx.Done():
 				return fmt.Errorf("sweep: %s: %w (last transport error: %v)", path, ctx.Err(), lastErr)

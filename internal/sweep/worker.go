@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"time"
 
 	"repro/internal/dates"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -32,13 +34,19 @@ type Worker struct {
 	// PollMax caps the idle wait between lease attempts when the
 	// coordinator has nothing available (0 = 500ms).
 	PollMax time.Duration
-	Logf    func(format string, args ...any)
+	// Log receives structured progress records (cell, lease, attempt,
+	// day fields); nil discards them.
+	Log *slog.Logger
+	// Metrics, when non-nil, counts this worker's cells, heartbeats, and
+	// per-cell wall time.
+	Metrics *WorkerMetrics
 }
 
-func (wk *Worker) logf(format string, args ...any) {
-	if wk.Logf != nil {
-		wk.Logf("worker %s: "+format, append([]any{wk.Name}, args...)...)
+func (wk *Worker) log() *slog.Logger {
+	if wk.Log != nil {
+		return wk.Log
 	}
+	return obs.Discard()
 }
 
 // Run consumes cells until the grid is finished (nil), the context is
@@ -68,7 +76,7 @@ func (wk *Worker) Run(ctx context.Context) error {
 			return fmt.Errorf("sweep: leasing work: %w", err)
 		}
 		if done {
-			wk.logf("grid finished")
+			wk.log().Info("grid finished")
 			return nil
 		}
 		if claim == nil {
@@ -103,7 +111,9 @@ func (wk *Worker) pollMax() time.Duration {
 // errors propagate; cell-level failures are reported to the coordinator
 // and the loop continues.
 func (wk *Worker) runClaim(ctx context.Context, claim *CellClaim) error {
-	wk.logf("cell %d (%s/seed=%d) attempt %d", claim.Index, claim.Scenario, claim.Seed, claim.Attempt)
+	clog := wk.log().With("cell", claim.Index, "scenario", claim.Scenario,
+		"seed", claim.Seed, "lease", claim.LeaseID, "attempt", claim.Attempt)
+	clog.Info("cell leased")
 	sp, ok := scenario.Lookup(claim.Scenario)
 	if !ok {
 		// Not transient: a registry miss means divergent binaries, and no
@@ -133,20 +143,35 @@ func (wk *Worker) runClaim(ctx context.Context, claim *CellClaim) error {
 			}
 			return err
 		}
+		if wk.Metrics != nil {
+			wk.Metrics.Heartbeats.Inc()
+		}
+		clog.Debug("heartbeat", "day", day.String())
 		if base != nil {
 			return base(day)
 		}
 		return nil
 	}
 
+	t0 := time.Now()
 	cell, info, err := wk.runCell(ctx, &runner, sp, claim.Seed)
 	switch {
 	case err == nil:
 		fault.Crash.Hit("cell-complete")
-		wk.logf("cell %d done (resumed=%v days=%d): %s", claim.Index, info.Resumed, info.DaysExecuted, cell.Eval)
+		if m := wk.Metrics; m != nil {
+			m.CellsCompleted.Inc()
+			if info.Resumed {
+				m.CellsResumed.Inc()
+			} else {
+				m.CellsFresh.Inc()
+			}
+			m.SalvagedBytes.Add(info.RecoveredBytes)
+			m.CellSeconds.ObserveSince(t0)
+		}
+		clog.Info("cell done", "resumed", info.Resumed, "days", info.DaysExecuted, "eval", cell.Eval.String())
 		return wk.report(wk.Client.Complete(releaseCtx, claim.Index, claim.LeaseID, cell, info))
 	case errors.Is(err, errAbandonCell):
-		wk.logf("cell %d lease lost, abandoning", claim.Index)
+		clog.Warn("lease lost mid-cell, abandoning")
 		return nil
 	case errors.Is(err, fault.ErrInjected):
 		// Simulated crash: die like the process we are pretending to be.
@@ -157,14 +182,14 @@ func (wk *Worker) runClaim(ctx context.Context, claim *CellClaim) error {
 		// checkpointed. Release the lease as a transient failure so the
 		// coordinator re-queues the cell immediately — our successor
 		// resumes from the checkpoint instead of waiting out the lease.
-		wk.logf("cell %d draining after %d day(s): releasing lease", claim.Index, info.DaysExecuted)
+		clog.Info("draining: releasing lease", "days", info.DaysExecuted)
 		if rerr := wk.report(wk.Client.Fail(releaseCtx, claim.Index, claim.LeaseID,
 			fmt.Sprintf("worker draining: %v", err), true)); rerr != nil {
-			wk.logf("cell %d lease release failed: %v", claim.Index, rerr)
+			clog.Warn("lease release failed", "error", rerr)
 		}
 		return err
 	default:
-		wk.logf("cell %d failed: %v", claim.Index, err)
+		clog.Warn("cell failed", "error", err)
 		return wk.report(wk.Client.Fail(releaseCtx, claim.Index, claim.LeaseID, err.Error(), true))
 	}
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Record the PR's key benchmarks into BENCH_PR6.json so the performance
+# Record the PR's key benchmarks into BENCH_PR9.json so the performance
 # trajectory is versioned alongside the code.
 #
 # Usage:
@@ -24,11 +24,19 @@
 #     PR 6 and only exists on the after tree; bench.sh skips suites whose
 #     pattern matches nothing so the before run still completes.
 #   - The E5 suites (DeliverOne/Postback/LedgerPost) date from PR 3.
+#   - BenchmarkSimRunMetrics (E11 observability overhead) is new in PR 9
+#     and only exists on the after tree; benchjson derives
+#     metrics_on_off_overhead_pct (<1% target) from the per-variant
+#     minima. The target is far below this host's ±20% per-sample noise,
+#     so the suite pins its own high count (the :countN spec suffix) —
+#     each 1x sample is ~1.5s, so dozens of samples are still cheap, and
+#     the min estimator needs enough draws for both variants to catch a
+#     near-quiet window.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-after}"
-out="${BENCH_OUT:-BENCH_PR6.json}"
+out="${BENCH_OUT:-BENCH_PR9.json}"
 count="${BENCH_COUNT:-3}"
 
 suites=(
@@ -48,6 +56,10 @@ suites=(
 # first match can SIGPIPE `go test -list` and silently drop the suite.)
 if go test -list 'BenchmarkRunLogSeek$' . | grep BenchmarkRunLogSeek > /dev/null; then
   suites+=('.:BenchmarkRunLogSeek:1x')
+fi
+# Metrics benchmark exists only on trees with internal/obs (PR 9).
+if go test -list 'BenchmarkSimRunMetrics$' . | grep BenchmarkSimRunMetrics > /dev/null; then
+  suites+=('.:BenchmarkSimRunMetrics:1x:count40')
 fi
 
 go run ./cmd/benchjson -label "$label" -out "$out" -count "$count" "${suites[@]}"
