@@ -268,7 +268,7 @@ func BenchmarkSection5LockstepDetector(b *testing.B) {
 func BenchmarkAblationLockstepThreshold(b *testing.B) {
 	s, _ := benchFixture(b)
 	var events []lockstep.Event
-	for _, rec := range s.World.InstallLog {
+	for rec := range s.World.InstallLog.All() {
 		events = append(events, lockstep.Event{Device: rec.Device, App: rec.App, Day: rec.Day})
 	}
 	for _, min := range []int{2, 3, 5} {
@@ -311,9 +311,12 @@ func BenchmarkFullStudy(b *testing.B) {
 // the clock, each iteration replays the full window at the given worker
 // count. Results are identical for every worker count (asserted by
 // TestEngineDeterministicAcrossWorkerCounts); only wall-clock differs.
+// The ns/device-day metric normalizes by world size, making the number
+// comparable against the massive-scale benchmarks (DESIGN.md E12).
 func benchSimRun(b *testing.B, cfg sim.Config, workers int) {
 	b.Helper()
 	cfg.Workers = workers
+	deviceDays := float64(cfg.WorkerPoolSize*len(iip.StandardNames)) * float64(cfg.Window.Days())
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		c := cfg
@@ -327,6 +330,7 @@ func benchSimRun(b *testing.B, cfg sim.Config, workers int) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/deviceDays, "ns/device-day")
 }
 
 // BenchmarkSimRunTiny is the small-world engine baseline (DESIGN.md E1).

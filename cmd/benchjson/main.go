@@ -4,12 +4,18 @@
 // per-PR performance trajectory files (BENCH_PR2.json, ...).
 //
 // Each positional argument is a suite spec
-// "dir:benchRegexp:benchtime[:countN]", e.g.
+// "dir:benchRegexp:benchtime[:countN][:-flag...]", e.g.
 // "./internal/playstore:BenchmarkStepDayScale|BenchmarkAppWindow:200x".
 // Every suite runs with -run=NONE -benchmem and the configured -count
 // (the optional ":countN" suffix overrides -count for that one suite —
 // used when a derived metric needs more samples than the heavy suites
-// can afford), and all parsed result lines are appended under the label.
+// can afford; any ":-flag" parts are passed to the test binary, e.g.
+// ":-massive" for the full-scale E12 worlds), and all parsed result
+// lines are appended under the label.
+//
+// Beyond the standard ns/op, B/op, and allocs/op columns, any custom
+// b.ReportMetric columns (peakRSS-MB, devices, ns/device-day, ...) are
+// recorded per result under "metrics".
 package main
 
 import (
@@ -33,6 +39,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds any custom b.ReportMetric columns by unit
+	// (e.g. "peakRSS-MB", "devices", "ns/device-day").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Run is every sample collected under one label. The environment block
@@ -100,6 +109,33 @@ func minNs(results []Result, prefix string) float64 {
 	return best
 }
 
+// medianMetric returns the median of a custom metric column (by unit)
+// across the results whose name starts with prefix, or 0 when none
+// carry it.
+func medianMetric(results []Result, prefix, unit string) float64 {
+	var xs []float64
+	for _, r := range results {
+		if r.Name == prefix || strings.HasPrefix(r.Name, prefix+"-") {
+			if v, ok := r.Metrics[unit]; ok {
+				xs = append(xs, v)
+			}
+		}
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if n := len(xs); n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[len(xs)/2-1] + xs[len(xs)/2]) / 2
+}
+
+// rssBudgetMB is the fixed memory budget the max-world derivations
+// extrapolate against (DESIGN.md E12): how many devices fit 2 GiB,
+// scaling the measured peak linearly with the population.
+const rssBudgetMB = 2048
+
 // derive recomputes a run's derived metrics from its samples.
 func derive(run *Run) {
 	d := map[string]float64{}
@@ -121,6 +157,41 @@ func derive(run *Run) {
 	seek := medianNs(run.Results, "BenchmarkRunLogSeek/mode=seek-last-day")
 	if full > 0 && seek > 0 {
 		d["seek_vs_full_replay_speedup"] = full / seek
+	}
+	// E12 massive-world metrics: sustainable world size at the fixed RSS
+	// budget per install-log variant (spill=on bounds the log's resident
+	// tail; spill=off keeps the whole run's installs in RAM), and the
+	// per-device-day cost ratio against the ScaleConfig engine baseline.
+	for variant, key := range map[string]string{
+		"spill=on":  "max_world_devices_at_budget",
+		"spill=off": "max_world_devices_at_budget_unspilled",
+	} {
+		prefix := "BenchmarkMassiveWorld/" + variant
+		devs := medianMetric(run.Results, prefix, "devices")
+		rss := medianMetric(run.Results, prefix, "peakRSS-MB")
+		if devs > 0 && rss > 0 {
+			d[key] = devs * rssBudgetMB / rss
+		}
+	}
+	if on, off := d["max_world_devices_at_budget"], d["max_world_devices_at_budget_unspilled"]; on > 0 && off > 0 {
+		d["spill_world_scale_ratio"] = on / off
+	}
+	// The largest world the tree could express before E12 was ScaleConfig:
+	// 400 workers across 7 IIPs = 2800 devices, with no population knobs
+	// beyond it. The order-of-magnitude claim is judged against that prior
+	// ceiling — the budget-sustainable spilled world over 2800 — not just
+	// the spill on/off ratio, which only measures the install log's share.
+	const priorMaxWorldDevices = 2800
+	if on := d["max_world_devices_at_budget"]; on > 0 {
+		d["world_scale_vs_prior_max"] = on / priorMaxWorldDevices
+	}
+	massiveNs := medianMetric(run.Results, "BenchmarkMassiveWorld/spill=on", "ns/device-day")
+	scaleNs := medianMetric(run.Results, "BenchmarkSimRunScale/workers=max", "ns/device-day")
+	if scaleNs == 0 {
+		scaleNs = medianMetric(run.Results, "BenchmarkSimRunScale/workers=1", "ns/device-day")
+	}
+	if massiveNs > 0 && scaleNs > 0 {
+		d["massive_vs_scale_ns_per_device_day_ratio"] = massiveNs / scaleNs
 	}
 	if len(d) > 0 {
 		run.Derived = d
@@ -151,10 +222,42 @@ type File struct {
 	Runs        map[string]*Run `json:"runs"`
 }
 
-// benchLine matches standard testing benchmark output, with or without
-// -benchmem columns and with or without the -N GOMAXPROCS suffix.
+// benchLine matches the mandatory prefix of standard testing benchmark
+// output (with or without the -N GOMAXPROCS suffix); the remaining
+// "value unit" column pairs — -benchmem's B/op and allocs/op plus any
+// custom b.ReportMetric columns — are parsed by parseLine.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// parseLine parses one benchmark output line, nil if it is not one.
+func parseLine(line string) *Result {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return nil
+	}
+	r := &Result{Name: m[1]}
+	r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+	r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+	fields := strings.Fields(m[4])
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		switch unit := fields[i+1]; unit {
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r
+}
 
 func main() {
 	label := flag.String("label", "", "label to record results under (e.g. before, after)")
@@ -177,22 +280,27 @@ func main() {
 		Count:      *count,
 	}
 	for _, spec := range flag.Args() {
-		parts := strings.SplitN(spec, ":", 4)
+		parts := strings.Split(spec, ":")
 		if len(parts) < 3 {
-			fmt.Fprintf(os.Stderr, "benchjson: bad suite spec %q (want dir:benchRegexp:benchtime[:countN])\n", spec)
+			fmt.Fprintf(os.Stderr, "benchjson: bad suite spec %q (want dir:benchRegexp:benchtime[:countN][:-flag...])\n", spec)
 			os.Exit(2)
 		}
 		dir, pattern, benchtime := parts[0], parts[1], parts[2]
 		suiteCount := *count
-		if len(parts) == 4 {
-			n, err := strconv.Atoi(strings.TrimPrefix(parts[3], "count"))
+		var extra []string
+		for _, part := range parts[3:] {
+			if strings.HasPrefix(part, "-") {
+				extra = append(extra, part)
+				continue
+			}
+			n, err := strconv.Atoi(strings.TrimPrefix(part, "count"))
 			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "benchjson: bad suite spec %q (count suffix must be countN)\n", spec)
+				fmt.Fprintf(os.Stderr, "benchjson: bad suite spec %q (trailing parts must be countN or -flag)\n", spec)
 				os.Exit(2)
 			}
 			suiteCount = n
 		}
-		results, err := runSuite(dir, pattern, benchtime, suiteCount)
+		results, err := runSuite(dir, pattern, benchtime, suiteCount, extra)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: suite %q: %v\n", spec, err)
 			os.Exit(1)
@@ -231,7 +339,9 @@ func main() {
 }
 
 // runSuite executes one go test -bench invocation and parses its output.
-func runSuite(dir, pattern, benchtime string, count int) ([]Result, error) {
+// extra flags go after the package path, so the go tool forwards them to
+// the test binary (e.g. -massive).
+func runSuite(dir, pattern, benchtime string, count int, extra []string) ([]Result, error) {
 	args := []string{
 		"test", "-run=NONE", "-benchmem",
 		"-bench=" + pattern,
@@ -239,6 +349,7 @@ func runSuite(dir, pattern, benchtime string, count int) ([]Result, error) {
 		"-count=" + strconv.Itoa(count),
 		dir,
 	}
+	args = append(args, extra...)
 	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -248,18 +359,9 @@ func runSuite(dir, pattern, benchtime string, count int) ([]Result, error) {
 	}
 	var results []Result
 	for _, line := range strings.Split(string(outRaw), "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
-			continue
+		if r := parseLine(line); r != nil {
+			results = append(results, *r)
 		}
-		r := Result{Name: m[1]}
-		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		results = append(results, r)
 	}
 	if len(results) == 0 {
 		return nil, fmt.Errorf("no benchmark lines matched pattern %q in %s", pattern, dir)

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	incentstudy [-seed N] [-tiny] [-scale] [-workers N] [-milk-every D] [-skip-honey] [-quiet]
+//	incentstudy [-seed N] [-tiny] [-scale] [-massive] [-apps N] [-devices N] [-days N]
+//	            [-workers N] [-install-log-window N] [-milk-every D] [-skip-honey] [-quiet]
 //	            [-events run.log] [-checkpoint run.ckpt] [-checkpoint-every N] [-resume run.ckpt]
 //	            [-fault-write P[:SEED]] [-log-level L] [-log-format text|json]
 //	            [-metrics-addr ADDR] [-pprof] [-trace-out FILE]
@@ -52,7 +53,12 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the world seed (0 = calibrated default)")
 	tiny := flag.Bool("tiny", false, "run the small smoke-test world instead of the full study")
 	scale := flag.Bool("scale", false, "run the ~20x throughput-test world (see sim.ScaleConfig)")
+	massive := flag.Bool("massive", false, "run the ~100k-app / ~1M-device world (see sim.MassiveConfig; spills the install log to disk)")
+	apps := flag.Int("apps", 0, "total catalog size: background apps absorb the difference over the calibrated baseline+advertised populations (0 = base config)")
+	devices := flag.Int("devices", 0, "total crowd-worker devices across the seven IIP pools (0 = base config)")
+	days := flag.Int("days", 0, "monitored window length in days (0 = base config)")
 	workers := flag.Int("workers", 0, "day-engine worker pool size (0 = GOMAXPROCS; results are identical for any value)")
+	installLogWindow := flag.Int("install-log-window", -1, "bound the resident install log to this many records, spilling the rest to disk (0 = fully in RAM; -1 = config default; results are identical for any value)")
 	milkEvery := flag.Int("milk-every", 4, "days between offer-wall milking runs")
 	skipHoney := flag.Bool("skip-honey", false, "skip the Section 3 honey-app experiment")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
@@ -77,8 +83,14 @@ func main() {
 		logger = obs.Discard()
 	}
 
-	if *tiny && *scale {
-		log.Fatal("incentstudy: -tiny and -scale are mutually exclusive")
+	nBase := 0
+	for _, on := range []bool{*tiny, *scale, *massive} {
+		if on {
+			nBase++
+		}
+	}
+	if nBase > 1 {
+		log.Fatal("incentstudy: -tiny, -scale, and -massive are mutually exclusive")
 	}
 	cfg := sim.DefaultConfig()
 	if *tiny {
@@ -87,10 +99,21 @@ func main() {
 	if *scale {
 		cfg = sim.ScaleConfig()
 	}
+	if *massive {
+		cfg = sim.MassiveConfig()
+	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	if *apps > 0 || *devices > 0 || *days > 0 {
+		if err := cfg.Resize(*apps, *devices, *days); err != nil {
+			log.Fatalf("incentstudy: %v", err)
+		}
+	}
 	cfg.Workers = *workers
+	if *installLogWindow >= 0 {
+		cfg.InstallLogWindow = *installLogWindow
+	}
 
 	opts := core.Options{
 		MilkEveryDays:   *milkEvery,

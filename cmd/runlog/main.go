@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/dates"
+	"repro/internal/lockstep"
 	"repro/internal/stream"
 )
 
@@ -161,6 +162,14 @@ func stats(args []string) {
 	f, r := open(args[0])
 	defer f.Close()
 
+	// The same walk that counts days feeds a default-config lockstep
+	// detector, so the log's detection-side accounting (installs ingested,
+	// buckets retracted at the population cap, pairs pruned) prints
+	// without a second pass.
+	det := lockstep.NewDetector(lockstep.DefaultConfig())
+	var curDay dates.Date
+	var installs int64
+
 	var ev stream.Event
 	var days int
 	var last stream.Event
@@ -177,7 +186,18 @@ func stats(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if ev.Kind == stream.KindDayEnd {
+		switch ev.Kind {
+		case stream.KindDayStart:
+			curDay = ev.Day
+		case stream.KindInstall:
+			installs++
+			det.Ingest(ev.Device, ev.Pkg, curDay)
+		case stream.KindInstallBatch:
+			for _, dev := range ev.Devices {
+				installs++
+				det.Ingest(dev, ev.Pkg, curDay)
+			}
+		case stream.KindDayEnd:
 			days++
 			last = ev
 			last.Entries, last.Devices = nil, nil
@@ -226,6 +246,9 @@ func stats(args []string) {
 		fmt.Printf("through %s: organic=%d incentivized=%d certified=%d revenue=$%.2f\n",
 			last.Day, last.CumOrganic, last.CumIncent, last.CumCertified, last.CumRevenue)
 	}
+	ds := det.Stats()
+	fmt.Printf("lockstep (default config): %d installs ingested, %d buckets retracted at cap, %d pairs pruned\n",
+		installs, ds.BucketsRetracted, ds.PairsPruned)
 	if truncated {
 		fmt.Println("NOTE: log ends mid-frame (killed run) — resume from its checkpoint to finish it")
 	}

@@ -44,6 +44,7 @@ import (
 	"syscall"
 
 	"repro/internal/fault"
+	"repro/internal/lockstep"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
@@ -121,6 +122,7 @@ func main() {
 			SpoolDir:        spoolDir,
 			CheckpointEvery: *checkpointEvery,
 			Fault:           injector,
+			Detector:        lockstep.NewMetrics(reg),
 		},
 		Log:     logger,
 		Metrics: wm,

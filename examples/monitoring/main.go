@@ -99,8 +99,8 @@ func main() {
 	// Score the online detections against the simulator's ground truth,
 	// exactly as the post-hoc Section 5.2 analysis does (only workers that
 	// actually appear in the install stream can be recalled).
-	active := make(map[string]bool, len(w.InstallLog))
-	for _, rec := range w.InstallLog {
+	active := make(map[string]bool, w.InstallLog.Len())
+	for rec := range w.InstallLog.All() {
 		active[rec.Device] = true
 	}
 	truth := map[string]bool{}

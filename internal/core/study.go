@@ -428,6 +428,9 @@ func (s *Study) Close() {
 	for _, srv := range s.servers {
 		srv.Close()
 	}
+	if s.World != nil {
+		s.World.Close()
+	}
 }
 
 // Shutdown is the graceful counterpart of Close: in-flight requests
@@ -442,6 +445,11 @@ func (s *Study) Shutdown(ctx context.Context) error {
 	var first error
 	for _, srv := range s.servers {
 		if err := srv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.World != nil {
+		if err := s.World.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

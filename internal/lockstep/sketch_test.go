@@ -1,0 +1,156 @@
+package lockstep
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/randx"
+)
+
+// sketchConfig is the configuration the sketch tests run: candidate
+// recall maximized (single-row bands) at a signature size small enough to
+// stay cheap per device.
+func sketchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SketchHashes = 32
+	cfg.SketchRows = 1
+	cfg.SketchSeed = 99
+	return cfg
+}
+
+func ingestAll(d *Detector, events []Event) {
+	for _, ev := range events {
+		d.IngestEvent(ev)
+	}
+}
+
+// TestSketchCandidatesSupersetOfExactPairs pins the sketch tier's core
+// contract on synthetic worker rings at two scales: every pair the exact
+// detector reports must appear among the banding candidates, and because
+// verification applies the identical MinCommonApps criterion, the
+// verified pair set — and therefore the reported groups — must match the
+// exact tier outright.
+func TestSketchCandidatesSupersetOfExactPairs(t *testing.T) {
+	for _, tc := range []struct {
+		name                                string
+		workers, organics, advApps, catApps int
+	}{
+		{"tiny", 30, 200, 12, 500},
+		{"scale", 120, 1500, 25, 2000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := randx.New(4242)
+			events, truth := synth(r, tc.workers, tc.organics, tc.advApps, tc.catApps)
+
+			exact := NewDetector(DefaultConfig())
+			ingestAll(exact, events)
+			exactPairs := exact.QualifyingPairs()
+			if len(exactPairs) == 0 {
+				t.Fatal("exact detector found no qualifying pairs; test world too small")
+			}
+
+			sk := NewDetector(sketchConfig())
+			ingestAll(sk, events)
+			cand := map[[2]string]bool{}
+			for _, p := range sk.Candidates() {
+				cand[p] = true
+			}
+			for _, p := range exactPairs {
+				if !cand[p] {
+					t.Errorf("exact pair %v missing from sketch candidates", p)
+				}
+			}
+
+			if got := sk.QualifyingPairs(); !reflect.DeepEqual(got, exactPairs) {
+				t.Errorf("sketch verified pairs diverge from exact: %d vs %d", len(got), len(exactPairs))
+			}
+			exactGroups, sketchGroups := exact.Groups(), sk.Groups()
+			if !reflect.DeepEqual(exactGroups, sketchGroups) {
+				t.Errorf("groups diverge: exact %d, sketch %d", len(exactGroups), len(sketchGroups))
+			}
+
+			// Precision is structurally unchanged; double-check through the
+			// evaluation the sweep reports.
+			ee, se := Evaluate(exactGroups, truth), Evaluate(sketchGroups, truth)
+			if se.Precision != ee.Precision || se.Recall != ee.Recall {
+				t.Errorf("evaluation diverged: exact %s, sketch %s", ee, se)
+			}
+
+			st := sk.Stats()
+			if st.CandidatePairs < st.VerifiedPairs || st.VerifiedPairs != int64(len(exactPairs)) {
+				t.Errorf("stats inconsistent: %+v, want verified = %d", st, len(exactPairs))
+			}
+		})
+	}
+}
+
+// TestSketchBatchMatchesOnline mirrors TestDetectorMatchesBatch for the
+// sketch tier: the Detect facade and an incremental detector interrogated
+// mid-stream must agree at the end — Groups is a pure function of the
+// ingested prefix.
+func TestSketchBatchMatchesOnline(t *testing.T) {
+	r := randx.New(7)
+	events, _ := synth(r, 40, 300, 12, 600)
+	cfg := sketchConfig()
+
+	batch := Detect(events, cfg)
+
+	online := NewDetector(cfg)
+	for i, ev := range events {
+		online.IngestEvent(ev)
+		if i%997 == 0 {
+			online.Groups() // interleaved extraction must not perturb state
+		}
+	}
+	if got := online.Groups(); !reflect.DeepEqual(got, batch) {
+		t.Errorf("online groups diverge from batch: %d vs %d", len(got), len(batch))
+	}
+}
+
+// TestSketchDeterministic checks the seed contract: identical
+// configurations over identical streams give identical groups, pairs,
+// and stats.
+func TestSketchDeterministic(t *testing.T) {
+	r := randx.New(11)
+	events, _ := synth(r, 30, 250, 10, 400)
+	cfg := sketchConfig()
+	a, b := NewDetector(cfg), NewDetector(cfg)
+	ingestAll(a, events)
+	ingestAll(b, events)
+	if !reflect.DeepEqual(a.Groups(), b.Groups()) {
+		t.Error("groups differ across identical runs")
+	}
+	if !reflect.DeepEqual(a.QualifyingPairs(), b.QualifyingPairs()) {
+		t.Error("qualifying pairs differ across identical runs")
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestRetractionCounters drives one cell over the population cap and
+// checks the previously-silent signal loss is priced: one retracted
+// bucket, max*(max+1)/2 pairs undone at death, and one more pruned link
+// per post-death arrival.
+func TestRetractionCounters(t *testing.T) {
+	for name, cfg := range map[string]Config{"exact": DefaultConfig(), "sketch": sketchConfig()} {
+		t.Run(name, func(t *testing.T) {
+			cfg.MaxBucketPopulation = 4
+			d := NewDetector(cfg)
+			for i := 0; i < 7; i++ {
+				d.Ingest(fmt.Sprintf("dev-%d", i), "viral.app", dates.Date(0))
+			}
+			st := d.Stats()
+			if st.BucketsRetracted != 1 {
+				t.Errorf("buckets retracted = %d, want 1", st.BucketsRetracted)
+			}
+			// Death at arrival 5: C(5,2) = 10 links lost; arrivals 6 and 7
+			// would have linked to 5 and 6 prior residents.
+			if want := int64(10 + 5 + 6); st.PairsPruned != want {
+				t.Errorf("pairs pruned = %d, want %d", st.PairsPruned, want)
+			}
+		})
+	}
+}

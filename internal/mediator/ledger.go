@@ -28,11 +28,29 @@ type Ledger struct {
 	mu       sync.Mutex
 	balances map[string]float64
 	txs      []Tx
+	// balancesOnly drops the per-transfer log (and its memo strings),
+	// bounding the ledger at O(accounts) instead of O(run) — the
+	// massive-world configs switch it on (DESIGN.md E12). Balances,
+	// conservation, and snapshots stay bit-identical; only the retained
+	// Tx history (empty in snapshots too) differs.
+	balancesOnly bool
 }
 
-// NewLedger returns an empty ledger.
+// NewLedger returns an empty ledger that retains its full transaction
+// log.
 func NewLedger() *Ledger {
 	return &Ledger{balances: map[string]float64{}}
+}
+
+// DisableTxLog switches the ledger to balances-only accounting: future
+// postings update balances without appending to the transaction log, and
+// any already-retained log is released. Call before the first posting
+// when the whole run should be bounded.
+func (l *Ledger) DisableTxLog() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.balancesOnly = true
+	l.txs = nil
 }
 
 // Post transfers amount from one account to another.
@@ -68,7 +86,9 @@ func (l *Ledger) PostAll(txs []Tx) error {
 func (l *Ledger) applyLocked(tx Tx) {
 	l.balances[tx.From] -= tx.Amount
 	l.balances[tx.To] += tx.Amount
-	l.txs = append(l.txs, tx)
+	if !l.balancesOnly {
+		l.txs = append(l.txs, tx)
+	}
 }
 
 func validateTx(from, to string, amount float64) error {

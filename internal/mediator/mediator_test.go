@@ -33,6 +33,55 @@ func TestLedgerPostAndBalances(t *testing.T) {
 	}
 }
 
+// TestLedgerBalancesOnly checks the bounded-memory mode: identical
+// balances and conservation, no retained history — through postings,
+// snapshot round-trips, and a restore from a full-log snapshot.
+func TestLedgerBalancesOnly(t *testing.T) {
+	full, lean := NewLedger(), NewLedger()
+	lean.DisableTxLog()
+	post := func(l *Ledger) {
+		if err := l.Post(ExternalWorld, DeveloperAccount("d1"), 100, "fund"); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Post(DeveloperAccount("d1"), IIPAccount("Fyber"), 30, "campaign"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post(full)
+	post(lean)
+	for acct, want := range full.Balances() {
+		if got := lean.Balance(acct); got != want {
+			t.Errorf("balance %s = %g, want %g", acct, got, want)
+		}
+	}
+	if lean.Sum() != 0 {
+		t.Errorf("conservation broken: sum = %g", lean.Sum())
+	}
+	if n := lean.NumTransactions(); n != 0 {
+		t.Errorf("balances-only ledger retained %d transactions", n)
+	}
+
+	// Restoring a full-log snapshot into a balances-only ledger keeps the
+	// balances bit-exact without resurrecting the history.
+	restored := NewLedger()
+	restored.DisableTxLog()
+	if err := restored.RestoreSnapshot(full.EncodeSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Balance(DeveloperAccount("d1")), full.Balance(DeveloperAccount("d1")); got != want {
+		t.Errorf("restored balance = %g, want %g", got, want)
+	}
+	if n := restored.NumTransactions(); n != 0 {
+		t.Errorf("restore resurrected %d transactions", n)
+	}
+
+	// DisableTxLog after the fact releases what was already retained.
+	full.DisableTxLog()
+	if n := full.NumTransactions(); n != 0 {
+		t.Errorf("DisableTxLog retained %d transactions", n)
+	}
+}
+
 func TestLedgerRejectsBadAmounts(t *testing.T) {
 	l := NewLedger()
 	if err := l.Post("a", "b", 0, ""); !errors.Is(err, ErrBadAmount) {

@@ -145,6 +145,13 @@ func (l *Ledger) RestoreSnapshot(data []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.balances = balances
-	l.txs = txs
+	if l.balancesOnly {
+		// A balances-only ledger stays balances-only: a snapshot from a
+		// full-log configuration restores its balances bit-exact but does
+		// not resurrect the O(run) history.
+		l.txs = nil
+	} else {
+		l.txs = txs
+	}
 	return nil
 }

@@ -12,13 +12,13 @@ import (
 
 // refWindow is the reference trailing-window aggregation: the seed
 // engine's semantics (sum every field over existing days in ascending day
-// order), written against dayAt so it is independent of the rolling-window
-// fast path it checks.
+// order), written against the row view so it is independent of the
+// rolling-window fast path it checks.
 func refWindow(a *app, end dates.Date, days int) windowMetrics {
 	var w windowMetrics
 	for d := end.AddDays(-(days - 1)); d <= end; d++ {
-		m := a.dayAt(d)
-		if m == nil {
+		m, ok := a.metricsAt(d)
+		if !ok {
 			continue
 		}
 		w.installs += m.organic + m.referral
@@ -127,20 +127,23 @@ func TestDenseStorageGrowth(t *testing.T) {
 	if a.base != d0.AddDays(6) {
 		t.Errorf("base = %s, want %s", a.base, d0.AddDays(6))
 	}
-	if len(a.days) != 9 { // days 6..14 inclusive
-		t.Errorf("dense length = %d, want 9", len(a.days))
+	if a.n != 9 { // days 6..14 inclusive
+		t.Errorf("dense length = %d, want 9", a.n)
 	}
 	for off, want := range map[int]int64{6: 1, 10: 1, 14: 1, 7: 0, 13: 0} {
-		m := a.dayAt(d0.AddDays(off))
-		if m == nil {
+		m, ok := a.metricsAt(d0.AddDays(off))
+		if !ok {
 			t.Fatalf("day +%d missing from dense range", off)
 		}
 		if m.organic+m.referral != want {
 			t.Errorf("day +%d installs = %d, want %d", off, m.organic+m.referral, want)
 		}
 	}
-	if a.dayAt(d0.AddDays(5)) != nil || a.dayAt(d0.AddDays(15)) != nil {
-		t.Error("dayAt must be nil outside the dense range")
+	if _, ok := a.metricsAt(d0.AddDays(5)); ok {
+		t.Error("metricsAt must miss below the dense range")
+	}
+	if _, ok := a.metricsAt(d0.AddDays(15)); ok {
+		t.Error("metricsAt must miss above the dense range")
 	}
 	if n, _ := s.ExactInstalls("g.app"); n != 3 {
 		t.Errorf("installs = %d, want 3", n)

@@ -137,13 +137,14 @@ func (e *Enforcer) scan(a *app, day dates.Date, w windowMetrics) int64 {
 	e.detections.Add(1)
 	// Attribute removals to the most recent days first, mirroring how a
 	// public install count drops after a filtering pass.
+	ar := a.ar
 	left := remove
 	for d := day; d >= day.AddDays(-(clawbackDays-1)) && left > 0; d-- {
-		m := a.dayAt(d)
-		if m == nil {
+		j := a.slotAt(d)
+		if j < 0 {
 			continue
 		}
-		avail := m.organic + m.referral - m.removed
+		avail := ar.organic[j] + ar.referral[j] - ar.removed[j]
 		if avail <= 0 {
 			continue
 		}
@@ -151,7 +152,7 @@ func (e *Enforcer) scan(a *app, day dates.Date, w windowMetrics) int64 {
 		if take > left {
 			take = left
 		}
-		m.removed += take
+		ar.removed[j] += take
 		left -= take
 	}
 	a.installs -= remove - left

@@ -1,0 +1,65 @@
+package playstore
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/randx"
+)
+
+// TestHorizonSizingEquivalence pins SetHorizon as a pure allocation
+// hint: the same write stream against a horizon-sized store and a
+// doubling-ladder store must produce byte-identical snapshots and
+// identical window queries — including writes past the horizon, which
+// fall back to doubling growth.
+func TestHorizonSizingEquivalence(t *testing.T) {
+	d0 := dates.StudyStart
+	build := func(horizon bool) *Store {
+		s := New(d0)
+		s.AddDeveloper(Developer{ID: "d"})
+		if horizon {
+			s.SetHorizon(d0.AddDays(40))
+		}
+		for i := 0; i < 20; i++ {
+			if err := s.Publish(Listing{
+				Package: pkgName(i), Title: "t", Genre: "Tools", Developer: "d",
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := randx.New(7)
+		// Drive well past the 40-day horizon so the fallback growth path
+		// runs too.
+		for day := 0; day < 60; day++ {
+			d := d0.AddDays(day)
+			for i := 0; i < 20; i++ {
+				if r.Bool(0.7) {
+					s.RecordInstall(pkgName(i), Install{Day: d, Source: SourceOrganic})
+				}
+				if r.Bool(0.3) {
+					s.RecordSession(pkgName(i), Session{Day: d, Seconds: 60})
+				}
+			}
+			s.StepDay(d)
+		}
+		return s
+	}
+
+	plain, sized := build(false), build(true)
+	if !bytes.Equal(plain.EncodeSnapshot(), sized.EncodeSnapshot()) {
+		t.Error("SetHorizon changed the snapshot byte stream")
+	}
+	for i := 0; i < 20; i++ {
+		a, b := appOf(t, plain, pkgName(i)), appOf(t, sized, pkgName(i))
+		for _, days := range []int{7, 30, 60} {
+			if got, want := b.window(d0.AddDays(59), days), a.window(d0.AddDays(59), days); got != want {
+				t.Errorf("app %d window(%d) = %+v, want %+v", i, days, got, want)
+			}
+		}
+	}
+}
+
+func pkgName(i int) string {
+	return "com.horizon.app" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+}

@@ -102,17 +102,20 @@ func encodeApp(enc *binenc.Enc, a *app) {
 	enc.Varint(a.win.sessions)
 	enc.Varint(a.win.sessionSec)
 	enc.Varint(a.win.dau)
-	enc.Uvarint(uint64(len(a.days)))
-	for i := range a.days {
-		m := &a.days[i]
-		enc.Varint(m.organic)
-		enc.Varint(m.referral)
-		enc.Varint(m.removed)
-		enc.F64(m.fraudSum)
-		enc.Varint(m.sessions)
-		enc.Varint(m.sessionSec)
-		enc.F64(m.revenue)
-		enc.Varint(m.activeUser)
+	// Rows are emitted in the seed AoS field order, transposed back out of
+	// the columns, so the wire format (and every committed golden built on
+	// it) is unchanged by the SoA layout.
+	enc.Uvarint(uint64(a.n))
+	ar := a.ar
+	for j := a.off; j < a.off+a.n; j++ {
+		enc.Varint(ar.organic[j])
+		enc.Varint(ar.referral[j])
+		enc.Varint(ar.removed[j])
+		enc.F64(ar.fraudSum[j])
+		enc.Varint(ar.sessions[j])
+		enc.Varint(ar.sessionSec[j])
+		enc.F64(ar.revenue[j])
+		enc.Varint(ar.activeUser[j])
 	}
 }
 
@@ -154,7 +157,7 @@ func DecodeSnapshot(data []byte) (*Store, error) {
 
 	nApps := dec.Uvarint()
 	for i := uint64(0); i < nApps && dec.Err() == nil; i++ {
-		a, err := decodeApp(dec)
+		a, err := decodeApp(dec, s)
 		if err != nil {
 			return nil, err
 		}
@@ -202,9 +205,14 @@ func DecodeSnapshot(data []byte) (*Store, error) {
 	return s, nil
 }
 
-func decodeApp(dec *binenc.Dec) (*app, error) {
+// decodeApp rebuilds one app row-by-row off the wire, allocating its
+// column range in the owning shard's arena (the package name decodes
+// first, so the shard is known before any day data is read).
+func decodeApp(dec *binenc.Dec, s *Store) (*app, error) {
+	pkg := dec.Str()
 	a := &app{
-		pkg:      dec.Str(),
+		pkg:      pkg,
+		ar:       &s.shardFor(pkg).cols,
 		title:    dec.Str(),
 		genre:    dec.Str(),
 		dev:      DeveloperID(dec.Str()),
@@ -230,17 +238,19 @@ func decodeApp(dec *binenc.Dec) (*app, error) {
 		return nil, fmt.Errorf("playstore: decoding app %s days: %w", a.pkg, binenc.ErrTooLong)
 	}
 	if nDays > 0 {
-		a.days = make([]dayMetrics, nDays)
-		for i := range a.days {
-			m := &a.days[i]
-			m.organic = dec.Varint()
-			m.referral = dec.Varint()
-			m.removed = dec.Varint()
-			m.fraudSum = dec.F64()
-			m.sessions = dec.Varint()
-			m.sessionSec = dec.Varint()
-			m.revenue = dec.F64()
-			m.activeUser = dec.Varint()
+		ar := a.ar
+		a.off = ar.alloc(int(nDays))
+		a.n = int(nDays)
+		a.room = int(nDays)
+		for j := a.off; j < a.off+a.n; j++ {
+			ar.organic[j] = dec.Varint()
+			ar.referral[j] = dec.Varint()
+			ar.removed[j] = dec.Varint()
+			ar.fraudSum[j] = dec.F64()
+			ar.sessions[j] = dec.Varint()
+			ar.sessionSec[j] = dec.Varint()
+			ar.revenue[j] = dec.F64()
+			ar.activeUser[j] = dec.Varint()
 		}
 	}
 	if dec.Err() != nil {

@@ -1,0 +1,219 @@
+package playstore
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dates"
+	"repro/internal/randx"
+)
+
+// aosApp is the seed engine's array-of-structs day storage, kept here as
+// the reference implementation the SoA column arena is pinned against. It
+// applies the exact record arithmetic of the store's paths (same
+// expression order per event, so per-day float values are bit-identical
+// by construction) over a plain day-keyed map, and aggregates windows by
+// summing every field in ascending day order — the seed semantics.
+type aosApp struct {
+	installs int64
+	days     map[dates.Date]*dayMetrics
+}
+
+func newAosApp() *aosApp {
+	return &aosApp{days: map[dates.Date]*dayMetrics{}}
+}
+
+func (r *aosApp) day(d dates.Date) *dayMetrics {
+	m := r.days[d]
+	if m == nil {
+		m = &dayMetrics{}
+		r.days[d] = m
+	}
+	return m
+}
+
+func (r *aosApp) recordInstall(in Install) {
+	m := r.day(in.Day)
+	if in.Source == SourceOrganic {
+		m.organic++
+	} else {
+		m.referral++
+	}
+	m.fraudSum += clamp01(in.FraudScore)
+	r.installs++
+}
+
+func (r *aosApp) recordInstallBatch(day dates.Date, n int64, source InstallSource, meanFraud float64) {
+	m := r.day(day)
+	if source == SourceOrganic {
+		m.organic += n
+	} else {
+		m.referral += n
+	}
+	m.fraudSum += clamp01(meanFraud) * float64(n)
+	r.installs += n
+}
+
+func (r *aosApp) recordSessionBatch(day dates.Date, n, secondsPer int64) {
+	m := r.day(day)
+	m.sessions += n
+	m.sessionSec += n * secondsPer
+	m.activeUser += n
+}
+
+func (r *aosApp) recordPurchase(p Purchase) {
+	r.day(p.Day).revenue += p.USD
+}
+
+func (r *aosApp) window(end dates.Date, days int) windowMetrics {
+	var w windowMetrics
+	for d := end.AddDays(-(days - 1)); d <= end; d++ {
+		m := r.days[d]
+		if m == nil {
+			continue
+		}
+		w.installs += m.organic + m.referral
+		w.referral += m.referral
+		w.fraudSum += m.fraudSum
+		w.sessions += m.sessions
+		w.sessionSec += m.sessionSec
+		w.revenue += m.revenue
+		w.dau += m.activeUser
+	}
+	return w
+}
+
+// sameBits compares two windowMetrics with float equality tightened to
+// bit equality (NaN-proof, sign-of-zero-proof).
+func sameBits(a, b windowMetrics) bool {
+	return a.installs == b.installs &&
+		a.referral == b.referral &&
+		a.sessions == b.sessions &&
+		a.sessionSec == b.sessionSec &&
+		a.dau == b.dau &&
+		math.Float64bits(a.fraudSum) == math.Float64bits(b.fraudSum) &&
+		math.Float64bits(a.revenue) == math.Float64bits(b.revenue)
+}
+
+// TestSoAMatchesAoSReference fuzzes the column-arena storage against the
+// AoS reference: random interleavings of every record kind over several
+// apps sharing one shard arena, with day offsets that force grow-on-write
+// appends, window-roll gaps both short and beyond a full window, and
+// pre-base backfill relocations. After every operation the touched app's
+// chart window, trend window, clawback window, and raw rows must match
+// the reference bit-for-bit; at the end, every day of every app is
+// row-compared and a snapshot round-trip must re-encode byte-identically.
+func TestSoAMatchesAoSReference(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		r := randx.New(uint64(1000 + trial))
+		s := New(dates.StudyStart)
+		s.AddDeveloper(Developer{ID: "d", Name: "D"})
+		pkgs := []string{"soa.a", "soa.b", "soa.c"}
+		refs := map[string]*aosApp{}
+		for _, pkg := range pkgs {
+			if err := s.Publish(Listing{Package: pkg, Title: pkg, Genre: "Puzzle", Developer: "d"}); err != nil {
+				t.Fatal(err)
+			}
+			refs[pkg] = newAosApp()
+		}
+		d0 := dates.StudyStart
+		day := d0
+		ops := 60 + r.IntN(120)
+		for step := 0; step < ops; step++ {
+			// Mostly monotonic day advances with occasional long jumps
+			// (full-window rebuild) and backward writes (backfill,
+			// out-of-window mutation).
+			switch r.IntN(8) {
+			case 0:
+				day = day.AddDays(chartWindowDays + r.IntN(20)) // gap >= window
+			case 1:
+				day = day.AddDays(-r.IntN(12)) // backward, possibly pre-base
+				if day < d0.AddDays(-15) {
+					day = d0.AddDays(-15)
+				}
+			default:
+				day = day.AddDays(r.IntN(3))
+			}
+			pkg := pkgs[r.IntN(len(pkgs))]
+			ref := refs[pkg]
+			switch r.IntN(4) {
+			case 0:
+				in := Install{Day: day, Source: SourceReferral, FraudScore: r.Float64()}
+				if r.IntN(2) == 0 {
+					in.Source = SourceOrganic
+				}
+				if err := s.RecordInstall(pkg, in); err != nil {
+					t.Fatal(err)
+				}
+				ref.recordInstall(in)
+			case 1:
+				n, fraud := int64(1+r.IntN(40)), r.Float64()
+				if err := s.RecordInstallBatch(pkg, day, n, SourceOrganic, fraud); err != nil {
+					t.Fatal(err)
+				}
+				ref.recordInstallBatch(day, n, SourceOrganic, fraud)
+			case 2:
+				n, sec := int64(1+r.IntN(15)), int64(30+r.IntN(200))
+				if err := s.RecordSessionBatch(pkg, day, n, sec); err != nil {
+					t.Fatal(err)
+				}
+				ref.recordSessionBatch(day, n, sec)
+			case 3:
+				p := Purchase{Day: day, USD: r.Float64() * 19.99}
+				if err := s.RecordPurchase(pkg, p); err != nil {
+					t.Fatal(err)
+				}
+				ref.recordPurchase(p)
+			}
+			a := appOf(t, s, pkg)
+			for _, q := range []struct {
+				end  dates.Date
+				days int
+			}{
+				{day, chartWindowDays},
+				{day.AddDays(-chartWindowDays), chartWindowDays},
+				{day.AddDays(1 + r.IntN(5)), chartWindowDays},
+				{day, 30},
+			} {
+				got := a.window(q.end, q.days)
+				want := ref.window(q.end, q.days)
+				if !sameBits(got, want) {
+					t.Fatalf("trial %d step %d: window(%s, %d) = %+v, want %+v",
+						trial, step, q.end, q.days, got, want)
+				}
+			}
+			if a.installs != ref.installs {
+				t.Fatalf("trial %d step %d: installs = %d, want %d", trial, step, a.installs, ref.installs)
+			}
+		}
+		// Full row sweep: every day either side of the dense range too.
+		for _, pkg := range pkgs {
+			a, ref := appOf(t, s, pkg), refs[pkg]
+			for d := d0.AddDays(-20); d <= day.AddDays(5); d++ {
+				got, ok := a.metricsAt(d)
+				want := dayMetrics{}
+				if m := ref.days[d]; m != nil {
+					want = *m
+				}
+				if !ok && want != (dayMetrics{}) {
+					t.Fatalf("trial %d: %s day %s missing, want %+v", trial, pkg, d, want)
+				}
+				if ok && got != want {
+					t.Fatalf("trial %d: %s day %s = %+v, want %+v", trial, pkg, d, got, want)
+				}
+			}
+		}
+		// The snapshot codec transposes rows out of the columns; a decode
+		// must rebuild a store that re-encodes to the identical bytes.
+		snap := s.EncodeSnapshot()
+		s2, err := DecodeSnapshot(snap)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !bytes.Equal(snap, s2.EncodeSnapshot()) {
+			t.Fatalf("trial %d: snapshot round-trip not byte-identical", trial)
+		}
+	}
+}

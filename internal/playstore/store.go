@@ -32,10 +32,14 @@ var (
 // day across all cores.
 const NumShards = 32
 
-// shard holds one slice of the app catalog under its own lock.
+// shard holds one slice of the app catalog under its own lock, plus the
+// column arena backing every resident app's per-day metrics (see
+// colArena). The arena rides the shard so its growth and every column
+// read/write stay under the one lock the app paths already hold.
 type shard struct {
 	mu   sync.RWMutex
 	apps map[string]*app
+	cols colArena
 }
 
 // Store is the simulated Play Store. All methods are safe for concurrent
@@ -96,6 +100,22 @@ func (s *Store) SetStepWorkers(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stepWorkers = n
+}
+
+// SetHorizon tells the column arenas the last day the run expects to
+// write, so each app's first range is sized to reach it instead of
+// walking the relocation doubling ladder (which strands abandoned
+// ranges — over half the arena on a full-window run). Purely an
+// allocation-sizing hint: every value, query, and snapshot byte is
+// identical with or without it, and writes past the horizon still grow
+// by doubling.
+func (s *Store) SetHorizon(end dates.Date) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.cols.horizon = end
+		sh.mu.Unlock()
+	}
 }
 
 // SetEnforcer installs a policy-enforcement module that runs during
@@ -177,6 +197,7 @@ func (s *Store) Publish(l Listing) error {
 		genre:    l.Genre,
 		dev:      l.Developer,
 		released: l.Released,
+		ar:       &sh.cols,
 	}
 	s.pkgs = append(s.pkgs, l.Package)
 	return nil
@@ -224,16 +245,16 @@ func (s *Store) RecordInstall(pkg string, in Install) error {
 // recordInstall applies one install event; the caller holds the shard
 // write lock (or owns the app exclusively under the handle batch contract).
 func (a *app) recordInstall(in Install) {
-	m := a.day(in.Day)
+	j := a.slot(in.Day)
 	delta := winInts{installs: 1}
 	switch in.Source {
 	case SourceOrganic:
-		m.organic++
+		a.ar.organic[j]++
 	default:
-		m.referral++
+		a.ar.referral[j]++
 		delta.referral = 1
 	}
-	m.fraudSum += clamp01(in.FraudScore)
+	a.ar.fraudSum[j] += clamp01(in.FraudScore)
 	a.installs++
 	a.winTrack(in.Day, delta)
 }
@@ -263,16 +284,16 @@ func (a *app) recordInstallBatch(day dates.Date, n int64, source InstallSource, 
 	if n <= 0 {
 		return
 	}
-	m := a.day(day)
+	j := a.slot(day)
 	delta := winInts{installs: n}
 	switch source {
 	case SourceOrganic:
-		m.organic += n
+		a.ar.organic[j] += n
 	default:
-		m.referral += n
+		a.ar.referral[j] += n
 		delta.referral = n
 	}
-	m.fraudSum += clamp01(meanFraud) * float64(n)
+	a.ar.fraudSum[j] += clamp01(meanFraud) * float64(n)
 	a.installs += n
 	a.winTrack(day, delta)
 }
@@ -298,10 +319,10 @@ func (a *app) recordSessionBatch(day dates.Date, n, secondsPer int64) {
 	if n <= 0 {
 		return
 	}
-	m := a.day(day)
-	m.sessions += n
-	m.sessionSec += n * secondsPer
-	m.activeUser += n
+	j := a.slot(day)
+	a.ar.sessions[j] += n
+	a.ar.sessionSec[j] += n * secondsPer
+	a.ar.activeUser[j] += n
 	a.winTrack(day, winInts{sessions: n, sessionSec: n * secondsPer, dau: n})
 }
 
@@ -320,10 +341,10 @@ func (s *Store) RecordSession(pkg string, sess Session) error {
 
 // recordSession applies one session; the caller holds the shard write lock.
 func (a *app) recordSession(sess Session) {
-	m := a.day(sess.Day)
-	m.sessions++
-	m.sessionSec += sess.Seconds
-	m.activeUser++ // one session == one active-user contribution
+	j := a.slot(sess.Day)
+	a.ar.sessions[j]++
+	a.ar.sessionSec[j] += sess.Seconds
+	a.ar.activeUser[j]++ // one session == one active-user contribution
 	a.winTrack(sess.Day, winInts{sessions: 1, sessionSec: sess.Seconds, dau: 1})
 }
 
@@ -342,7 +363,7 @@ func (s *Store) RecordPurchase(pkg string, p Purchase) error {
 // recordPurchase applies one purchase; the caller holds the shard write
 // lock.
 func (a *app) recordPurchase(p Purchase) {
-	a.day(p.Day).revenue += p.USD
+	a.ar.revenue[a.slot(p.Day)] += p.USD
 }
 
 // SeedInstalls initializes an app's lifetime install counter without
@@ -422,8 +443,8 @@ func (s *Store) Console(pkg string, from, to dates.Date) ([]ConsoleDay, error) {
 	out := make([]ConsoleDay, 0, int(to-from)+1)
 	for d := from; d <= to; d++ {
 		cd := ConsoleDay{Day: d}
-		if m := a.dayAt(d); m != nil {
-			cd.Organic, cd.Referral, cd.Removed = m.organic, m.referral, m.removed
+		if j := a.slotAt(d); j >= 0 {
+			cd.Organic, cd.Referral, cd.Removed = a.ar.organic[j], a.ar.referral[j], a.ar.removed[j]
 		}
 		out = append(out, cd)
 	}

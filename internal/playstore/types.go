@@ -113,17 +113,64 @@ type ConsoleDay struct {
 	Removed  int64 // installs retroactively filtered by enforcement
 }
 
+// colArena is a shard's struct-of-arrays backing store for every app's
+// dense per-day metrics: eight parallel columns, one slot per app-day.
+// Each app owns one contiguous [off, off+room) range of every column, so
+// the daily StepDay pass — enforcement scan, window roll, chart scoring —
+// streams over flat int64/float64 columns instead of striding an array of
+// heterogeneous structs per app. At 100k+ apps that layout difference is
+// what keeps the per-day scan memory-bandwidth-bound rather than
+// cache-miss-bound: the float re-summation reads two packed float64
+// columns and nothing else.
+type colArena struct {
+	organic    []int64
+	referral   []int64
+	removed    []int64
+	fraudSum   []float64
+	sessions   []int64
+	sessionSec []int64
+	revenue    []float64
+	activeUser []int64
+
+	// horizon, when nonzero, is the last day the run is expected to
+	// write (Store.SetHorizon). An app's first range is sized to reach
+	// it, so steady forward writes never relocate and the arena carries
+	// no abandoned ranges — without it, every long-lived app walks the
+	// full doubling ladder and more than half the arena ends up dead.
+	// Purely an allocation-sizing hint: values, iteration order, and
+	// the snapshot wire format are identical with or without it.
+	horizon dates.Date
+}
+
+// alloc extends every column by n zeroed slots and returns the starting
+// offset of the new range. Ranges are never freed: an app that outgrows
+// its range relocates to the tail and abandons the old one, so with
+// doubling growth at most half of each column is dead — the same
+// constant-factor overhead as slice append, paid arena-wide instead of
+// per-app.
+func (ar *colArena) alloc(n int) int {
+	off := len(ar.organic)
+	ar.organic = append(ar.organic, make([]int64, n)...)
+	ar.referral = append(ar.referral, make([]int64, n)...)
+	ar.removed = append(ar.removed, make([]int64, n)...)
+	ar.fraudSum = append(ar.fraudSum, make([]float64, n)...)
+	ar.sessions = append(ar.sessions, make([]int64, n)...)
+	ar.sessionSec = append(ar.sessionSec, make([]int64, n)...)
+	ar.revenue = append(ar.revenue, make([]float64, n)...)
+	ar.activeUser = append(ar.activeUser, make([]int64, n)...)
+	return off
+}
+
 // app is the store-internal mutable state for a listing.
 //
-// Daily metrics live in a dense day-indexed slice anchored at the first
-// day the app ever recorded activity: the slot for day d is
-// days[d-base], grown on write. The hot paths — every install, session,
-// and purchase record, plus the per-day trailing-window aggregation in
-// StepDay — are pure index arithmetic over contiguous memory, with no
-// hashing and no per-day allocations (the map[dates.Date]*dayMetrics this
-// replaces paid a hash probe per touch and an allocation per app-day).
+// Daily metrics live in the shard's column arena (see colArena), anchored
+// at the first day the app ever recorded activity: the slot for day d is
+// column[off + (d - base)], grown on write. The hot paths — every install,
+// session, and purchase record, plus the per-day trailing-window
+// aggregation in StepDay — are pure index arithmetic over contiguous
+// memory, with no hashing and no per-day allocations.
 //
-// On top of the slice, a rolling 7-day window (winEnd, win) keeps the
+// On top of the columns, a rolling 7-day window (winEnd, win) keeps the
 // integer chart-window aggregates incrementally: advancing one day adds
 // the entering day's totals and subtracts the leaving day's, both exact
 // in int64, so the StepDay/enforcer window query is O(1) arithmetic for
@@ -131,7 +178,7 @@ type ConsoleDay struct {
 // NOT maintained that way: float addition is not associative, and an
 // add/subtract rolling sum would drift from the bit patterns the seed
 // engine produced. window() re-sums exactly those two fields over the
-// dense slice in ascending day order — the same summation order as the
+// dense columns in ascending day order — the same summation order as the
 // seed engine — so every chart score and enforcement draw stays
 // bit-identical while still never touching a map.
 type app struct {
@@ -143,14 +190,20 @@ type app struct {
 
 	installs int64 // cumulative net installs
 
-	base dates.Date   // day of days[0]; meaningful only when len(days) > 0
-	days []dayMetrics // dense per-day metrics, index = day - base
+	ar   *colArena  // the owning shard's column arena
+	off  int        // start of this app's range in every column
+	n    int        // days in use, index = day - base
+	room int        // allocated range length (n <= room)
+	base dates.Date // day of slot off; meaningful only when n > 0
 
 	winEnd dates.Date // newest day the rolling window is anchored at
 	win    winInts    // exact integer sums over (winEnd-7, winEnd]
 }
 
-// dayMetrics accumulates one day of activity for an app.
+// dayMetrics is the value view of one app-day: the row the columns are
+// transposed from. Snapshot framing, the developer console, and the
+// AoS-reference tests read whole rows through metricsAt; the hot paths
+// never materialize one.
 type dayMetrics struct {
 	organic    int64
 	referral   int64
@@ -188,16 +241,31 @@ func (w *winInts) sub(o winInts) {
 	w.dau -= o.dau
 }
 
-// day returns the mutable metrics slot for d, growing the dense slice as
-// needed and rolling the window anchor forward when d opens a new newest
-// day. Callers hold the shard write lock, mutate the slot immediately,
-// and mirror integer deltas through winTrack.
-func (a *app) day(d dates.Date) *dayMetrics {
-	if len(a.days) == 0 {
+// initialRoom is the first column range allocated for an app on its first
+// write. Small enough that a catalog where most apps see little activity
+// stays cheap, large enough that a window's worth of days fits without a
+// relocation.
+const initialRoom = 8
+
+// slot returns the arena index of the mutable slot for d, growing the
+// app's dense range as needed and rolling the window anchor forward when
+// d opens a new newest day. Callers hold the shard write lock, mutate the
+// columns at the returned index immediately, and mirror integer deltas
+// through winTrack.
+func (a *app) slot(d dates.Date) int {
+	if a.n == 0 {
 		a.base = d
 		a.winEnd = d
-		a.days = append(a.days, dayMetrics{})
-		return &a.days[0]
+		if a.room == 0 {
+			room := initialRoom
+			if h := a.ar.horizon; h > d && int(h-d)+1 > room {
+				room = int(h-d) + 1
+			}
+			a.off = a.ar.alloc(room)
+			a.room = room
+		}
+		a.n = 1
+		return a.off
 	}
 	if d > a.winEnd {
 		a.rollTo(d)
@@ -207,49 +275,96 @@ func (a *app) day(d dates.Date) *dayMetrics {
 	case idx < 0:
 		// A write before the first-ever active day: shift right and
 		// re-anchor. Rare (never on the engine's monotonic day path).
-		grown := make([]dayMetrics, len(a.days)-idx)
-		copy(grown[-idx:], a.days)
-		a.days = grown
+		shift := -idx
+		a.relocate(a.n+shift, shift)
+		a.n += shift
 		a.base = d
 		idx = 0
-	case idx >= len(a.days):
-		a.days = append(a.days, make([]dayMetrics, idx+1-len(a.days))...)
+	case idx >= a.n:
+		if idx >= a.room {
+			a.relocate(idx+1, 0)
+		}
+		a.n = idx + 1
 	}
-	return &a.days[idx]
+	return a.off + idx
 }
 
-// dayAt returns the metrics slot for d read-only, nil when d falls outside
-// the app's dense range.
-func (a *app) dayAt(d dates.Date) *dayMetrics {
-	if len(a.days) == 0 {
-		return nil
+// relocate moves the app's n used slots into a fresh zeroed range of at
+// least need slots (grown by doubling), placing them shift slots in — the
+// backfill case re-anchors by shifting right. The old range is abandoned.
+func (a *app) relocate(need, shift int) {
+	room := a.room
+	for room < need {
+		room *= 2
+	}
+	ar := a.ar
+	off := ar.alloc(room)
+	copy(ar.organic[off+shift:], ar.organic[a.off:a.off+a.n])
+	copy(ar.referral[off+shift:], ar.referral[a.off:a.off+a.n])
+	copy(ar.removed[off+shift:], ar.removed[a.off:a.off+a.n])
+	copy(ar.fraudSum[off+shift:], ar.fraudSum[a.off:a.off+a.n])
+	copy(ar.sessions[off+shift:], ar.sessions[a.off:a.off+a.n])
+	copy(ar.sessionSec[off+shift:], ar.sessionSec[a.off:a.off+a.n])
+	copy(ar.revenue[off+shift:], ar.revenue[a.off:a.off+a.n])
+	copy(ar.activeUser[off+shift:], ar.activeUser[a.off:a.off+a.n])
+	a.off = off
+	a.room = room
+}
+
+// slotAt returns the arena index for day d read-only, -1 when d falls
+// outside the app's dense range.
+func (a *app) slotAt(d dates.Date) int {
+	if a.n == 0 {
+		return -1
 	}
 	idx := int(d - a.base)
-	if idx < 0 || idx >= len(a.days) {
-		return nil
+	if idx < 0 || idx >= a.n {
+		return -1
 	}
-	return &a.days[idx]
+	return a.off + idx
+}
+
+// metricsAt transposes day d's column slots back into a row value, false
+// when d falls outside the dense range. Cold paths only (console reads,
+// snapshot framing, tests).
+func (a *app) metricsAt(d dates.Date) (dayMetrics, bool) {
+	j := a.slotAt(d)
+	if j < 0 {
+		return dayMetrics{}, false
+	}
+	ar := a.ar
+	return dayMetrics{
+		organic:    ar.organic[j],
+		referral:   ar.referral[j],
+		removed:    ar.removed[j],
+		fraudSum:   ar.fraudSum[j],
+		sessions:   ar.sessions[j],
+		sessionSec: ar.sessionSec[j],
+		revenue:    ar.revenue[j],
+		activeUser: ar.activeUser[j],
+	}, true
 }
 
 // dayInts reads the integer window contribution of day d, zero outside the
 // dense range.
 func (a *app) dayInts(d dates.Date) winInts {
-	m := a.dayAt(d)
-	if m == nil {
+	j := a.slotAt(d)
+	if j < 0 {
 		return winInts{}
 	}
+	ar := a.ar
 	return winInts{
-		installs:   m.organic + m.referral,
-		referral:   m.referral,
-		sessions:   m.sessions,
-		sessionSec: m.sessionSec,
-		dau:        m.activeUser,
+		installs:   ar.organic[j] + ar.referral[j],
+		referral:   ar.referral[j],
+		sessions:   ar.sessions[j],
+		sessionSec: ar.sessionSec[j],
+		dau:        ar.activeUser[j],
 	}
 }
 
 // rollTo advances the rolling window anchor so win covers (end-7, end].
 // Steady-state day advances are +1 (one subtract, one add); gaps of a full
-// window or more rebuild from the slice directly, so the amortized cost
+// window or more rebuild from the columns directly, so the amortized cost
 // per simulated day is O(1). The anchor never moves backward: every day
 // newer than winEnd is guaranteed to have an all-zero (or absent) slot,
 // which keeps the incremental sums exact.
@@ -269,8 +384,8 @@ func (a *app) rollTo(end dates.Date) {
 }
 
 // winTrack mirrors an integer delta just applied to day d into the rolling
-// window. The record paths call it after mutating the day slot returned by
-// day(), which has already anchored the window at the newest written day.
+// window. The record paths call it after mutating the slot returned by
+// slot(), which has already anchored the window at the newest written day.
 func (a *app) winTrack(d dates.Date, delta winInts) {
 	if d > a.winEnd.AddDays(-chartWindowDays) && d <= a.winEnd {
 		a.win.add(delta)
@@ -294,11 +409,11 @@ type windowMetrics struct {
 // The chart-window query at the rolling anchor — the once-per-app-per-day
 // StepDay and enforcement pattern — takes the fast path: integer fields
 // are O(1) copies of the incremental sums, and only the two float fields
-// are re-summed, in ascending day order over the dense slice, preserving
-// the seed engine's float bit patterns (see the app doc). Every other
-// query (the previous-window trend term, the enforcer's 30-day clawback,
-// arbitrary test queries) scans the dense range directly — still pure
-// contiguous arithmetic, never map probes.
+// are re-summed, in ascending day order over the dense float columns,
+// preserving the seed engine's float bit patterns (see the app doc). Every
+// other query (the previous-window trend term, the enforcer's 30-day
+// clawback, arbitrary test queries) scans the dense range directly — still
+// pure contiguous arithmetic, never map probes.
 //
 // Callers hold the shard lock. A chart-window query with end beyond the
 // current anchor advances the anchor and therefore requires the shard
@@ -306,18 +421,20 @@ type windowMetrics struct {
 // already holds it.
 func (a *app) window(end dates.Date, days int) windowMetrics {
 	var w windowMetrics
-	if len(a.days) == 0 {
+	if a.n == 0 {
 		return w
 	}
+	ar := a.ar
 	if days == chartWindowDays {
 		if end > a.winEnd {
 			a.rollTo(end)
 		}
 		if end == a.winEnd {
 			lo, hi := a.clamp(end.AddDays(-(chartWindowDays - 1)), end)
-			for i := lo; i <= hi; i++ {
-				w.fraudSum += a.days[i].fraudSum
-				w.revenue += a.days[i].revenue
+			fs, rev := ar.fraudSum, ar.revenue
+			for j := a.off + lo; j <= a.off+hi; j++ {
+				w.fraudSum += fs[j]
+				w.revenue += rev[j]
 			}
 			w.installs = a.win.installs
 			w.referral = a.win.referral
@@ -328,29 +445,28 @@ func (a *app) window(end dates.Date, days int) windowMetrics {
 		}
 	}
 	lo, hi := a.clamp(end.AddDays(-(days - 1)), end)
-	for i := lo; i <= hi; i++ {
-		m := &a.days[i]
-		w.installs += m.organic + m.referral
-		w.referral += m.referral
-		w.fraudSum += m.fraudSum
-		w.sessions += m.sessions
-		w.sessionSec += m.sessionSec
-		w.revenue += m.revenue
-		w.dau += m.activeUser
+	for j := a.off + lo; j <= a.off+hi; j++ {
+		w.installs += ar.organic[j] + ar.referral[j]
+		w.referral += ar.referral[j]
+		w.fraudSum += ar.fraudSum[j]
+		w.sessions += ar.sessions[j]
+		w.sessionSec += ar.sessionSec[j]
+		w.revenue += ar.revenue[j]
+		w.dau += ar.activeUser[j]
 	}
 	return w
 }
 
-// clamp converts an inclusive day range to inclusive slice indexes,
-// intersected with the dense range (lo > hi when the intersection is
-// empty).
+// clamp converts an inclusive day range to inclusive range-relative
+// indexes, intersected with the dense range (lo > hi when the
+// intersection is empty).
 func (a *app) clamp(from, to dates.Date) (lo, hi int) {
 	lo = int(from - a.base)
 	hi = int(to - a.base)
 	if lo < 0 {
 		lo = 0
 	}
-	if last := len(a.days) - 1; hi > last {
+	if last := a.n - 1; hi > last {
 		hi = last
 	}
 	return lo, hi

@@ -21,15 +21,18 @@ func WriteSweep(w io.Writer, r *sweep.Result) {
 
 	baseline, hasBaseline := r.Baseline()
 	t := NewTable("Scenario", "Incent installs", "Truth devs", "Groups", "Flagged",
+		"Buckets retr", "Pairs pruned",
 		"Precision", "Recall", "F1", "ΔRecall vs baseline")
 	for _, s := range r.Scenarios {
-		var incent int64
+		var incent, retracted, pruned int64
 		var truth, groups, flagged int
 		for _, c := range s.Cells {
 			incent += c.Stats.IncentivizedInstalls
 			truth += c.Truth
 			groups += c.Groups
 			flagged += c.Flagged
+			retracted += c.Detector.BucketsRetracted
+			pruned += c.Detector.PairsPruned
 		}
 		n := int64(len(s.Cells))
 		delta := "-"
@@ -37,6 +40,7 @@ func WriteSweep(w io.Writer, r *sweep.Result) {
 			delta = fmt.Sprintf("%+.3f", s.Recall-baseline.Recall)
 		}
 		t.Row(s.Name, incent/n, truth/int(n), groups/int(n), flagged/int(n),
+			retracted/n, pruned/n,
 			fmt.Sprintf("%.3f", s.Precision),
 			fmt.Sprintf("%.3f", s.Recall),
 			fmt.Sprintf("%.3f", s.F1),

@@ -25,11 +25,12 @@ import (
 )
 
 // Base world names a Spec may reference. sim.ConfigForSpec maps them to
-// TinyConfig / DefaultConfig / ScaleConfig.
+// TinyConfig / DefaultConfig / ScaleConfig / MassiveConfig.
 const (
 	BaseTiny    = "tiny"
 	BaseDefault = "default"
 	BaseScale   = "scale"
+	BaseMassive = "massive"
 )
 
 // Spec is one fully described scenario. The zero value of every field
@@ -63,6 +64,13 @@ type WorldSpec struct {
 	BackgroundApps int `json:"background_apps,omitempty"`
 	WorkerPoolSize int `json:"worker_pool_size,omitempty"`
 	ChartSize      int `json:"chart_size,omitempty"`
+	// Apps / Devices are the free world-size parameters (sim's
+	// Config.Resize): the total catalog size and the total crowd-worker
+	// device count across all IIP pools. They apply after the per-field
+	// overrides above, so a spec may pin the baseline count and still
+	// size the whole catalog with Apps.
+	Apps    int `json:"apps,omitempty"`
+	Devices int `json:"devices,omitempty"`
 }
 
 // Adversary strategy kinds. The empty kind is the baseline.
@@ -157,7 +165,7 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: spec has no name")
 	}
 	switch s.World.Base {
-	case "", BaseTiny, BaseDefault, BaseScale:
+	case "", BaseTiny, BaseDefault, BaseScale, BaseMassive:
 	default:
 		return fmt.Errorf("scenario %s: unknown base world %q", s.Name, s.World.Base)
 	}
@@ -167,7 +175,8 @@ func (s Spec) Validate() error {
 	for _, v := range []int{s.Detector.DayBucket, s.Detector.MinCommonApps,
 		s.Detector.MinGroupSize, s.Detector.MaxBucketPopulation,
 		s.World.WindowDays, s.World.BaselineApps, s.World.BackgroundApps,
-		s.World.WorkerPoolSize, s.World.ChartSize} {
+		s.World.WorkerPoolSize, s.World.ChartSize,
+		s.World.Apps, s.World.Devices} {
 		if v < 0 {
 			return fmt.Errorf("scenario %s: negative knob", s.Name)
 		}

@@ -9,6 +9,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/dates"
 	"repro/internal/iip"
 	"repro/internal/scenario"
@@ -110,6 +112,24 @@ type Config struct {
 	// engine — DefaultConfig/TinyConfig/ScaleConfig worlds reproduce the
 	// PR-1/PR-2 goldens unchanged.
 	Adversary scenario.AdversarySpec
+
+	// InstallLogWindow, when positive, bounds the install log's resident
+	// tail at that many records: older records spill to a temp file in the
+	// v3 run-log format, holding peak memory at O(window) instead of
+	// O(run) on massive worlds. The logical record stream — lengths,
+	// hashes, checkpoint contents, detector input — is identical either
+	// way. 0 (the default) keeps the whole log in RAM.
+	InstallLogWindow int
+	// InstallLogDir is where the spill file is created ("" = the system
+	// temp directory). The file is unlinked at creation, so interrupted
+	// runs leak nothing.
+	InstallLogDir string
+	// LedgerBalancesOnly drops the ledger's per-transfer history (the
+	// other O(run) memory term beside the install log), keeping only
+	// account balances. Every balance, the conservation invariant, and
+	// the determinism contract are unchanged; only the retained Tx log —
+	// which no analysis reads — is gone. MassiveConfig switches it on.
+	LedgerBalancesOnly bool
 }
 
 // BasePayout is the per-type average user payout (Table 3).
@@ -245,6 +265,80 @@ func ScaleConfig() Config {
 	cfg.WorkerPoolSize = 400
 	cfg.Window.End = cfg.Window.Start.AddDays(60)
 	return cfg
+}
+
+// MassiveConfig returns an order-of-magnitude scale-up: a catalog around
+// one hundred thousand apps and worker pools totalling about a million
+// devices across the seven IIPs. It exists to exercise the SoA store
+// columns, the sketch-tier lockstep detector, and the spill-to-disk
+// install log at the sizes they were built for; the -massive-gated
+// benchmarks run it. The structural knobs (shares, payouts, medians) stay
+// at the paper's calibration — only the population scales.
+func MassiveConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BaselineApps = 6_000
+	cfg.BackgroundApps = 90_000
+	cfg.AppsPerIIP = map[string]int{
+		iip.RankApp:      600,
+		iip.AyetStudios:  1_550,
+		iip.Fyber:        1_500,
+		iip.AdscendMedia: 420,
+		iip.AdGem:        110,
+		iip.HangMyAds:    110,
+		iip.OfferToro:    560,
+	}
+	cfg.TotalAdvertised = 3_700
+	cfg.OffersTarget = 8_500
+	cfg.WorkerPoolSize = 143_000 // ×7 IIPs ≈ 1.0M devices
+	cfg.ChartSize = 200
+	// The window stays the paper's full March-June monitoring period
+	// (121 days, inherited from DefaultConfig): at this scale the run's
+	// O(run) terms are exactly what the bounded-memory model below
+	// exists for, so truncating the window would hide the point.
+	//
+	// Bound the resident install log: the full run's stream is far larger
+	// than RAM should hold, so spill everything past the last ~1M records.
+	cfg.InstallLogWindow = 1 << 20
+	// And the ledger history with it — at this scale the retained Tx log
+	// would dwarf the device population.
+	cfg.LedgerBalancesOnly = true
+	return cfg
+}
+
+// Resize applies the free world-size parameters (0 = keep the base
+// value): apps is the total catalog size (background + baseline +
+// advertised — the baseline and advertised populations keep their
+// calibrated counts and the background catalog absorbs the difference),
+// devices is the total crowd-worker device count across the seven IIP
+// pools, and days is the monitored window length. It validates that the
+// requested sizes are realizable before mutating anything.
+func (c *Config) Resize(apps, devices, days int) error {
+	background := c.BackgroundApps
+	if apps > 0 {
+		reserved := c.BaselineApps + c.TotalAdvertised
+		background = apps - reserved
+		if background < 1 {
+			return fmt.Errorf("sim: -apps %d leaves no background catalog (baseline %d + advertised %d apps are reserved)",
+				apps, c.BaselineApps, c.TotalAdvertised)
+		}
+	}
+	pool := c.WorkerPoolSize
+	if devices > 0 {
+		nIIPs := len(iip.StandardNames)
+		if devices < nIIPs {
+			return fmt.Errorf("sim: -devices %d is fewer than the %d IIP pools", devices, nIIPs)
+		}
+		pool = (devices + nIIPs - 1) / nIIPs
+	}
+	if days < 0 || (days == 0 && c.Window.Days() < 1) {
+		return fmt.Errorf("sim: window must be at least one day")
+	}
+	c.BackgroundApps = background
+	c.WorkerPoolSize = pool
+	if days > 0 {
+		c.Window.End = c.Window.Start.AddDays(days - 1)
+	}
+	return nil
 }
 
 // VettedIIPs and UnvettedIIPs partition the studied platforms.

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/iip"
+	"repro/internal/scenario"
+)
+
+func TestResize(t *testing.T) {
+	cfg := TinyConfig()
+	total := cfg.BaselineApps + cfg.TotalAdvertised + 500
+	if err := cfg.Resize(total, 7000, 10); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BackgroundApps != 500 {
+		t.Errorf("BackgroundApps = %d, want 500", cfg.BackgroundApps)
+	}
+	if want := 1000; cfg.WorkerPoolSize != want {
+		t.Errorf("WorkerPoolSize = %d, want %d", cfg.WorkerPoolSize, want)
+	}
+	if got := cfg.Window.Days(); got != 10 {
+		t.Errorf("window = %d days, want 10", got)
+	}
+
+	// Zero keeps the base values.
+	before := cfg
+	if err := cfg.Resize(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BackgroundApps != before.BackgroundApps || cfg.WorkerPoolSize != before.WorkerPoolSize {
+		t.Error("Resize(0,0,0) mutated the config")
+	}
+
+	// An apps target below the reserved populations must refuse.
+	if err := cfg.Resize(cfg.BaselineApps, 0, 0); err == nil {
+		t.Error("Resize accepted an apps target below baseline+advertised")
+	}
+	if err := cfg.Resize(0, len(iip.StandardNames)-1, 0); err == nil {
+		t.Error("Resize accepted fewer devices than IIP pools")
+	}
+	if err := cfg.Resize(0, 0, -1); err == nil {
+		t.Error("Resize accepted a negative window")
+	}
+}
+
+func TestConfigForSpecSizing(t *testing.T) {
+	sp := scenario.Spec{
+		Name:  "sizing",
+		World: scenario.WorldSpec{Base: scenario.BaseMassive},
+	}
+	cfg, err := ConfigForSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MassiveConfig()
+	if cfg.BackgroundApps != want.BackgroundApps || cfg.WorkerPoolSize != want.WorkerPoolSize {
+		t.Errorf("massive base not applied: %d apps / %d pool", cfg.BackgroundApps, cfg.WorkerPoolSize)
+	}
+	if cfg.InstallLogWindow == 0 {
+		t.Error("massive base should bound the install log")
+	}
+
+	sp = scenario.Spec{
+		Name:  "sizing",
+		World: scenario.WorldSpec{Base: scenario.BaseTiny, Apps: 400, Devices: 1400},
+	}
+	if cfg, err = ConfigForSpec(sp); err != nil {
+		t.Fatal(err)
+	}
+	tiny := TinyConfig()
+	if want := 400 - tiny.BaselineApps - tiny.TotalAdvertised; cfg.BackgroundApps != want {
+		t.Errorf("BackgroundApps = %d, want %d", cfg.BackgroundApps, want)
+	}
+	if want := 200; cfg.WorkerPoolSize != want {
+		t.Errorf("WorkerPoolSize = %d, want %d", cfg.WorkerPoolSize, want)
+	}
+
+	// Unrealizable sizes surface as spec errors, naming the scenario.
+	sp.World.Apps = 10
+	if _, err := ConfigForSpec(sp); err == nil || !strings.Contains(err.Error(), "sizing") {
+		t.Errorf("unrealizable apps target: err = %v", err)
+	}
+}

@@ -264,7 +264,7 @@ func newEngine(w *World) (*engine, error) {
 			e.logBound += rem
 		}
 	}
-	e.logBound += len(w.InstallLog)
+	e.logBound += w.InstallLog.Len()
 	e.sinks = make([]unitSink, len(e.groups))
 	e.deltas = make([]organicDelta, len(e.organic))
 	return e, nil
@@ -442,9 +442,16 @@ func (e *engine) checkpoint(day dates.Date, stats RunStats, logOffset int64) (*s
 			}
 		}
 	}
-	cp.Installs = make([]stream.Install, len(w.InstallLog))
-	for i, rec := range w.InstallLog {
-		cp.Installs[i] = stream.Install{Device: rec.Device, App: rec.App, Day: rec.Day}
+	// A spilled log streams back from disk here: checkpoints carry the
+	// complete install list, so checkpointing a massive spilled run is a
+	// deliberate O(run) materialization (disable checkpoints or the spill
+	// window when that matters).
+	cp.Installs = make([]stream.Install, 0, w.InstallLog.Len())
+	for rec := range w.InstallLog.All() {
+		cp.Installs = append(cp.Installs, stream.Install{Device: rec.Device, App: rec.App, Day: rec.Day})
+	}
+	if err := w.InstallLog.Err(); err != nil {
+		return nil, err
 	}
 	return cp, nil
 }
@@ -604,23 +611,19 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 	// window at the current daily delivery rate — capped by the total
 	// deliveries still possible, so a burst day never reserves more than
 	// the campaigns can ever append — instead of repeated append
-	// doublings across the run.
+	// doublings across the run. (A spilling log instead clamps the
+	// reservation at its resident window.)
 	need := 0
 	for g := range e.sinks {
 		need += len(e.sinks[g].log)
 	}
-	if need > 0 && cap(w.InstallLog)-len(w.InstallLog) < need {
+	if need > 0 {
 		daysLeft := int(w.Cfg.Window.End-day) + 1
-		est := len(w.InstallLog) + need*daysLeft
+		est := w.InstallLog.Len() + need*daysLeft
 		if est > e.logBound {
 			est = e.logBound
 		}
-		if min := len(w.InstallLog) + need; est < min {
-			est = min
-		}
-		grown := make([]InstallRecord, len(w.InstallLog), est)
-		copy(grown, w.InstallLog)
-		w.InstallLog = grown
+		w.InstallLog.Reserve(need, est)
 	}
 	var certified int64
 	for g := range e.sinks {
@@ -628,11 +631,14 @@ func (e *engine) stepDay(day dates.Date, stats *RunStats) error {
 		if ferr := s.txs.FlushTo(w.Ledger); ferr != nil && err == nil {
 			err = fmt.Errorf("sim: ledger flush %s: %w", day, ferr)
 		}
-		w.InstallLog = append(w.InstallLog, s.log...)
+		w.InstallLog.Append(s.log...)
 		stats.IncentivizedInstalls += s.delivered
 		certified += s.certified
 		s.log = s.log[:0]
 		s.delivered, s.certified = 0, 0
+	}
+	if serr := w.InstallLog.Err(); serr != nil && err == nil {
+		err = fmt.Errorf("sim: install-log spill %s: %w", day, serr)
 	}
 	// Session certifications reach the mediator's global count only here,
 	// at the barrier; the count is a plain sum, so merge order is free.

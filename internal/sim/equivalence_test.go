@@ -75,7 +75,7 @@ func TestStorageRefactorEquivalence(t *testing.T) {
 	}
 
 	installHash := newFnv()
-	for _, rec := range w.InstallLog {
+	for rec := range w.InstallLog.All() {
 		installHash.str(rec.Device)
 		installHash.str(rec.App)
 		installHash.u64(uint64(rec.Day))
@@ -118,7 +118,7 @@ func TestStorageRefactorEquivalence(t *testing.T) {
 		t.Logf("goldenIncentivized    = %d", stats.IncentivizedInstalls)
 		t.Logf("goldenCertified       = %d", stats.CertifiedCompletions)
 		t.Logf("goldenRevenueBits     = %#x", math.Float64bits(stats.RevenueUSD))
-		t.Logf("goldenInstallLogLen   = %d", len(w.InstallLog))
+		t.Logf("goldenInstallLogLen   = %d", w.InstallLog.Len())
 		t.Logf("goldenInstallLogHash  = %#x", uint64(installHash))
 		t.Logf("goldenNumTxs          = %d", w.Ledger.NumTransactions())
 		t.Logf("goldenTxHash          = %#x", uint64(txHash))
@@ -138,7 +138,7 @@ func TestStorageRefactorEquivalence(t *testing.T) {
 	check("incentivized installs", uint64(stats.IncentivizedInstalls), goldenIncentivized)
 	check("certified completions", uint64(stats.CertifiedCompletions), goldenCertified)
 	check("revenue bits", math.Float64bits(stats.RevenueUSD), goldenRevenueBits)
-	check("install log length", uint64(len(w.InstallLog)), goldenInstallLogLen)
+	check("install log length", uint64(w.InstallLog.Len()), goldenInstallLogLen)
 	check("install log hash", uint64(installHash), goldenInstallLogHash)
 	check("num transactions", uint64(w.Ledger.NumTransactions()), goldenNumTxs)
 	check("transaction hash", uint64(txHash), goldenTxHash)

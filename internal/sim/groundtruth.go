@@ -20,7 +20,7 @@ import (
 // rotation is its own label, since that is all the defender can see).
 func (w *World) TruthLabels() map[string]bool {
 	truth := make(map[string]bool, 1024)
-	for _, rec := range w.InstallLog {
+	for rec := range w.InstallLog.All() {
 		truth[rec.Device] = true
 	}
 	return truth
@@ -61,8 +61,8 @@ func (w *World) DecoyEvents() []lockstep.Event {
 // decoys, plus the ground-truth labels (true only for devices that
 // appear in the incentivized stream).
 func (w *World) DetectionEvents() ([]lockstep.Event, map[string]bool) {
-	events := make([]lockstep.Event, 0, len(w.InstallLog))
-	for _, rec := range w.InstallLog {
+	events := make([]lockstep.Event, 0, w.InstallLog.Len())
+	for rec := range w.InstallLog.All() {
 		events = append(events, lockstep.Event{Device: rec.Device, App: rec.App, Day: rec.Day})
 	}
 	events = append(events, w.DecoyEvents()...)

@@ -159,12 +159,13 @@ func (w *World) Restore(cp *stream.Checkpoint) error {
 		}
 	}
 	w.Store = store
+	w.Store.SetHorizon(w.Cfg.Window.End)
 	if enf := store.Enforcer(); enf != nil {
 		w.Enforcer = enf
 	}
-	w.InstallLog = make([]InstallRecord, len(cp.Installs))
-	for i, in := range cp.Installs {
-		w.InstallLog[i] = InstallRecord{Device: in.Device, App: in.App, Day: in.Day}
+	w.InstallLog.Reset(len(cp.Installs))
+	for _, in := range cp.Installs {
+		w.InstallLog.Append(InstallRecord{Device: in.Device, App: in.App, Day: in.Day})
 	}
 	w.restored = cp
 	return nil

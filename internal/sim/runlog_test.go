@@ -106,13 +106,14 @@ func TestReplayMatchesLive(t *testing.T) {
 	if !bytes.Equal(res.Ledger.EncodeSnapshot(), w.Ledger.EncodeSnapshot()) {
 		t.Error("replayed ledger snapshot differs from live ledger")
 	}
-	if len(res.Installs) != len(w.InstallLog) {
-		t.Fatalf("replayed install log has %d records, live %d", len(res.Installs), len(w.InstallLog))
+	live := w.InstallLog.Slice()
+	if len(res.Installs) != len(live) {
+		t.Fatalf("replayed install log has %d records, live %d", len(res.Installs), len(live))
 	}
 	for i := range res.Installs {
 		rec := InstallRecord{Device: res.Installs[i].Device, App: res.Installs[i].App, Day: res.Installs[i].Day}
-		if rec != w.InstallLog[i] {
-			t.Fatalf("install log diverges at %d: %+v vs %+v", i, rec, w.InstallLog[i])
+		if rec != live[i] {
+			t.Fatalf("install log diverges at %d: %+v vs %+v", i, rec, live[i])
 		}
 	}
 

@@ -23,6 +23,8 @@ func ConfigForSpec(sp scenario.Spec) (Config, error) {
 		cfg = DefaultConfig()
 	case scenario.BaseScale:
 		cfg = ScaleConfig()
+	case scenario.BaseMassive:
+		cfg = MassiveConfig()
 	default:
 		return Config{}, fmt.Errorf("sim: unknown scenario base world %q", sp.World.Base)
 	}
@@ -43,6 +45,13 @@ func ConfigForSpec(sp scenario.Spec) (Config, error) {
 	}
 	if sp.World.ChartSize > 0 {
 		cfg.ChartSize = sp.World.ChartSize
+	}
+	// The free size parameters apply last, over the per-field overrides,
+	// and validate that the requested world is realizable.
+	if sp.World.Apps > 0 || sp.World.Devices > 0 {
+		if err := cfg.Resize(sp.World.Apps, sp.World.Devices, 0); err != nil {
+			return Config{}, fmt.Errorf("sim: scenario %s: %w", sp.Name, err)
+		}
 	}
 	cfg.Adversary = sp.Adversary
 	return cfg, nil

@@ -42,9 +42,9 @@ func TestPaperBaselineScenarioMatchesGoldens(t *testing.T) {
 	if bits := math.Float64bits(stats.RevenueUSD); bits != goldenRevenueBits {
 		t.Errorf("revenue bits = %#x, want %#x", bits, goldenRevenueBits)
 	}
-	check("install log length", uint64(len(w.InstallLog)), goldenInstallLogLen)
+	check("install log length", uint64(w.InstallLog.Len()), goldenInstallLogLen)
 	installHash := newFnv()
-	for _, rec := range w.InstallLog {
+	for rec := range w.InstallLog.All() {
 		installHash.str(rec.Device)
 		installHash.str(rec.App)
 		installHash.u64(uint64(rec.Day))
@@ -87,7 +87,7 @@ func fingerprintScenario(t *testing.T, name string, workers int) scenarioFingerp
 	}
 	fp := scenarioFingerprint{stats: stats}
 	h := newFnv()
-	for _, rec := range w.InstallLog {
+	for rec := range w.InstallLog.All() {
 		h.str(rec.Device)
 		h.str(rec.App)
 		h.u64(uint64(rec.Day))

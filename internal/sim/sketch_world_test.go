@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/lockstep"
+)
+
+// sketchWorldEvents runs a world at the given worker count and returns
+// its labeled detection stream.
+func sketchWorldEvents(t *testing.T, cfg Config, workers int) ([]lockstep.Event, map[string]bool) {
+	t.Helper()
+	cfg.Workers = workers
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events, truth := w.DetectionEvents()
+	return events, truth
+}
+
+// TestSketchTierOnWorlds runs the sketch tier over real simulated worlds:
+// the banding candidates must cover every pair the exact detector
+// reports (so verification reproduces the exact pair set), precision
+// must be unchanged, and the whole pipeline must be bit-deterministic
+// across engine worker counts — the sketch tier consumes the same
+// worker-count-invariant install stream the exact tier does.
+func TestSketchTierOnWorlds(t *testing.T) {
+	cfg := TinyConfig()
+	events, truth := sketchWorldEvents(t, cfg, 1)
+
+	base := lockstep.DefaultConfig()
+	// Single-row bands at 128 hashes: a qualifying pair with Jaccard s
+	// escapes all bands with probability (1-s)^128, vanishing even for
+	// the low-overlap tail of real worker pairs.
+	sketchCfg := base
+	sketchCfg.SketchHashes = 128
+	sketchCfg.SketchRows = 1
+	sketchCfg.SketchSeed = cfg.Seed
+
+	exact := lockstep.NewDetector(base)
+	sk := lockstep.NewDetector(sketchCfg)
+	for _, ev := range events {
+		exact.IngestEvent(ev)
+		sk.IngestEvent(ev)
+	}
+
+	exactPairs := exact.QualifyingPairs()
+	if len(exactPairs) == 0 {
+		t.Fatal("exact detector reported no pairs on the tiny world")
+	}
+	cand := map[[2]string]bool{}
+	for _, p := range sk.Candidates() {
+		cand[p] = true
+	}
+	for _, p := range exactPairs {
+		if !cand[p] {
+			t.Errorf("exact pair %v missing from sketch candidates", p)
+		}
+	}
+
+	exactGroups, sketchGroups := exact.Groups(), sk.Groups()
+	exactEval := lockstep.Evaluate(exactGroups, truth)
+	sketchEval := lockstep.Evaluate(sketchGroups, truth)
+	if sketchEval.Precision < exactEval.Precision {
+		t.Errorf("sketch precision %.3f below exact %.3f", sketchEval.Precision, exactEval.Precision)
+	}
+	// Recall loss is measured, not assumed: with every exact pair among
+	// the candidates it must be zero here.
+	if sketchEval.Recall != exactEval.Recall {
+		t.Errorf("sketch recall %.3f, exact %.3f", sketchEval.Recall, exactEval.Recall)
+	}
+
+	// Worker-count invariance end to end: a 4-worker engine must feed the
+	// detector a stream that sketches to identical groups and stats.
+	events4, _ := sketchWorldEvents(t, cfg, 4)
+	sk4 := lockstep.NewDetector(sketchCfg)
+	for _, ev := range events4 {
+		sk4.IngestEvent(ev)
+	}
+	if got := sk4.Groups(); !reflect.DeepEqual(got, sketchGroups) {
+		t.Errorf("sketch groups diverge across worker counts: %d vs %d", len(got), len(sketchGroups))
+	}
+	if sk4.Stats() != sk.Stats() {
+		t.Errorf("sketch stats diverge across worker counts: %+v vs %+v", sk4.Stats(), sk.Stats())
+	}
+}

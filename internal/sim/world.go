@@ -93,8 +93,10 @@ type World struct {
 	// InstallLog is the store-side device-resolved install stream for
 	// incentivized deliveries: the view Google would feed a lockstep
 	// detector (Section 5.2's proposed defense). Batch deliveries log
-	// the sampled pool devices that fulfilled them.
-	InstallLog []InstallRecord
+	// the sampled pool devices that fulfilled them. The log is fully
+	// in-RAM by default; Config.InstallLogWindow bounds the resident
+	// tail and spills the rest to disk for massive worlds.
+	InstallLog InstallLog
 
 	// organic per-app activity rates, fixed at build time.
 	organicInstall map[string]float64
@@ -144,9 +146,19 @@ func NewWorld(cfg Config) (*World, error) {
 	w.rand = randx.Derive(cfg.Seed, "world")
 	w.gen = textgen.New(randx.Derive(cfg.Seed, "names"))
 
+	if cfg.InstallLogWindow > 0 {
+		if err := w.InstallLog.EnableSpill(cfg.InstallLogDir, cfg.InstallLogWindow); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.LedgerBalancesOnly {
+		w.Ledger.DisableTxLog()
+	}
+
 	w.Enforcer = playstore.NewEnforcer(randx.Derive(cfg.Seed, "enforce"), cfg.EnforcementSensitivity)
 	w.Store.SetEnforcer(w.Enforcer)
 	w.Store.SetChartSize(cfg.ChartSize)
+	w.Store.SetHorizon(cfg.Window.End)
 
 	if err := w.buildCatalog(); err != nil {
 		return nil, fmt.Errorf("sim: building catalog: %w", err)
@@ -160,7 +172,18 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w.buildPools()
 	w.cacheAffiliates()
+	// Construction is the generator's last use. Its uniqueness maps
+	// retain every package and company name ever drawn — O(world), with
+	// tens of millions of entries at massive scale — so release them
+	// rather than carry them through the run.
+	w.gen = nil
 	return w, nil
+}
+
+// Close releases resources the world holds outside the heap — today the
+// install log's spill file. Safe (and a no-op) for fully in-RAM worlds.
+func (w *World) Close() error {
+	return w.InstallLog.Close()
 }
 
 // figure4Weights shapes the baseline popularity histogram (Figure 4):

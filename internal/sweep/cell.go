@@ -51,6 +51,10 @@ type CellRunner struct {
 	// PerDay, when non-nil, runs after each simulated day (after the
 	// detector drain): worker heartbeats and crash points hook in here.
 	PerDay func(day dates.Date) error
+	// Detector, when non-nil, receives every cell detector's retraction
+	// and banding-funnel increments (aggregated across the cells this
+	// runner executes — observation only, never consulted by detection).
+	Detector *lockstep.Metrics
 }
 
 // Run executes one cell. The returned Cell is identical for any runner
@@ -91,7 +95,7 @@ func (cr *CellRunner) runMem(ctx context.Context, cell *Cell, sp scenario.Spec, 
 	if err != nil {
 		return info, err
 	}
-	tap := newDetectorTap(sp, &buf)
+	tap := newDetectorTap(sp, &buf, cr.Detector)
 	stats, err := w.RunOpts(sim.RunOptions{
 		Context: ctx,
 		Log:     runLog,
@@ -128,7 +132,7 @@ func (cr *CellRunner) runSpooled(ctx context.Context, cell *Cell, sp scenario.Sp
 	defer f.Close()
 
 	var runLog *stream.Writer
-	tap := newDetectorTap(sp, f)
+	tap := newDetectorTap(sp, f, cr.Detector)
 	if cp != nil {
 		if err := f.Truncate(cp.LogOffset); err != nil {
 			return info, fmt.Errorf("sweep: truncating spooled log: %w", err)
@@ -234,9 +238,11 @@ type detectorTap struct {
 	curDay dates.Date
 }
 
-func newDetectorTap(sp scenario.Spec, src io.ReaderAt) *detectorTap {
+func newDetectorTap(sp scenario.Spec, src io.ReaderAt, m *lockstep.Metrics) *detectorTap {
+	det := lockstep.NewDetector(sp.Detector.Config())
+	det.SetMetrics(m)
 	return &detectorTap{
-		det:  lockstep.NewDetector(sp.Detector.Config()),
+		det:  det,
 		tail: stream.NewTail(src),
 	}
 }
@@ -278,6 +284,7 @@ func scoreCell(cell *Cell, w *sim.World, det *lockstep.Detector) {
 		cell.Flagged += len(g.Devices)
 	}
 	cell.Eval = lockstep.Evaluate(groups, truth)
+	cell.Detector = det.Stats()
 }
 
 // IsInjected reports whether err stems from an injected fault — the

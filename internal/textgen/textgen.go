@@ -95,6 +95,7 @@ type Gen struct {
 	r           *randx.Rand
 	usedPkg     map[string]bool
 	usedCompany map[string]bool
+	companySeq  int
 }
 
 // New returns a generator bound to the given RNG.
@@ -147,10 +148,22 @@ func sanitizePkg(s string) string {
 	return out
 }
 
-// CompanyName generates a unique developer/company name.
+// CompanyName generates a unique developer/company name. The grammar's
+// name space is ~10.8k two-stem combinations; once a large world
+// approaches that, rejection sampling stalls (and past it, livelocks),
+// so after a bounded number of collisions the name gets a sequence
+// number instead. Stems and suffixes contain no digits, so numbered
+// names can never collide with drawn ones — and at small-world load
+// factors the fallback fires with vanishing probability, keeping the
+// RNG draw sequence (and thus existing worlds) unchanged.
 func (g *Gen) CompanyName() string {
 	name := randx.Choice(g.r, companyStems) + " " + randx.Choice(g.r, companySuffixes)
-	for g.usedCompany[name] {
+	for tries := 0; g.usedCompany[name]; tries++ {
+		if tries >= 20 {
+			g.companySeq++
+			name = fmt.Sprintf("%s %d", name, g.companySeq)
+			break
+		}
 		name = randx.Choice(g.r, companyStems) + randx.Choice(g.r, companyStems) + " " + randx.Choice(g.r, companySuffixes)
 	}
 	g.usedCompany[name] = true

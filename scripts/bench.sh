@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Record the PR's key benchmarks into BENCH_PR9.json so the performance
+# Record the PR's key benchmarks into BENCH_PR10.json so the performance
 # trajectory is versioned alongside the code.
 #
 # Usage:
@@ -36,12 +36,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-after}"
-out="${BENCH_OUT:-BENCH_PR9.json}"
+out="${BENCH_OUT:-BENCH_PR10.json}"
 count="${BENCH_COUNT:-3}"
 
 suites=(
   '.:BenchmarkSimRunEvents:1x'
-  '.:BenchmarkSimRunScale/workers=1$:1x'
+  '.:BenchmarkSimRunScale:1x'
   '.:BenchmarkStoreRecordParallel$:20000x'
   './internal/playstore:BenchmarkStepDayScale$:20x'
   './internal/playstore:BenchmarkAppWindow:5000x'
@@ -60,6 +60,17 @@ fi
 # Metrics benchmark exists only on trees with internal/obs (PR 9).
 if go test -list 'BenchmarkSimRunMetrics$' . | grep BenchmarkSimRunMetrics > /dev/null; then
   suites+=('.:BenchmarkSimRunMetrics:1x:count40')
+fi
+# Massive-world suites exist only on trees with the E12 scaling work
+# (PR 10). They run at the mid-size default (100k devices over the full
+# 121-day paper window) so bench.sh stays tractable on one core; rerun by
+# hand with -massive for the full ~1M-device world. The world suite pins
+# count=1: each extra sample replays the ~12M-device-day window twice
+# (both spill variants), and benchjson's derived max_world_devices_at_
+# budget reads the peak-RSS watermark, which is stable across samples.
+if go test -list 'BenchmarkMassiveWorld$' . | grep BenchmarkMassiveWorld > /dev/null; then
+  suites+=('.:BenchmarkMassiveWorld$:1x:count1')
+  suites+=('.:BenchmarkMassiveLockstepIngest$:1x:count1')
 fi
 
 go run ./cmd/benchjson -label "$label" -out "$out" -count "$count" "${suites[@]}"
